@@ -1,0 +1,175 @@
+// Ablation: the filter hierarchy the paper walks through in §III-§IV.
+//
+//   exact subgraph isomorphism (the answer)
+//     ⊇ NNT subtree embedding   (the feature structure, §III)
+//     ⊇ branch compatibility    (Lemma 4.1's relaxation)
+//     ⊇ NPV dominance           (Lemma 4.2, what the system ships)
+//
+// For each tier this harness reports the candidate ratio and the average
+// per-pair evaluation time on a static workload — quantifying exactly how
+// much pruning each relaxation gives up for how much speed, which is the
+// design argument behind projecting NNTs into vectors.
+//
+//   ablation_filters [--graphs=N] [--queries=N] [--query_edges=m] [--depth=l]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "gsps/common/random.h"
+#include "gsps/common/stopwatch.h"
+#include "gsps/gen/aids_like.h"
+#include "gsps/gen/query_extractor.h"
+#include "gsps/gen/synthetic_generator.h"
+#include "gsps/iso/branch_compatibility.h"
+#include "gsps/iso/subgraph_isomorphism.h"
+#include "gsps/join/dominance.h"
+#include "gsps/join/join_strategy.h"
+#include "gsps/nnt/nnt_set.h"
+#include "gsps/nnt/subtree_filter.h"
+
+namespace gsps::bench {
+namespace {
+
+int RunWorkload(const char* name, const std::vector<Graph>& database,
+                const std::vector<Graph>& queries, int depth) {
+  std::printf("\n[%s] %zu graphs, %zu queries, depth %d\n", name,
+              database.size(), queries.size(), depth);
+
+  // Prebuild all NNTs once (shared by the NNT-based tiers).
+  DimensionTable dims;
+  std::vector<std::unique_ptr<NntSet>> db_nnts;
+  std::vector<std::unique_ptr<NntSet>> query_nnts;
+  for (const Graph& g : database) {
+    auto nnts = std::make_unique<NntSet>(depth, &dims);
+    nnts->Build(g);
+    db_nnts.push_back(std::move(nnts));
+  }
+  for (const Graph& q : queries) {
+    auto nnts = std::make_unique<NntSet>(depth, &dims);
+    nnts->Build(q);
+    query_nnts.push_back(std::move(nnts));
+  }
+
+  const int64_t total_pairs =
+      static_cast<int64_t>(database.size()) *
+      static_cast<int64_t>(queries.size());
+
+  auto report = [total_pairs](const char* name, int64_t kept, double ms) {
+    std::printf("  %-16s candidate ratio=%7.4f   avg us/pair=%9.3f\n", name,
+                static_cast<double>(kept) / static_cast<double>(total_pairs),
+                1000.0 * ms / static_cast<double>(total_pairs));
+  };
+
+  Stopwatch watch;
+
+  // Tier 4: NPV dominance (what the streaming system evaluates).
+  watch.Restart();
+  int64_t npv_kept = 0;
+  {
+    auto strategy = MakeJoinStrategy(JoinKind::kNestedLoop);
+    std::vector<QueryVectors> vectors;
+    for (const auto& nnts : query_nnts) {
+      vectors.push_back(BuildQueryVectors(*nnts));
+    }
+    strategy->SetQueries(std::move(vectors));
+    strategy->SetNumStreams(static_cast<int>(database.size()));
+    for (size_t i = 0; i < database.size(); ++i) {
+      for (const VertexId root : db_nnts[i]->Roots()) {
+        strategy->UpdateStreamVertex(static_cast<int>(i), root,
+                                     db_nnts[i]->NpvOf(root));
+      }
+    }
+    for (size_t i = 0; i < database.size(); ++i) {
+      npv_kept += static_cast<int64_t>(
+          strategy->CandidatesForStream(static_cast<int>(i)).size());
+    }
+  }
+  report("NPV dominance", npv_kept, watch.ElapsedMillis());
+
+  // Tier 3: branch compatibility (Lemma 4.1).
+  watch.Restart();
+  int64_t branch_kept = 0;
+  for (const Graph& query : queries) {
+    for (const Graph& data : database) {
+      if (BranchCompatibleFilter(query, data, depth)) ++branch_kept;
+    }
+  }
+  report("branch compat", branch_kept, watch.ElapsedMillis());
+
+  // Tier 2: NNT subtree embedding.
+  watch.Restart();
+  int64_t subtree_kept = 0;
+  for (const auto& q : query_nnts) {
+    for (const auto& d : db_nnts) {
+      if (NntSubtreeFilter(*q, *d)) ++subtree_kept;
+    }
+  }
+  report("subtree embed", subtree_kept, watch.ElapsedMillis());
+
+  // Tier 1: exact isomorphism (ground truth).
+  watch.Restart();
+  int64_t exact_kept = 0;
+  for (const Graph& query : queries) {
+    for (const Graph& data : database) {
+      if (IsSubgraphIsomorphic(query, data)) ++exact_kept;
+    }
+  }
+  report("exact iso", exact_kept, watch.ElapsedMillis());
+
+  if (!(exact_kept <= subtree_kept && subtree_kept <= branch_kept &&
+        branch_kept <= npv_kept)) {
+    std::printf("\nERROR: filter chain monotonicity violated!\n");
+    return 1;
+  }
+  std::printf("  chain check (exact <= subtree <= branch <= NPV): OK\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int num_graphs = flags.GetInt("graphs", 120);
+  const int num_queries = flags.GetInt("queries", 30);
+  const int query_edges = flags.GetInt("query_edges", 6);
+  const int depth = flags.GetInt("depth", 3);
+  const uint64_t seed = flags.GetUint64("seed", 3);
+
+  std::printf("Filter-chain ablation (candidate ratio + evaluation cost per "
+              "tier)\n");
+
+  // Easy-label workload: chemistry-like graphs, where even exact
+  // isomorphism fails fast on the 62-label alphabet.
+  AidsLikeParams aids;
+  aids.num_graphs = num_graphs;
+  aids.seed = seed;
+  const std::vector<Graph> aids_db = MakeAidsLikeDataset(aids);
+  Rng rng(seed + 1);
+  const std::vector<Graph> aids_queries =
+      ExtractQuerySet(aids_db, query_edges, num_queries, rng);
+  int status =
+      RunWorkload("AIDS-like, 62 labels", aids_db, aids_queries, depth);
+  if (status != 0) return status;
+
+  // Hard-label workload: two labels only — the regime where exact
+  // isomorphism backtracks heavily and cheap filters earn their keep.
+  SyntheticParams synth;
+  synth.num_graphs = num_graphs;
+  synth.num_vertex_labels = 2;
+  synth.avg_graph_edges = 35;
+  synth.seed = seed + 2;
+  const std::vector<Graph> synth_db = GenerateSyntheticDataset(synth);
+  const std::vector<Graph> synth_queries =
+      ExtractQuerySet(synth_db, query_edges + 4, num_queries, rng);
+  status = RunWorkload("synthetic, 2 labels", synth_db, synth_queries, depth);
+  if (status != 0) return status;
+
+  std::printf("\nThe paper's trade: each relaxation keeps more candidates "
+              "but evaluates faster on\nhard instances and, for NPV, becomes "
+              "incrementally maintainable on streams.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gsps::bench
+
+int main(int argc, char** argv) { return gsps::bench::Main(argc, argv); }

@@ -1,0 +1,312 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "gsps/baselines/gindex/gindex_filter.h"
+#include "gsps/baselines/graphgrep/graphgrep_filter.h"
+#include "gsps/common/check.h"
+#include "gsps/common/stopwatch.h"
+#include "gsps/engine/continuous_query_engine.h"
+#include "gsps/gen/reality_like.h"
+#include "gsps/iso/subgraph_isomorphism.h"
+#include "gsps/join/dominance.h"
+#include "gsps/nnt/nnt_set.h"
+
+namespace gsps::bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+int Flags::GetInt(const std::string& name, int default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::atoi(it->second.c_str());
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::atof(it->second.c_str());
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second != "false" && it->second != "0";
+}
+
+uint64_t Flags::GetUint64(const std::string& name,
+                          uint64_t default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end()
+             ? default_value
+             : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+StreamWorkload MakeWorkload(StreamDataset dataset, int num_queries,
+                            int num_streams, int horizon) {
+  StreamWorkload workload;
+  num_queries = std::min<int>(num_queries,
+                              static_cast<int>(dataset.queries.size()));
+  num_streams = std::min<int>(num_streams,
+                              static_cast<int>(dataset.streams.size()));
+  for (int j = 0; j < num_queries; ++j) {
+    workload.queries.push_back(std::move(dataset.queries[static_cast<size_t>(j)]));
+  }
+  for (int i = 0; i < num_streams; ++i) {
+    workload.streams.push_back(std::move(dataset.streams[static_cast<size_t>(i)]));
+  }
+  workload.horizon = horizon;
+  for (const GraphStream& stream : workload.streams) {
+    workload.horizon = std::min(workload.horizon, stream.NumTimestamps());
+  }
+  return workload;
+}
+
+StreamWorkload SyntheticStreamWorkload(int num_pairs, double p1, double p2,
+                                       int horizon, uint64_t seed,
+                                       double extra_pair_fraction) {
+  SyntheticStreamParams params;
+  params.num_pairs = num_pairs;
+  params.evolution.p_appear = p1;
+  params.evolution.p_disappear = p2;
+  params.evolution.num_timestamps = horizon;
+  params.evolution.extra_pair_fraction = extra_pair_fraction;
+  params.seed = seed;
+  return MakeWorkload(MakeSyntheticStreams(params), num_pairs, num_pairs,
+                      horizon);
+}
+
+StreamWorkload RealityStreamWorkload(int num_streams, int num_queries,
+                                     int horizon, uint64_t seed) {
+  RealityLikeParams params;
+  params.num_streams = num_streams;
+  params.num_queries = num_queries;
+  params.num_timestamps = horizon;
+  params.seed = seed;
+  return MakeWorkload(MakeRealityLikeStreams(params), num_queries,
+                      num_streams, horizon);
+}
+
+namespace {
+
+int64_t ExactTruePairs(const std::vector<Graph>& queries,
+                       const std::vector<const Graph*>& graphs) {
+  int64_t count = 0;
+  for (const Graph* g : graphs) {
+    for (const Graph& q : queries) {
+      if (IsSubgraphIsomorphic(q, *g)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+StatsAccumulator RunNpvEngine(const StreamWorkload& workload, JoinKind kind,
+                              int depth, const RunOptions& options) {
+  EngineOptions engine_options;
+  engine_options.nnt_depth = depth;
+  engine_options.join_kind = kind;
+  ContinuousQueryEngine engine(engine_options);
+  for (const Graph& q : workload.queries) engine.AddQuery(q);
+  for (const GraphStream& s : workload.streams) {
+    engine.AddStream(s.StartGraph());
+  }
+  Stopwatch watch;
+  engine.Start();
+
+  StatsAccumulator stats;
+  const int num_streams = static_cast<int>(workload.streams.size());
+  const int64_t total_pairs =
+      static_cast<int64_t>(workload.queries.size()) * num_streams;
+  for (int t = 0; t < workload.horizon; ++t) {
+    TimestampStats sample;
+    sample.timestamp = t;
+    sample.total_pairs = total_pairs;
+    if (t > 0) {
+      watch.Restart();
+      for (int i = 0; i < num_streams; ++i) {
+        engine.ApplyChange(i, workload.streams[static_cast<size_t>(i)]
+                                  .ChangeAt(t));
+      }
+      sample.update_millis = watch.ElapsedMillis();
+    }
+    watch.Restart();
+    int64_t candidates = 0;
+    for (int i = 0; i < num_streams; ++i) {
+      candidates += static_cast<int64_t>(engine.CandidatesForStream(i).size());
+    }
+    sample.join_millis = watch.ElapsedMillis();
+    sample.candidate_pairs = candidates;
+    if (options.ground_truth_every > 0 &&
+        t % options.ground_truth_every == 0) {
+      std::vector<const Graph*> graphs;
+      for (int i = 0; i < num_streams; ++i) {
+        graphs.push_back(&engine.StreamGraph(i));
+      }
+      sample.true_pairs = ExactTruePairs(workload.queries, graphs);
+    }
+    stats.Add(sample);
+  }
+  return stats;
+}
+
+StatsAccumulator RunGraphGrepBaseline(const StreamWorkload& workload,
+                                      int max_path_length,
+                                      const RunOptions& options) {
+  GraphGrepFilter filter(max_path_length);
+  filter.SetQueries(workload.queries);
+
+  std::vector<StreamCursor> cursors;
+  cursors.reserve(workload.streams.size());
+  for (const GraphStream& s : workload.streams) cursors.emplace_back(s);
+
+  StatsAccumulator stats;
+  const int64_t total_pairs =
+      static_cast<int64_t>(workload.queries.size()) *
+      static_cast<int64_t>(workload.streams.size());
+  Stopwatch watch;
+  for (int t = 0; t < workload.horizon; ++t) {
+    TimestampStats sample;
+    sample.timestamp = t;
+    sample.total_pairs = total_pairs;
+    if (t > 0) {
+      watch.Restart();
+      for (StreamCursor& cursor : cursors) cursor.Advance();
+      sample.update_millis = watch.ElapsedMillis();
+    }
+    watch.Restart();
+    int64_t candidates = 0;
+    for (const StreamCursor& cursor : cursors) {
+      candidates += static_cast<int64_t>(
+          filter.CandidateQueries(cursor.CurrentGraph()).size());
+    }
+    sample.join_millis = watch.ElapsedMillis();
+    sample.candidate_pairs = candidates;
+    if (options.ground_truth_every > 0 &&
+        t % options.ground_truth_every == 0) {
+      std::vector<const Graph*> graphs;
+      for (const StreamCursor& cursor : cursors) {
+        graphs.push_back(&cursor.CurrentGraph());
+      }
+      sample.true_pairs = ExactTruePairs(workload.queries, graphs);
+    }
+    stats.Add(sample);
+  }
+  return stats;
+}
+
+StatsAccumulator RunGindexBaseline(const StreamWorkload& workload,
+                                   const GspanOptions& mining,
+                                   const RunOptions& options) {
+  std::vector<StreamCursor> cursors;
+  cursors.reserve(workload.streams.size());
+  for (const GraphStream& s : workload.streams) cursors.emplace_back(s);
+
+  StatsAccumulator stats;
+  const int64_t total_pairs =
+      static_cast<int64_t>(workload.queries.size()) *
+      static_cast<int64_t>(workload.streams.size());
+  Stopwatch watch;
+  for (int t = 0; t < workload.horizon; ++t) {
+    TimestampStats sample;
+    sample.timestamp = t;
+    sample.total_pairs = total_pairs;
+    watch.Restart();
+    if (t > 0) {
+      for (StreamCursor& cursor : cursors) cursor.Advance();
+    }
+    // gIndex must re-mine features from the changed graphs (the paper's
+    // protocol); mining time counts as update cost.
+    std::vector<Graph> snapshots;
+    snapshots.reserve(cursors.size());
+    for (const StreamCursor& cursor : cursors) {
+      snapshots.push_back(cursor.CurrentGraph());
+    }
+    GindexFilter filter(mining);
+    filter.BuildIndex(snapshots);
+    sample.update_millis = watch.ElapsedMillis();
+
+    watch.Restart();
+    int64_t candidates = 0;
+    for (const Graph& query : workload.queries) {
+      candidates +=
+          static_cast<int64_t>(filter.CandidateGraphsFor(query).size());
+    }
+    sample.join_millis = watch.ElapsedMillis();
+    sample.candidate_pairs = candidates;
+    if (options.ground_truth_every > 0 &&
+        t % options.ground_truth_every == 0) {
+      std::vector<const Graph*> graphs;
+      for (const Graph& g : snapshots) graphs.push_back(&g);
+      sample.true_pairs = ExactTruePairs(workload.queries, graphs);
+    }
+    stats.Add(sample);
+  }
+  return stats;
+}
+
+double NpvStaticCandidateRatio(const std::vector<Graph>& database,
+                               const std::vector<Graph>& queries, int depth) {
+  if (database.empty() || queries.empty()) return 0.0;
+  DimensionTable dimensions;
+  std::vector<QueryVectors> query_vectors;
+  query_vectors.reserve(queries.size());
+  for (const Graph& query : queries) {
+    NntSet nnts(depth, &dimensions);
+    nnts.Build(query);
+    query_vectors.push_back(BuildQueryVectors(nnts));
+  }
+  auto strategy = MakeJoinStrategy(JoinKind::kDominatedSetCover);
+  strategy->SetQueries(std::move(query_vectors));
+  strategy->SetNumStreams(static_cast<int>(database.size()));
+  for (size_t i = 0; i < database.size(); ++i) {
+    NntSet nnts(depth, &dimensions);
+    nnts.Build(database[i]);
+    for (const VertexId root : nnts.Roots()) {
+      strategy->UpdateStreamVertex(static_cast<int>(i), root,
+                                   nnts.NpvOf(root));
+    }
+  }
+  int64_t candidates = 0;
+  for (size_t i = 0; i < database.size(); ++i) {
+    candidates += static_cast<int64_t>(
+        strategy->CandidatesForStream(static_cast<int>(i)).size());
+  }
+  return static_cast<double>(candidates) /
+         (static_cast<double>(database.size()) *
+          static_cast<double>(queries.size()));
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintRow(const std::string& label, const std::vector<double>& values,
+              const std::vector<std::string>& columns) {
+  GSPS_CHECK(values.size() == columns.size());
+  std::printf("%-28s", label.c_str());
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::printf("  %s=%.4f", columns[i].c_str(), values[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace gsps::bench

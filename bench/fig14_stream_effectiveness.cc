@@ -1,0 +1,95 @@
+// Figure 14 (paper §V.B.1): effectiveness on stream datasets — average
+// candidate percentage per timestamp for GraphGrep, gIndex1, gIndex2, and
+// NPV (dominated set cover), on the reality-like streams and the sparse and
+// dense synthetic streams.
+//
+// Paper scale: 25x25 real / 70x70 synthetic, 1000 timestamps; reproduce with
+//   fig14_stream_effectiveness --pairs=70 --real_streams=25 ...
+//       --timestamps=1000 --gindex_timestamps=1000
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gsps/baselines/gindex/gindex_filter.h"
+
+namespace gsps::bench {
+namespace {
+
+void RunSetting(const char* name, const StreamWorkload& workload,
+                int gindex_timestamps, int64_t gindex_max_patterns) {
+  std::printf("\n[%s] %zu queries x %zu streams, %d timestamps\n", name,
+              workload.queries.size(), workload.streams.size(),
+              workload.horizon);
+  {
+    const StatsAccumulator stats =
+        RunNpvEngine(workload, JoinKind::kDominatedSetCover, /*depth=*/3);
+    std::printf("  %-8s candidate%%=%6.2f\n", "NPV",
+                100.0 * stats.AvgCandidateRatio());
+  }
+  {
+    const StatsAccumulator stats = RunGraphGrepBaseline(workload, 4);
+    std::printf("  %-8s candidate%%=%6.2f\n", "Ggrep",
+                100.0 * stats.AvgCandidateRatio());
+  }
+  StreamWorkload truncated = workload;
+  truncated.horizon = std::min(workload.horizon, gindex_timestamps);
+  {
+    GspanOptions options = GindexFilter::Gindex1Options();
+    options.max_patterns = gindex_max_patterns;
+    // At bench scale (few streams) the paper's 0.1|D| threshold can fall to
+    // a single graph, which makes "frequent" mining enumerate everything;
+    // keep the effective support at >= 2 graphs.
+    options.min_support_fraction =
+        std::max(0.1, 2.0 / static_cast<double>(workload.streams.size()));
+    options.max_embeddings_per_graph = 24;
+    const StatsAccumulator stats = RunGindexBaseline(truncated, options);
+    std::printf("  %-8s candidate%%=%6.2f   (evaluated on %d timestamps)\n",
+                "gIndex1", 100.0 * stats.AvgCandidateRatio(),
+                truncated.horizon);
+  }
+  {
+    const StatsAccumulator stats =
+        RunGindexBaseline(truncated, GindexFilter::Gindex2Options());
+    std::printf("  %-8s candidate%%=%6.2f   (evaluated on %d timestamps)\n",
+                "gIndex2", 100.0 * stats.AvgCandidateRatio(),
+                truncated.horizon);
+  }
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int pairs = flags.GetInt("pairs", 20);
+  const int real_streams = flags.GetInt("real_streams", 10);
+  const int timestamps = flags.GetInt("timestamps", 60);
+  const int gindex_timestamps = flags.GetInt("gindex_timestamps", 2);
+  const int64_t gindex_max_patterns =
+      flags.GetInt("gindex_max_patterns", 20000);
+  const uint64_t seed = flags.GetUint64("seed", 11);
+
+  std::printf("Figure 14: stream effectiveness (avg candidate %%; lower is "
+              "better)\n");
+
+  RunSetting("reality-like",
+             RealityStreamWorkload(real_streams, real_streams, timestamps,
+                                   seed),
+             gindex_timestamps, gindex_max_patterns);
+  RunSetting("synthetic sparse",
+             SyntheticStreamWorkload(pairs, 0.1, 0.3, timestamps, seed + 1,
+                                     /*extra_pair_fraction=*/12.0),
+             gindex_timestamps, gindex_max_patterns);
+  RunSetting("synthetic dense",
+             SyntheticStreamWorkload(pairs, 0.2, 0.15, timestamps, seed + 2,
+                                     /*extra_pair_fraction=*/6.2),
+             gindex_timestamps, gindex_max_patterns);
+
+  std::printf("\nPaper shape check: GraphGrep reports roughly half of all "
+              "pairs; NPV sits between\ngIndex1 (best) and gIndex2; dense "
+              "streams yield larger candidate sets than sparse.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gsps::bench
+
+int main(int argc, char** argv) { return gsps::bench::Main(argc, argv); }

@@ -1,0 +1,125 @@
+// Micro/ablation benchmarks for the join strategies: candidate evaluation
+// cost of NL vs DSC vs Skyline on sparse and dense NPV workloads, plus the
+// incremental-update path. Complements Figs. 16-17 with kernel-level
+// numbers isolated from NNT maintenance.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "gsps/common/random.h"
+#include "gsps/join/join_strategy.h"
+
+namespace gsps {
+namespace {
+
+// Random sparse NPV over `dims` dimensions with `nnz` non-zero entries.
+Npv RandomNpv(Rng& rng, int dims, int nnz, int max_count) {
+  std::unordered_map<DimId, int32_t> counts;
+  for (int i = 0; i < nnz; ++i) {
+    counts[static_cast<DimId>(rng.UniformInt(0, dims - 1))] =
+        static_cast<int32_t>(rng.UniformInt(1, max_count));
+  }
+  return Npv::FromMap(counts);
+}
+
+struct Workload {
+  std::vector<QueryVectors> queries;
+  std::vector<std::pair<VertexId, Npv>> stream_vertices;
+};
+
+Workload MakeVectorWorkload(int num_queries, int vertices_per_query,
+                            int stream_vertices, int dims, int nnz,
+                            uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  for (int j = 0; j < num_queries; ++j) {
+    QueryVectors q;
+    for (int v = 0; v < vertices_per_query; ++v) {
+      q.vectors.push_back(RandomNpv(rng, dims, nnz, 4));
+    }
+    w.queries.push_back(std::move(q));
+  }
+  for (int v = 0; v < stream_vertices; ++v) {
+    w.stream_vertices.emplace_back(static_cast<VertexId>(v),
+                                   RandomNpv(rng, dims, nnz, 6));
+  }
+  return w;
+}
+
+void RunJoinKernel(benchmark::State& state, JoinKind kind, int dims,
+                   int nnz) {
+  const Workload w = MakeVectorWorkload(/*num_queries=*/40,
+                                        /*vertices_per_query=*/8,
+                                        /*stream_vertices=*/60, dims, nnz,
+                                        /*seed=*/9);
+  auto strategy = MakeJoinStrategy(kind);
+  strategy->SetQueries(w.queries);
+  strategy->SetNumStreams(1);
+  for (const auto& [v, npv] : w.stream_vertices) {
+    strategy->UpdateStreamVertex(0, v, npv);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy->CandidatesForStream(0).size());
+  }
+}
+
+void BM_JoinKernel_NL(benchmark::State& state) {
+  RunJoinKernel(state, JoinKind::kNestedLoop,
+                static_cast<int>(state.range(0)),
+                static_cast<int>(state.range(1)));
+}
+void BM_JoinKernel_DSC(benchmark::State& state) {
+  RunJoinKernel(state, JoinKind::kDominatedSetCover,
+                static_cast<int>(state.range(0)),
+                static_cast<int>(state.range(1)));
+}
+void BM_JoinKernel_Skyline(benchmark::State& state) {
+  RunJoinKernel(state, JoinKind::kSkylineEarlyStop,
+                static_cast<int>(state.range(0)),
+                static_cast<int>(state.range(1)));
+}
+// dims x nnz: sparse high-dimensional vs dense low-dimensional regimes.
+BENCHMARK(BM_JoinKernel_NL)
+    ->ArgsProduct({{32, 256}, {2, 6}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_JoinKernel_DSC)
+    ->ArgsProduct({{32, 256}, {2, 6}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_JoinKernel_Skyline)
+    ->ArgsProduct({{32, 256}, {2, 6}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Incremental update cost: move one stream vertex's vector and re-evaluate.
+void RunUpdateKernel(benchmark::State& state, JoinKind kind) {
+  const Workload w = MakeVectorWorkload(40, 8, 60, 64, 3, 10);
+  auto strategy = MakeJoinStrategy(kind);
+  strategy->SetQueries(w.queries);
+  strategy->SetNumStreams(1);
+  for (const auto& [v, npv] : w.stream_vertices) {
+    strategy->UpdateStreamVertex(0, v, npv);
+  }
+  Rng rng(77);
+  for (auto _ : state) {
+    const VertexId victim = static_cast<VertexId>(
+        rng.UniformInt(0, static_cast<int64_t>(w.stream_vertices.size()) - 1));
+    strategy->UpdateStreamVertex(0, victim, RandomNpv(rng, 64, 3, 6));
+    benchmark::DoNotOptimize(strategy->CandidatesForStream(0).size());
+  }
+}
+void BM_UpdateKernel_NL(benchmark::State& state) {
+  RunUpdateKernel(state, JoinKind::kNestedLoop);
+}
+void BM_UpdateKernel_DSC(benchmark::State& state) {
+  RunUpdateKernel(state, JoinKind::kDominatedSetCover);
+}
+void BM_UpdateKernel_Skyline(benchmark::State& state) {
+  RunUpdateKernel(state, JoinKind::kSkylineEarlyStop);
+}
+BENCHMARK(BM_UpdateKernel_NL)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_UpdateKernel_DSC)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_UpdateKernel_Skyline)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace gsps

@@ -1,0 +1,119 @@
+// Micro/ablation benchmarks for the NNT core: from-scratch build vs
+// incremental maintenance, across depths and graph densities. This is the
+// ablation behind the paper's central design choice — incremental index
+// maintenance (Lemma 3.2's O(r^(l-1)) per-edge cost) instead of rebuilding
+// per timestamp.
+
+#include <benchmark/benchmark.h>
+
+#include "gsps/common/random.h"
+#include "gsps/gen/synthetic_generator.h"
+#include "gsps/nnt/dimension.h"
+#include "gsps/nnt/nnt_set.h"
+
+namespace gsps {
+namespace {
+
+Graph MakeGraph(int edges, uint64_t seed) {
+  Rng rng(seed);
+  return RandomConnectedGraph(edges, 4, 1, rng);
+}
+
+void BM_NntBuild(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const int edges = static_cast<int>(state.range(1));
+  const Graph graph = MakeGraph(edges, 42);
+  for (auto _ : state) {
+    DimensionTable dims;
+    NntSet nnts(depth, &dims);
+    nnts.Build(graph);
+    benchmark::DoNotOptimize(nnts.TotalTreeNodes());
+  }
+  state.counters["tree_nodes"] = [&] {
+    DimensionTable dims;
+    NntSet nnts(depth, &dims);
+    nnts.Build(graph);
+    return static_cast<double>(nnts.TotalTreeNodes());
+  }();
+}
+BENCHMARK(BM_NntBuild)
+    ->ArgsProduct({{1, 2, 3, 4}, {20, 60, 120}})
+    ->Unit(benchmark::kMicrosecond);
+
+// One edge toggle maintained incrementally.
+void BM_NntIncrementalToggle(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const int edges = static_cast<int>(state.range(1));
+  Graph graph = MakeGraph(edges, 42);
+  DimensionTable dims;
+  NntSet nnts(depth, &dims);
+  nnts.Build(graph);
+  // Pick an existing edge to toggle.
+  VertexId u = kInvalidVertex, v = kInvalidVertex;
+  EdgeLabel label = 0;
+  for (const VertexId a : graph.VertexIds()) {
+    if (!graph.Neighbors(a).empty()) {
+      u = a;
+      v = graph.Neighbors(a).front().to;
+      label = graph.Neighbors(a).front().label;
+      break;
+    }
+  }
+  for (auto _ : state) {
+    nnts.DeleteEdge(u, v);
+    graph.RemoveEdge(u, v);
+    graph.AddEdge(u, v, label);
+    nnts.InsertEdge(graph, u, v);
+    benchmark::DoNotOptimize(nnts.TotalTreeNodes());
+  }
+}
+BENCHMARK(BM_NntIncrementalToggle)
+    ->ArgsProduct({{1, 2, 3, 4}, {20, 60, 120}})
+    ->Unit(benchmark::kMicrosecond);
+
+// The same toggle handled by a full rebuild — the naive alternative the
+// incremental maintenance replaces.
+void BM_NntRebuildPerToggle(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const int edges = static_cast<int>(state.range(1));
+  Graph graph = MakeGraph(edges, 42);
+  VertexId u = kInvalidVertex, v = kInvalidVertex;
+  EdgeLabel label = 0;
+  for (const VertexId a : graph.VertexIds()) {
+    if (!graph.Neighbors(a).empty()) {
+      u = a;
+      v = graph.Neighbors(a).front().to;
+      label = graph.Neighbors(a).front().label;
+      break;
+    }
+  }
+  for (auto _ : state) {
+    graph.RemoveEdge(u, v);
+    graph.AddEdge(u, v, label);
+    DimensionTable dims;
+    NntSet nnts(depth, &dims);
+    nnts.Build(graph);
+    benchmark::DoNotOptimize(nnts.TotalTreeNodes());
+  }
+}
+BENCHMARK(BM_NntRebuildPerToggle)
+    ->ArgsProduct({{3}, {20, 60, 120}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NpvProjection(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const Graph graph = MakeGraph(80, 42);
+  DimensionTable dims;
+  NntSet nnts(depth, &dims);
+  nnts.Build(graph);
+  const std::vector<VertexId> roots = nnts.Roots();
+  for (auto _ : state) {
+    for (const VertexId root : roots) {
+      benchmark::DoNotOptimize(nnts.NpvOf(root).nnz());
+    }
+  }
+}
+BENCHMARK(BM_NpvProjection)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace gsps

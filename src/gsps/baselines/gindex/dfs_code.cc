@@ -1,0 +1,175 @@
+#include "gsps/baselines/gindex/dfs_code.h"
+
+#include <algorithm>
+#include <string>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+namespace {
+
+// Backtracking state for minimal-code search over one graph.
+class Minimizer {
+ public:
+  explicit Minimizer(const Graph& graph)
+      : graph_(graph), vertices_(graph.VertexIds()) {
+    GSPS_CHECK(graph.NumEdges() >= 1);
+    dfs_index_.assign(static_cast<size_t>(graph.VertexIdBound()), -1);
+  }
+
+  DfsCode Minimize() {
+    for (const VertexId start : vertices_) {
+      dfs_index_[static_cast<size_t>(start)] = 0;
+      dfs_order_ = {start};
+      rightmost_path_ = {0};
+      used_edges_.clear();
+      code_.clear();
+      Search();
+      dfs_index_[static_cast<size_t>(start)] = -1;
+    }
+    GSPS_CHECK(!best_.empty());
+    return best_;
+  }
+
+ private:
+  static uint64_t EdgeKey(VertexId a, VertexId b) {
+    const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
+    const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
+    return (static_cast<uint64_t>(hi) << 32) | lo;
+  }
+
+  bool EdgeUsed(VertexId a, VertexId b) const {
+    const uint64_t key = EdgeKey(a, b);
+    return std::find(used_edges_.begin(), used_edges_.end(), key) !=
+           used_edges_.end();
+  }
+
+  // Returns <0 / 0 / >0 comparing the current partial code against the best
+  // code's prefix of the same length.
+  int CompareAgainstBest() const {
+    if (best_.empty()) return -1;
+    const size_t len = std::min(code_.size(), best_.size());
+    for (size_t i = 0; i < len; ++i) {
+      if (code_[i] < best_[i]) return -1;
+      if (best_[i] < code_[i]) return 1;
+    }
+    // Equal prefix; a shorter best means the current (still growing) code is
+    // already longer than a complete best — impossible since every complete
+    // code has exactly NumEdges tuples.
+    return 0;
+  }
+
+  void Search() {
+    if (!best_.empty() && CompareAgainstBest() > 0) return;  // Prune.
+    if (static_cast<int>(code_.size()) == graph_.NumEdges()) {
+      if (best_.empty() || code_ < best_) best_ = code_;
+      return;
+    }
+
+    const VertexId rightmost = dfs_order_.back();
+    // Mandatory backward edges: every unused edge from the rightmost vertex
+    // to a vertex on the rightmost path must be emitted now (it could never
+    // be emitted later), in ascending target order — the unique minimal
+    // arrangement, since targets are distinct.
+    std::vector<std::pair<int32_t, HalfEdge>> backward;
+    for (const HalfEdge& half : graph_.Neighbors(rightmost)) {
+      const int32_t target_index = dfs_index_[static_cast<size_t>(half.to)];
+      if (target_index < 0) continue;
+      if (EdgeUsed(rightmost, half.to)) continue;
+      // In an undirected DFS every non-tree edge joins a vertex to one of
+      // its tree ancestors; ancestors of the rightmost vertex are exactly
+      // the rightmost path. A discovered non-ancestor target means this
+      // traversal can never emit the edge: dead end.
+      if (std::find(rightmost_path_.begin(), rightmost_path_.end(),
+                    target_index) == rightmost_path_.end()) {
+        return;
+      }
+      backward.emplace_back(target_index, half);
+    }
+    if (!backward.empty()) {
+      std::sort(backward.begin(), backward.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      const int32_t from_index = dfs_index_[static_cast<size_t>(rightmost)];
+      for (const auto& [target_index, half] : backward) {
+        code_.push_back(DfsEdge{from_index, target_index,
+                                graph_.GetVertexLabel(rightmost), half.label,
+                                graph_.GetVertexLabel(half.to)});
+        used_edges_.push_back(EdgeKey(rightmost, half.to));
+      }
+      Search();
+      for (size_t i = 0; i < backward.size(); ++i) {
+        code_.pop_back();
+        used_edges_.pop_back();
+      }
+      return;
+    }
+
+    // Forward extensions from every vertex on the rightmost path.
+    for (size_t path_pos = rightmost_path_.size(); path_pos-- > 0;) {
+      const int32_t from_index = rightmost_path_[path_pos];
+      const VertexId from = dfs_order_[static_cast<size_t>(from_index)];
+      for (const HalfEdge& half : graph_.Neighbors(from)) {
+        if (dfs_index_[static_cast<size_t>(half.to)] >= 0) continue;
+        const int32_t new_index = static_cast<int32_t>(dfs_order_.size());
+        dfs_index_[static_cast<size_t>(half.to)] = new_index;
+        dfs_order_.push_back(half.to);
+        const std::vector<int32_t> saved_path = rightmost_path_;
+        rightmost_path_.resize(path_pos + 1);
+        rightmost_path_.push_back(new_index);
+        code_.push_back(DfsEdge{from_index, new_index,
+                                graph_.GetVertexLabel(from), half.label,
+                                graph_.GetVertexLabel(half.to)});
+        used_edges_.push_back(EdgeKey(from, half.to));
+
+        Search();
+
+        used_edges_.pop_back();
+        code_.pop_back();
+        rightmost_path_ = saved_path;
+        dfs_order_.pop_back();
+        dfs_index_[static_cast<size_t>(half.to)] = -1;
+      }
+    }
+  }
+
+  const Graph& graph_;
+  std::vector<VertexId> vertices_;
+  std::vector<int32_t> dfs_index_;       // Graph vertex -> DFS index or -1.
+  std::vector<VertexId> dfs_order_;      // DFS index -> graph vertex.
+  std::vector<int32_t> rightmost_path_;  // DFS indices, root first.
+  std::vector<uint64_t> used_edges_;
+  DfsCode code_;
+  DfsCode best_;
+};
+
+}  // namespace
+
+DfsCode MinimalDfsCode(const Graph& graph) {
+  Minimizer minimizer(graph);
+  return minimizer.Minimize();
+}
+
+std::string DfsCodeKey(const DfsCode& code) {
+  std::string key;
+  key.reserve(code.size() * 20);
+  char buffer[64];
+  for (const DfsEdge& edge : code) {
+    const int written =
+        std::snprintf(buffer, sizeof(buffer), "%d,%d,%d,%d,%d;", edge.from,
+                      edge.to, edge.from_label, edge.edge_label, edge.to_label);
+    key.append(buffer, static_cast<size_t>(written));
+  }
+  return key;
+}
+
+Graph GraphFromDfsCode(const DfsCode& code) {
+  Graph graph;
+  for (const DfsEdge& edge : code) {
+    GSPS_CHECK(graph.EnsureVertex(edge.from, edge.from_label));
+    GSPS_CHECK(graph.EnsureVertex(edge.to, edge.to_label));
+    GSPS_CHECK(graph.AddEdge(edge.from, edge.to, edge.edge_label));
+  }
+  return graph;
+}
+
+}  // namespace gsps

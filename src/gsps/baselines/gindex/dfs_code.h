@@ -1,0 +1,51 @@
+// Minimal DFS codes: canonical forms for small connected graphs, in the
+// style of gSpan (used by the gIndex-style baseline to deduplicate mined
+// fragments across isomorphic shapes).
+//
+// A DFS code is the edge sequence of one depth-first traversal, each edge
+// written as (from, to, from_label, edge_label, to_label) over DFS discovery
+// indices. The set of valid codes is an isomorphism invariant, so the
+// lexicographically minimal one is a canonical form. Minimization runs a
+// pruned backtracking search over all valid traversals — exponential in the
+// worst case, but instantaneous for the <= ~12-edge fragments mining
+// produces.
+
+#ifndef GSPS_BASELINES_GINDEX_DFS_CODE_H_
+#define GSPS_BASELINES_GINDEX_DFS_CODE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+
+namespace gsps {
+
+// One DFS code tuple. Comparison is lexicographic over the fields in
+// declaration order; any fixed total order yields a valid canonical form.
+struct DfsEdge {
+  int32_t from = 0;  // DFS discovery index of the source endpoint.
+  int32_t to = 0;    // DFS discovery index of the target endpoint.
+  VertexLabel from_label = 0;
+  EdgeLabel edge_label = 0;
+  VertexLabel to_label = 0;
+
+  friend auto operator<=>(const DfsEdge&, const DfsEdge&) = default;
+};
+
+using DfsCode = std::vector<DfsEdge>;
+
+// Computes the minimal DFS code of `graph`, which must be connected and
+// have at least one edge.
+DfsCode MinimalDfsCode(const Graph& graph);
+
+// Flattens a code into a hashable string key.
+std::string DfsCodeKey(const DfsCode& code);
+
+// Rebuilds a pattern graph from a DFS code (vertex ids = DFS indices).
+Graph GraphFromDfsCode(const DfsCode& code);
+
+}  // namespace gsps
+
+#endif  // GSPS_BASELINES_GINDEX_DFS_CODE_H_

@@ -1,0 +1,53 @@
+#include "gsps/baselines/gindex/gindex_filter.h"
+
+#include "gsps/common/check.h"
+#include "gsps/iso/subgraph_isomorphism.h"
+
+namespace gsps {
+
+GindexFilter::GindexFilter(const GspanOptions& options) : options_(options) {}
+
+GspanOptions GindexFilter::Gindex1Options() {
+  GspanOptions options;
+  options.max_edges = 10;
+  options.min_support_fraction = 0.1;
+  return options;
+}
+
+GspanOptions GindexFilter::Gindex2Options() {
+  GspanOptions options;
+  options.max_edges = 3;
+  options.min_support_fraction = 0.0;  // Effective threshold: 1 graph.
+  return options;
+}
+
+void GindexFilter::BuildIndex(const std::vector<Graph>& database) {
+  database_size_ = static_cast<int>(database.size());
+  features_ = MineFrequentSubgraphs(database, options_);
+}
+
+std::vector<int> GindexFilter::CandidateGraphsFor(const Graph& query) const {
+  std::vector<bool> candidate(static_cast<size_t>(database_size_), true);
+  for (const MinedFeature& feature : features_) {
+    if (feature.pattern.NumEdges() > query.NumEdges()) continue;
+    if (!IsSubgraphIsomorphic(feature.pattern, query)) continue;
+    // Every graph outside the feature's support set cannot contain the
+    // query: knock it out.
+    std::vector<bool> in_support(static_cast<size_t>(database_size_), false);
+    for (const int g : feature.support) {
+      in_support[static_cast<size_t>(g)] = true;
+    }
+    for (int g = 0; g < database_size_; ++g) {
+      if (!in_support[static_cast<size_t>(g)]) {
+        candidate[static_cast<size_t>(g)] = false;
+      }
+    }
+  }
+  std::vector<int> result;
+  for (int g = 0; g < database_size_; ++g) {
+    if (candidate[static_cast<size_t>(g)]) result.push_back(g);
+  }
+  return result;
+}
+
+}  // namespace gsps

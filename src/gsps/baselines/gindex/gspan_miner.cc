@@ -1,0 +1,157 @@
+#include "gsps/baselines/gindex/gspan_miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "gsps/baselines/gindex/dfs_code.h"
+#include "gsps/common/check.h"
+#include "gsps/iso/subgraph_isomorphism.h"
+
+namespace gsps {
+namespace {
+
+// One candidate single-edge extension of a pattern, harvested from an
+// embedding. Forward: attach a new vertex with `other_label` to pattern
+// vertex `at`. Backward: close the edge between pattern vertices `at` and
+// `other_vertex`.
+using ExtensionKey =
+    std::tuple<bool /*forward*/, VertexId /*at*/, int32_t /*other*/,
+               EdgeLabel>;
+
+struct WorkItem {
+  Graph pattern;
+  std::vector<int> support;
+};
+
+Graph ApplyExtension(const Graph& pattern, const ExtensionKey& key) {
+  Graph child = pattern;
+  const auto& [forward, at, other, edge_label] = key;
+  if (forward) {
+    const VertexId added = child.AddVertex(static_cast<VertexLabel>(other));
+    GSPS_CHECK(child.AddEdge(at, added, edge_label));
+  } else {
+    GSPS_CHECK(child.AddEdge(at, static_cast<VertexId>(other), edge_label));
+  }
+  return child;
+}
+
+}  // namespace
+
+std::vector<MinedFeature> MineFrequentSubgraphs(
+    const std::vector<Graph>& database, const GspanOptions& options) {
+  GSPS_CHECK(options.max_edges >= 1);
+  const int min_count = std::max(
+      1, static_cast<int>(std::ceil(options.min_support_fraction *
+                                    static_cast<double>(database.size()))));
+
+  std::vector<MinedFeature> results;
+  std::unordered_set<std::string> seen_codes;
+  // Breadth-first over pattern sizes: when the pattern budget is capped
+  // (every stream harness caps it), small patterns are both the cheapest to
+  // mine and the likeliest to occur inside queries, which is what makes a
+  // feature useful for pruning.
+  std::deque<WorkItem> frontier;
+
+  // Level 1: frequent single edges, with exact (complete) support lists.
+  {
+    std::map<std::tuple<VertexLabel, EdgeLabel, VertexLabel>, std::vector<int>>
+        edge_support;
+    for (size_t g = 0; g < database.size(); ++g) {
+      const Graph& graph = database[g];
+      for (const VertexId u : graph.VertexIds()) {
+        for (const HalfEdge& half : graph.Neighbors(u)) {
+          if (half.to < u) continue;
+          VertexLabel la = graph.GetVertexLabel(u);
+          VertexLabel lb = graph.GetVertexLabel(half.to);
+          if (la > lb) std::swap(la, lb);
+          std::vector<int>& list =
+              edge_support[std::make_tuple(la, half.label, lb)];
+          if (list.empty() || list.back() != static_cast<int>(g)) {
+            list.push_back(static_cast<int>(g));
+          }
+        }
+      }
+    }
+    for (const auto& [triple, support] : edge_support) {
+      if (static_cast<int>(support.size()) < min_count) continue;
+      const auto& [la, el, lb] = triple;
+      Graph pattern;
+      const VertexId a = pattern.AddVertex(la);
+      const VertexId b = pattern.AddVertex(lb);
+      GSPS_CHECK(pattern.AddEdge(a, b, el));
+      seen_codes.insert(DfsCodeKey(MinimalDfsCode(pattern)));
+      frontier.push_back(WorkItem{std::move(pattern), support});
+    }
+  }
+
+  while (!frontier.empty() &&
+         static_cast<int64_t>(results.size()) < options.max_patterns) {
+    WorkItem item = std::move(frontier.front());
+    frontier.pop_front();
+    results.push_back(MinedFeature{item.pattern, item.support});
+    if (item.pattern.NumEdges() >= options.max_edges) continue;
+
+    // Harvest candidate extensions from embeddings in supporting graphs.
+    std::map<ExtensionKey, std::vector<int>> harvest;
+    for (const int g : item.support) {
+      const Graph& graph = database[static_cast<size_t>(g)];
+      ForEachEmbedding(
+          item.pattern, graph, options.max_embeddings_per_graph,
+          [&](const Embedding& embedding) {
+            // Inverse map: data vertex -> pattern vertex.
+            std::unordered_map<VertexId, VertexId> inverse;
+            for (size_t i = 0; i < embedding.query_order.size(); ++i) {
+              inverse[embedding.mapping[i]] = embedding.query_order[i];
+            }
+            for (size_t i = 0; i < embedding.query_order.size(); ++i) {
+              const VertexId pu = embedding.query_order[i];
+              const VertexId du = embedding.mapping[i];
+              for (const HalfEdge& half : graph.Neighbors(du)) {
+                auto hit = inverse.find(half.to);
+                ExtensionKey key;
+                if (hit != inverse.end()) {
+                  const VertexId pw = hit->second;
+                  if (item.pattern.HasEdge(pu, pw)) continue;
+                  if (pw < pu) continue;  // Emit each closing edge once.
+                  key = ExtensionKey{false, pu, pw, half.label};
+                } else {
+                  key = ExtensionKey{true, pu,
+                                     graph.GetVertexLabel(half.to),
+                                     half.label};
+                }
+                std::vector<int>& list = harvest[key];
+                if (list.empty() || list.back() != g) list.push_back(g);
+              }
+            }
+            return true;
+          });
+    }
+
+    for (const auto& [key, estimated_support] : harvest) {
+      if (static_cast<int>(estimated_support.size()) < min_count) continue;
+      Graph child = ApplyExtension(item.pattern, key);
+      const std::string code = DfsCodeKey(MinimalDfsCode(child));
+      if (!seen_codes.insert(code).second) continue;
+      // Exact support: containment of the child implies containment of the
+      // parent, so only the parent's (complete) support list needs checking.
+      std::vector<int> support;
+      for (const int g : item.support) {
+        if (IsSubgraphIsomorphic(child, database[static_cast<size_t>(g)])) {
+          support.push_back(g);
+        }
+      }
+      if (static_cast<int>(support.size()) < min_count) continue;
+      frontier.push_back(WorkItem{std::move(child), std::move(support)});
+    }
+  }
+
+  return results;
+}
+
+}  // namespace gsps

@@ -1,0 +1,52 @@
+// Frequent connected-subgraph mining (gSpan-flavored pattern growth),
+// feeding the gIndex-style baseline.
+//
+// Pattern growth: start from frequent single edges; repeatedly extend a
+// pattern by one edge (a new pendant vertex, or a closing edge between
+// existing vertices), where candidate extensions are harvested from actual
+// embeddings in the supporting graphs. Isomorphic children are deduplicated
+// by minimal DFS code. Support is the number of database graphs containing
+// the pattern.
+//
+// Deviations from full gSpan, documented in DESIGN.md: support lists come
+// from capped embedding enumeration (a too-low cap can only shrink the
+// feature set, never produce a wrong support list entry), and global
+// pattern/time caps bound the per-timestamp re-mining the stream
+// experiments perform.
+
+#ifndef GSPS_BASELINES_GINDEX_GSPAN_MINER_H_
+#define GSPS_BASELINES_GINDEX_GSPAN_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+
+namespace gsps {
+
+struct GspanOptions {
+  // Maximum pattern size in edges (the paper's maxL).
+  int max_edges = 10;
+  // Minimum support as a fraction of the database size; the effective
+  // threshold is max(1, ceil(fraction * |D|)).
+  double min_support_fraction = 0.1;
+  // Global cap on mined patterns (safety valve for dense databases).
+  int64_t max_patterns = 20'000;
+  // Cap on embeddings enumerated per (pattern, graph) when harvesting
+  // extensions.
+  int max_embeddings_per_graph = 64;
+};
+
+// One mined feature: the pattern and the database graphs containing it.
+struct MinedFeature {
+  Graph pattern;
+  std::vector<int> support;  // Ascending database indices.
+};
+
+// Mines frequent connected subgraphs of `database`.
+std::vector<MinedFeature> MineFrequentSubgraphs(
+    const std::vector<Graph>& database, const GspanOptions& options);
+
+}  // namespace gsps
+
+#endif  // GSPS_BASELINES_GINDEX_GSPAN_MINER_H_

@@ -1,0 +1,52 @@
+#include "gsps/baselines/graphgrep/graphgrep_filter.h"
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+GraphGrepFilter::GraphGrepFilter(int max_path_length, int num_buckets)
+    : max_path_length_(max_path_length), num_buckets_(num_buckets) {
+  GSPS_CHECK(max_path_length >= 1);
+  GSPS_CHECK(num_buckets >= 0);
+}
+
+void GraphGrepFilter::SetQueries(const std::vector<Graph>& queries) {
+  GSPS_CHECK(query_indexes_.empty());
+  query_indexes_.reserve(queries.size());
+  for (const Graph& query : queries) {
+    query_indexes_.emplace_back(query, max_path_length_, num_buckets_);
+  }
+}
+
+std::vector<int> GraphGrepFilter::CandidateQueries(const Graph& data) const {
+  const PathIndex data_index(data, max_path_length_, num_buckets_);
+  std::vector<int> candidates;
+  for (size_t j = 0; j < query_indexes_.size(); ++j) {
+    if (data_index.MayContain(query_indexes_[j])) {
+      candidates.push_back(static_cast<int>(j));
+    }
+  }
+  return candidates;
+}
+
+void GraphGrepFilter::IndexDatabase(const std::vector<Graph>& database) {
+  GSPS_CHECK(database_indexes_.empty());
+  database_indexes_.reserve(database.size());
+  for (const Graph& graph : database) {
+    database_indexes_.emplace_back(graph, max_path_length_, num_buckets_);
+  }
+}
+
+std::vector<int> GraphGrepFilter::CandidateGraphsFor(
+    const Graph& query) const {
+  const PathIndex query_index(query, max_path_length_, num_buckets_);
+  std::vector<int> candidates;
+  for (size_t i = 0; i < database_indexes_.size(); ++i) {
+    if (database_indexes_[i].MayContain(query_index)) {
+      candidates.push_back(static_cast<int>(i));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace gsps

@@ -1,0 +1,53 @@
+// GraphGrep-style filter for static databases and for graph streams.
+//
+// Static use: index every database graph once, then filter a query against
+// all of them. Stream use: the query fingerprints are precomputed; each
+// stream graph's fingerprint is recomputed from the current snapshot at
+// every timestamp (path enumeration needs no mining, which is exactly why
+// GraphGrep stays cheap on streams — and why its candidate sets are large).
+
+#ifndef GSPS_BASELINES_GRAPHGREP_GRAPHGREP_FILTER_H_
+#define GSPS_BASELINES_GRAPHGREP_GRAPHGREP_FILTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "gsps/baselines/graphgrep/path_index.h"
+#include "gsps/graph/graph.h"
+
+namespace gsps {
+
+class GraphGrepFilter {
+ public:
+  // `max_path_length` follows GraphGrep's default of 4 (longer lengths make
+  // enumeration explode, as §III observes). `num_buckets` is the fingerprint
+  // size (see PathIndex); GraphGrep's coarse fixed-size fingerprint is the
+  // default, 0 selects exact path counts.
+  explicit GraphGrepFilter(int max_path_length = 4, int num_buckets = 1024);
+
+  // Precomputes the fingerprints of the (fixed) query workload.
+  void SetQueries(const std::vector<Graph>& queries);
+
+  // Indices of queries that may be contained in `data`, ascending.
+  // Fingerprints `data` on the fly.
+  std::vector<int> CandidateQueries(const Graph& data) const;
+
+  // Static-database direction (Fig. 13 experiments): fingerprint every
+  // database graph once, then filter queries against the stored index.
+  void IndexDatabase(const std::vector<Graph>& database);
+
+  // Indices of indexed database graphs that may contain `query`, ascending.
+  std::vector<int> CandidateGraphsFor(const Graph& query) const;
+
+  int max_path_length() const { return max_path_length_; }
+
+ private:
+  int max_path_length_;
+  int num_buckets_;
+  std::vector<PathIndex> query_indexes_;
+  std::vector<PathIndex> database_indexes_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_BASELINES_GRAPHGREP_GRAPHGREP_FILTER_H_

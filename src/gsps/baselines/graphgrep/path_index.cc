@@ -1,0 +1,70 @@
+#include "gsps/baselines/graphgrep/path_index.h"
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+namespace {
+
+constexpr uint64_t kHashSeed = 0x9e3779b97f4a7c15ULL;
+
+uint64_t MixHash(uint64_t hash, uint64_t value) {
+  hash ^= value + kHashSeed + (hash << 6) + (hash >> 2);
+  hash *= 0xff51afd7ed558ccdULL;
+  return hash ^ (hash >> 33);
+}
+
+// DFS over vertex-simple paths accumulating the rolling label hash.
+// GraphGrep's fingerprint keys are vertex-label sequences (id-paths hashed
+// by their node labels); edge labels are not part of the key.
+void Expand(const Graph& graph, VertexId at, int remaining, uint64_t hash,
+            std::vector<bool>& on_path,
+            std::unordered_map<uint64_t, int32_t>& counts, int64_t& total) {
+  if (remaining == 0) return;
+  for (const HalfEdge& half : graph.Neighbors(at)) {
+    if (on_path[static_cast<size_t>(half.to)]) continue;
+    const uint64_t next = MixHash(
+        hash, static_cast<uint64_t>(graph.GetVertexLabel(half.to)) + 1);
+    ++counts[next];
+    ++total;
+    on_path[static_cast<size_t>(half.to)] = true;
+    Expand(graph, half.to, remaining - 1, next, on_path, counts, total);
+    on_path[static_cast<size_t>(half.to)] = false;
+  }
+}
+
+}  // namespace
+
+PathIndex::PathIndex(const Graph& graph, int max_length, int num_buckets)
+    : num_buckets_(num_buckets) {
+  GSPS_CHECK(max_length >= 0);
+  GSPS_CHECK(num_buckets >= 0);
+  std::unordered_map<uint64_t, int32_t> exact;
+  std::vector<bool> on_path(static_cast<size_t>(graph.VertexIdBound()), false);
+  for (const VertexId v : graph.VertexIds()) {
+    const uint64_t root_hash =
+        MixHash(0, static_cast<uint64_t>(graph.GetVertexLabel(v)) + 1);
+    ++exact[root_hash];  // The length-0 path: label frequencies.
+    ++total_paths_;
+    on_path[static_cast<size_t>(v)] = true;
+    Expand(graph, v, max_length, root_hash, on_path, exact, total_paths_);
+    on_path[static_cast<size_t>(v)] = false;
+  }
+  if (num_buckets_ == 0) {
+    counts_ = std::move(exact);
+  } else {
+    for (const auto& [hash, count] : exact) {
+      counts_[hash % static_cast<uint64_t>(num_buckets_)] += count;
+    }
+  }
+}
+
+bool PathIndex::MayContain(const PathIndex& query) const {
+  GSPS_DCHECK(num_buckets_ == query.num_buckets_);
+  for (const auto& [hash, count] : query.counts_) {
+    auto it = counts_.find(hash);
+    if (it == counts_.end() || it->second < count) return false;
+  }
+  return true;
+}
+
+}  // namespace gsps

@@ -1,0 +1,56 @@
+// Label-path fingerprint index in the style of GraphGrep [17].
+//
+// Enumerates every vertex-simple path of length 0..max_length and counts
+// occurrences of each label sequence (vertex and edge labels interleaved).
+// Containment of the counts is a necessary condition for subgraph
+// isomorphism: an embedding maps each directed vertex-simple path of the
+// query to a distinct one in the data graph with the same label sequence.
+
+#ifndef GSPS_BASELINES_GRAPHGREP_PATH_INDEX_H_
+#define GSPS_BASELINES_GRAPHGREP_PATH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+
+namespace gsps {
+
+// Path-count fingerprint of one graph.
+//
+// GraphGrep compresses the path table into a fixed-size fingerprint: label
+// paths are hashed into `num_buckets` buckets and the counts of colliding
+// paths add up. Collisions only ever weaken the filter (counts grow), so
+// soundness is preserved; a small bucket count reproduces the coarse
+// filtering the paper reports for GraphGrep, while 0 keeps exact per-path
+// counts (an idealized, collision-free GraphGrep).
+class PathIndex {
+ public:
+  // Builds the fingerprint of `graph` with paths up to `max_length` edges.
+  // GraphGrep's default (and the paper's setting) is max_length 4.
+  PathIndex(const Graph& graph, int max_length, int num_buckets = 0);
+
+  // True if every label-path count of `query` is <= the matching count in
+  // *this — the GraphGrep filter condition ("this graph may contain query").
+  bool MayContain(const PathIndex& query) const;
+
+  // Number of distinct label paths.
+  int64_t NumDistinctPaths() const {
+    return static_cast<int64_t>(counts_.size());
+  }
+
+  int64_t TotalPaths() const { return total_paths_; }
+
+ private:
+  // Keys are 64-bit path hashes, folded to `num_buckets` buckets when
+  // bounded. Collisions sum counts, which can only make the filter more
+  // permissive (never introducing false negatives beyond the method's own).
+  std::unordered_map<uint64_t, int32_t> counts_;
+  int num_buckets_ = 0;
+  int64_t total_paths_ = 0;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_BASELINES_GRAPHGREP_PATH_INDEX_H_

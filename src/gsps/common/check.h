@@ -1,0 +1,44 @@
+// Lightweight assertion macros used across the library.
+//
+// The library does not use exceptions. Programmer errors (precondition
+// violations) abort with a diagnostic; recoverable conditions are reported
+// through return values.
+
+#ifndef GSPS_COMMON_CHECK_H_
+#define GSPS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a file:line diagnostic when `condition` is false.
+// Enabled in all build types: the checked invariants are cheap and guard
+// index consistency that silent corruption would make undebuggable.
+#define GSPS_CHECK(condition)                                              \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "GSPS_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+// Variant carrying a human-readable reason.
+#define GSPS_CHECK_MSG(condition, msg)                                       \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "GSPS_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #condition, msg);                               \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define GSPS_DCHECK(condition) \
+  do {                         \
+  } while (false)
+#else
+#define GSPS_DCHECK(condition) GSPS_CHECK(condition)
+#endif
+
+#endif  // GSPS_COMMON_CHECK_H_

@@ -1,0 +1,93 @@
+#include "gsps/common/random.h"
+
+#include <cmath>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+namespace {
+
+// SplitMix64 step, used only for seeding.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (uint64_t& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  GSPS_DCHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t value = Next();
+  while (value >= limit) value = Next();
+  return lo + static_cast<int64_t>(value % span);
+}
+
+double Rng::UniformDouble() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+int Rng::Poisson(double mean) {
+  GSPS_DCHECK(mean >= 0.0);
+  const double threshold = std::exp(-mean);
+  int k = 0;
+  double product = UniformDouble();
+  while (product > threshold) {
+    ++k;
+    product *= UniformDouble();
+  }
+  return k;
+}
+
+int Rng::Zipf(int n, double s) {
+  GSPS_DCHECK(n > 0);
+  // Inverse-CDF sampling over the (small) alphabet.
+  double norm = 0.0;
+  for (int i = 1; i <= n; ++i) norm += 1.0 / std::pow(i, s);
+  double target = UniformDouble() * norm;
+  double acc = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(i, s);
+    if (target <= acc) return i - 1;
+  }
+  return n - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace gsps

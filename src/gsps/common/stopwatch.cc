@@ -1,0 +1,16 @@
+#include "gsps/common/stopwatch.h"
+
+namespace gsps {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+double Stopwatch::ElapsedMicros() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(now - start_).count();
+}
+
+}  // namespace gsps

@@ -1,0 +1,35 @@
+// Wall-clock timing helper for the benchmark harnesses.
+
+#ifndef GSPS_COMMON_STOPWATCH_H_
+#define GSPS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gsps {
+
+// Measures elapsed wall time. Started on construction or Restart().
+//
+// Example:
+//   Stopwatch watch;
+//   DoWork();
+//   double ms = watch.ElapsedMillis();
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  // Resets the start point to now.
+  void Restart();
+
+  // Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+  // Microseconds elapsed since construction or the last Restart().
+  double ElapsedMicros() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_COMMON_STOPWATCH_H_

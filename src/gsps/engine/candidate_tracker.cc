@@ -1,0 +1,47 @@
+#include "gsps/engine/candidate_tracker.h"
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+CandidateTracker::CandidateTracker(int num_streams)
+    : last_(static_cast<size_t>(num_streams)) {
+  GSPS_CHECK(num_streams >= 0);
+}
+
+CandidateTransitions CandidateTracker::Observe(
+    int stream, const std::vector<int>& current) {
+  GSPS_CHECK(stream >= 0 && stream < static_cast<int>(last_.size()));
+  std::vector<int>& previous = last_[static_cast<size_t>(stream)];
+#ifndef NDEBUG
+  for (size_t i = 1; i < current.size(); ++i) {
+    GSPS_DCHECK(current[i - 1] < current[i]);
+  }
+#endif
+
+  CandidateTransitions transitions;
+  // Merge-diff of two ascending sequences.
+  size_t p = 0, c = 0;
+  while (p < previous.size() || c < current.size()) {
+    if (c == current.size() ||
+        (p < previous.size() && previous[p] < current[c])) {
+      transitions.disappeared.push_back(previous[p]);
+      ++p;
+    } else if (p == previous.size() || current[c] < previous[p]) {
+      transitions.appeared.push_back(current[c]);
+      ++c;
+    } else {
+      ++p;
+      ++c;
+    }
+  }
+  previous = current;
+  return transitions;
+}
+
+const std::vector<int>& CandidateTracker::LastObserved(int stream) const {
+  GSPS_CHECK(stream >= 0 && stream < static_cast<int>(last_.size()));
+  return last_[static_cast<size_t>(stream)];
+}
+
+}  // namespace gsps

@@ -1,0 +1,55 @@
+// Candidate-transition tracking: turns per-timestamp candidate sets into
+// appearance/disappearance events.
+//
+// The paper's problem statement asks to "report the appearances of certain
+// subgraph patterns ... at each timestamp"; a monitoring deployment alerts
+// on *transitions* — a pattern that may have just appeared in a stream, or
+// one that just stopped matching — rather than re-reporting the steady
+// state. The tracker diffs successive candidate sets per stream.
+
+#ifndef GSPS_ENGINE_CANDIDATE_TRACKER_H_
+#define GSPS_ENGINE_CANDIDATE_TRACKER_H_
+
+#include <vector>
+
+namespace gsps {
+
+// Transition events for one stream at one timestamp.
+struct CandidateTransitions {
+  // Queries that are candidates now but were not at the previous
+  // observation (possible pattern appearances). Ascending.
+  std::vector<int> appeared;
+  // Queries that were candidates previously but are not anymore
+  // (pattern can no longer match). Ascending.
+  std::vector<int> disappeared;
+
+  bool empty() const { return appeared.empty() && disappeared.empty(); }
+};
+
+// Diffs successive candidate sets for a fixed set of streams.
+//
+// Example (driving an engine):
+//   CandidateTracker tracker(engine.num_streams());
+//   ... per timestamp, per stream i:
+//   const CandidateTransitions events =
+//       tracker.Observe(i, engine.CandidatesForStream(i));
+//   for (int q : events.appeared) Alert(i, q);
+class CandidateTracker {
+ public:
+  explicit CandidateTracker(int num_streams);
+
+  // Records the current candidate set (ascending query indices) of
+  // `stream` and returns the diff against the previous observation.
+  // The first observation reports every candidate as appeared.
+  CandidateTransitions Observe(int stream, const std::vector<int>& current);
+
+  // The most recently observed candidate set of `stream`.
+  const std::vector<int>& LastObserved(int stream) const;
+
+ private:
+  std::vector<std::vector<int>> last_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_ENGINE_CANDIDATE_TRACKER_H_

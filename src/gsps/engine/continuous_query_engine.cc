@@ -1,0 +1,151 @@
+#include "gsps/engine/continuous_query_engine.h"
+
+#include <utility>
+
+#include "gsps/common/check.h"
+#include "gsps/iso/subgraph_isomorphism.h"
+#include "gsps/join/dominance.h"
+
+namespace gsps {
+
+ContinuousQueryEngine::ContinuousQueryEngine(const EngineOptions& options)
+    : options_(options) {
+  GSPS_CHECK(options.nnt_depth >= 1);
+}
+
+int ContinuousQueryEngine::AddQuery(const Graph& query) {
+  GSPS_CHECK_MSG(!started_, "use AddQueryDynamic after Start()");
+  queries_.push_back(QueryState{query, ComputeQueryVectors(query), false});
+  return static_cast<int>(queries_.size()) - 1;
+}
+
+int ContinuousQueryEngine::AddStream(Graph start) {
+  GSPS_CHECK_MSG(!started_, "streams are fixed at Start()");
+  StreamState state;
+  state.graph = std::move(start);
+  streams_.push_back(std::move(state));
+  return static_cast<int>(streams_.size()) - 1;
+}
+
+void ContinuousQueryEngine::Start() {
+  GSPS_CHECK(!started_);
+  started_ = true;
+  for (StreamState& stream : streams_) {
+    stream.nnts = std::make_unique<NntSet>(options_.nnt_depth, &dimensions_);
+    stream.nnts->Build(stream.graph);
+  }
+  RebuildStrategy();
+}
+
+void ContinuousQueryEngine::ApplyChange(int stream_index,
+                                        const GraphChange& change) {
+  GSPS_CHECK(started_);
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  // Deletions first, then insertions (§III.B sequentialization).
+  for (const EdgeOp& op : change.ops) {
+    if (op.kind != EdgeOp::Kind::kDelete) continue;
+    if (!stream.graph.HasEdge(op.u, op.v)) continue;
+    stream.nnts->DeleteEdge(op.u, op.v);
+    stream.graph.RemoveEdge(op.u, op.v);
+  }
+  for (const EdgeOp& op : change.ops) {
+    if (op.kind != EdgeOp::Kind::kInsert) continue;
+    if (!stream.graph.EnsureVertex(op.u, op.u_label)) continue;
+    if (!stream.graph.EnsureVertex(op.v, op.v_label)) continue;
+    if (!stream.graph.AddEdge(op.u, op.v, op.edge_label)) continue;
+    stream.nnts->InsertEdge(stream.graph, op.u, op.v);
+  }
+  FlushDirty(stream_index);
+}
+
+std::vector<int> ContinuousQueryEngine::CandidatesForStream(int stream) {
+  GSPS_CHECK(started_);
+  std::vector<int> mapped;
+  for (const int local : strategy_->CandidatesForStream(stream)) {
+    mapped.push_back(strategy_to_engine_[static_cast<size_t>(local)]);
+  }
+  return mapped;
+}
+
+std::vector<std::pair<int, int>> ContinuousQueryEngine::AllCandidatePairs() {
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < num_streams(); ++i) {
+    for (const int j : CandidatesForStream(i)) pairs.emplace_back(i, j);
+  }
+  return pairs;
+}
+
+bool ContinuousQueryEngine::VerifyCandidate(int stream, int query) const {
+  return IsSubgraphIsomorphic(queries_[static_cast<size_t>(query)].graph,
+                              streams_[static_cast<size_t>(stream)].graph);
+}
+
+int ContinuousQueryEngine::AddQueryDynamic(const Graph& query) {
+  GSPS_CHECK(started_);
+  queries_.push_back(QueryState{query, ComputeQueryVectors(query), false});
+  RebuildStrategy();
+  return static_cast<int>(queries_.size()) - 1;
+}
+
+void ContinuousQueryEngine::RemoveQueryDynamic(int query) {
+  GSPS_CHECK(started_);
+  queries_[static_cast<size_t>(query)].retired = true;
+  RebuildStrategy();
+}
+
+const Graph& ContinuousQueryEngine::StreamGraph(int stream) const {
+  return streams_[static_cast<size_t>(stream)].graph;
+}
+
+const Graph& ContinuousQueryEngine::QueryGraph(int query) const {
+  return queries_[static_cast<size_t>(query)].graph;
+}
+
+const NntSet& ContinuousQueryEngine::StreamNnts(int stream) const {
+  GSPS_CHECK(started_);
+  return *streams_[static_cast<size_t>(stream)].nnts;
+}
+
+void ContinuousQueryEngine::RebuildStrategy() {
+  strategy_ = MakeJoinStrategy(options_.join_kind);
+  strategy_to_engine_.clear();
+  std::vector<QueryVectors> vectors;
+  for (size_t j = 0; j < queries_.size(); ++j) {
+    if (queries_[j].retired) continue;
+    vectors.push_back(queries_[j].vectors);
+    strategy_to_engine_.push_back(static_cast<int>(j));
+  }
+  strategy_->SetQueries(std::move(vectors));
+  strategy_->SetNumStreams(num_streams());
+  for (int i = 0; i < num_streams(); ++i) {
+    StreamState& stream = streams_[static_cast<size_t>(i)];
+    // Prime the strategy with every vertex; drain the dirty set so the next
+    // incremental flush starts clean.
+    stream.nnts->TakeDirtyRoots();
+    for (const VertexId root : stream.nnts->Roots()) {
+      strategy_->UpdateStreamVertex(i, root, stream.nnts->NpvOf(root));
+    }
+  }
+}
+
+QueryVectors ContinuousQueryEngine::ComputeQueryVectors(const Graph& query) {
+  // The dimension table is append-only and shared, so interning the query's
+  // dimensions up front keeps its vectors valid for the engine's lifetime.
+  NntSet query_nnts(options_.nnt_depth, &dimensions_);
+  query_nnts.Build(query);
+  return BuildQueryVectors(query_nnts);
+}
+
+void ContinuousQueryEngine::FlushDirty(int stream_index) {
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  for (const VertexId root : stream.nnts->TakeDirtyRoots()) {
+    if (stream.nnts->TreeOf(root) != nullptr) {
+      strategy_->UpdateStreamVertex(stream_index, root,
+                                    stream.nnts->NpvOf(root));
+    } else {
+      strategy_->RemoveStreamVertex(stream_index, root);
+    }
+  }
+}
+
+}  // namespace gsps

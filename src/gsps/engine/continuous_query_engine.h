@@ -1,0 +1,131 @@
+// The continuous subgraph pattern search engine (paper Definition 2.8).
+//
+// Owns a fixed set of query graphs and a set of evolving stream graphs.
+// Per stream it maintains the graph, its NNTs (incrementally, §III.B), and
+// the per-vertex NPVs; a pluggable join strategy (§IV.B) turns those vectors
+// into the per-timestamp candidate pairs. The no-false-negative guarantee
+// (Lemma 4.2) means every truly isomorphic pair is always reported; the
+// optional VerifyCandidate hook runs the exact checker on a candidate when
+// a downstream consumer wants certainty.
+//
+// Usage:
+//   ContinuousQueryEngine engine(options);
+//   for (auto& q : queries) engine.AddQuery(q);
+//   for (auto& s : streams) engine.AddStream(s.StartGraph());
+//   engine.Start();
+//   for (int t = 1; t < horizon; ++t) {
+//     for (int i = 0; i < num_streams; ++i)
+//       engine.ApplyChange(i, streams[i].ChangeAt(t));
+//     auto pairs = engine.AllCandidatePairs();
+//   }
+
+#ifndef GSPS_ENGINE_CONTINUOUS_QUERY_ENGINE_H_
+#define GSPS_ENGINE_CONTINUOUS_QUERY_ENGINE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+#include "gsps/graph/graph_change.h"
+#include "gsps/join/join_strategy.h"
+#include "gsps/nnt/dimension.h"
+#include "gsps/nnt/nnt_set.h"
+
+namespace gsps {
+
+struct EngineOptions {
+  // Maximum NNT depth; the paper's self-test (Fig. 12) shows 3 suffices.
+  int nnt_depth = 3;
+  JoinKind join_kind = JoinKind::kDominatedSetCover;
+};
+
+class ContinuousQueryEngine {
+ public:
+  explicit ContinuousQueryEngine(const EngineOptions& options);
+
+  ContinuousQueryEngine(const ContinuousQueryEngine&) = delete;
+  ContinuousQueryEngine& operator=(const ContinuousQueryEngine&) = delete;
+
+  // --- Setup (before Start) -------------------------------------------------
+
+  // Registers a query pattern; returns its index.
+  int AddQuery(const Graph& query);
+
+  // Registers a stream with its timestamp-0 graph; returns its index.
+  int AddStream(Graph start);
+
+  // Builds all NNTs and primes the join strategy. Must be called once after
+  // registration and before any ApplyChange/candidate call.
+  void Start();
+
+  // --- Streaming ------------------------------------------------------------
+
+  // Applies one change batch to stream `stream`: updates the graph, the
+  // NNTs (deletions first, then insertions, §III.B), and pushes the changed
+  // NPVs into the join strategy.
+  void ApplyChange(int stream, const GraphChange& change);
+
+  // Query indices that are candidates ("possibly joinable", Def. 2.8) for
+  // stream `stream` right now, ascending.
+  std::vector<int> CandidatesForStream(int stream);
+
+  // All candidate (stream, query) pairs at the current state.
+  std::vector<std::pair<int, int>> AllCandidatePairs();
+
+  // Runs the exact subgraph-isomorphism check on one pair (filter+verify;
+  // expensive, off the monitoring hot path).
+  bool VerifyCandidate(int stream, int query) const;
+
+  // --- Dynamic queries (extension; the paper leaves these as future work) ---
+
+  // Registers a new query while streaming. Rebuilds the join strategy's
+  // query-side state (queries change rarely relative to stream updates).
+  int AddQueryDynamic(const Graph& query);
+
+  // Removes a query; its index is retired and never reported again.
+  void RemoveQueryDynamic(int query);
+
+  // --- Introspection ----------------------------------------------------------
+
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+  const Graph& StreamGraph(int stream) const;
+  const Graph& QueryGraph(int query) const;
+  const NntSet& StreamNnts(int stream) const;
+  const DimensionTable& dimensions() const { return dimensions_; }
+
+ private:
+  struct StreamState {
+    Graph graph;
+    std::unique_ptr<NntSet> nnts;
+  };
+  struct QueryState {
+    Graph graph;
+    QueryVectors vectors;  // Computed once at registration.
+    bool retired = false;
+  };
+
+  // Builds the NPVs of a query graph against the shared dimension table.
+  QueryVectors ComputeQueryVectors(const Graph& query);
+
+  // Recreates the join strategy from current queries and stream vectors.
+  void RebuildStrategy();
+
+  // Pushes dirty NPVs of one stream into the strategy.
+  void FlushDirty(int stream);
+
+  EngineOptions options_;
+  DimensionTable dimensions_;
+  std::vector<QueryState> queries_;
+  std::vector<StreamState> streams_;
+  std::unique_ptr<JoinStrategy> strategy_;
+  // Maps the strategy's dense query indices back to engine query indices
+  // (they diverge once a query is retired).
+  std::vector<int> strategy_to_engine_;
+  bool started_ = false;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_ENGINE_CONTINUOUS_QUERY_ENGINE_H_

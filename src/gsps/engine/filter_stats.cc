@@ -1,0 +1,63 @@
+#include "gsps/engine/filter_stats.h"
+
+namespace gsps {
+
+void StatsAccumulator::Add(const TimestampStats& stats) {
+  samples_.push_back(stats);
+}
+
+double StatsAccumulator::AvgCandidateRatio() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TimestampStats& s : samples_) {
+    if (s.total_pairs > 0) {
+      sum += static_cast<double>(s.candidate_pairs) /
+             static_cast<double>(s.total_pairs);
+    }
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double StatsAccumulator::AvgCostMillis() const {
+  return AvgUpdateMillis() + AvgJoinMillis();
+}
+
+double StatsAccumulator::AvgUpdateMillis() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TimestampStats& s : samples_) sum += s.update_millis;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double StatsAccumulator::AvgJoinMillis() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TimestampStats& s : samples_) sum += s.join_millis;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double StatsAccumulator::AvgPrecision() const {
+  double sum = 0.0;
+  int64_t counted = 0;
+  for (const TimestampStats& s : samples_) {
+    if (s.true_pairs < 0) continue;
+    ++counted;
+    if (s.candidate_pairs == 0) {
+      sum += 1.0;
+    } else {
+      sum += static_cast<double>(s.true_pairs) /
+             static_cast<double>(s.candidate_pairs);
+    }
+  }
+  if (counted == 0) return 0.0;
+  return sum / static_cast<double>(counted);
+}
+
+bool StatsAccumulator::CandidatesNeverBelowTruth() const {
+  for (const TimestampStats& s : samples_) {
+    if (s.true_pairs >= 0 && s.candidate_pairs < s.true_pairs) return false;
+  }
+  return true;
+}
+
+}  // namespace gsps

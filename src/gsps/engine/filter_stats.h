@@ -1,0 +1,62 @@
+// Per-timestamp statistics for the experiment harnesses.
+//
+// Accumulates, per timestamp, the candidate-set size, the total number of
+// (stream, query) pairs, and the wall time split into NNT/index update and
+// join evaluation. Also computes filter quality against the exact ground
+// truth when the harness provides it (precision; recall is 1 by
+// construction — the no-false-negative property, which the test suite
+// enforces).
+
+#ifndef GSPS_ENGINE_FILTER_STATS_H_
+#define GSPS_ENGINE_FILTER_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gsps {
+
+// Measurements for one timestamp.
+struct TimestampStats {
+  int timestamp = 0;
+  int64_t candidate_pairs = 0;
+  int64_t total_pairs = 0;
+  int64_t true_pairs = -1;  // -1 when ground truth was not computed.
+  double update_millis = 0.0;
+  double join_millis = 0.0;
+};
+
+// Aggregates TimestampStats.
+class StatsAccumulator {
+ public:
+  void Add(const TimestampStats& stats);
+
+  int64_t num_timestamps() const {
+    return static_cast<int64_t>(samples_.size());
+  }
+
+  // Mean candidate-pair ratio (candidates / total pairs) per timestamp.
+  double AvgCandidateRatio() const;
+
+  // Mean per-timestamp processing cost, milliseconds (update + join).
+  double AvgCostMillis() const;
+
+  double AvgUpdateMillis() const;
+  double AvgJoinMillis() const;
+
+  // Mean precision (true pairs / candidate pairs) over timestamps where
+  // ground truth is present; 1.0 when no candidates were reported.
+  double AvgPrecision() const;
+
+  // True iff every recorded timestamp had candidate_pairs >= true_pairs
+  // (a necessary consequence of no-false-negatives).
+  bool CandidatesNeverBelowTruth() const;
+
+  const std::vector<TimestampStats>& samples() const { return samples_; }
+
+ private:
+  std::vector<TimestampStats> samples_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_ENGINE_FILTER_STATS_H_

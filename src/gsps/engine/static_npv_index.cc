@@ -1,0 +1,94 @@
+#include "gsps/engine/static_npv_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "gsps/common/check.h"
+#include "gsps/iso/subgraph_isomorphism.h"
+#include "gsps/nnt/nnt_set.h"
+
+namespace gsps {
+namespace {
+
+// Component-wise maximum of sparse vectors.
+Npv ComponentMax(const std::vector<Npv>& vectors) {
+  std::unordered_map<DimId, int32_t> maxima;
+  for (const Npv& vector : vectors) {
+    for (const NpvEntry& entry : vector.entries()) {
+      int32_t& value = maxima[entry.dim];
+      value = std::max(value, entry.count);
+    }
+  }
+  return Npv::FromMap(maxima);
+}
+
+}  // namespace
+
+StaticNpvIndex::StaticNpvIndex(const std::vector<Graph>& database, int depth)
+    : depth_(depth), graphs_(database) {
+  GSPS_CHECK(depth >= 1);
+  entries_.reserve(graphs_.size());
+  for (const Graph& graph : graphs_) {
+    NntSet nnts(depth_, &dimensions_);
+    nnts.Build(graph);
+    GraphEntry entry;
+    for (const VertexId root : nnts.Roots()) {
+      entry.vectors.push_back(nnts.NpvOf(root));
+    }
+    entry.dimension_max = ComponentMax(entry.vectors);
+    entries_.push_back(std::move(entry));
+  }
+}
+
+std::vector<int> StaticNpvIndex::CandidateGraphsFor(const Graph& query) const {
+  NntSet query_nnts(depth_, &dimensions_);
+  query_nnts.Build(query);
+  std::vector<Npv> query_vectors;
+  for (const VertexId root : query_nnts.Roots()) {
+    query_vectors.push_back(query_nnts.NpvOf(root));
+  }
+
+  std::vector<int> candidates;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const GraphEntry& entry = entries_[i];
+    if (query_vectors.empty()) {
+      candidates.push_back(static_cast<int>(i));  // Empty query: vacuous.
+      continue;
+    }
+    if (entry.vectors.empty()) continue;
+    bool all_covered = true;
+    for (const Npv& query_vector : query_vectors) {
+      // Cheap rejection: the per-dimension maximum must dominate before any
+      // individual vector can.
+      if (!entry.dimension_max.Dominates(query_vector)) {
+        all_covered = false;
+        break;
+      }
+      bool covered = false;
+      for (const Npv& data_vector : entry.vectors) {
+        if (data_vector.Dominates(query_vector)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        all_covered = false;
+        break;
+      }
+    }
+    if (all_covered) candidates.push_back(static_cast<int>(i));
+  }
+  return candidates;
+}
+
+std::vector<int> StaticNpvIndex::MatchingGraphsFor(const Graph& query) const {
+  std::vector<int> matches;
+  for (const int i : CandidateGraphsFor(query)) {
+    if (IsSubgraphIsomorphic(query, graphs_[static_cast<size_t>(i)])) {
+      matches.push_back(i);
+    }
+  }
+  return matches;
+}
+
+}  // namespace gsps

@@ -1,0 +1,62 @@
+// Static-database NPV search (the paper's §V.A setting, packaged).
+//
+// The streaming engine answers "which queries match stream i"; the static
+// experiments ask the transposed question over a fixed database: "which
+// database graphs may contain this query?". This facade indexes a graph
+// database once (NNTs + NPVs per graph) and filters ad-hoc queries against
+// it — the NPV counterpart of GraphGrepFilter::IndexDatabase and
+// GindexFilter::BuildIndex, and the class a user doing plain (non-stream)
+// subgraph search would reach for.
+
+#ifndef GSPS_ENGINE_STATIC_NPV_INDEX_H_
+#define GSPS_ENGINE_STATIC_NPV_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+#include "gsps/nnt/dimension.h"
+#include "gsps/nnt/npv.h"
+
+namespace gsps {
+
+class StaticNpvIndex {
+ public:
+  // Builds NNTs of every database graph at the given depth (the paper's
+  // recommendation is 3).
+  StaticNpvIndex(const std::vector<Graph>& database, int depth);
+
+  StaticNpvIndex(const StaticNpvIndex&) = delete;
+  StaticNpvIndex& operator=(const StaticNpvIndex&) = delete;
+
+  // Indices of database graphs that may contain `query` (Lemma 4.2 filter),
+  // ascending. No false negatives; verify survivors with
+  // IsSubgraphIsomorphic for exact answers.
+  std::vector<int> CandidateGraphsFor(const Graph& query) const;
+
+  // Filter + exact verification in one call.
+  std::vector<int> MatchingGraphsFor(const Graph& query) const;
+
+  int depth() const { return depth_; }
+  int num_graphs() const { return static_cast<int>(graphs_.size()); }
+
+ private:
+  // Per-graph vertex NPVs, plus per-graph per-dimension maxima for a cheap
+  // first rejection (a query entry exceeding the graph's max in that
+  // dimension can never be dominated).
+  struct GraphEntry {
+    std::vector<Npv> vectors;
+    Npv dimension_max;  // Component-wise maximum over `vectors`.
+  };
+
+  int depth_;
+  // The interner must outlive the NPVs; queries share it so their vectors
+  // are comparable.
+  mutable DimensionTable dimensions_;
+  std::vector<Graph> graphs_;
+  std::vector<GraphEntry> entries_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_ENGINE_STATIC_NPV_INDEX_H_

@@ -1,0 +1,55 @@
+#include "gsps/gen/aids_like.h"
+
+#include <algorithm>
+
+#include "gsps/common/check.h"
+#include "gsps/common/random.h"
+
+namespace gsps {
+
+std::vector<Graph> MakeAidsLikeDataset(const AidsLikeParams& params) {
+  GSPS_CHECK(params.num_graphs >= 1);
+  Rng rng(params.seed);
+  std::vector<Graph> dataset;
+  dataset.reserve(static_cast<size_t>(params.num_graphs));
+
+  for (int i = 0; i < params.num_graphs; ++i) {
+    const int num_vertices = std::max(2, rng.Poisson(params.avg_vertices));
+    Graph graph;
+    // Spanning tree with chemistry-like low branching: attach each new atom
+    // to a recent vertex most of the time (chains) and occasionally to an
+    // older one (branches).
+    for (int v = 0; v < num_vertices; ++v) {
+      const VertexLabel label = static_cast<VertexLabel>(
+          rng.Zipf(params.num_vertex_labels, params.label_zipf_exponent));
+      const VertexId added = graph.AddVertex(label);
+      if (v == 0) continue;
+      VertexId attach;
+      if (rng.Bernoulli(0.7)) {
+        attach = static_cast<VertexId>(v - 1);  // Chain growth.
+      } else {
+        attach = static_cast<VertexId>(rng.UniformInt(0, v - 1));
+      }
+      GSPS_CHECK(graph.AddEdge(
+          attach, added,
+          static_cast<EdgeLabel>(rng.UniformInt(0, params.num_edge_labels - 1))));
+    }
+    // Ring closures.
+    const int rings = rng.Poisson(params.ring_fraction *
+                                  static_cast<double>(num_vertices));
+    for (int r = 0; r < rings; ++r) {
+      const VertexId a =
+          static_cast<VertexId>(rng.UniformInt(0, num_vertices - 1));
+      const VertexId b =
+          static_cast<VertexId>(rng.UniformInt(0, num_vertices - 1));
+      if (a == b) continue;
+      graph.AddEdge(
+          a, b,
+          static_cast<EdgeLabel>(rng.UniformInt(0, params.num_edge_labels - 1)));
+    }
+    dataset.push_back(std::move(graph));
+  }
+  return dataset;
+}
+
+}  // namespace gsps

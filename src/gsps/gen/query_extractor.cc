@@ -1,0 +1,90 @@
+#include "gsps/gen/query_extractor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+std::optional<Graph> ExtractConnectedSubgraph(const Graph& source,
+                                              int num_edges, Rng& rng) {
+  GSPS_CHECK(num_edges >= 1);
+  if (source.NumEdges() < num_edges) return std::nullopt;
+
+  // Collect all undirected edges, pick a random start, then grow by
+  // repeatedly sampling an unused edge adjacent to the selected vertex set.
+  std::vector<std::pair<VertexId, VertexId>> all_edges;
+  for (const VertexId u : source.VertexIds()) {
+    for (const HalfEdge& half : source.Neighbors(u)) {
+      if (half.to > u) all_edges.emplace_back(u, half.to);
+    }
+  }
+  const auto& start = all_edges[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(all_edges.size()) - 1))];
+
+  std::vector<std::pair<VertexId, VertexId>> chosen = {start};
+  std::vector<VertexId> vertices = {start.first, start.second};
+  auto edge_chosen = [&chosen](VertexId a, VertexId b) {
+    for (const auto& [x, y] : chosen) {
+      if ((x == a && y == b) || (x == b && y == a)) return true;
+    }
+    return false;
+  };
+
+  while (static_cast<int>(chosen.size()) < num_edges) {
+    // Frontier: unused source edges with at least one endpoint selected.
+    std::vector<std::pair<VertexId, VertexId>> frontier;
+    for (const VertexId v : vertices) {
+      for (const HalfEdge& half : source.Neighbors(v)) {
+        if (!edge_chosen(v, half.to)) frontier.emplace_back(v, half.to);
+      }
+    }
+    if (frontier.empty()) return std::nullopt;
+    const auto& pick = frontier[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(frontier.size()) - 1))];
+    chosen.push_back(pick);
+    if (std::find(vertices.begin(), vertices.end(), pick.second) ==
+        vertices.end()) {
+      vertices.push_back(pick.second);
+    }
+    if (std::find(vertices.begin(), vertices.end(), pick.first) ==
+        vertices.end()) {
+      vertices.push_back(pick.first);
+    }
+  }
+
+  // Compact into a fresh graph.
+  Graph query;
+  std::unordered_map<VertexId, VertexId> remap;
+  for (const auto& [a, b] : chosen) {
+    for (const VertexId v : {a, b}) {
+      if (!remap.count(v)) {
+        remap[v] = query.AddVertex(source.GetVertexLabel(v));
+      }
+    }
+    GSPS_CHECK(query.AddEdge(remap[a], remap[b], source.GetEdgeLabel(a, b)));
+  }
+  return query;
+}
+
+std::vector<Graph> ExtractQuerySet(const std::vector<Graph>& dataset,
+                                   int num_edges, int count, Rng& rng) {
+  GSPS_CHECK(!dataset.empty());
+  std::vector<Graph> queries;
+  int attempts = 0;
+  const int max_attempts = count * 50;
+  while (static_cast<int>(queries.size()) < count &&
+         attempts < max_attempts) {
+    ++attempts;
+    const Graph& source = dataset[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(dataset.size()) - 1))];
+    std::optional<Graph> query =
+        ExtractConnectedSubgraph(source, num_edges, rng);
+    if (query.has_value()) queries.push_back(*std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace gsps

@@ -1,0 +1,34 @@
+// Query workload extraction: connected size-m subgraphs pulled out of
+// dataset graphs, following the paper's query-set construction ("queries in
+// set Q_m are connected size-m graphs extracted randomly from the dataset").
+// Size is counted in edges, matching the gIndex evaluation convention.
+
+#ifndef GSPS_GEN_QUERY_EXTRACTOR_H_
+#define GSPS_GEN_QUERY_EXTRACTOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "gsps/common/random.h"
+#include "gsps/graph/graph.h"
+
+namespace gsps {
+
+// Extracts a connected subgraph with exactly `num_edges` edges from `source`
+// by randomized edge-expansion from a random start edge. Vertex ids of the
+// result are compacted to 0..n-1. Returns nullopt when `source` has no
+// connected subgraph of that size reachable from the sampled start (e.g.
+// the source is too small).
+std::optional<Graph> ExtractConnectedSubgraph(const Graph& source,
+                                              int num_edges, Rng& rng);
+
+// Builds a query set Q_m: `count` connected subgraphs of `num_edges` edges,
+// each extracted from a random graph of `dataset`. Sources too small for
+// the size are resampled; gives up (returning fewer queries) after
+// `count * 50` failed attempts.
+std::vector<Graph> ExtractQuerySet(const std::vector<Graph>& dataset,
+                                   int num_edges, int count, Rng& rng);
+
+}  // namespace gsps
+
+#endif  // GSPS_GEN_QUERY_EXTRACTOR_H_

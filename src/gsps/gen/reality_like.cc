@@ -1,0 +1,117 @@
+#include "gsps/gen/reality_like.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "gsps/common/check.h"
+#include "gsps/common/random.h"
+#include "gsps/gen/query_extractor.h"
+
+namespace gsps {
+namespace {
+
+struct Pair {
+  VertexId u;
+  VertexId v;
+  bool intra;
+};
+
+}  // namespace
+
+StreamDataset MakeRealityLikeStreams(const RealityLikeParams& params) {
+  GSPS_CHECK(params.num_users >= 2);
+  GSPS_CHECK(params.num_groups >= 1);
+  Rng rng(params.seed);
+
+  // Fixed population: labels (device/user classes) and group memberships
+  // are shared by all streams, like the same 97 people reappearing.
+  std::vector<VertexLabel> labels(static_cast<size_t>(params.num_users));
+  std::vector<int> group(static_cast<size_t>(params.num_users));
+  for (int u = 0; u < params.num_users; ++u) {
+    labels[static_cast<size_t>(u)] =
+        static_cast<VertexLabel>(rng.Zipf(params.num_labels, 0.5));
+    group[static_cast<size_t>(u)] =
+        static_cast<int>(rng.UniformInt(0, params.num_groups - 1));
+  }
+  std::vector<Pair> pairs;
+  for (int u = 0; u < params.num_users; ++u) {
+    for (int v = u + 1; v < params.num_users; ++v) {
+      const bool intra =
+          group[static_cast<size_t>(u)] == group[static_cast<size_t>(v)];
+      // Keep every intra-group pair; sample inter-group pairs sparsely so
+      // the candidate set stays proximity-plausible.
+      if (intra || rng.Bernoulli(0.08)) {
+        pairs.push_back(Pair{static_cast<VertexId>(u),
+                             static_cast<VertexId>(v), intra});
+      }
+    }
+  }
+
+  StreamDataset dataset;
+  std::vector<Graph> snapshots;  // Sampled graphs for query extraction.
+  for (int s = 0; s < params.num_streams; ++s) {
+    Rng stream_rng = rng.Fork();
+    Graph start;
+    for (int u = 0; u < params.num_users; ++u) {
+      start.AddVertex(labels[static_cast<size_t>(u)]);
+    }
+    std::vector<bool> on(pairs.size(), false);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const double appear =
+          pairs[i].intra ? params.intra_appear : params.inter_appear;
+      const double disappear =
+          pairs[i].intra ? params.intra_disappear : params.inter_disappear;
+      const double stationary = appear / (appear + disappear);
+      if (stream_rng.Bernoulli(stationary)) {
+        on[i] = true;
+        GSPS_CHECK(start.AddEdge(pairs[i].u, pairs[i].v, 0));
+      }
+    }
+    GraphStream stream(start);
+    Graph current = start;
+    for (int t = 1; t < params.num_timestamps; ++t) {
+      GraphChange change;
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        const Pair& p = pairs[i];
+        const double appear =
+            p.intra ? params.intra_appear : params.inter_appear;
+        const double disappear =
+            p.intra ? params.intra_disappear : params.inter_disappear;
+        if (on[i]) {
+          if (stream_rng.Bernoulli(disappear)) {
+            on[i] = false;
+            change.ops.push_back(EdgeOp::Delete(p.u, p.v));
+          }
+        } else if (stream_rng.Bernoulli(appear)) {
+          on[i] = true;
+          change.ops.push_back(
+              EdgeOp::Insert(p.u, p.v, 0, labels[static_cast<size_t>(p.u)],
+                             labels[static_cast<size_t>(p.v)]));
+        }
+      }
+      ApplyChange(change, current);
+      stream.AppendChange(std::move(change));
+    }
+    // Sample a handful of snapshots per stream for query extraction.
+    const int stride = std::max(1, params.num_timestamps / 5);
+    for (int t = 0; t < params.num_timestamps; t += stride) {
+      Graph snapshot = stream.MaterializeAt(t);
+      if (snapshot.NumEdges() > 0) snapshots.push_back(std::move(snapshot));
+    }
+    dataset.streams.push_back(std::move(stream));
+  }
+
+  // Queries: connected fragments of observed snapshots.
+  GSPS_CHECK(!snapshots.empty());
+  while (static_cast<int>(dataset.queries.size()) < params.num_queries) {
+    const int size = static_cast<int>(
+        rng.UniformInt(params.min_query_edges, params.max_query_edges));
+    std::vector<Graph> extracted = ExtractQuerySet(snapshots, size, 1, rng);
+    if (extracted.empty()) continue;
+    dataset.queries.push_back(std::move(extracted.front()));
+  }
+  return dataset;
+}
+
+}  // namespace gsps

@@ -1,0 +1,48 @@
+// Reality-Mining-like proximity stream synthesizer.
+//
+// The paper's real stream dataset is the Device Span subset of the MIT
+// Reality Mining project: 97 users whose phones periodically scan for
+// nearby Bluetooth devices, converted into proximity graphs and randomly
+// reordered into 25 streams with 10 distinct labels. That dataset is not
+// redistributable here, so this module synthesizes streams with the same
+// relevant structure: 97 vertices carrying one of 10 labels, community
+// structure (two labs, office groups) so that proximity edges concentrate
+// inside groups, sparse graphs, and small per-timestamp change batches
+// (temporal locality). See DESIGN.md, substitution #2.
+
+#ifndef GSPS_GEN_REALITY_LIKE_H_
+#define GSPS_GEN_REALITY_LIKE_H_
+
+#include <cstdint>
+
+#include "gsps/gen/stream_generator.h"
+
+namespace gsps {
+
+struct RealityLikeParams {
+  int num_users = 97;
+  int num_labels = 10;
+  int num_groups = 8;
+  int num_streams = 25;
+  int num_queries = 25;
+  int num_timestamps = 1000;
+  // Proximity dynamics: intra-group contacts are likely and sticky,
+  // inter-group contacts rare and short.
+  double intra_appear = 0.08;
+  double intra_disappear = 0.3;
+  double inter_appear = 0.002;
+  double inter_disappear = 0.6;
+  // Query sizes (edges) are sampled uniformly from this range.
+  int min_query_edges = 4;
+  int max_query_edges = 9;
+  uint64_t seed = 11;
+};
+
+// Builds the reality-like workload: streams plus queries extracted from
+// sampled stream snapshots (so a nontrivial fraction of pairs actually
+// match over time).
+StreamDataset MakeRealityLikeStreams(const RealityLikeParams& params);
+
+}  // namespace gsps
+
+#endif  // GSPS_GEN_REALITY_LIKE_H_

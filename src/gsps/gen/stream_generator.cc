@@ -1,0 +1,137 @@
+#include "gsps/gen/stream_generator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gsps/common/check.h"
+#include "gsps/gen/synthetic_generator.h"
+
+namespace gsps {
+namespace {
+
+struct CandidatePair {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  EdgeLabel label = 0;
+};
+
+}  // namespace
+
+GraphStream DeriveStream(const Graph& base, int num_vertex_labels,
+                         const StreamEvolutionParams& params, Rng& rng) {
+  GSPS_CHECK(params.num_timestamps >= 1);
+  // Grow the vertex set to 1.5x with randomly labeled vertices.
+  Graph derived = base;
+  const int extra_vertices = base.NumVertices() / 2;
+  for (int i = 0; i < extra_vertices; ++i) {
+    derived.AddVertex(
+        static_cast<VertexLabel>(rng.UniformInt(0, num_vertex_labels - 1)));
+  }
+
+  // Candidate pair set: the derived graph's edges plus random extra pairs.
+  std::vector<CandidatePair> pairs;
+  for (const VertexId u : derived.VertexIds()) {
+    for (const HalfEdge& half : derived.Neighbors(u)) {
+      if (half.to > u) pairs.push_back(CandidatePair{u, half.to, half.label});
+    }
+  }
+  const std::vector<VertexId> vertices = derived.VertexIds();
+  const int num_extra = static_cast<int>(
+      params.extra_pair_fraction * static_cast<double>(pairs.size()));
+  int guard = 0;
+  for (int added = 0; added < num_extra && guard < 50 * (num_extra + 1);) {
+    ++guard;
+    const VertexId a = vertices[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(vertices.size()) - 1))];
+    const VertexId b = vertices[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(vertices.size()) - 1))];
+    if (a == b) continue;
+    const VertexId lo = std::min(a, b);
+    const VertexId hi = std::max(a, b);
+    bool duplicate = false;
+    for (const CandidatePair& p : pairs) {
+      if (p.u == lo && p.v == hi) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    pairs.push_back(CandidatePair{
+        lo, hi,
+        static_cast<EdgeLabel>(rng.UniformInt(0, params.num_edge_labels - 1))});
+    ++added;
+  }
+
+  // Timestamp 0: each candidate pair is on with the stationary probability
+  // p1 / (p1 + p2), so the stream starts in (approximately) steady state.
+  const double stationary =
+      params.p_appear + params.p_disappear > 0.0
+          ? params.p_appear / (params.p_appear + params.p_disappear)
+          : 0.0;
+  Graph start = derived;
+  // Strip edges, then re-add the sampled subset.
+  for (const CandidatePair& p : pairs) start.RemoveEdge(p.u, p.v);
+  std::vector<bool> on(pairs.size(), false);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (rng.Bernoulli(stationary)) {
+      on[i] = true;
+      GSPS_CHECK(start.AddEdge(pairs[i].u, pairs[i].v, pairs[i].label));
+    }
+  }
+
+  GraphStream stream(start);
+  Graph current = start;
+  for (int t = 1; t < params.num_timestamps; ++t) {
+    GraphChange change;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const CandidatePair& p = pairs[i];
+      if (on[i]) {
+        if (rng.Bernoulli(params.p_disappear)) {
+          on[i] = false;
+          change.ops.push_back(EdgeOp::Delete(p.u, p.v));
+        }
+      } else {
+        if (rng.Bernoulli(params.p_appear)) {
+          on[i] = true;
+          change.ops.push_back(
+              EdgeOp::Insert(p.u, p.v, p.label, current.GetVertexLabel(p.u),
+                             current.GetVertexLabel(p.v)));
+        }
+      }
+    }
+    ApplyChange(change, current);
+    stream.AppendChange(std::move(change));
+  }
+  return stream;
+}
+
+StreamDataset MakeSyntheticStreams(const SyntheticStreamParams& params) {
+  Rng rng(params.seed);
+  SyntheticParams base_params;
+  base_params.num_graphs = params.num_pairs;
+  base_params.num_seeds = params.num_seeds;
+  base_params.avg_seed_edges = params.avg_seed_edges;
+  base_params.avg_graph_edges = params.avg_graph_edges;
+  base_params.num_vertex_labels = params.num_vertex_labels;
+  base_params.num_edge_labels = params.num_edge_labels;
+  base_params.seed = rng.Next();
+
+  StreamDataset dataset;
+  dataset.queries = GenerateSyntheticDataset(base_params);
+  for (const Graph& base : dataset.queries) {
+    Rng stream_rng = rng.Fork();
+    StreamEvolutionParams evolution = params.evolution;
+    evolution.num_edge_labels = params.num_edge_labels;
+    const double jitter = params.evolution.density_jitter;
+    auto scale = [&] {
+      return 1.0 + jitter * (2.0 * stream_rng.UniformDouble() - 1.0);
+    };
+    evolution.extra_pair_fraction *= scale();
+    evolution.p_appear = std::min(1.0, evolution.p_appear * scale());
+    dataset.streams.push_back(
+        DeriveStream(base, params.num_vertex_labels, evolution, stream_rng));
+  }
+  return dataset;
+}
+
+}  // namespace gsps

@@ -1,0 +1,130 @@
+#include "gsps/gen/synthetic_generator.h"
+
+#include <algorithm>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+namespace {
+
+// Inserts `seed` into `graph` by overlaying it at a random anchor: one seed
+// vertex is merged with a random existing graph vertex of the same label if
+// possible, otherwise connected to it by a fresh edge. The remaining seed
+// vertices and edges are copied in. Keeps the graph connected.
+void InsertSeed(const Graph& seed, int num_edge_labels, Rng& rng,
+                Graph& graph) {
+  const std::vector<VertexId> seed_vertices = seed.VertexIds();
+  GSPS_CHECK(!seed_vertices.empty());
+
+  std::vector<VertexId> mapped(static_cast<size_t>(seed.VertexIdBound()),
+                               kInvalidVertex);
+
+  if (graph.NumVertices() == 0) {
+    for (const VertexId sv : seed_vertices) {
+      mapped[static_cast<size_t>(sv)] =
+          graph.AddVertex(seed.GetVertexLabel(sv));
+    }
+  } else {
+    // Anchor a random seed vertex to a random existing vertex.
+    const std::vector<VertexId> graph_vertices = graph.VertexIds();
+    const VertexId anchor_seed =
+        seed_vertices[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(seed_vertices.size()) - 1))];
+    const VertexId anchor_graph =
+        graph_vertices[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(graph_vertices.size()) - 1))];
+    for (const VertexId sv : seed_vertices) {
+      if (sv == anchor_seed &&
+          graph.GetVertexLabel(anchor_graph) == seed.GetVertexLabel(sv)) {
+        mapped[static_cast<size_t>(sv)] = anchor_graph;  // Merge.
+      } else {
+        mapped[static_cast<size_t>(sv)] =
+            graph.AddVertex(seed.GetVertexLabel(sv));
+      }
+    }
+    // If the anchor could not merge (label mismatch), tie the fragment to
+    // the graph with one bridging edge so the result stays connected.
+    if (mapped[static_cast<size_t>(anchor_seed)] != anchor_graph) {
+      graph.AddEdge(
+          anchor_graph, mapped[static_cast<size_t>(anchor_seed)],
+          static_cast<EdgeLabel>(rng.UniformInt(0, num_edge_labels - 1)));
+    }
+  }
+
+  for (const VertexId sv : seed_vertices) {
+    for (const HalfEdge& half : seed.Neighbors(sv)) {
+      if (half.to < sv) continue;
+      graph.AddEdge(mapped[static_cast<size_t>(sv)],
+                    mapped[static_cast<size_t>(half.to)], half.label);
+    }
+  }
+}
+
+}  // namespace
+
+Graph RandomConnectedGraph(int num_edges, int num_vertex_labels,
+                           int num_edge_labels, Rng& rng) {
+  GSPS_CHECK(num_edges >= 1);
+  GSPS_CHECK(num_vertex_labels >= 1);
+  GSPS_CHECK(num_edge_labels >= 1);
+  Graph graph;
+  auto random_vertex_label = [&] {
+    return static_cast<VertexLabel>(rng.UniformInt(0, num_vertex_labels - 1));
+  };
+  auto random_edge_label = [&] {
+    return static_cast<EdgeLabel>(rng.UniformInt(0, num_edge_labels - 1));
+  };
+  // Grow a random tree over roughly num_edges * 2/3 vertices, then close
+  // random extra edges until the edge budget is met (or the graph is
+  // complete). The 2/3 split makes sparse graphs with some cycles, like the
+  // transaction datasets the original generator models.
+  const int num_tree_vertices =
+      std::max(2, 1 + (2 * num_edges) / 3);
+  graph.AddVertex(random_vertex_label());
+  for (int i = 1; i < num_tree_vertices && graph.NumEdges() < num_edges; ++i) {
+    const VertexId attach =
+        static_cast<VertexId>(rng.UniformInt(0, graph.NumVertices() - 1));
+    const VertexId added = graph.AddVertex(random_vertex_label());
+    GSPS_CHECK(graph.AddEdge(attach, added, random_edge_label()));
+  }
+  const int n = graph.NumVertices();
+  const int max_possible = n * (n - 1) / 2;
+  int attempts = 0;
+  while (graph.NumEdges() < std::min(num_edges, max_possible) &&
+         attempts < 20 * num_edges) {
+    ++attempts;
+    const VertexId a = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    const VertexId b = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+    if (a == b) continue;
+    graph.AddEdge(a, b, random_edge_label());
+  }
+  return graph;
+}
+
+std::vector<Graph> GenerateSyntheticDataset(const SyntheticParams& params) {
+  Rng rng(params.seed);
+  std::vector<Graph> seeds;
+  seeds.reserve(static_cast<size_t>(params.num_seeds));
+  for (int i = 0; i < params.num_seeds; ++i) {
+    const int size = std::max(1, rng.Poisson(params.avg_seed_edges));
+    seeds.push_back(RandomConnectedGraph(size, params.num_vertex_labels,
+                                         params.num_edge_labels, rng));
+  }
+  std::vector<Graph> dataset;
+  dataset.reserve(static_cast<size_t>(params.num_graphs));
+  for (int i = 0; i < params.num_graphs; ++i) {
+    const int target_edges = std::max(1, rng.Poisson(params.avg_graph_edges));
+    Graph graph;
+    int guard = 0;
+    while (graph.NumEdges() < target_edges && guard < 10'000) {
+      ++guard;
+      const Graph& seed = seeds[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(seeds.size()) - 1))];
+      InsertSeed(seed, params.num_edge_labels, rng, graph);
+    }
+    dataset.push_back(std::move(graph));
+  }
+  return dataset;
+}
+
+}  // namespace gsps

@@ -1,0 +1,43 @@
+// Synthetic graph dataset generator in the style of Kuramochi & Karypis
+// (the paper's reference [12]), matching the parameter vocabulary of the
+// paper's experiments: D graphs are assembled by repeatedly inserting seed
+// fragments until each graph reaches its target size.
+//
+//   D = number of graphs          L = number of seed fragments
+//   I = mean seed size (edges)    T = mean graph size (edges)
+//   V = # vertex labels           E = # edge labels
+//
+// Seed sizes and graph sizes are Poisson-distributed around I and T.
+
+#ifndef GSPS_GEN_SYNTHETIC_GENERATOR_H_
+#define GSPS_GEN_SYNTHETIC_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gsps/common/random.h"
+#include "gsps/graph/graph.h"
+
+namespace gsps {
+
+struct SyntheticParams {
+  int num_graphs = 10'000;       // D
+  int num_seeds = 200;           // L
+  double avg_seed_edges = 10.0;  // I
+  double avg_graph_edges = 50.0; // T
+  int num_vertex_labels = 4;     // V
+  int num_edge_labels = 1;       // E
+  uint64_t seed = 1;
+};
+
+// Generates a random connected graph with `num_edges` edges (at least 1)
+// and uniformly random labels. Helper shared by the generators.
+Graph RandomConnectedGraph(int num_edges, int num_vertex_labels,
+                           int num_edge_labels, Rng& rng);
+
+// Generates the dataset.
+std::vector<Graph> GenerateSyntheticDataset(const SyntheticParams& params);
+
+}  // namespace gsps
+
+#endif  // GSPS_GEN_SYNTHETIC_GENERATOR_H_

@@ -1,0 +1,180 @@
+#include "gsps/graph/graph.h"
+
+#include <algorithm>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+VertexId Graph::AddVertex(VertexLabel label) {
+  const VertexId id = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back(VertexSlot{true, label, {}});
+  ++num_vertices_;
+  return id;
+}
+
+bool Graph::EnsureVertex(VertexId id, VertexLabel label) {
+  GSPS_CHECK(id >= 0);
+  if (id >= static_cast<VertexId>(vertices_.size())) {
+    vertices_.resize(static_cast<size_t>(id) + 1);
+  }
+  VertexSlot& slot = vertices_[static_cast<size_t>(id)];
+  if (slot.present) return slot.label == label;
+  slot.present = true;
+  slot.label = label;
+  slot.adjacency.clear();
+  ++num_vertices_;
+  return true;
+}
+
+bool Graph::RemoveVertex(VertexId id) {
+  if (!HasVertex(id)) return false;
+  VertexSlot& slot = vertices_[static_cast<size_t>(id)];
+  // Remove the mirror half-edges first.
+  for (const HalfEdge& half : slot.adjacency) {
+    VertexSlot& other = vertices_[static_cast<size_t>(half.to)];
+    auto it = std::find_if(other.adjacency.begin(), other.adjacency.end(),
+                           [id](const HalfEdge& e) { return e.to == id; });
+    GSPS_DCHECK(it != other.adjacency.end());
+    other.adjacency.erase(it);
+    --num_edges_;
+  }
+  slot.adjacency.clear();
+  slot.present = false;
+  --num_vertices_;
+  return true;
+}
+
+bool Graph::AddEdge(VertexId u, VertexId v, EdgeLabel label) {
+  if (u == v || !HasVertex(u) || !HasVertex(v)) return false;
+  if (FindHalfEdge(u, v) >= 0) return false;
+  auto insert_sorted = [this](VertexId from, VertexId to, EdgeLabel lbl) {
+    std::vector<HalfEdge>& adj = vertices_[static_cast<size_t>(from)].adjacency;
+    auto it = std::lower_bound(
+        adj.begin(), adj.end(), to,
+        [](const HalfEdge& e, VertexId id) { return e.to < id; });
+    adj.insert(it, HalfEdge{to, lbl});
+  };
+  insert_sorted(u, v, label);
+  insert_sorted(v, u, label);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::RemoveEdge(VertexId u, VertexId v) {
+  if (!HasVertex(u) || !HasVertex(v)) return false;
+  const int pos_uv = FindHalfEdge(u, v);
+  if (pos_uv < 0) return false;
+  const int pos_vu = FindHalfEdge(v, u);
+  GSPS_DCHECK(pos_vu >= 0);
+  std::vector<HalfEdge>& adj_u = vertices_[static_cast<size_t>(u)].adjacency;
+  std::vector<HalfEdge>& adj_v = vertices_[static_cast<size_t>(v)].adjacency;
+  adj_u.erase(adj_u.begin() + pos_uv);
+  adj_v.erase(adj_v.begin() + pos_vu);
+  --num_edges_;
+  return true;
+}
+
+bool Graph::HasVertex(VertexId id) const {
+  return id >= 0 && id < static_cast<VertexId>(vertices_.size()) &&
+         vertices_[static_cast<size_t>(id)].present;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (!HasVertex(u) || !HasVertex(v)) return false;
+  return FindHalfEdge(u, v) >= 0;
+}
+
+EdgeLabel Graph::GetEdgeLabel(VertexId u, VertexId v) const {
+  const int pos = FindHalfEdge(u, v);
+  GSPS_CHECK(pos >= 0);
+  return vertices_[static_cast<size_t>(u)].adjacency[static_cast<size_t>(pos)]
+      .label;
+}
+
+VertexLabel Graph::GetVertexLabel(VertexId id) const {
+  GSPS_CHECK(HasVertex(id));
+  return vertices_[static_cast<size_t>(id)].label;
+}
+
+const std::vector<HalfEdge>& Graph::Neighbors(VertexId id) const {
+  GSPS_CHECK(HasVertex(id));
+  return vertices_[static_cast<size_t>(id)].adjacency;
+}
+
+int Graph::Degree(VertexId id) const {
+  return static_cast<int>(Neighbors(id).size());
+}
+
+std::vector<VertexId> Graph::VertexIds() const {
+  std::vector<VertexId> ids;
+  ids.reserve(static_cast<size_t>(num_vertices_));
+  for (VertexId id = 0; id < VertexIdBound(); ++id) {
+    if (vertices_[static_cast<size_t>(id)].present) ids.push_back(id);
+  }
+  return ids;
+}
+
+int Graph::MaxDegree() const {
+  int max_degree = 0;
+  for (VertexId id = 0; id < VertexIdBound(); ++id) {
+    if (!vertices_[static_cast<size_t>(id)].present) continue;
+    max_degree = std::max(
+        max_degree,
+        static_cast<int>(vertices_[static_cast<size_t>(id)].adjacency.size()));
+  }
+  return max_degree;
+}
+
+bool Graph::IsConnected() const {
+  if (num_vertices_ <= 1) return true;
+  VertexId start = kInvalidVertex;
+  for (VertexId id = 0; id < VertexIdBound(); ++id) {
+    if (vertices_[static_cast<size_t>(id)].present) {
+      start = id;
+      break;
+    }
+  }
+  std::vector<bool> seen(vertices_.size(), false);
+  std::vector<VertexId> stack = {start};
+  seen[static_cast<size_t>(start)] = true;
+  int reached = 0;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    ++reached;
+    for (const HalfEdge& half : vertices_[static_cast<size_t>(v)].adjacency) {
+      if (!seen[static_cast<size_t>(half.to)]) {
+        seen[static_cast<size_t>(half.to)] = true;
+        stack.push_back(half.to);
+      }
+    }
+  }
+  return reached == num_vertices_;
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  if (a.num_vertices_ != b.num_vertices_ || a.num_edges_ != b.num_edges_) {
+    return false;
+  }
+  const VertexId bound = std::max(a.VertexIdBound(), b.VertexIdBound());
+  for (VertexId id = 0; id < bound; ++id) {
+    const bool in_a = a.HasVertex(id);
+    if (in_a != b.HasVertex(id)) return false;
+    if (!in_a) continue;
+    if (a.GetVertexLabel(id) != b.GetVertexLabel(id)) return false;
+    if (a.Neighbors(id) != b.Neighbors(id)) return false;
+  }
+  return true;
+}
+
+int Graph::FindHalfEdge(VertexId u, VertexId v) const {
+  const std::vector<HalfEdge>& adj = vertices_[static_cast<size_t>(u)].adjacency;
+  auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const HalfEdge& e, VertexId id) { return e.to < id; });
+  if (it == adj.end() || it->to != v) return -1;
+  return static_cast<int>(it - adj.begin());
+}
+
+}  // namespace gsps

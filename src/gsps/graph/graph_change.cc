@@ -1,0 +1,47 @@
+#include "gsps/graph/graph_change.h"
+
+namespace gsps {
+
+int ApplyChange(const GraphChange& change, Graph& graph) {
+  int applied = 0;
+  for (const EdgeOp& op : change.ops) {
+    if (op.kind != EdgeOp::Kind::kDelete) continue;
+    if (graph.RemoveEdge(op.u, op.v)) ++applied;
+  }
+  for (const EdgeOp& op : change.ops) {
+    if (op.kind != EdgeOp::Kind::kInsert) continue;
+    if (!graph.EnsureVertex(op.u, op.u_label)) continue;
+    if (!graph.EnsureVertex(op.v, op.v_label)) continue;
+    if (graph.AddEdge(op.u, op.v, op.edge_label)) ++applied;
+  }
+  return applied;
+}
+
+GraphChange DiffGraphs(const Graph& from, const Graph& to) {
+  GraphChange change;
+  for (const VertexId u : from.VertexIds()) {
+    for (const HalfEdge& half : from.Neighbors(u)) {
+      if (half.to < u) continue;  // Visit each undirected edge once.
+      const bool kept = to.HasVertex(u) && to.HasVertex(half.to) &&
+                        to.HasEdge(u, half.to) &&
+                        to.GetEdgeLabel(u, half.to) == half.label;
+      if (!kept) change.ops.push_back(EdgeOp::Delete(u, half.to));
+    }
+  }
+  for (const VertexId u : to.VertexIds()) {
+    for (const HalfEdge& half : to.Neighbors(u)) {
+      if (half.to < u) continue;
+      const bool existed = from.HasVertex(u) && from.HasVertex(half.to) &&
+                           from.HasEdge(u, half.to) &&
+                           from.GetEdgeLabel(u, half.to) == half.label;
+      if (!existed) {
+        change.ops.push_back(EdgeOp::Insert(u, half.to, half.label,
+                                            to.GetVertexLabel(u),
+                                            to.GetVertexLabel(half.to)));
+      }
+    }
+  }
+  return change;
+}
+
+}  // namespace gsps

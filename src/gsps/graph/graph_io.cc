@@ -1,0 +1,110 @@
+#include "gsps/graph/graph_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gsps {
+namespace {
+
+// Parses records into `graph`. Stops at a "g" line (returned in `*stopped`)
+// or end of input. Returns false on malformed input.
+bool ParseInto(std::istringstream& in, Graph& graph, bool* stopped) {
+  *stopped = false;
+  std::string line;
+  std::streampos before = in.tellg();
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      before = in.tellg();
+      continue;
+    }
+    std::istringstream fields(line);
+    char kind = 0;
+    fields >> kind;
+    if (kind == 'g') {
+      // Rewind so the caller sees the separator.
+      in.clear();
+      in.seekg(before);
+      *stopped = true;
+      return true;
+    }
+    if (kind == 'v') {
+      long long id = -1, label = 0;
+      if (!(fields >> id >> label)) return false;
+      if (graph.HasVertex(static_cast<VertexId>(id))) return false;
+      if (!graph.EnsureVertex(static_cast<VertexId>(id),
+                              static_cast<VertexLabel>(label))) {
+        return false;
+      }
+    } else if (kind == 'e') {
+      long long u = -1, v = -1, label = 0;
+      if (!(fields >> u >> v >> label)) return false;
+      if (!graph.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                         static_cast<EdgeLabel>(label))) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+    before = in.tellg();
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FormatGraph(const Graph& graph) {
+  std::string out;
+  char buffer[64];
+  for (const VertexId id : graph.VertexIds()) {
+    std::snprintf(buffer, sizeof(buffer), "v %d %d\n", id,
+                  graph.GetVertexLabel(id));
+    out += buffer;
+  }
+  for (const VertexId id : graph.VertexIds()) {
+    for (const HalfEdge& half : graph.Neighbors(id)) {
+      if (half.to < id) continue;
+      std::snprintf(buffer, sizeof(buffer), "e %d %d %d\n", id, half.to,
+                    half.label);
+      out += buffer;
+    }
+  }
+  return out;
+}
+
+std::string FormatGraphs(const std::vector<Graph>& graphs) {
+  std::string out;
+  char buffer[32];
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "g %zu\n", i);
+    out += buffer;
+    out += FormatGraph(graphs[i]);
+  }
+  return out;
+}
+
+std::optional<Graph> ParseGraph(const std::string& text) {
+  std::istringstream in(text);
+  Graph graph;
+  bool stopped = false;
+  if (!ParseInto(in, graph, &stopped) || stopped) return std::nullopt;
+  return graph;
+}
+
+std::optional<std::vector<Graph>> ParseGraphs(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<Graph> graphs;
+  std::string line;
+  // Expect a "g" separator, then records.
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line[0] != 'g') return std::nullopt;
+    Graph graph;
+    bool stopped = false;
+    if (!ParseInto(in, graph, &stopped)) return std::nullopt;
+    graphs.push_back(std::move(graph));
+    if (!stopped) break;
+  }
+  return graphs;
+}
+
+}  // namespace gsps

@@ -1,0 +1,39 @@
+// Plain-text graph serialization.
+//
+// Format (one record per line, '#'-prefixed comments ignored):
+//   v <id> <vertex_label>
+//   e <u> <v> <edge_label>
+//
+// This is the widely used "gSpan transaction" style format, convenient for
+// dumping generated datasets and for examples. Multiple graphs in one file
+// are separated by lines reading "g <index>".
+
+#ifndef GSPS_GRAPH_GRAPH_IO_H_
+#define GSPS_GRAPH_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+
+namespace gsps {
+
+// Serializes one graph (without a leading "g" line).
+std::string FormatGraph(const Graph& graph);
+
+// Serializes a dataset of graphs with "g <index>" separators.
+std::string FormatGraphs(const std::vector<Graph>& graphs);
+
+// Parses a single graph serialized by FormatGraph. Returns nullopt on
+// malformed input (unknown record type, edge before endpoints, duplicate
+// vertex id, non-numeric field).
+std::optional<Graph> ParseGraph(const std::string& text);
+
+// Parses a dataset serialized by FormatGraphs. Returns nullopt on malformed
+// input.
+std::optional<std::vector<Graph>> ParseGraphs(const std::string& text);
+
+}  // namespace gsps
+
+#endif  // GSPS_GRAPH_GRAPH_IO_H_

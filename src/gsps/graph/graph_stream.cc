@@ -1,0 +1,44 @@
+#include "gsps/graph/graph_stream.h"
+
+#include <utility>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+GraphStream::GraphStream(Graph start) : start_(std::move(start)) {}
+
+void GraphStream::AppendChange(GraphChange change) {
+  changes_.push_back(std::move(change));
+}
+
+const GraphChange& GraphStream::ChangeAt(int t) const {
+  GSPS_CHECK(t >= 1 && t < NumTimestamps());
+  return changes_[static_cast<size_t>(t - 1)];
+}
+
+Graph GraphStream::MaterializeAt(int t) const {
+  GSPS_CHECK(t >= 0 && t < NumTimestamps());
+  Graph graph = start_;
+  for (int i = 1; i <= t; ++i) {
+    ApplyChange(changes_[static_cast<size_t>(i - 1)], graph);
+  }
+  return graph;
+}
+
+StreamCursor::StreamCursor(const GraphStream& stream)
+    : stream_(&stream), current_(stream.StartGraph()) {}
+
+bool StreamCursor::HasNext() const {
+  return timestamp_ + 1 < stream_->NumTimestamps();
+}
+
+const GraphChange& StreamCursor::Advance() {
+  GSPS_CHECK(HasNext());
+  ++timestamp_;
+  const GraphChange& change = stream_->ChangeAt(timestamp_);
+  ApplyChange(change, current_);
+  return change;
+}
+
+}  // namespace gsps

@@ -1,0 +1,83 @@
+// Graph change operation streams and graph streams (Definitions 2.5, 2.6).
+//
+// A GraphStream is a start graph G0 plus a sequence of GraphChange batches;
+// the graph at timestamp t is GC_t -> (... -> (GC_1 -> G0)). The class
+// stores the change log and a cursor so callers can replay the stream one
+// timestamp at a time (what the continuous engine does) or materialize the
+// graph at an arbitrary timestamp (what tests and ground-truth harnesses do).
+
+#ifndef GSPS_GRAPH_GRAPH_STREAM_H_
+#define GSPS_GRAPH_GRAPH_STREAM_H_
+
+#include <vector>
+
+#include "gsps/graph/graph.h"
+#include "gsps/graph/graph_change.h"
+
+namespace gsps {
+
+// A graph evolving over discrete timestamps.
+class GraphStream {
+ public:
+  // Creates a stream whose graph at timestamp 0 is `start`.
+  explicit GraphStream(Graph start);
+
+  // Appends the change batch for the next timestamp.
+  void AppendChange(GraphChange change);
+
+  // Number of timestamps: 1 (the start graph) + number of change batches.
+  int NumTimestamps() const {
+    return 1 + static_cast<int>(changes_.size());
+  }
+
+  // The change applied at timestamp t (t in [1, NumTimestamps()-1]).
+  const GraphChange& ChangeAt(int t) const;
+
+  // The start graph (timestamp 0).
+  const Graph& StartGraph() const { return start_; }
+
+  // Materializes the graph at timestamp t by replaying changes 1..t.
+  // O(sum of batch sizes); intended for tests and ground truth, not the
+  // continuous engine hot path.
+  Graph MaterializeAt(int t) const;
+
+ private:
+  Graph start_;
+  std::vector<GraphChange> changes_;
+};
+
+// Replay cursor over a GraphStream. Keeps the current graph materialized
+// and steps it forward one timestamp at a time.
+//
+// Example:
+//   StreamCursor cursor(stream);
+//   while (cursor.HasNext()) {
+//     const GraphChange& change = cursor.Advance();
+//     Process(cursor.CurrentGraph(), change);
+//   }
+class StreamCursor {
+ public:
+  // `stream` must outlive the cursor.
+  explicit StreamCursor(const GraphStream& stream);
+
+  // Current timestamp, starting at 0.
+  int CurrentTimestamp() const { return timestamp_; }
+
+  // The graph at the current timestamp.
+  const Graph& CurrentGraph() const { return current_; }
+
+  // True if a later timestamp exists.
+  bool HasNext() const;
+
+  // Applies the next change batch and returns it. Requires HasNext().
+  const GraphChange& Advance();
+
+ private:
+  const GraphStream* stream_;
+  Graph current_;
+  int timestamp_ = 0;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_GRAPH_GRAPH_STREAM_H_

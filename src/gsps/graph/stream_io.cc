@@ -1,0 +1,116 @@
+#include "gsps/graph/stream_io.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "gsps/graph/graph_io.h"
+
+namespace gsps {
+
+std::string FormatStream(const GraphStream& stream) {
+  std::string out = FormatGraph(stream.StartGraph());
+  char buffer[96];
+  for (int t = 1; t < stream.NumTimestamps(); ++t) {
+    std::snprintf(buffer, sizeof(buffer), "t %d\n", t);
+    out += buffer;
+    for (const EdgeOp& op : stream.ChangeAt(t).ops) {
+      if (op.kind == EdgeOp::Kind::kInsert) {
+        std::snprintf(buffer, sizeof(buffer), "+ %d %d %d %d %d\n", op.u,
+                      op.v, op.edge_label, op.u_label, op.v_label);
+      } else {
+        std::snprintf(buffer, sizeof(buffer), "- %d %d\n", op.u, op.v);
+      }
+      out += buffer;
+    }
+  }
+  return out;
+}
+
+std::optional<GraphStream> ParseStream(const std::string& text) {
+  std::istringstream in(text);
+  Graph start;
+  std::optional<GraphStream> stream;
+  GraphChange batch;
+  int current_timestamp = 0;
+
+  auto flush_batch = [&]() {
+    if (current_timestamp > 0) stream->AppendChange(std::move(batch));
+    batch = GraphChange{};
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    char kind = 0;
+    fields >> kind;
+    switch (kind) {
+      case 'v': {
+        if (current_timestamp != 0) return std::nullopt;
+        long long id = -1, label = 0;
+        if (!(fields >> id >> label)) return std::nullopt;
+        if (start.HasVertex(static_cast<VertexId>(id))) return std::nullopt;
+        if (!start.EnsureVertex(static_cast<VertexId>(id),
+                                static_cast<VertexLabel>(label))) {
+          return std::nullopt;
+        }
+        break;
+      }
+      case 'e': {
+        if (current_timestamp != 0) return std::nullopt;
+        long long u = -1, v = -1, label = 0;
+        if (!(fields >> u >> v >> label)) return std::nullopt;
+        if (!start.AddEdge(static_cast<VertexId>(u),
+                           static_cast<VertexId>(v),
+                           static_cast<EdgeLabel>(label))) {
+          return std::nullopt;
+        }
+        break;
+      }
+      case 't': {
+        long long timestamp = -1;
+        if (!(fields >> timestamp)) return std::nullopt;
+        if (timestamp != current_timestamp + 1) return std::nullopt;
+        if (current_timestamp == 0) {
+          stream.emplace(std::move(start));
+        } else {
+          flush_batch();
+        }
+        current_timestamp = static_cast<int>(timestamp);
+        break;
+      }
+      case '+': {
+        if (current_timestamp == 0) return std::nullopt;
+        long long u, v, edge_label, u_label, v_label;
+        if (!(fields >> u >> v >> edge_label >> u_label >> v_label)) {
+          return std::nullopt;
+        }
+        batch.ops.push_back(EdgeOp::Insert(
+            static_cast<VertexId>(u), static_cast<VertexId>(v),
+            static_cast<EdgeLabel>(edge_label),
+            static_cast<VertexLabel>(u_label),
+            static_cast<VertexLabel>(v_label)));
+        break;
+      }
+      case '-': {
+        if (current_timestamp == 0) return std::nullopt;
+        long long u, v;
+        if (!(fields >> u >> v)) return std::nullopt;
+        batch.ops.push_back(EdgeOp::Delete(static_cast<VertexId>(u),
+                                           static_cast<VertexId>(v)));
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  if (current_timestamp == 0) {
+    stream.emplace(std::move(start));
+  } else {
+    flush_batch();
+  }
+  return stream;
+}
+
+}  // namespace gsps

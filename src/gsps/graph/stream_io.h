@@ -1,0 +1,35 @@
+// Plain-text serialization for graph streams (record/replay).
+//
+// A stream file is the start graph followed by one section per timestamp:
+//
+//   # comment
+//   v <id> <vertex_label>          start-graph vertex
+//   e <u> <v> <edge_label>         start-graph edge
+//   t <timestamp>                  begins the change batch for <timestamp>
+//   + <u> <v> <edge_label> <u_label> <v_label>    edge insertion
+//   - <u> <v>                                     edge deletion
+//
+// Timestamps must be 1, 2, 3, ... in order; an empty batch is a bare
+// "t <k>" line. The format round-trips exactly through Format/Parse.
+
+#ifndef GSPS_GRAPH_STREAM_IO_H_
+#define GSPS_GRAPH_STREAM_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "gsps/graph/graph_stream.h"
+
+namespace gsps {
+
+// Serializes a stream.
+std::string FormatStream(const GraphStream& stream);
+
+// Parses a stream file. Returns nullopt on malformed input (bad record
+// kind, out-of-order timestamps, non-numeric fields, edge before its
+// endpoints in the start graph).
+std::optional<GraphStream> ParseStream(const std::string& text);
+
+}  // namespace gsps
+
+#endif  // GSPS_GRAPH_STREAM_IO_H_

@@ -1,0 +1,50 @@
+#include "gsps/iso/bipartite_matching.h"
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+namespace {
+
+// One augmenting-path attempt from `left`, Kuhn-style.
+bool TryAugment(const BipartiteAdjacency& adjacency, int left,
+                std::vector<int>& right_match, std::vector<bool>& visited) {
+  for (const int right : adjacency[static_cast<size_t>(left)]) {
+    GSPS_DCHECK(right >= 0 &&
+                right < static_cast<int>(right_match.size()));
+    if (visited[static_cast<size_t>(right)]) continue;
+    visited[static_cast<size_t>(right)] = true;
+    if (right_match[static_cast<size_t>(right)] < 0 ||
+        TryAugment(adjacency, right_match[static_cast<size_t>(right)],
+                   right_match, visited)) {
+      right_match[static_cast<size_t>(right)] = left;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int MaximumBipartiteMatching(const BipartiteAdjacency& left_to_right,
+                             int num_right) {
+  std::vector<int> right_match(static_cast<size_t>(num_right), -1);
+  int matched = 0;
+  for (int left = 0; left < static_cast<int>(left_to_right.size()); ++left) {
+    std::vector<bool> visited(static_cast<size_t>(num_right), false);
+    if (TryAugment(left_to_right, left, right_match, visited)) ++matched;
+  }
+  return matched;
+}
+
+bool HasLeftPerfectMatching(const BipartiteAdjacency& left_to_right,
+                            int num_right) {
+  if (static_cast<int>(left_to_right.size()) > num_right) return false;
+  std::vector<int> right_match(static_cast<size_t>(num_right), -1);
+  for (int left = 0; left < static_cast<int>(left_to_right.size()); ++left) {
+    std::vector<bool> visited(static_cast<size_t>(num_right), false);
+    if (!TryAugment(left_to_right, left, right_match, visited)) return false;
+  }
+  return true;
+}
+
+}  // namespace gsps

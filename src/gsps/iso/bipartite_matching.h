@@ -1,0 +1,33 @@
+// Maximum bipartite matching (augmenting-path / Kuhn's algorithm).
+//
+// Used by the rooted-subtree embedding check: deciding whether every child
+// subtree of a query tree node can be matched to a distinct child subtree
+// of a data tree node is exactly a maximum-matching question. The sets
+// involved are node fan-outs (graph degrees), so the simple O(V*E)
+// augmenting-path algorithm is the right tool.
+
+#ifndef GSPS_ISO_BIPARTITE_MATCHING_H_
+#define GSPS_ISO_BIPARTITE_MATCHING_H_
+
+#include <vector>
+
+namespace gsps {
+
+// Adjacency of the bipartite graph: for each left vertex, the list of right
+// vertices it may be matched to (right vertices are 0..num_right-1).
+using BipartiteAdjacency = std::vector<std::vector<int>>;
+
+// Returns the size of a maximum matching.
+int MaximumBipartiteMatching(const BipartiteAdjacency& left_to_right,
+                             int num_right);
+
+// Returns true iff every left vertex can be matched simultaneously
+// (a left-perfect matching exists). Equivalent to
+// MaximumBipartiteMatching(...) == left size, but exits early when a left
+// vertex cannot be matched.
+bool HasLeftPerfectMatching(const BipartiteAdjacency& left_to_right,
+                            int num_right);
+
+}  // namespace gsps
+
+#endif  // GSPS_ISO_BIPARTITE_MATCHING_H_

@@ -1,0 +1,81 @@
+#include "gsps/iso/branch_compatibility.h"
+
+#include <utility>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+namespace {
+
+// Depth-first enumeration of edge-simple paths. `path_edges` holds the
+// undirected edges (min_id, max_id) on the current path.
+void Expand(const Graph& graph, VertexId at, int remaining,
+            BranchSignature& signature,
+            std::vector<std::pair<VertexId, VertexId>>& path_edges,
+            std::map<BranchSignature, int64_t>& out) {
+  if (remaining == 0) return;
+  for (const HalfEdge& half : graph.Neighbors(at)) {
+    const std::pair<VertexId, VertexId> edge = {std::min(at, half.to),
+                                                std::max(at, half.to)};
+    bool on_path = false;
+    for (const auto& used : path_edges) {
+      if (used == edge) {
+        on_path = true;
+        break;
+      }
+    }
+    if (on_path) continue;
+    signature.push_back(half.label);
+    signature.push_back(graph.GetVertexLabel(half.to));
+    path_edges.push_back(edge);
+    ++out[signature];
+    Expand(graph, half.to, remaining - 1, signature, path_edges, out);
+    path_edges.pop_back();
+    signature.pop_back();
+    signature.pop_back();
+  }
+}
+
+}  // namespace
+
+std::map<BranchSignature, int64_t> EnumerateBranches(const Graph& graph,
+                                                     VertexId root,
+                                                     int depth) {
+  GSPS_CHECK(graph.HasVertex(root));
+  GSPS_CHECK(depth >= 0);
+  std::map<BranchSignature, int64_t> out;
+  BranchSignature signature = {graph.GetVertexLabel(root)};
+  std::vector<std::pair<VertexId, VertexId>> path_edges;
+  Expand(graph, root, depth, signature, path_edges, out);
+  return out;
+}
+
+bool BranchCompatible(const Graph& query, VertexId query_vertex,
+                      const Graph& data, VertexId data_vertex, int depth) {
+  if (query.GetVertexLabel(query_vertex) != data.GetVertexLabel(data_vertex)) {
+    return false;
+  }
+  const auto query_branches = EnumerateBranches(query, query_vertex, depth);
+  const auto data_branches = EnumerateBranches(data, data_vertex, depth);
+  for (const auto& [signature, count] : query_branches) {
+    auto it = data_branches.find(signature);
+    if (it == data_branches.end() || it->second < count) return false;
+  }
+  return true;
+}
+
+bool BranchCompatibleFilter(const Graph& query, const Graph& data, int depth) {
+  for (const VertexId u : query.VertexIds()) {
+    bool matched = false;
+    for (const VertexId v : data.VertexIds()) {
+      if (BranchCompatible(query, u, data, v, depth)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+}  // namespace gsps

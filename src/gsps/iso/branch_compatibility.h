@@ -1,0 +1,46 @@
+// Branch compatibility between node neighborhoods (paper Lemma 4.1).
+//
+// NNT(u) is branch-compatible with NNT(v) when every simple path (branch)
+// of NNT(u) is contained among the branches of NNT(v), counting
+// multiplicity. This is the intermediate filter between full subtree
+// isomorphism (expensive) and the NPV dominance check (the cheap projection
+// the paper ultimately uses); implementing it standalone lets tests verify
+// the chain  exact iso  =>  branch compatible  =>  NPV dominated.
+//
+// Branches are enumerated directly from the graphs (edge-simple paths up to
+// the given depth), so this module depends only on gsps_graph.
+
+#ifndef GSPS_ISO_BRANCH_COMPATIBILITY_H_
+#define GSPS_ISO_BRANCH_COMPATIBILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+
+namespace gsps {
+
+// A branch signature: the label sequence of one edge-simple path starting at
+// the root — (root_label, edge_label_1, vertex_label_1, edge_label_2, ...).
+using BranchSignature = std::vector<int32_t>;
+
+// Multiset of branch signatures of all edge-simple paths of length 1..depth
+// starting at `root` in `graph`, keyed by signature with occurrence counts.
+std::map<BranchSignature, int64_t> EnumerateBranches(const Graph& graph,
+                                                     VertexId root, int depth);
+
+// True iff every branch of NNT(query_vertex in query) is contained (with
+// multiplicity) in the branches of NNT(data_vertex in data) at the given
+// depth, per Lemma 4.1. Requires matching root labels.
+bool BranchCompatible(const Graph& query, VertexId query_vertex,
+                      const Graph& data, VertexId data_vertex, int depth);
+
+// Graph-level filter built from Lemma 4.1: true iff every query vertex has
+// at least one branch-compatible data vertex. A necessary condition for
+// subgraph isomorphism; used as a reference point for pruning-power tests.
+bool BranchCompatibleFilter(const Graph& query, const Graph& data, int depth);
+
+}  // namespace gsps
+
+#endif  // GSPS_ISO_BRANCH_COMPATIBILITY_H_

@@ -1,0 +1,210 @@
+#include "gsps/iso/subgraph_isomorphism.h"
+
+#include <algorithm>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+namespace {
+
+// Shared backtracking machinery. The visitor is invoked once per complete
+// embedding; returning false stops the search.
+class Matcher {
+ public:
+  Matcher(const Graph& query, const Graph& data, const IsoOptions& options)
+      : query_(query), data_(data), options_(options) {
+    BuildOrder();
+  }
+
+  // Runs the search. `on_embedding` returns false to stop early.
+  template <typename Visitor>
+  void Run(Visitor&& on_embedding) {
+    if (query_.NumVertices() == 0) {
+      // The empty pattern is vacuously contained.
+      std::vector<VertexId> empty;
+      on_embedding(empty);
+      return;
+    }
+    if (query_.NumVertices() > data_.NumVertices() ||
+        query_.NumEdges() > data_.NumEdges()) {
+      return;
+    }
+    mapping_.assign(order_.size(), kInvalidVertex);
+    used_.assign(static_cast<size_t>(data_.VertexIdBound()), false);
+    query_to_data_.assign(static_cast<size_t>(query_.VertexIdBound()),
+                          kInvalidVertex);
+    states_ = 0;
+    stopped_ = false;
+    Extend(0, on_embedding);
+  }
+
+  const std::vector<VertexId>& order() const { return order_; }
+
+ private:
+  // Chooses a connectivity-first match order: start from the rarest-labeled
+  // highest-degree query vertex, then repeatedly pick the unmatched vertex
+  // with the most already-ordered neighbors (ties by degree). This keeps the
+  // partial pattern connected so adjacency constraints prune early.
+  void BuildOrder() {
+    const std::vector<VertexId> vertices = query_.VertexIds();
+    if (vertices.empty()) return;
+    std::vector<bool> placed(static_cast<size_t>(query_.VertexIdBound()),
+                             false);
+    VertexId first = vertices.front();
+    for (const VertexId v : vertices) {
+      if (query_.Degree(v) > query_.Degree(first)) first = v;
+    }
+    order_.push_back(first);
+    placed[static_cast<size_t>(first)] = true;
+    while (order_.size() < vertices.size()) {
+      VertexId best = kInvalidVertex;
+      int best_connected = -1;
+      int best_degree = -1;
+      for (const VertexId v : vertices) {
+        if (placed[static_cast<size_t>(v)]) continue;
+        int connected = 0;
+        for (const HalfEdge& half : query_.Neighbors(v)) {
+          if (placed[static_cast<size_t>(half.to)]) ++connected;
+        }
+        const int degree = query_.Degree(v);
+        if (connected > best_connected ||
+            (connected == best_connected && degree > best_degree)) {
+          best = v;
+          best_connected = connected;
+          best_degree = degree;
+        }
+      }
+      order_.push_back(best);
+      placed[static_cast<size_t>(best)] = true;
+    }
+  }
+
+  // True if mapping query vertex `q` to data vertex `d` is consistent with
+  // the current partial mapping.
+  bool Feasible(VertexId q, VertexId d) const {
+    if (query_.GetVertexLabel(q) != data_.GetVertexLabel(d)) return false;
+    if (query_.Degree(q) > data_.Degree(d)) return false;
+    // Every already-mapped neighbor of q must be adjacent to d with the
+    // matching edge label.
+    for (const HalfEdge& half : query_.Neighbors(q)) {
+      const VertexId mapped = query_to_data_[static_cast<size_t>(half.to)];
+      if (mapped == kInvalidVertex) continue;
+      if (!data_.HasEdge(d, mapped)) return false;
+      if (data_.GetEdgeLabel(d, mapped) != half.label) return false;
+    }
+    return true;
+  }
+
+  template <typename Visitor>
+  void Extend(size_t depth, Visitor&& on_embedding) {
+    if (stopped_) return;
+    if (options_.max_states > 0 && ++states_ > options_.max_states) {
+      stopped_ = true;
+      return;
+    }
+    if (depth == order_.size()) {
+      if (!on_embedding(mapping_)) stopped_ = true;
+      return;
+    }
+    const VertexId q = order_[depth];
+    // Candidates: if q has a mapped neighbor, only that neighbor's data
+    // adjacency needs scanning; otherwise scan all data vertices.
+    VertexId anchor = kInvalidVertex;
+    EdgeLabel anchor_label = 0;
+    for (const HalfEdge& half : query_.Neighbors(q)) {
+      const VertexId mapped = query_to_data_[static_cast<size_t>(half.to)];
+      if (mapped != kInvalidVertex) {
+        anchor = mapped;
+        anchor_label = half.label;
+        break;
+      }
+    }
+    if (anchor != kInvalidVertex) {
+      for (const HalfEdge& half : data_.Neighbors(anchor)) {
+        if (half.label != anchor_label) continue;
+        TryCandidate(depth, q, half.to, on_embedding);
+        if (stopped_) return;
+      }
+    } else {
+      for (VertexId d = 0; d < data_.VertexIdBound(); ++d) {
+        if (!data_.HasVertex(d)) continue;
+        TryCandidate(depth, q, d, on_embedding);
+        if (stopped_) return;
+      }
+    }
+  }
+
+  template <typename Visitor>
+  void TryCandidate(size_t depth, VertexId q, VertexId d,
+                    Visitor&& on_embedding) {
+    if (used_[static_cast<size_t>(d)]) return;
+    if (!Feasible(q, d)) return;
+    mapping_[depth] = d;
+    used_[static_cast<size_t>(d)] = true;
+    query_to_data_[static_cast<size_t>(q)] = d;
+    Extend(depth + 1, on_embedding);
+    query_to_data_[static_cast<size_t>(q)] = kInvalidVertex;
+    used_[static_cast<size_t>(d)] = false;
+    mapping_[depth] = kInvalidVertex;
+  }
+
+  const Graph& query_;
+  const Graph& data_;
+  const IsoOptions& options_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> mapping_;
+  std::vector<VertexId> query_to_data_;  // Query vertex -> mapped data vertex.
+  std::vector<bool> used_;
+  int64_t states_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+bool IsSubgraphIsomorphic(const Graph& query, const Graph& data,
+                          const IsoOptions& options) {
+  Matcher matcher(query, data, options);
+  bool found = false;
+  matcher.Run([&found](const std::vector<VertexId>&) {
+    found = true;
+    return false;  // Stop at the first embedding.
+  });
+  return found;
+}
+
+std::optional<Embedding> FindEmbedding(const Graph& query, const Graph& data,
+                                       const IsoOptions& options) {
+  Matcher matcher(query, data, options);
+  std::optional<Embedding> result;
+  matcher.Run([&result, &matcher](const std::vector<VertexId>& mapping) {
+    result = Embedding{matcher.order(), mapping};
+    return false;
+  });
+  return result;
+}
+
+int64_t CountEmbeddings(const Graph& query, const Graph& data, int64_t limit,
+                        const IsoOptions& options) {
+  Matcher matcher(query, data, options);
+  int64_t count = 0;
+  matcher.Run([&count, limit](const std::vector<VertexId>&) {
+    ++count;
+    return limit == 0 || count < limit;
+  });
+  return count;
+}
+
+void ForEachEmbedding(const Graph& query, const Graph& data, int64_t limit,
+                      const std::function<bool(const Embedding&)>& visitor,
+                      const IsoOptions& options) {
+  Matcher matcher(query, data, options);
+  int64_t count = 0;
+  matcher.Run(
+      [&count, limit, &visitor, &matcher](const std::vector<VertexId>& map) {
+        ++count;
+        if (!visitor(Embedding{matcher.order(), map})) return false;
+        return limit == 0 || count < limit;
+      });
+}
+
+}  // namespace gsps

@@ -1,0 +1,63 @@
+// Exact subgraph isomorphism (paper Definition 2.3).
+//
+// A VF2-style backtracking matcher: it searches for an injective mapping
+// f : V(Q) -> V(G) such that vertex labels are preserved and every query
+// edge maps to a data edge with the same edge label (non-induced subgraph
+// isomorphism, exactly the paper's join predicate).
+//
+// Subgraph isomorphism is NP-complete; this matcher is used OFF the
+// streaming hot path — for ground truth in experiments, for the
+// no-false-negative property tests, and by the gIndex baseline for feature
+// containment. The graphs involved are small (tens of vertices), where
+// label/degree/connectivity pruning makes backtracking fast in practice.
+
+#ifndef GSPS_ISO_SUBGRAPH_ISOMORPHISM_H_
+#define GSPS_ISO_SUBGRAPH_ISOMORPHISM_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+
+namespace gsps {
+
+// A query-to-data vertex mapping: `mapping[i]` is the data vertex matched to
+// the i-th query vertex in `query_order`.
+struct Embedding {
+  std::vector<VertexId> query_order;  // Query vertices in match order.
+  std::vector<VertexId> mapping;      // Parallel data vertices.
+};
+
+// Options bounding the search.
+struct IsoOptions {
+  // Abort (and report "no") after this many backtracking states. 0 means
+  // unlimited. Ground-truth harnesses leave this at the default, which is
+  // high enough that it never fires on the paper-scale graphs.
+  int64_t max_states = 50'000'000;
+};
+
+// Returns true iff `query` is subgraph-isomorphic to `data`.
+bool IsSubgraphIsomorphic(const Graph& query, const Graph& data,
+                          const IsoOptions& options = {});
+
+// Returns one embedding if it exists, nullopt otherwise.
+std::optional<Embedding> FindEmbedding(const Graph& query, const Graph& data,
+                                       const IsoOptions& options = {});
+
+// Counts embeddings, capped at `limit` (0 = count all). Distinct injective
+// mappings are counted separately (automorphic images count individually).
+int64_t CountEmbeddings(const Graph& query, const Graph& data, int64_t limit,
+                        const IsoOptions& options = {});
+
+// Invokes `visitor` once per embedding; stops when the visitor returns
+// false or after `limit` embeddings (0 = no limit). Used by the gSpan miner
+// to harvest pattern extensions.
+void ForEachEmbedding(const Graph& query, const Graph& data, int64_t limit,
+                      const std::function<bool(const Embedding&)>& visitor,
+                      const IsoOptions& options = {});
+
+}  // namespace gsps
+
+#endif  // GSPS_ISO_SUBGRAPH_ISOMORPHISM_H_

@@ -1,0 +1,46 @@
+#include "gsps/join/dominance.h"
+
+#include <memory>
+
+#include "gsps/common/check.h"
+#include "gsps/join/dominated_set_cover_join.h"
+#include "gsps/join/nested_loop_join.h"
+#include "gsps/join/skyline_earlystop_join.h"
+
+namespace gsps {
+
+std::string_view JoinKindName(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kNestedLoop:
+      return "NL";
+    case JoinKind::kDominatedSetCover:
+      return "DSC";
+    case JoinKind::kSkylineEarlyStop:
+      return "Skyline";
+  }
+  GSPS_CHECK_MSG(false, "unknown JoinKind");
+  return "";
+}
+
+std::unique_ptr<JoinStrategy> MakeJoinStrategy(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kNestedLoop:
+      return std::make_unique<NestedLoopJoin>();
+    case JoinKind::kDominatedSetCover:
+      return std::make_unique<DominatedSetCoverJoin>();
+    case JoinKind::kSkylineEarlyStop:
+      return std::make_unique<SkylineEarlyStopJoin>();
+  }
+  GSPS_CHECK_MSG(false, "unknown JoinKind");
+  return nullptr;
+}
+
+QueryVectors BuildQueryVectors(const NntSet& nnts) {
+  QueryVectors result;
+  for (const VertexId root : nnts.Roots()) {
+    result.vectors.push_back(nnts.NpvOf(root));
+  }
+  return result;
+}
+
+}  // namespace gsps

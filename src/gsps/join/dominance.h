@@ -1,0 +1,17 @@
+// Strategy factory and helpers shared by the join implementations.
+
+#ifndef GSPS_JOIN_DOMINANCE_H_
+#define GSPS_JOIN_DOMINANCE_H_
+
+#include "gsps/join/join_strategy.h"
+#include "gsps/nnt/nnt_set.h"
+
+namespace gsps {
+
+// Builds the QueryVectors (one Npv per vertex) for a query graph whose NNTs
+// are maintained in `nnts`. Vertex order follows ascending vertex id.
+QueryVectors BuildQueryVectors(const NntSet& nnts);
+
+}  // namespace gsps
+
+#endif  // GSPS_JOIN_DOMINANCE_H_

@@ -1,0 +1,159 @@
+#include "gsps/join/dominated_set_cover_join.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+void DominatedSetCoverJoin::SetQueries(std::vector<QueryVectors> queries) {
+  GSPS_CHECK(queries_.empty());
+  queries_ = std::move(queries);
+  for (size_t j = 0; j < queries_.size(); ++j) {
+    int32_t tracked = 0;
+    int32_t trivial = 0;
+    for (const Npv& vector : queries_[j].vectors) {
+      const QVec qvec = static_cast<QVec>(qvec_query_.size());
+      qvec_query_.push_back(static_cast<int32_t>(j));
+      qvec_nnz_.push_back(vector.nnz());
+      if (vector.nnz() == 0) {
+        ++trivial;
+        continue;
+      }
+      ++tracked;
+      for (const NpvEntry& entry : vector.entries()) {
+        dim_lists_[entry.dim].push_back(DimEntry{entry.count, qvec});
+      }
+    }
+    query_tracked_vectors_.push_back(tracked);
+    query_trivial_vectors_.push_back(trivial);
+  }
+  for (auto& [dim, list] : dim_lists_) {
+    (void)dim;
+    std::sort(list.begin(), list.end(),
+              [](const DimEntry& a, const DimEntry& b) {
+                return a.value < b.value;
+              });
+  }
+}
+
+void DominatedSetCoverJoin::SetNumStreams(int num_streams) {
+  GSPS_CHECK(streams_.empty());
+  streams_.resize(static_cast<size_t>(num_streams));
+  for (StreamState& stream : streams_) {
+    stream.cover_count.assign(qvec_query_.size(), 0);
+    stream.covered_vectors.assign(queries_.size(), 0);
+  }
+}
+
+void DominatedSetCoverJoin::UpdateStreamVertex(int stream_index, VertexId v,
+                                               const Npv& npv) {
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  StreamVertexState& vertex = stream.vertices[v];
+  // Incremental position update (the paper's Fig. 8 maintenance): only the
+  // dimensions whose value moved contribute counter adjustments, and within
+  // a dimension only the query entries between the old and new position.
+  auto old_it = vertex.npv.entries().begin();
+  const auto old_end = vertex.npv.entries().end();
+  auto new_it = npv.entries().begin();
+  const auto new_end = npv.entries().end();
+  while (old_it != old_end || new_it != new_end) {
+    if (new_it == new_end || (old_it != old_end && old_it->dim < new_it->dim)) {
+      AdjustRange(stream, vertex, old_it->dim, 0, old_it->count, -1);
+      ++old_it;
+    } else if (old_it == old_end || new_it->dim < old_it->dim) {
+      AdjustRange(stream, vertex, new_it->dim, 0, new_it->count, +1);
+      ++new_it;
+    } else {
+      if (old_it->count < new_it->count) {
+        AdjustRange(stream, vertex, old_it->dim, old_it->count,
+                    new_it->count, +1);
+      } else if (new_it->count < old_it->count) {
+        AdjustRange(stream, vertex, old_it->dim, new_it->count,
+                    old_it->count, -1);
+      }
+      ++old_it;
+      ++new_it;
+    }
+  }
+  vertex.npv = npv;
+}
+
+void DominatedSetCoverJoin::RemoveStreamVertex(int stream_index, VertexId v) {
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  auto it = stream.vertices.find(v);
+  if (it == stream.vertices.end()) return;
+  Apply(stream, it->second, -1);
+  stream.vertices.erase(it);
+}
+
+std::vector<int> DominatedSetCoverJoin::CandidatesForStream(int stream_index) {
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  const bool stream_nonempty = !stream.vertices.empty();
+  std::vector<int> candidates;
+  for (size_t j = 0; j < queries_.size(); ++j) {
+    if (stream.covered_vectors[j] != query_tracked_vectors_[j]) continue;
+    if (query_trivial_vectors_[j] > 0 && !stream_nonempty) continue;
+    candidates.push_back(static_cast<int>(j));
+  }
+  return candidates;
+}
+
+void DominatedSetCoverJoin::Apply(StreamState& stream,
+                                  StreamVertexState& vertex, int delta) {
+  for (const NpvEntry& entry : vertex.npv.entries()) {
+    AdjustRange(stream, vertex, entry.dim, 0, entry.count, delta);
+  }
+}
+
+void DominatedSetCoverJoin::AdjustRange(StreamState& stream,
+                                        StreamVertexState& vertex, DimId dim,
+                                        int32_t from, int32_t to, int delta) {
+  GSPS_DCHECK(from < to);
+  auto list_it = dim_lists_.find(dim);
+  if (list_it == dim_lists_.end()) return;
+  const std::vector<DimEntry>& list = list_it->second;
+  auto value_less = [](int32_t value, const DimEntry& e) {
+    return value < e.value;
+  };
+  // Query entries with value in (from, to]: the ones whose domination
+  // status by this stream vertex flips when its value moves from..to.
+  auto begin =
+      from == 0 ? list.begin()
+                : std::upper_bound(list.begin(), list.end(), from, value_less);
+  auto end = std::upper_bound(list.begin(), list.end(), to, value_less);
+  for (auto it = begin; it != end; ++it) {
+    auto [counter_it, inserted] = vertex.dominant.try_emplace(it->qvec, 0);
+    const int32_t before = counter_it->second;
+    counter_it->second += delta;
+    const int32_t after = counter_it->second;
+    GSPS_DCHECK(after >= 0);
+    const int32_t needed = qvec_nnz_[static_cast<size_t>(it->qvec)];
+    if (before != needed && after == needed) {
+      SetDominates(stream, it->qvec, true);
+    } else if (before == needed && after != needed) {
+      SetDominates(stream, it->qvec, false);
+    }
+    if (after == 0) vertex.dominant.erase(counter_it);
+    (void)inserted;
+  }
+}
+
+void DominatedSetCoverJoin::SetDominates(StreamState& stream, QVec qvec,
+                                         bool now_dominates) {
+  int32_t& cover = stream.cover_count[static_cast<size_t>(qvec)];
+  const int32_t query = qvec_query_[static_cast<size_t>(qvec)];
+  if (now_dominates) {
+    if (cover++ == 0) {
+      ++stream.covered_vectors[static_cast<size_t>(query)];
+    }
+  } else {
+    if (--cover == 0) {
+      --stream.covered_vectors[static_cast<size_t>(query)];
+    }
+    GSPS_DCHECK(cover >= 0);
+  }
+}
+
+}  // namespace gsps

@@ -1,0 +1,94 @@
+// Dominated Set Cover join (paper §IV.B.1, Fig. 8).
+//
+// Query side (fixed): every query vertex vector is projected into each of
+// its non-zero single dimensions; per dimension the projected values are
+// kept sorted. Stream side (changing): each stream vertex keeps, per query
+// vector it "encounters" through shared non-zero dimensions, a dominant
+// counter — in how many of that query vector's non-zero dimensions the
+// stream vector's value is no smaller. A stream vertex dominates a query
+// vector exactly when the counter reaches the query vector's non-zero
+// dimension count; a query graph is a candidate for a stream exactly when
+// the union of dominated query vectors covers all of its vectors
+// (Theorem 4.1).
+//
+// Updates are incremental: when a stream vertex's NPV moves, only its own
+// counter contributions are retracted and re-added, and per-query cover
+// counts are adjusted — nothing is recomputed from scratch.
+
+#ifndef GSPS_JOIN_DOMINATED_SET_COVER_JOIN_H_
+#define GSPS_JOIN_DOMINATED_SET_COVER_JOIN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gsps/join/join_strategy.h"
+
+namespace gsps {
+
+class DominatedSetCoverJoin final : public JoinStrategy {
+ public:
+  DominatedSetCoverJoin() = default;
+
+  void SetQueries(std::vector<QueryVectors> queries) override;
+  void SetNumStreams(int num_streams) override;
+  void UpdateStreamVertex(int stream, VertexId v, const Npv& npv) override;
+  void RemoveStreamVertex(int stream, VertexId v) override;
+  std::vector<int> CandidatesForStream(int stream) override;
+  std::string_view name() const override { return "DSC"; }
+
+ private:
+  // Global id of one query vertex vector across all query graphs.
+  using QVec = int32_t;
+
+  // One projected query value in a single dimension.
+  struct DimEntry {
+    int32_t value = 0;
+    QVec qvec = -1;
+  };
+
+  struct StreamVertexState {
+    Npv npv;
+    // Dominant counters, kept only for encountered query vectors.
+    std::unordered_map<QVec, int32_t> dominant;
+  };
+
+  struct StreamState {
+    std::unordered_map<VertexId, StreamVertexState> vertices;
+    // Per query vector: how many stream vertices currently dominate it.
+    std::vector<int32_t> cover_count;
+    // Per query graph: how many of its query vectors are covered.
+    std::vector<int32_t> covered_vectors;
+  };
+
+  // Adds (`delta`=+1) or retracts (`delta`=-1) the counter contributions of
+  // `npv` for vertex `v` of `stream`, maintaining cover bookkeeping.
+  void Apply(StreamState& stream, StreamVertexState& vertex, int delta);
+
+  // The paper's incremental position update: adjusts the dominant counters
+  // of `vertex` in dimension `dim` for query entries with value in
+  // (from, to] (delta = +1) or retracts them (delta = -1). `from < to`.
+  void AdjustRange(StreamState& stream, StreamVertexState& vertex, DimId dim,
+                   int32_t from, int32_t to, int delta);
+
+  void SetDominates(StreamState& stream, QVec qvec, bool now_dominates);
+
+  std::vector<QueryVectors> queries_;
+  // qvec -> owning query graph index.
+  std::vector<int32_t> qvec_query_;
+  // qvec -> number of non-zero dimensions (0 = trivially dominated).
+  std::vector<int32_t> qvec_nnz_;
+  // Per query graph: number of non-trivial query vectors.
+  std::vector<int32_t> query_tracked_vectors_;
+  // Per query graph: number of trivially-covered (nnz == 0) vectors.
+  std::vector<int32_t> query_trivial_vectors_;
+  // Dimension -> sorted projected query values (paper's per-dimension sorted
+  // lists). Sorted ascending by value.
+  std::unordered_map<DimId, std::vector<DimEntry>> dim_lists_;
+
+  std::vector<StreamState> streams_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_JOIN_DOMINATED_SET_COVER_JOIN_H_

@@ -1,0 +1,77 @@
+// Stream–query join strategies over node projected vectors (paper §IV.B).
+//
+// Every strategy answers the same question — "which query graphs may be
+// subgraph-isomorphic to stream graph i, judged by NPV dominance
+// (Lemma 4.2)?" — and all three must return identical candidate sets:
+//
+//   * kNestedLoop: the reference; per (query vertex, stream vertex) pairwise
+//     dominance scan.
+//   * kDominatedSetCover (Fig. 8): per-dimension sorted query projections
+//     with position/dominant counters, maintained incrementally as stream
+//     vectors move.
+//   * kSkylineEarlyStop (Fig. 11): checks only the monochromatic skyline of
+//     each query's vectors, ordered to stop as early as possible, with
+//     per-dimension max/cardinality pruning on the stream side.
+//
+// The engine feeds strategies vertex-level NPV deltas; strategies own any
+// derived state.
+
+#ifndef GSPS_JOIN_JOIN_STRATEGY_H_
+#define GSPS_JOIN_JOIN_STRATEGY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+#include "gsps/nnt/npv.h"
+
+namespace gsps {
+
+// The NPVs of one query graph, one entry per query vertex.
+struct QueryVectors {
+  std::vector<Npv> vectors;
+};
+
+// Strategy selector.
+enum class JoinKind {
+  kNestedLoop,
+  kDominatedSetCover,
+  kSkylineEarlyStop,
+};
+
+// Returns a short stable name ("NL", "DSC", "Skyline").
+std::string_view JoinKindName(JoinKind kind);
+
+// Common interface. Not thread-safe; one instance per engine.
+class JoinStrategy {
+ public:
+  virtual ~JoinStrategy() = default;
+
+  // Installs the fixed query workload. Must be called exactly once, before
+  // any stream updates.
+  virtual void SetQueries(std::vector<QueryVectors> queries) = 0;
+
+  // Declares how many streams will be updated. Must be called once after
+  // SetQueries.
+  virtual void SetNumStreams(int num_streams) = 0;
+
+  // Installs or replaces the NPV of vertex `v` of stream `stream`.
+  virtual void UpdateStreamVertex(int stream, VertexId v, const Npv& npv) = 0;
+
+  // Removes vertex `v` of stream `stream` (vertex deleted from the graph).
+  virtual void RemoveStreamVertex(int stream, VertexId v) = 0;
+
+  // Indices of query graphs that are candidates for stream `stream` at the
+  // current state, ascending.
+  virtual std::vector<int> CandidatesForStream(int stream) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+// Factory.
+std::unique_ptr<JoinStrategy> MakeJoinStrategy(JoinKind kind);
+
+}  // namespace gsps
+
+#endif  // GSPS_JOIN_JOIN_STRATEGY_H_

@@ -1,0 +1,53 @@
+#include "gsps/join/nested_loop_join.h"
+
+#include <utility>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+void NestedLoopJoin::SetQueries(std::vector<QueryVectors> queries) {
+  GSPS_CHECK(queries_.empty());
+  queries_ = std::move(queries);
+}
+
+void NestedLoopJoin::SetNumStreams(int num_streams) {
+  GSPS_CHECK(streams_.empty());
+  streams_.resize(static_cast<size_t>(num_streams));
+}
+
+void NestedLoopJoin::UpdateStreamVertex(int stream, VertexId v,
+                                        const Npv& npv) {
+  streams_[static_cast<size_t>(stream)][v] = npv;
+}
+
+void NestedLoopJoin::RemoveStreamVertex(int stream, VertexId v) {
+  streams_[static_cast<size_t>(stream)].erase(v);
+}
+
+std::vector<int> NestedLoopJoin::CandidatesForStream(int stream) {
+  const std::unordered_map<VertexId, Npv>& vectors =
+      streams_[static_cast<size_t>(stream)];
+  std::vector<int> candidates;
+  for (size_t j = 0; j < queries_.size(); ++j) {
+    bool all_covered = true;
+    for (const Npv& query_vector : queries_[j].vectors) {
+      bool covered = false;
+      for (const auto& [v, stream_vector] : vectors) {
+        (void)v;
+        if (stream_vector.Dominates(query_vector)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        all_covered = false;
+        break;
+      }
+    }
+    if (all_covered) candidates.push_back(static_cast<int>(j));
+  }
+  return candidates;
+}
+
+}  // namespace gsps

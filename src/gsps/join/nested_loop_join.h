@@ -1,0 +1,37 @@
+// Nested-loop join: the reference strategy (paper §IV.B's baseline).
+//
+// For each query graph, every query vertex must be dominated by at least one
+// stream vertex (Lemma 4.2). No derived state beyond the raw vectors;
+// deliberately simple so the optimized strategies can be property-tested
+// against it.
+
+#ifndef GSPS_JOIN_NESTED_LOOP_JOIN_H_
+#define GSPS_JOIN_NESTED_LOOP_JOIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "gsps/join/join_strategy.h"
+
+namespace gsps {
+
+class NestedLoopJoin final : public JoinStrategy {
+ public:
+  NestedLoopJoin() = default;
+
+  void SetQueries(std::vector<QueryVectors> queries) override;
+  void SetNumStreams(int num_streams) override;
+  void UpdateStreamVertex(int stream, VertexId v, const Npv& npv) override;
+  void RemoveStreamVertex(int stream, VertexId v) override;
+  std::vector<int> CandidatesForStream(int stream) override;
+  std::string_view name() const override { return "NL"; }
+
+ private:
+  std::vector<QueryVectors> queries_;
+  // Per stream: live vertex -> current NPV.
+  std::vector<std::unordered_map<VertexId, Npv>> streams_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_JOIN_NESTED_LOOP_JOIN_H_

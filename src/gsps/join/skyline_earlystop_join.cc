@@ -1,0 +1,165 @@
+#include "gsps/join/skyline_earlystop_join.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+void SkylineEarlyStopJoin::SetQueries(std::vector<QueryVectors> queries) {
+  GSPS_CHECK(plans_.empty());
+  plans_.reserve(queries.size());
+  for (QueryVectors& query : queries) {
+    QueryPlan plan;
+    plan.empty_query = query.vectors.empty();
+    // Deduplicate equal vectors: coverage of one implies the other.
+    std::vector<Npv> distinct;
+    for (Npv& vector : query.vectors) {
+      if (vector.nnz() == 0) {
+        plan.has_trivial_vector = true;
+        continue;
+      }
+      if (std::find(distinct.begin(), distinct.end(), vector) ==
+          distinct.end()) {
+        distinct.push_back(std::move(vector));
+      }
+    }
+    // Monochromatic skyline: keep vectors not dominated by a distinct other.
+    // Count how many vectors each skyline point dominates for ordering.
+    std::vector<std::pair<int32_t, size_t>> order;  // (-dominated_count, idx)
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      bool maximal = true;
+      int32_t dominated = 0;
+      for (size_t k = 0; k < distinct.size(); ++k) {
+        if (i == k) continue;
+        if (distinct[k].Dominates(distinct[i])) {
+          maximal = false;
+          break;
+        }
+        if (distinct[i].Dominates(distinct[k])) ++dominated;
+      }
+      if (maximal) order.emplace_back(-dominated, i);
+    }
+    std::sort(order.begin(), order.end());
+    plan.skyline.reserve(order.size());
+    for (const auto& [neg_count, index] : order) {
+      (void)neg_count;
+      plan.skyline.push_back(std::move(distinct[index]));
+    }
+    plans_.push_back(std::move(plan));
+  }
+}
+
+void SkylineEarlyStopJoin::SetNumStreams(int num_streams) {
+  GSPS_CHECK(streams_.empty());
+  streams_.resize(static_cast<size_t>(num_streams));
+}
+
+void SkylineEarlyStopJoin::UpdateStreamVertex(int stream_index, VertexId v,
+                                              const Npv& npv) {
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  auto it = stream.vertices.find(v);
+  if (it != stream.vertices.end()) {
+    DeindexVertex(stream, v, it->second);
+    it->second = npv;
+  } else {
+    it = stream.vertices.emplace(v, npv).first;
+  }
+  IndexVertex(stream, v, npv);
+}
+
+void SkylineEarlyStopJoin::RemoveStreamVertex(int stream_index, VertexId v) {
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  auto it = stream.vertices.find(v);
+  if (it == stream.vertices.end()) return;
+  DeindexVertex(stream, v, it->second);
+  stream.vertices.erase(it);
+}
+
+std::vector<int> SkylineEarlyStopJoin::CandidatesForStream(int stream_index) {
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  const bool stream_nonempty = !stream.vertices.empty();
+  std::vector<int> candidates;
+  for (size_t j = 0; j < plans_.size(); ++j) {
+    const QueryPlan& plan = plans_[j];
+    if (plan.empty_query) {
+      candidates.push_back(static_cast<int>(j));
+      continue;
+    }
+    if (plan.has_trivial_vector && !stream_nonempty) continue;
+    bool found_skyline_point = false;
+    for (const Npv& point : plan.skyline) {
+      if (!Covered(stream, point)) {
+        found_skyline_point = true;  // Early stop: the pair is pruned.
+        break;
+      }
+    }
+    if (!found_skyline_point) candidates.push_back(static_cast<int>(j));
+  }
+  return candidates;
+}
+
+bool SkylineEarlyStopJoin::Covered(const StreamState& stream,
+                                   const Npv& point) {
+  GSPS_DCHECK(point.nnz() > 0);
+  // Optimization 3a: a dimension whose stream maximum is below the query
+  // value proves the point uncovered without any comparisons. While
+  // scanning, remember the minimum-cardinality dimension bucket.
+  const DimBucket* best_bucket = nullptr;
+  for (const NpvEntry& entry : point.entries()) {
+    auto it = stream.buckets.find(entry.dim);
+    if (it == stream.buckets.end() || it->second.max_value < entry.count) {
+      return false;
+    }
+    if (best_bucket == nullptr ||
+        it->second.values.size() < best_bucket->values.size()) {
+      best_bucket = &it->second;
+    }
+  }
+  // Optimization 3b: any dominating stream vector must have a non-zero
+  // value in every non-zero dimension of the point; scanning the smallest
+  // bucket suffices.
+  GSPS_DCHECK(best_bucket != nullptr);
+  for (const auto& [vertex, value] : best_bucket->values) {
+    (void)value;
+    ++comparisons_;
+    auto vec_it = stream.vertices.find(vertex);
+    GSPS_DCHECK(vec_it != stream.vertices.end());
+    if (vec_it->second.Dominates(point)) return true;
+  }
+  return false;
+}
+
+void SkylineEarlyStopJoin::IndexVertex(StreamState& stream, VertexId v,
+                                       const Npv& npv) {
+  for (const NpvEntry& entry : npv.entries()) {
+    DimBucket& bucket = stream.buckets[entry.dim];
+    bucket.values[v] = entry.count;
+    bucket.max_value = std::max(bucket.max_value, entry.count);
+  }
+}
+
+void SkylineEarlyStopJoin::DeindexVertex(StreamState& stream, VertexId v,
+                                         const Npv& npv) {
+  for (const NpvEntry& entry : npv.entries()) {
+    auto it = stream.buckets.find(entry.dim);
+    GSPS_DCHECK(it != stream.buckets.end());
+    DimBucket& bucket = it->second;
+    bucket.values.erase(v);
+    if (bucket.values.empty()) {
+      stream.buckets.erase(it);
+      continue;
+    }
+    if (entry.count == bucket.max_value) {
+      int32_t new_max = 0;
+      for (const auto& [vertex, value] : bucket.values) {
+        (void)vertex;
+        new_max = std::max(new_max, value);
+      }
+      bucket.max_value = new_max;
+    }
+  }
+}
+
+}  // namespace gsps

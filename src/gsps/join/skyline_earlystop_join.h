@@ -1,0 +1,83 @@
+// Skyline-with-early-stop join (paper §IV.B.2, Fig. 11).
+//
+// The complement view of dominated-set-cover: a pair (stream, query) can be
+// pruned as soon as ONE query vector is found that no stream vector
+// dominates — a bichromatic skyline point of the query vectors with respect
+// to the stream vectors. Three optimizations from the paper:
+//
+//   1. Query side: only the monochromatic skyline (maximal) query vectors
+//      need checking — if a dominated query vector were uncovered, the
+//      vector dominating it would be uncovered too (transitivity).
+//   2. Query side: skyline points are checked in descending order of how
+//      many query vectors they dominate; "bigger" points are less likely to
+//      be covered, so the early stop fires sooner.
+//   3. Stream side: per dimension the strategy keeps the maximum value and
+//      the cardinality of stream vectors with a non-zero entry. A query
+//      point exceeding a dimension's max is immediately a skyline point;
+//      otherwise only the stream vectors of the query point's
+//      minimum-cardinality non-zero dimension are compared (any dominating
+//      stream vector must be non-zero wherever the query point is).
+
+#ifndef GSPS_JOIN_SKYLINE_EARLYSTOP_JOIN_H_
+#define GSPS_JOIN_SKYLINE_EARLYSTOP_JOIN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gsps/join/join_strategy.h"
+
+namespace gsps {
+
+class SkylineEarlyStopJoin final : public JoinStrategy {
+ public:
+  SkylineEarlyStopJoin() = default;
+
+  void SetQueries(std::vector<QueryVectors> queries) override;
+  void SetNumStreams(int num_streams) override;
+  void UpdateStreamVertex(int stream, VertexId v, const Npv& npv) override;
+  void RemoveStreamVertex(int stream, VertexId v) override;
+  std::vector<int> CandidatesForStream(int stream) override;
+  std::string_view name() const override { return "Skyline"; }
+
+  // Statistics: how many query skyline points were compared against stream
+  // vectors since construction (exposed for the ablation bench).
+  int64_t comparisons() const { return comparisons_; }
+
+ private:
+  struct QueryPlan {
+    // Maximal (monochromatic-skyline, deduplicated) vectors, in descending
+    // dominated-count order.
+    std::vector<Npv> skyline;
+    // True if the query has a vector with no non-zero dimension; such a
+    // vector is covered exactly when the stream graph is non-empty.
+    bool has_trivial_vector = false;
+    // True for a query with no vectors at all (always a candidate).
+    bool empty_query = false;
+  };
+
+  struct DimBucket {
+    // Stream vertices with a non-zero value in this dimension.
+    std::unordered_map<VertexId, int32_t> values;
+    int32_t max_value = 0;
+  };
+
+  struct StreamState {
+    std::unordered_map<VertexId, Npv> vertices;
+    std::unordered_map<DimId, DimBucket> buckets;
+  };
+
+  // True if some stream vector dominates `point`.
+  bool Covered(const StreamState& stream, const Npv& point);
+
+  void IndexVertex(StreamState& stream, VertexId v, const Npv& npv);
+  void DeindexVertex(StreamState& stream, VertexId v, const Npv& npv);
+
+  std::vector<QueryPlan> plans_;
+  std::vector<StreamState> streams_;
+  int64_t comparisons_ = 0;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_JOIN_SKYLINE_EARLYSTOP_JOIN_H_

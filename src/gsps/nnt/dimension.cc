@@ -1,0 +1,41 @@
+#include "gsps/nnt/dimension.h"
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+DimId DimensionTable::Intern(int32_t level, VertexLabel parent_label,
+                             VertexLabel child_label) {
+  const uint64_t key = Key(level, parent_label, child_label);
+  auto [it, inserted] =
+      index_.try_emplace(key, static_cast<DimId>(dimensions_.size()));
+  if (inserted) {
+    dimensions_.push_back(Dimension{level, parent_label, child_label});
+  }
+  return it->second;
+}
+
+std::optional<DimId> DimensionTable::Find(int32_t level,
+                                          VertexLabel parent_label,
+                                          VertexLabel child_label) const {
+  auto it = index_.find(Key(level, parent_label, child_label));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Dimension& DimensionTable::Get(DimId id) const {
+  GSPS_CHECK(id >= 0 && id < size());
+  return dimensions_[static_cast<size_t>(id)];
+}
+
+uint64_t DimensionTable::Key(int32_t level, VertexLabel parent_label,
+                             VertexLabel child_label) {
+  GSPS_DCHECK(level >= 1 && level < (1 << 20));
+  GSPS_DCHECK(parent_label >= 0 && parent_label < (1 << 21));
+  GSPS_DCHECK(child_label >= 0 && child_label < (1 << 21));
+  return (static_cast<uint64_t>(level) << 42) |
+         (static_cast<uint64_t>(parent_label) << 21) |
+         static_cast<uint64_t>(child_label);
+}
+
+}  // namespace gsps

@@ -1,0 +1,460 @@
+#include "gsps/nnt/nnt_set.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <utility>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+NntSet::NntSet(int depth, DimensionTable* dimensions)
+    : depth_(depth), dimensions_(dimensions) {
+  GSPS_CHECK(depth >= 1);
+  GSPS_CHECK(dimensions != nullptr);
+}
+
+void NntSet::Build(const Graph& graph) {
+  trees_.clear();
+  node_index_.clear();
+  edge_index_.clear();
+  dim_counts_.clear();
+  dirty_roots_.clear();
+  for (const VertexId v : graph.VertexIds()) {
+    EnsureTree(v, graph.GetVertexLabel(v));
+  }
+  for (const VertexId v : graph.VertexIds()) {
+    ExpandSubtree(graph, v, kTreeRoot);
+  }
+}
+
+void NntSet::InsertEdge(const Graph& graph, VertexId u, VertexId v) {
+  GSPS_CHECK(graph.HasEdge(u, v));
+  const EdgeLabel edge_label = graph.GetEdgeLabel(u, v);
+  EnsureTree(u, graph.GetVertexLabel(u));
+  EnsureTree(v, graph.GetVertexLabel(v));
+
+  // Snapshot both appearance lists before any mutation: every new simple
+  // path crosses the new edge exactly once, so its pre-edge prefix ends at a
+  // pre-existing appearance of u (crossing u->v) or of v (crossing v->u).
+  const std::vector<Appearance> appearances_u = node_index_[u];
+  const std::vector<Appearance> appearances_v = node_index_[v];
+
+  auto extend = [&](const std::vector<Appearance>& appearances, VertexId from,
+                    VertexId to) {
+    for (const Appearance& appearance : appearances) {
+      NodeNeighborTree* tree = MutableTreeOf(appearance.tree_root);
+      GSPS_DCHECK(tree != nullptr);
+      if (!tree->IsAlive(appearance.node, appearance.generation)) continue;
+      const TreeNode& at = tree->node(appearance.node);
+      GSPS_DCHECK(at.vertex == from);
+      if (at.depth >= depth_) continue;
+      if (tree->EdgeOnRootPath(appearance.node, from, to)) continue;
+      const TreeNodeId child =
+          AddTreeChild(appearance.tree_root, appearance.node, to,
+                       graph.GetVertexLabel(to), edge_label);
+      ExpandSubtree(graph, appearance.tree_root, child);
+    }
+  };
+  extend(appearances_u, u, v);
+  extend(appearances_v, v, u);
+}
+
+void NntSet::DeleteEdge(VertexId u, VertexId v) {
+  const uint64_t key = EdgeKey(u, v);
+  auto it = edge_index_.find(key);
+  if (it == edge_index_.end()) return;
+  // Snapshot: deleting one appearance's subtree may remove other
+  // appearances of the same edge that sit deeper in that subtree; the
+  // generation check skips those stale snapshot entries.
+  const std::vector<Appearance> appearances = it->second;
+  for (const Appearance& appearance : appearances) {
+    NodeNeighborTree* tree = MutableTreeOf(appearance.tree_root);
+    if (tree == nullptr ||
+        !tree->IsAlive(appearance.node, appearance.generation)) {
+      continue;
+    }
+    DeleteSubtree(appearance.tree_root, appearance.node);
+  }
+  auto remaining = edge_index_.find(key);
+  GSPS_CHECK(remaining == edge_index_.end() || remaining->second.empty());
+  if (remaining != edge_index_.end()) edge_index_.erase(remaining);
+}
+
+void NntSet::RemoveTree(VertexId v) {
+  NodeNeighborTree* tree = MutableTreeOf(v);
+  GSPS_CHECK(tree != nullptr);
+  GSPS_CHECK_MSG(tree->NumAliveNodes() == 1,
+                 "delete incident edges before removing a vertex tree");
+  auto it = node_index_.find(v);
+  GSPS_CHECK(it != node_index_.end());
+  EraseAppearanceAt(it->second, tree->slot(kTreeRoot).node_index_pos,
+                    /*node_list=*/true);
+  if (it->second.empty()) node_index_.erase(it);
+  trees_[static_cast<size_t>(v)].reset();
+  dim_counts_[static_cast<size_t>(v)].clear();
+  dirty_roots_.insert(v);
+}
+
+const NodeNeighborTree* NntSet::TreeOf(VertexId root) const {
+  if (root < 0 || root >= static_cast<VertexId>(trees_.size())) return nullptr;
+  return trees_[static_cast<size_t>(root)].get();
+}
+
+std::vector<VertexId> NntSet::Roots() const {
+  std::vector<VertexId> roots;
+  for (size_t i = 0; i < trees_.size(); ++i) {
+    if (trees_[i] != nullptr) roots.push_back(static_cast<VertexId>(i));
+  }
+  return roots;
+}
+
+Npv NntSet::NpvOf(VertexId root) const {
+  GSPS_CHECK(TreeOf(root) != nullptr);
+  return Npv::FromMap(dim_counts_[static_cast<size_t>(root)]);
+}
+
+std::vector<VertexId> NntSet::TakeDirtyRoots() {
+  std::vector<VertexId> result(dirty_roots_.begin(), dirty_roots_.end());
+  std::sort(result.begin(), result.end());
+  dirty_roots_.clear();
+  return result;
+}
+
+std::map<std::vector<int32_t>, int64_t> NntSet::BranchesOf(
+    VertexId root) const {
+  const NodeNeighborTree* tree = TreeOf(root);
+  GSPS_CHECK(tree != nullptr);
+  std::map<std::vector<int32_t>, int64_t> out;
+  // DFS carrying the signature; each non-root node is one branch.
+  std::vector<int32_t> signature = {tree->slot(kTreeRoot).vertex_label};
+  struct Frame {
+    TreeNodeId node;
+    size_t next_child = 0;
+  };
+  std::vector<Frame> stack = {{kTreeRoot, 0}};
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const TreeNode& node = tree->node(frame.node);
+    if (frame.next_child < node.children.size()) {
+      const TreeNodeId child_id = node.children[frame.next_child++];
+      const TreeNode& child = tree->node(child_id);
+      signature.push_back(child.edge_label);
+      signature.push_back(child.vertex_label);
+      ++out[signature];
+      stack.push_back({child_id, 0});
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        signature.pop_back();
+        signature.pop_back();
+      }
+    }
+  }
+  return out;
+}
+
+int64_t NntSet::TotalTreeNodes() const {
+  int64_t total = 0;
+  for (const auto& tree : trees_) {
+    if (tree != nullptr) total += tree->NumAliveNodes();
+  }
+  return total;
+}
+
+uint64_t NntSet::EdgeKey(VertexId a, VertexId b) {
+  const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
+  const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+NodeNeighborTree* NntSet::MutableTreeOf(VertexId root) {
+  if (root < 0 || root >= static_cast<VertexId>(trees_.size())) return nullptr;
+  return trees_[static_cast<size_t>(root)].get();
+}
+
+NodeNeighborTree& NntSet::EnsureTree(VertexId v, VertexLabel label) {
+  GSPS_CHECK(v >= 0);
+  if (v >= static_cast<VertexId>(trees_.size())) {
+    trees_.resize(static_cast<size_t>(v) + 1);
+    dim_counts_.resize(static_cast<size_t>(v) + 1);
+  }
+  std::unique_ptr<NodeNeighborTree>& slot = trees_[static_cast<size_t>(v)];
+  if (slot == nullptr) {
+    slot = std::make_unique<NodeNeighborTree>(v, label);
+    std::vector<Appearance>& list = node_index_[v];
+    list.push_back(Appearance{v, kTreeRoot, slot->slot(kTreeRoot).generation});
+    slot->mutable_node(kTreeRoot).node_index_pos =
+        static_cast<int32_t>(list.size()) - 1;
+    dirty_roots_.insert(v);
+  }
+  return *slot;
+}
+
+TreeNodeId NntSet::AddTreeChild(VertexId root, TreeNodeId parent,
+                                VertexId vertex, VertexLabel vertex_label,
+                                EdgeLabel edge_label) {
+  NodeNeighborTree* tree = MutableTreeOf(root);
+  GSPS_DCHECK(tree != nullptr);
+  const VertexId parent_vertex = tree->node(parent).vertex;
+  const VertexLabel parent_label = tree->node(parent).vertex_label;
+  const TreeNodeId child =
+      tree->AddChild(parent, vertex, vertex_label, edge_label);
+  TreeNode& child_node = tree->mutable_node(child);
+  const Appearance appearance{root, child, child_node.generation};
+  std::vector<Appearance>& node_list = node_index_[vertex];
+  node_list.push_back(appearance);
+  child_node.node_index_pos = static_cast<int32_t>(node_list.size()) - 1;
+  std::vector<Appearance>& edge_list =
+      edge_index_[EdgeKey(parent_vertex, vertex)];
+  edge_list.push_back(appearance);
+  child_node.edge_index_pos = static_cast<int32_t>(edge_list.size()) - 1;
+  BumpDimension(root, child_node.depth, parent_label, vertex_label, +1);
+  return child;
+}
+
+void NntSet::FreeTreeNode(VertexId root, TreeNodeId node_id) {
+  NodeNeighborTree* tree = MutableTreeOf(root);
+  GSPS_DCHECK(tree != nullptr);
+  const TreeNode& victim = tree->node(node_id);
+  GSPS_CHECK(node_id != kTreeRoot);
+  const VertexId vertex = victim.vertex;
+  const VertexId parent_vertex = tree->node(victim.parent).vertex;
+  const VertexLabel parent_label = tree->node(victim.parent).vertex_label;
+  const int32_t level = victim.depth;
+  const VertexLabel vertex_label = victim.vertex_label;
+
+  auto node_it = node_index_.find(vertex);
+  GSPS_CHECK(node_it != node_index_.end());
+  EraseAppearanceAt(node_it->second, victim.node_index_pos,
+                    /*node_list=*/true);
+  if (node_it->second.empty()) node_index_.erase(node_it);
+
+  auto edge_it = edge_index_.find(EdgeKey(parent_vertex, vertex));
+  GSPS_CHECK(edge_it != edge_index_.end());
+  EraseAppearanceAt(edge_it->second, victim.edge_index_pos,
+                    /*node_list=*/false);
+  if (edge_it->second.empty()) edge_index_.erase(edge_it);
+
+  BumpDimension(root, level, parent_label, vertex_label, -1);
+  tree->FreeNode(node_id);
+}
+
+void NntSet::EraseAppearanceAt(std::vector<Appearance>& list, int32_t pos,
+                               bool node_list) {
+  GSPS_CHECK(pos >= 0 && pos < static_cast<int32_t>(list.size()));
+  const int32_t last = static_cast<int32_t>(list.size()) - 1;
+  if (pos != last) {
+    list[static_cast<size_t>(pos)] = list[static_cast<size_t>(last)];
+    // Fix up the moved appearance's stored position.
+    const Appearance& moved = list[static_cast<size_t>(pos)];
+    NodeNeighborTree* moved_tree = MutableTreeOf(moved.tree_root);
+    GSPS_DCHECK(moved_tree != nullptr);
+    TreeNode& moved_node = moved_tree->mutable_node(moved.node);
+    if (node_list) {
+      moved_node.node_index_pos = pos;
+    } else {
+      moved_node.edge_index_pos = pos;
+    }
+  }
+  list.pop_back();
+}
+
+void NntSet::ExpandSubtree(const Graph& graph, VertexId root,
+                           TreeNodeId start) {
+  NodeNeighborTree* tree = MutableTreeOf(root);
+  GSPS_DCHECK(tree != nullptr);
+  std::deque<TreeNodeId> queue = {start};
+  while (!queue.empty()) {
+    const TreeNodeId at_id = queue.front();
+    queue.pop_front();
+    const TreeNode& at = tree->node(at_id);
+    if (at.depth >= depth_) continue;
+    const VertexId from = at.vertex;
+    for (const HalfEdge& half : graph.Neighbors(from)) {
+      if (tree->EdgeOnRootPath(at_id, from, half.to)) continue;
+      const TreeNodeId child =
+          AddTreeChild(root, at_id, half.to, graph.GetVertexLabel(half.to),
+                       half.label);
+      queue.push_back(child);
+    }
+  }
+}
+
+void NntSet::DeleteSubtree(VertexId root, TreeNodeId node_id) {
+  NodeNeighborTree* tree = MutableTreeOf(root);
+  GSPS_DCHECK(tree != nullptr);
+  // Collect the subtree in preorder, then free in reverse (leaves first).
+  std::vector<TreeNodeId> preorder;
+  std::vector<TreeNodeId> stack = {node_id};
+  while (!stack.empty()) {
+    const TreeNodeId at = stack.back();
+    stack.pop_back();
+    preorder.push_back(at);
+    for (const TreeNodeId child : tree->node(at).children) {
+      stack.push_back(child);
+    }
+  }
+  for (auto it = preorder.rbegin(); it != preorder.rend(); ++it) {
+    FreeTreeNode(root, *it);
+  }
+}
+
+void NntSet::BumpDimension(VertexId root, int32_t level,
+                           VertexLabel parent_label, VertexLabel child_label,
+                           int32_t delta) {
+  const DimId dim = dimensions_->Intern(level, parent_label, child_label);
+  std::unordered_map<DimId, int32_t>& counts =
+      dim_counts_[static_cast<size_t>(root)];
+  auto [it, inserted] = counts.try_emplace(dim, 0);
+  it->second += delta;
+  GSPS_CHECK(it->second >= 0);
+  if (it->second == 0) counts.erase(it);
+  dirty_roots_.insert(root);
+}
+
+bool NntSet::Validate(const Graph& graph) const {
+  auto fail = [](const char* what) {
+    std::fprintf(stderr, "NntSet::Validate failed: %s\n", what);
+    return false;
+  };
+
+  // Independent enumeration of edge-simple paths for the oracle comparison.
+  struct Oracle {
+    const Graph& graph;
+    int depth;
+    std::map<std::vector<int32_t>, int64_t> branches;
+    std::vector<int32_t> signature;
+    std::vector<std::pair<VertexId, VertexId>> path;
+
+    void Expand(VertexId at, int remaining) {
+      if (remaining == 0) return;
+      for (const HalfEdge& half : graph.Neighbors(at)) {
+        const std::pair<VertexId, VertexId> edge = {
+            std::min(at, half.to), std::max(at, half.to)};
+        if (std::find(path.begin(), path.end(), edge) != path.end()) continue;
+        signature.push_back(half.label);
+        signature.push_back(graph.GetVertexLabel(half.to));
+        path.push_back(edge);
+        ++branches[signature];
+        Expand(half.to, remaining - 1);
+        path.pop_back();
+        signature.pop_back();
+        signature.pop_back();
+      }
+    }
+  };
+
+  int64_t indexed_nodes = 0;
+  for (const auto& [vertex, appearances] : node_index_) {
+    for (size_t pos = 0; pos < appearances.size(); ++pos) {
+      const Appearance& appearance = appearances[pos];
+      const NodeNeighborTree* tree = TreeOf(appearance.tree_root);
+      if (tree == nullptr) return fail("node index references missing tree");
+      if (!tree->IsAlive(appearance.node, appearance.generation)) {
+        return fail("node index references dead node");
+      }
+      if (tree->node(appearance.node).vertex != vertex) {
+        return fail("node index vertex mismatch");
+      }
+      if (tree->node(appearance.node).node_index_pos !=
+          static_cast<int32_t>(pos)) {
+        return fail("node index position stale");
+      }
+      ++indexed_nodes;
+    }
+  }
+  int64_t indexed_edges = 0;
+  for (const auto& [key, appearances] : edge_index_) {
+    for (size_t pos = 0; pos < appearances.size(); ++pos) {
+      const Appearance& appearance = appearances[pos];
+      const NodeNeighborTree* tree = TreeOf(appearance.tree_root);
+      if (tree == nullptr) return fail("edge index references missing tree");
+      if (!tree->IsAlive(appearance.node, appearance.generation)) {
+        return fail("edge index references dead node");
+      }
+      const TreeNode& child = tree->node(appearance.node);
+      const TreeNode& parent = tree->node(child.parent);
+      if (EdgeKey(parent.vertex, child.vertex) != key) {
+        return fail("edge index key mismatch");
+      }
+      if (child.edge_index_pos != static_cast<int32_t>(pos)) {
+        return fail("edge index position stale");
+      }
+      ++indexed_edges;
+    }
+  }
+
+  int64_t alive_total = 0;
+  int64_t alive_non_root = 0;
+  for (const VertexId root : Roots()) {
+    const NodeNeighborTree* tree = TreeOf(root);
+    alive_total += tree->NumAliveNodes();
+    alive_non_root += tree->NumAliveNodes() - 1;
+
+    if (!graph.HasVertex(root)) return fail("tree for vertex not in graph");
+    // Recount dimensions while walking the tree.
+    std::unordered_map<DimId, int32_t> recount;
+    std::vector<TreeNodeId> stack = {kTreeRoot};
+    while (!stack.empty()) {
+      const TreeNodeId at_id = stack.back();
+      stack.pop_back();
+      const TreeNode& at = tree->node(at_id);
+      if (!graph.HasVertex(at.vertex)) {
+        return fail("tree node references vertex not in graph");
+      }
+      if (graph.GetVertexLabel(at.vertex) != at.vertex_label) {
+        return fail("tree node label stale");
+      }
+      if (at_id != kTreeRoot) {
+        const TreeNode& parent = tree->node(at.parent);
+        if (at.depth != parent.depth + 1) return fail("depth inconsistent");
+        if (at.depth > depth_) return fail("node beyond max depth");
+        if (!graph.HasEdge(parent.vertex, at.vertex)) {
+          return fail("tree edge not in graph");
+        }
+        if (graph.GetEdgeLabel(parent.vertex, at.vertex) != at.edge_label) {
+          return fail("tree edge label stale");
+        }
+        auto dim = dimensions_->Find(at.depth, parent.vertex_label,
+                                     at.vertex_label);
+        if (!dim.has_value()) return fail("dimension not interned");
+        ++recount[*dim];
+      }
+      for (const TreeNodeId child : at.children) stack.push_back(child);
+    }
+    const std::unordered_map<DimId, int32_t>& counted =
+        dim_counts_[static_cast<size_t>(root)];
+    for (const auto& [dim, count] : recount) {
+      auto it = counted.find(dim);
+      if (it == counted.end() || it->second != count) {
+        return fail("dimension count mismatch");
+      }
+    }
+    for (const auto& [dim, count] : counted) {
+      (void)dim;
+      if (count <= 0) return fail("non-positive dimension count");
+    }
+    if (recount.size() != counted.size()) {
+      return fail("dimension count cardinality mismatch");
+    }
+
+    // The tree must hold exactly the edge-simple paths up to depth_.
+    Oracle oracle{graph, depth_, {}, {graph.GetVertexLabel(root)}, {}};
+    oracle.Expand(root, depth_);
+    if (oracle.branches != BranchesOf(root)) {
+      return fail("tree branches differ from fresh enumeration");
+    }
+  }
+
+  if (indexed_nodes != alive_total) {
+    return fail("node index cardinality mismatch");
+  }
+  if (indexed_edges != alive_non_root) {
+    return fail("edge index cardinality mismatch");
+  }
+  return true;
+}
+
+}  // namespace gsps

@@ -1,0 +1,166 @@
+// The set of Node-Neighbor Trees for one (possibly changing) graph, with
+// the incremental maintenance of paper §III.B and the NPV projection of
+// §IV.A.
+//
+// Responsibilities:
+//   * Build NNT(u) for every vertex u of a graph, up to a fixed depth.
+//   * Maintain two auxiliary indexes:
+//       - node-tree index  I_nt: graph vertex -> all tree nodes representing
+//         it across all trees ("appearances"),
+//       - edge-tree index  I_et: graph edge  -> all tree edges realizing it.
+//   * Incrementally apply edge insertions (paper Fig. 5) and deletions
+//     (paper Fig. 4) in O(r^(l-1)) per appearance (Lemma 3.2).
+//   * Keep per-root sparse dimension counts so each vertex's NPV is
+//     available without retraversal, and report which roots' NPVs changed
+//     (the hook the incremental join strategies consume).
+//
+// Usage with a changing graph (the engine's protocol):
+//   * deletion of edge {u,v}:  nnts.DeleteEdge(u, v);  graph.RemoveEdge(u, v);
+//   * insertion of edge {u,v}: graph.AddEdge(u, v, l); nnts.InsertEdge(graph, u, v);
+// DeleteEdge consults only internal indexes; InsertEdge requires the graph
+// to already contain the new edge.
+
+#ifndef GSPS_NNT_NNT_SET_H_
+#define GSPS_NNT_NNT_SET_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+#include "gsps/nnt/dimension.h"
+#include "gsps/nnt/node_neighbor_tree.h"
+#include "gsps/nnt/npv.h"
+
+namespace gsps {
+
+// A reference to one tree node, safe against slot reuse via the generation.
+struct Appearance {
+  VertexId tree_root = kInvalidVertex;  // Which vertex's tree.
+  TreeNodeId node = kInvalidTreeNode;
+  uint32_t generation = 0;
+
+  friend bool operator==(const Appearance&, const Appearance&) = default;
+};
+
+class NntSet {
+ public:
+  // `dimensions` is the shared interner; it must outlive the set.
+  NntSet(int depth, DimensionTable* dimensions);
+
+  NntSet(const NntSet&) = delete;
+  NntSet& operator=(const NntSet&) = delete;
+  NntSet(NntSet&&) = default;
+  NntSet& operator=(NntSet&&) = default;
+
+  // Builds trees for every vertex of `graph` from scratch, replacing any
+  // existing state.
+  void Build(const Graph& graph);
+
+  int depth() const { return depth_; }
+
+  // --- Incremental maintenance -------------------------------------------
+
+  // Applies the insertion of edge {u, v}, which must already be present in
+  // `graph`. Creates root trees for endpoints that have none yet (new
+  // vertices). Paper Fig. 5.
+  void InsertEdge(const Graph& graph, VertexId u, VertexId v);
+
+  // Applies the deletion of edge {u, v}: removes every subtree hanging off
+  // an appearance of the edge. Uses only internal indexes, so it may be
+  // called before or after the graph itself is updated. Paper Fig. 4.
+  void DeleteEdge(VertexId u, VertexId v);
+
+  // Drops the tree rooted at `v` entirely (vertex removed from the graph).
+  // Appearances of v inside other trees must have been removed first by
+  // deleting its incident edges.
+  void RemoveTree(VertexId v);
+
+  // --- Queries -------------------------------------------------------------
+
+  // The tree rooted at `root`, or nullptr if none.
+  const NodeNeighborTree* TreeOf(VertexId root) const;
+
+  // Vertices that currently have a tree, ascending.
+  std::vector<VertexId> Roots() const;
+
+  // The NPV of `root`'s tree. The vertex must have a tree.
+  Npv NpvOf(VertexId root) const;
+
+  // Returns the vertices whose NPV changed since the previous call, and
+  // clears the dirty set. After Build() every root is dirty.
+  std::vector<VertexId> TakeDirtyRoots();
+
+  // --- Test / debugging hooks ---------------------------------------------
+
+  // Multiset of root-to-node label paths of `root`'s tree, in the same
+  // signature format as iso/branch_compatibility.h — lets tests compare
+  // the maintained tree against an independently computed oracle.
+  std::map<std::vector<int32_t>, int64_t> BranchesOf(VertexId root) const;
+
+  // Exhaustively checks internal invariants against `graph`: every tree
+  // edge realizes a live graph edge, indexes and trees reference each other
+  // consistently, per-root dimension counts match a recount, and every tree
+  // is exactly the set of edge-simple paths up to `depth`. Returns false
+  // and prints a diagnostic on the first violation. O(large); tests only.
+  bool Validate(const Graph& graph) const;
+
+  // Total alive tree nodes across all trees (size metric for benches).
+  int64_t TotalTreeNodes() const;
+
+ private:
+  static uint64_t EdgeKey(VertexId a, VertexId b);
+
+  NodeNeighborTree* MutableTreeOf(VertexId root);
+
+  // Creates a root-only tree for `v` if absent. Returns the tree.
+  NodeNeighborTree& EnsureTree(VertexId v, VertexLabel label);
+
+  // Allocates a child node under `parent` in `root`'s tree, registering it
+  // in both indexes and the dimension counts.
+  TreeNodeId AddTreeChild(VertexId root, TreeNodeId parent, VertexId vertex,
+                          VertexLabel vertex_label, EdgeLabel edge_label);
+
+  // Frees `node` (which must be a leaf) and deregisters it everywhere.
+  void FreeTreeNode(VertexId root, TreeNodeId node);
+
+  // O(1) swap-erase of `list[pos]`, fixing the moved appearance's stored
+  // index position (node_index_pos / edge_index_pos).
+  void EraseAppearanceAt(std::vector<Appearance>& list, int32_t pos,
+                         bool node_list);
+
+  // Breadth-first expansion of the subtree under `start` in `root`'s tree,
+  // adding every edge-simple continuation up to depth_. `start` itself must
+  // already exist.
+  void ExpandSubtree(const Graph& graph, VertexId root, TreeNodeId start);
+
+  // Deletes the whole subtree rooted at `node` (inclusive), bottom-up.
+  void DeleteSubtree(VertexId root, TreeNodeId node);
+
+  void BumpDimension(VertexId root, int32_t level, VertexLabel parent_label,
+                     VertexLabel child_label, int32_t delta);
+
+  int depth_;
+  DimensionTable* dimensions_;
+
+  // Trees indexed by root vertex id (nullptr when the vertex has no tree).
+  std::vector<std::unique_ptr<NodeNeighborTree>> trees_;
+
+  // I_nt: graph vertex -> appearances across all trees (roots included).
+  std::unordered_map<VertexId, std::vector<Appearance>> node_index_;
+  // I_et: packed undirected edge -> tree edges realizing it; the Appearance
+  // stores the CHILD node of the tree edge.
+  std::unordered_map<uint64_t, std::vector<Appearance>> edge_index_;
+
+  // Per-root sparse dimension counts backing NpvOf().
+  std::vector<std::unordered_map<DimId, int32_t>> dim_counts_;
+
+  std::unordered_set<VertexId> dirty_roots_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_NNT_NNT_SET_H_

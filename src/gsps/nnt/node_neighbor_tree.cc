@@ -1,0 +1,103 @@
+#include "gsps/nnt/node_neighbor_tree.h"
+
+#include <algorithm>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+NodeNeighborTree::NodeNeighborTree(VertexId root_vertex,
+                                   VertexLabel root_label)
+    : root_vertex_(root_vertex) {
+  TreeNode root;
+  root.vertex = root_vertex;
+  root.vertex_label = root_label;
+  root.parent = kInvalidTreeNode;
+  root.depth = 0;
+  root.alive = true;
+  nodes_.push_back(std::move(root));
+  num_alive_ = 1;
+}
+
+TreeNodeId NodeNeighborTree::AddChild(TreeNodeId parent, VertexId vertex,
+                                      VertexLabel vertex_label,
+                                      EdgeLabel edge_label) {
+  TreeNode& parent_node = mutable_node(parent);
+  const int32_t depth = parent_node.depth + 1;
+  TreeNodeId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<TreeNodeId>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  TreeNode& child = nodes_[static_cast<size_t>(id)];
+  child.vertex = vertex;
+  child.vertex_label = vertex_label;
+  child.parent = parent;
+  child.edge_label = edge_label;
+  child.depth = depth;
+  child.alive = true;
+  child.node_index_pos = -1;
+  child.edge_index_pos = -1;
+  child.children.clear();
+  // Note: re-fetch the parent — nodes_ may have reallocated above.
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  ++num_alive_;
+  return id;
+}
+
+void NodeNeighborTree::FreeNode(TreeNodeId id) {
+  GSPS_CHECK(id != kTreeRoot);
+  TreeNode& victim = mutable_node(id);
+  GSPS_CHECK(victim.children.empty());
+  // Unlink from the parent.
+  TreeNode& parent = mutable_node(victim.parent);
+  auto it = std::find(parent.children.begin(), parent.children.end(), id);
+  GSPS_CHECK(it != parent.children.end());
+  parent.children.erase(it);
+  victim.alive = false;
+  ++victim.generation;
+  victim.parent = kInvalidTreeNode;
+  victim.node_index_pos = -1;
+  victim.edge_index_pos = -1;
+  free_slots_.push_back(id);
+  --num_alive_;
+}
+
+const TreeNode& NodeNeighborTree::node(TreeNodeId id) const {
+  GSPS_DCHECK(id >= 0 && id < SlotBound());
+  const TreeNode& result = nodes_[static_cast<size_t>(id)];
+  GSPS_DCHECK(result.alive);
+  return result;
+}
+
+bool NodeNeighborTree::IsAlive(TreeNodeId id, uint32_t generation) const {
+  if (id < 0 || id >= SlotBound()) return false;
+  const TreeNode& candidate = nodes_[static_cast<size_t>(id)];
+  return candidate.alive && candidate.generation == generation;
+}
+
+bool NodeNeighborTree::EdgeOnRootPath(TreeNodeId id, VertexId a,
+                                      VertexId b) const {
+  TreeNodeId at = id;
+  while (at != kTreeRoot) {
+    const TreeNode& current = node(at);
+    const TreeNode& parent = node(current.parent);
+    const VertexId x = current.vertex;
+    const VertexId y = parent.vertex;
+    if ((x == a && y == b) || (x == b && y == a)) return true;
+    at = current.parent;
+  }
+  return false;
+}
+
+TreeNode& NodeNeighborTree::mutable_node(TreeNodeId id) {
+  GSPS_DCHECK(id >= 0 && id < SlotBound());
+  TreeNode& result = nodes_[static_cast<size_t>(id)];
+  GSPS_DCHECK(result.alive);
+  return result;
+}
+
+}  // namespace gsps

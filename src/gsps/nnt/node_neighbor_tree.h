@@ -1,0 +1,107 @@
+// Node-Neighbor Tree storage (paper Definition 3.1).
+//
+// The NNT of a vertex u is the tree rooted at u containing every edge-simple
+// path of length up to `depth` starting at u: each tree node is one path
+// prefix, identified by the graph vertex the path ends at. This class is the
+// slotted storage for one such tree — allocation, freeing (with generation
+// counters so stale index references can be detected), and parent-chain
+// queries. The maintenance logic that keeps trees in sync with a changing
+// graph lives in NntSet.
+
+#ifndef GSPS_NNT_NODE_NEIGHBOR_TREE_H_
+#define GSPS_NNT_NODE_NEIGHBOR_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+
+namespace gsps {
+
+// Index of a node within one tree's slot vector.
+using TreeNodeId = int32_t;
+
+constexpr TreeNodeId kInvalidTreeNode = -1;
+// The root always occupies slot 0 and is never freed.
+constexpr TreeNodeId kTreeRoot = 0;
+
+// One tree node: the endpoint of one simple path from the root.
+struct TreeNode {
+  VertexId vertex = kInvalidVertex;   // Graph vertex this path ends at.
+  VertexLabel vertex_label = 0;       // Cached label of `vertex`.
+  TreeNodeId parent = kInvalidTreeNode;
+  EdgeLabel edge_label = 0;           // Label of the edge from the parent.
+  int32_t depth = 0;                  // Root is depth 0.
+  uint32_t generation = 0;            // Bumped when the slot is freed.
+  bool alive = false;
+  // Positions of this node's entries in the NntSet's node-tree and
+  // edge-tree index lists, maintained by the NntSet so deregistration is
+  // O(1) (swap-erase with position fix-up). -1 when not registered.
+  int32_t node_index_pos = -1;
+  int32_t edge_index_pos = -1;
+  std::vector<TreeNodeId> children;
+};
+
+// Slot-vector storage for one NNT.
+class NodeNeighborTree {
+ public:
+  // Creates a tree containing only the root for `root_vertex`.
+  NodeNeighborTree(VertexId root_vertex, VertexLabel root_label);
+
+  // Trees are owned by an NntSet and referenced by index entries; moving
+  // them would not invalidate anything, but copying would desync indexes.
+  NodeNeighborTree(const NodeNeighborTree&) = delete;
+  NodeNeighborTree& operator=(const NodeNeighborTree&) = delete;
+  NodeNeighborTree(NodeNeighborTree&&) = default;
+  NodeNeighborTree& operator=(NodeNeighborTree&&) = default;
+
+  VertexId root_vertex() const { return root_vertex_; }
+
+  // Allocates a child of `parent` and returns its id. The child's depth is
+  // parent's depth + 1.
+  TreeNodeId AddChild(TreeNodeId parent, VertexId vertex,
+                      VertexLabel vertex_label, EdgeLabel edge_label);
+
+  // Frees one node. The node must be alive, must not be the root, and must
+  // have no children (free subtrees bottom-up). Its slot generation is
+  // bumped so outstanding references become detectably stale.
+  void FreeNode(TreeNodeId id);
+
+  // Node accessor; `id` must be alive.
+  const TreeNode& node(TreeNodeId id) const;
+
+  // True if `id` refers to an alive node of the given generation.
+  bool IsAlive(TreeNodeId id, uint32_t generation) const;
+
+  // True if the undirected graph edge {a, b} lies on the path from the root
+  // to `id` (inclusive of the edge into `id`). Used to enforce the
+  // edge-simple-path invariant during expansion. O(depth).
+  bool EdgeOnRootPath(TreeNodeId id, VertexId a, VertexId b) const;
+
+  // Number of alive nodes, including the root.
+  int32_t NumAliveNodes() const { return num_alive_; }
+
+  // One past the largest slot index in use.
+  TreeNodeId SlotBound() const { return static_cast<TreeNodeId>(nodes_.size()); }
+
+  // Raw slot accessor for traversals that filter on `alive` themselves.
+  const TreeNode& slot(TreeNodeId id) const {
+    return nodes_[static_cast<size_t>(id)];
+  }
+
+  // Mutable accessor for the owning NntSet's index-position bookkeeping.
+  // `id` must be alive.
+  TreeNode& mutable_node(TreeNodeId id);
+
+ private:
+
+  VertexId root_vertex_;
+  std::vector<TreeNode> nodes_;
+  std::vector<TreeNodeId> free_slots_;
+  int32_t num_alive_ = 0;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_NNT_NODE_NEIGHBOR_TREE_H_

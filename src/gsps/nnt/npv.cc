@@ -1,0 +1,54 @@
+#include "gsps/nnt/npv.h"
+
+#include <algorithm>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+Npv Npv::FromMap(const std::unordered_map<DimId, int32_t>& counts) {
+  std::vector<NpvEntry> entries;
+  entries.reserve(counts.size());
+  for (const auto& [dim, count] : counts) {
+    GSPS_DCHECK(count >= 0);
+    if (count > 0) entries.push_back(NpvEntry{dim, count});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const NpvEntry& a, const NpvEntry& b) { return a.dim < b.dim; });
+  return FromSortedEntries(std::move(entries));
+}
+
+Npv Npv::FromSortedEntries(std::vector<NpvEntry> entries) {
+  Npv npv;
+  npv.entries_ = std::move(entries);
+#ifndef NDEBUG
+  for (size_t i = 0; i < npv.entries_.size(); ++i) {
+    GSPS_DCHECK(npv.entries_[i].count > 0);
+    if (i > 0) GSPS_DCHECK(npv.entries_[i - 1].dim < npv.entries_[i].dim);
+  }
+#endif
+  return npv;
+}
+
+int32_t Npv::ValueAt(DimId dim) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), dim,
+      [](const NpvEntry& e, DimId d) { return e.dim < d; });
+  if (it == entries_.end() || it->dim != dim) return 0;
+  return it->count;
+}
+
+bool Npv::Dominates(const Npv& other) const {
+  // Merge-scan both sorted entry lists over `other`'s non-zero dims.
+  auto mine = entries_.begin();
+  for (const NpvEntry& theirs : other.entries_) {
+    while (mine != entries_.end() && mine->dim < theirs.dim) ++mine;
+    if (mine == entries_.end() || mine->dim != theirs.dim ||
+        mine->count < theirs.count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gsps

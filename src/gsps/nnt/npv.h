@@ -1,0 +1,61 @@
+// Node Projected Vectors (paper Definition 4.2).
+//
+// The NPV of a vertex counts, per projection dimension, the tree edges of
+// its NNT falling into that dimension. Vectors are stored sparsely as
+// entries sorted by dimension id (§IV.A: most dimensions are zero).
+
+#ifndef GSPS_NNT_NPV_H_
+#define GSPS_NNT_NPV_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gsps/nnt/dimension.h"
+
+namespace gsps {
+
+// One non-zero coordinate of an NPV.
+struct NpvEntry {
+  DimId dim = kInvalidDim;
+  int32_t count = 0;
+
+  friend bool operator==(const NpvEntry&, const NpvEntry&) = default;
+};
+
+// A sparse, immutable node projected vector.
+class Npv {
+ public:
+  Npv() = default;
+
+  // Builds from a dim -> count map; zero and negative counts are dropped
+  // (counts are cardinalities, so negatives would indicate index corruption
+  // and are rejected by the NntSet before reaching here).
+  static Npv FromMap(const std::unordered_map<DimId, int32_t>& counts);
+
+  // Builds from entries that are already sorted by dim with positive counts.
+  static Npv FromSortedEntries(std::vector<NpvEntry> entries);
+
+  // Value at `dim` (0 when absent). O(log nnz).
+  int32_t ValueAt(DimId dim) const;
+
+  // Non-zero entries, ascending by dim.
+  const std::vector<NpvEntry>& entries() const { return entries_; }
+
+  // Number of non-zero dimensions.
+  int32_t nnz() const { return static_cast<int32_t>(entries_.size()); }
+
+  // True when every coordinate of *this is >= the matching coordinate of
+  // `other` — i.e. *this dominates `other` in the sense of Lemma 4.2
+  // (`other` <= *this). Only `other`'s non-zero entries need inspection.
+  bool Dominates(const Npv& other) const;
+
+  friend bool operator==(const Npv&, const Npv&) = default;
+
+ private:
+  std::vector<NpvEntry> entries_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_NNT_NPV_H_

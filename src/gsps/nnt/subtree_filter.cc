@@ -1,0 +1,90 @@
+#include "gsps/nnt/subtree_filter.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "gsps/common/check.h"
+#include "gsps/iso/bipartite_matching.h"
+
+namespace gsps {
+namespace {
+
+// Memoized embeddability of query subtree `q` at data subtree `d`.
+class SubtreeMatcher {
+ public:
+  SubtreeMatcher(const NodeNeighborTree& query_tree,
+                 const NodeNeighborTree& data_tree)
+      : query_tree_(query_tree), data_tree_(data_tree) {}
+
+  bool EmbeddableAt(TreeNodeId q, TreeNodeId d) {
+    const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(q))
+                          << 32) |
+                         static_cast<uint32_t>(d);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    const TreeNode& query_node = query_tree_.node(q);
+    const TreeNode& data_node = data_tree_.node(d);
+    bool result = false;
+    if (query_node.vertex_label == data_node.vertex_label &&
+        query_node.children.size() <= data_node.children.size()) {
+      // Left-perfect matching of query children into data children, where
+      // child qc may match child dc iff edge labels agree and qc's subtree
+      // embeds at dc (recursively).
+      BipartiteAdjacency adjacency(query_node.children.size());
+      bool some_child_unmatchable = false;
+      for (size_t i = 0; i < query_node.children.size(); ++i) {
+        const TreeNodeId qc = query_node.children[i];
+        const EdgeLabel edge_label = query_tree_.node(qc).edge_label;
+        for (size_t k = 0; k < data_node.children.size(); ++k) {
+          const TreeNodeId dc = data_node.children[k];
+          if (data_tree_.node(dc).edge_label != edge_label) continue;
+          if (EmbeddableAt(qc, dc)) {
+            adjacency[i].push_back(static_cast<int>(k));
+          }
+        }
+        if (adjacency[i].empty()) {
+          some_child_unmatchable = true;
+          break;
+        }
+      }
+      result = !some_child_unmatchable &&
+               HasLeftPerfectMatching(
+                   adjacency, static_cast<int>(data_node.children.size()));
+    }
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  const NodeNeighborTree& query_tree_;
+  const NodeNeighborTree& data_tree_;
+  std::unordered_map<uint64_t, bool> memo_;
+};
+
+}  // namespace
+
+bool NntSubtreeEmbeddable(const NodeNeighborTree& query_tree,
+                          const NodeNeighborTree& data_tree) {
+  SubtreeMatcher matcher(query_tree, data_tree);
+  return matcher.EmbeddableAt(kTreeRoot, kTreeRoot);
+}
+
+bool NntSubtreeFilter(const NntSet& query_nnts, const NntSet& data_nnts) {
+  GSPS_CHECK(query_nnts.depth() == data_nnts.depth());
+  const std::vector<VertexId> data_roots = data_nnts.Roots();
+  for (const VertexId q : query_nnts.Roots()) {
+    const NodeNeighborTree* query_tree = query_nnts.TreeOf(q);
+    bool matched = false;
+    for (const VertexId d : data_roots) {
+      if (NntSubtreeEmbeddable(*query_tree, *data_nnts.TreeOf(d))) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+}  // namespace gsps

@@ -1,0 +1,42 @@
+// Rooted subtree embedding between Node-Neighbor Trees — the filtering tier
+// the paper introduces NNTs for (§III) and then relaxes because "subtree
+// isomorphism verification is still expensive" (§IV).
+//
+// A query NNT embeds into a data NNT when there is an injective mapping of
+// tree nodes that maps root to root, preserves parent/child edges, vertex
+// labels, and edge labels. Implemented with the classic recursive scheme:
+// a query node can sit at a data node iff their labels match and the query
+// node's child subtrees admit a left-perfect bipartite matching into the
+// data node's child subtrees (memoized per node pair).
+//
+// Implementing the full tier completes the filter hierarchy the test suite
+// verifies end-to-end:
+//
+//   subgraph isomorphic  =>  NNT subtree-embeddable  =>  branch compatible
+//                        =>  NPV dominated,
+//
+// and lets the ablation bench quantify exactly how much pruning each
+// relaxation gives up for how much speed (bench/ablation_filters).
+
+#ifndef GSPS_NNT_SUBTREE_FILTER_H_
+#define GSPS_NNT_SUBTREE_FILTER_H_
+
+#include "gsps/graph/graph.h"
+#include "gsps/nnt/node_neighbor_tree.h"
+#include "gsps/nnt/nnt_set.h"
+
+namespace gsps {
+
+// True iff `query_tree` embeds into `data_tree` (root at root).
+bool NntSubtreeEmbeddable(const NodeNeighborTree& query_tree,
+                          const NodeNeighborTree& data_tree);
+
+// Graph-level filter: true iff every query vertex's NNT embeds into some
+// data vertex's NNT. `query_nnts` and `data_nnts` must be built at the same
+// depth. A necessary condition for subgraph isomorphism (each vertex's
+// simple-path tree maps injectively under any embedding).
+bool NntSubtreeFilter(const NntSet& query_nnts, const NntSet& data_nnts);
+
+}  // namespace gsps
+
+#endif  // GSPS_NNT_SUBTREE_FILTER_H_

@@ -1,0 +1,240 @@
+// Tests for the data synthesizers: determinism, statistical shape, and
+// structural invariants of the generated workloads.
+
+#include "gsps/gen/synthetic_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "gsps/common/random.h"
+#include "gsps/gen/aids_like.h"
+#include "gsps/gen/query_extractor.h"
+#include "gsps/gen/reality_like.h"
+#include "gsps/gen/stream_generator.h"
+#include "gsps/graph/graph_stream.h"
+
+namespace gsps {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, PoissonMeanIsRoughlyRight) {
+  Rng rng(3);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Poisson(10.0);
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.3);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallValues) {
+  Rng rng(4);
+  int low = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    const int v = rng.Zipf(50, 1.6);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+    if (v < 5) ++low;
+  }
+  EXPECT_GT(low, kSamples / 2);  // Mass concentrates at the head.
+}
+
+TEST(SyntheticGeneratorTest, DeterministicForSameSeed) {
+  SyntheticParams params;
+  params.num_graphs = 5;
+  params.avg_graph_edges = 15;
+  const std::vector<Graph> a = GenerateSyntheticDataset(params);
+  const std::vector<Graph> b = GenerateSyntheticDataset(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  params.seed = 2;
+  const std::vector<Graph> c = GenerateSyntheticDataset(params);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == c[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticGeneratorTest, SizesTrackTargetAndGraphsAreConnected) {
+  SyntheticParams params;
+  params.num_graphs = 40;
+  params.avg_graph_edges = 30;
+  const std::vector<Graph> dataset = GenerateSyntheticDataset(params);
+  ASSERT_EQ(dataset.size(), 40u);
+  double total_edges = 0;
+  for (const Graph& g : dataset) {
+    EXPECT_GE(g.NumEdges(), 1);
+    EXPECT_TRUE(g.IsConnected());
+    total_edges += g.NumEdges();
+    for (const VertexId v : g.VertexIds()) {
+      EXPECT_LT(g.GetVertexLabel(v), params.num_vertex_labels);
+    }
+  }
+  EXPECT_NEAR(total_edges / 40.0, 30.0, 12.0);
+}
+
+TEST(RandomConnectedGraphTest, RespectsEdgeBudgetAndConnectivity) {
+  Rng rng(9);
+  for (int edges = 1; edges <= 20; edges += 3) {
+    const Graph g = RandomConnectedGraph(edges, 3, 2, rng);
+    EXPECT_TRUE(g.IsConnected());
+    EXPECT_GE(g.NumEdges(), 1);
+    EXPECT_LE(g.NumEdges(), edges + 1);
+  }
+}
+
+TEST(QueryExtractorTest, ExtractedSizeAndConnectivity) {
+  Rng rng(10);
+  SyntheticParams params;
+  params.num_graphs = 10;
+  params.avg_graph_edges = 20;
+  const std::vector<Graph> dataset = GenerateSyntheticDataset(params);
+  const std::vector<Graph> queries = ExtractQuerySet(dataset, 6, 8, rng);
+  EXPECT_EQ(queries.size(), 8u);
+  for (const Graph& q : queries) {
+    EXPECT_EQ(q.NumEdges(), 6);
+    EXPECT_TRUE(q.IsConnected());
+    // Ids are compacted.
+    EXPECT_EQ(q.VertexIdBound(), q.NumVertices());
+  }
+}
+
+TEST(QueryExtractorTest, TooSmallSourceYieldsNullopt) {
+  Rng rng(11);
+  Graph tiny;
+  tiny.AddVertex(0);
+  tiny.AddVertex(0);
+  ASSERT_TRUE(tiny.AddEdge(0, 1, 0));
+  EXPECT_FALSE(ExtractConnectedSubgraph(tiny, 5, rng).has_value());
+  EXPECT_TRUE(ExtractConnectedSubgraph(tiny, 1, rng).has_value());
+}
+
+TEST(StreamGeneratorTest, StreamShape) {
+  SyntheticStreamParams params;
+  params.num_pairs = 4;
+  params.avg_graph_edges = 12;
+  params.evolution.num_timestamps = 30;
+  const StreamDataset dataset = MakeSyntheticStreams(params);
+  ASSERT_EQ(dataset.queries.size(), 4u);
+  ASSERT_EQ(dataset.streams.size(), 4u);
+  for (const GraphStream& stream : dataset.streams) {
+    EXPECT_EQ(stream.NumTimestamps(), 30);
+    // Vertex set grows to ~1.5x of the base and stays fixed.
+    const Graph start = stream.StartGraph();
+    const Graph end = stream.MaterializeAt(29);
+    EXPECT_EQ(start.NumVertices(), end.NumVertices());
+  }
+}
+
+TEST(StreamGeneratorTest, DensityTracksStationaryDistribution) {
+  SyntheticStreamParams params;
+  params.num_pairs = 6;
+  params.avg_graph_edges = 30;
+  params.evolution.num_timestamps = 60;
+  params.evolution.p_appear = 0.2;
+  params.evolution.p_disappear = 0.15;
+  const StreamDataset dense = MakeSyntheticStreams(params);
+  params.evolution.p_appear = 0.1;
+  params.evolution.p_disappear = 0.3;
+  params.seed = 8;
+  const StreamDataset sparse = MakeSyntheticStreams(params);
+
+  auto avg_edges = [](const StreamDataset& d) {
+    double total = 0;
+    int count = 0;
+    for (const GraphStream& s : d.streams) {
+      for (int t = 0; t < s.NumTimestamps(); t += 10) {
+        total += s.MaterializeAt(t).NumEdges();
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  // Dense stationary density (0.57) clearly exceeds sparse (0.25).
+  EXPECT_GT(avg_edges(dense), 1.5 * avg_edges(sparse));
+}
+
+TEST(StreamGeneratorTest, ChangesHaveTemporalLocality) {
+  SyntheticStreamParams params;
+  params.num_pairs = 3;
+  params.avg_graph_edges = 20;
+  params.evolution.num_timestamps = 40;
+  const StreamDataset dataset = MakeSyntheticStreams(params);
+  for (const GraphStream& stream : dataset.streams) {
+    const int64_t candidates =
+        2 * stream.StartGraph().NumEdges() + 8;  // Rough candidate-set bound.
+    for (int t = 1; t < stream.NumTimestamps(); ++t) {
+      EXPECT_LT(static_cast<int64_t>(stream.ChangeAt(t).ops.size()),
+                candidates);
+    }
+  }
+}
+
+TEST(AidsLikeTest, MatchesPublishedStatistics) {
+  AidsLikeParams params;
+  params.num_graphs = 300;
+  const std::vector<Graph> dataset = MakeAidsLikeDataset(params);
+  ASSERT_EQ(dataset.size(), 300u);
+  double vertices = 0, edges = 0;
+  std::vector<int64_t> label_counts(
+      static_cast<size_t>(params.num_vertex_labels), 0);
+  for (const Graph& g : dataset) {
+    vertices += g.NumVertices();
+    edges += g.NumEdges();
+    EXPECT_TRUE(g.IsConnected());
+    for (const VertexId v : g.VertexIds()) {
+      ++label_counts[static_cast<size_t>(g.GetVertexLabel(v))];
+    }
+  }
+  EXPECT_NEAR(vertices / 300.0, 24.8, 2.0);
+  EXPECT_NEAR(edges / 300.0, 26.8, 4.0);
+  // Zipf label skew: the most common label dominates.
+  EXPECT_GT(label_counts[0], label_counts[10] * 5);
+}
+
+TEST(RealityLikeTest, WorkloadShape) {
+  RealityLikeParams params;
+  params.num_streams = 3;
+  params.num_queries = 4;
+  params.num_timestamps = 50;
+  const StreamDataset dataset = MakeRealityLikeStreams(params);
+  ASSERT_EQ(dataset.streams.size(), 3u);
+  ASSERT_EQ(dataset.queries.size(), 4u);
+  for (const GraphStream& stream : dataset.streams) {
+    EXPECT_EQ(stream.NumTimestamps(), 50);
+    EXPECT_EQ(stream.StartGraph().NumVertices(), 97);
+    // Proximity graphs are sparse.
+    EXPECT_LT(stream.MaterializeAt(25).NumEdges(), 97 * 6);
+  }
+  for (const Graph& q : dataset.queries) {
+    EXPECT_GE(q.NumEdges(), params.min_query_edges);
+    EXPECT_LE(q.NumEdges(), params.max_query_edges);
+    EXPECT_TRUE(q.IsConnected());
+  }
+}
+
+}  // namespace
+}  // namespace gsps

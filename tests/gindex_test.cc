@@ -1,0 +1,230 @@
+// Tests for DFS-code canonicalization, the gSpan-style miner, and the
+// gIndex-style filter.
+
+#include "gsps/baselines/gindex/gindex_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gsps/baselines/gindex/dfs_code.h"
+#include "gsps/baselines/gindex/gspan_miner.h"
+#include "gsps/common/random.h"
+#include "gsps/gen/query_extractor.h"
+#include "gsps/gen/synthetic_generator.h"
+#include "gsps/iso/subgraph_isomorphism.h"
+
+namespace gsps {
+namespace {
+
+Graph Path(std::initializer_list<VertexLabel> labels) {
+  Graph g;
+  VertexId prev = kInvalidVertex;
+  for (const VertexLabel label : labels) {
+    const VertexId v = g.AddVertex(label);
+    if (prev != kInvalidVertex) {
+      EXPECT_TRUE(g.AddEdge(prev, v, 0));
+    }
+    prev = v;
+  }
+  return g;
+}
+
+// Relabels vertex ids through a permutation.
+Graph Permuted(const Graph& g, Rng& rng) {
+  std::vector<VertexId> ids = g.VertexIds();
+  std::vector<VertexId> shuffled = ids;
+  rng.Shuffle(shuffled);
+  std::vector<VertexId> remap(static_cast<size_t>(g.VertexIdBound()));
+  Graph out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    // Assign new ids in shuffled order.
+    remap[static_cast<size_t>(shuffled[i])] =
+        out.AddVertex(g.GetVertexLabel(shuffled[i]));
+  }
+  for (const VertexId u : ids) {
+    for (const HalfEdge& half : g.Neighbors(u)) {
+      if (half.to > u) {
+        out.AddEdge(remap[static_cast<size_t>(u)],
+                    remap[static_cast<size_t>(half.to)], half.label);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(DfsCodeTest, SingleEdgeCanonicalForm) {
+  Graph g;
+  g.AddVertex(2);
+  g.AddVertex(1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 5));
+  const DfsCode code = MinimalDfsCode(g);
+  ASSERT_EQ(code.size(), 1u);
+  // The minimal code starts from the smaller label.
+  EXPECT_EQ(code[0].from, 0);
+  EXPECT_EQ(code[0].to, 1);
+  EXPECT_EQ(code[0].from_label, 1);
+  EXPECT_EQ(code[0].to_label, 2);
+  EXPECT_EQ(code[0].edge_label, 5);
+}
+
+TEST(DfsCodeTest, IsomorphicGraphsShareCode) {
+  Rng rng(17);
+  SyntheticParams params;
+  params.num_graphs = 10;
+  params.num_seeds = 3;
+  params.avg_seed_edges = 3;
+  params.avg_graph_edges = 8;
+  params.num_vertex_labels = 2;
+  params.num_edge_labels = 2;
+  const std::vector<Graph> graphs = GenerateSyntheticDataset(params);
+  for (const Graph& g : graphs) {
+    if (g.NumEdges() < 1 || g.NumEdges() > 9 || !g.IsConnected()) continue;
+    const std::string key = DfsCodeKey(MinimalDfsCode(g));
+    for (int trial = 0; trial < 3; ++trial) {
+      Graph shuffled = Permuted(g, rng);
+      EXPECT_EQ(DfsCodeKey(MinimalDfsCode(shuffled)), key);
+    }
+  }
+}
+
+TEST(DfsCodeTest, NonIsomorphicGraphsDiffer) {
+  const Graph p = Path({1, 1, 1, 1});  // Path on 4 vertices.
+  Graph star;                          // Star on 4 vertices.
+  star.AddVertex(1);
+  for (int i = 0; i < 3; ++i) {
+    const VertexId v = star.AddVertex(1);
+    ASSERT_TRUE(star.AddEdge(0, v, 0));
+  }
+  EXPECT_NE(DfsCodeKey(MinimalDfsCode(p)), DfsCodeKey(MinimalDfsCode(star)));
+}
+
+TEST(DfsCodeTest, RoundTripThroughGraph) {
+  Graph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.AddVertex(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0));
+  ASSERT_TRUE(g.AddEdge(1, 2, 1));
+  ASSERT_TRUE(g.AddEdge(0, 2, 0));
+  const DfsCode code = MinimalDfsCode(g);
+  const Graph rebuilt = GraphFromDfsCode(code);
+  EXPECT_EQ(rebuilt.NumVertices(), 3);
+  EXPECT_EQ(rebuilt.NumEdges(), 3);
+  EXPECT_EQ(DfsCodeKey(MinimalDfsCode(rebuilt)), DfsCodeKey(code));
+}
+
+TEST(GspanMinerTest, MinesSingleEdgePatternsWithExactSupport) {
+  // Database: two graphs sharing an (1)-(2) edge, one with a (3)-(3) edge.
+  std::vector<Graph> db = {Path({1, 2}), Path({1, 2, 3}), Path({3, 3})};
+  GspanOptions options;
+  options.max_edges = 1;
+  options.min_support_fraction = 0.0;  // Keep everything.
+  const std::vector<MinedFeature> features =
+      MineFrequentSubgraphs(db, options);
+  // Distinct single edges: (1,2), (2,3), (3,3).
+  ASSERT_EQ(features.size(), 3u);
+  for (const MinedFeature& f : features) {
+    for (const int g : f.support) {
+      EXPECT_TRUE(IsSubgraphIsomorphic(f.pattern, db[static_cast<size_t>(g)]));
+    }
+  }
+}
+
+TEST(GspanMinerTest, SupportThresholdFilters) {
+  std::vector<Graph> db = {Path({1, 2}), Path({1, 2}), Path({3, 3})};
+  GspanOptions options;
+  options.max_edges = 1;
+  options.min_support_fraction = 0.6;  // Needs 2 of 3 graphs.
+  const std::vector<MinedFeature> features =
+      MineFrequentSubgraphs(db, options);
+  ASSERT_EQ(features.size(), 1u);
+  EXPECT_EQ(features[0].support, (std::vector<int>{0, 1}));
+}
+
+TEST(GspanMinerTest, GrowsMultiEdgePatternsWithCompleteSupport) {
+  Rng rng(3);
+  SyntheticParams params;
+  params.num_graphs = 12;
+  params.num_seeds = 3;
+  params.avg_seed_edges = 4;
+  params.avg_graph_edges = 12;
+  params.num_vertex_labels = 2;
+  const std::vector<Graph> db = GenerateSyntheticDataset(params);
+  GspanOptions options;
+  options.max_edges = 3;
+  options.min_support_fraction = 0.3;
+  const std::vector<MinedFeature> features =
+      MineFrequentSubgraphs(db, options);
+  ASSERT_FALSE(features.empty());
+  bool has_multi_edge = false;
+  std::set<std::string> codes;
+  for (const MinedFeature& f : features) {
+    if (f.pattern.NumEdges() > 1) has_multi_edge = true;
+    EXPECT_LE(f.pattern.NumEdges(), 3);
+    // No duplicate patterns up to isomorphism.
+    EXPECT_TRUE(codes.insert(DfsCodeKey(MinimalDfsCode(f.pattern))).second);
+    // Support lists are complete and correct.
+    for (size_t g = 0; g < db.size(); ++g) {
+      const bool contained = IsSubgraphIsomorphic(f.pattern, db[g]);
+      const bool listed = std::find(f.support.begin(), f.support.end(),
+                                    static_cast<int>(g)) != f.support.end();
+      EXPECT_EQ(contained, listed)
+          << "pattern with " << f.pattern.NumEdges() << " edges, graph " << g;
+    }
+  }
+  EXPECT_TRUE(has_multi_edge);
+}
+
+TEST(GindexFilterTest, NoFalseNegatives) {
+  Rng rng(13);
+  SyntheticParams params;
+  params.num_graphs = 20;
+  params.num_seeds = 4;
+  params.avg_seed_edges = 4;
+  params.avg_graph_edges = 14;
+  params.num_vertex_labels = 2;
+  const std::vector<Graph> db = GenerateSyntheticDataset(params);
+  const std::vector<Graph> queries = ExtractQuerySet(db, 4, 8, rng);
+  ASSERT_FALSE(queries.empty());
+
+  GspanOptions options;
+  options.max_edges = 4;
+  options.min_support_fraction = 0.2;
+  GindexFilter filter(options);
+  filter.BuildIndex(db);
+  EXPECT_GT(filter.num_features(), 0);
+
+  int64_t true_pairs = 0;
+  for (const Graph& query : queries) {
+    const std::vector<int> candidates = filter.CandidateGraphsFor(query);
+    for (size_t g = 0; g < db.size(); ++g) {
+      if (IsSubgraphIsomorphic(query, db[g])) {
+        ++true_pairs;
+        EXPECT_TRUE(std::find(candidates.begin(), candidates.end(),
+                              static_cast<int>(g)) != candidates.end());
+      }
+    }
+  }
+  EXPECT_GT(true_pairs, 0);
+}
+
+TEST(GindexFilterTest, Gindex2IndexesAllSmallFragments) {
+  std::vector<Graph> db = {Path({1, 2, 3}), Path({4, 5})};
+  GindexFilter filter(GindexFilter::Gindex2Options());
+  filter.BuildIndex(db);
+  // Fragments: (1,2), (2,3), (4,5), (1,2,3). All with support 1+.
+  EXPECT_EQ(filter.num_features(), 4);
+}
+
+TEST(GindexFilterTest, FilterActuallyPrunes) {
+  // A query whose label never occurs in graph 1 must exclude it.
+  std::vector<Graph> db = {Path({1, 2}), Path({3, 4})};
+  GindexFilter filter(GindexFilter::Gindex2Options());
+  filter.BuildIndex(db);
+  EXPECT_EQ(filter.CandidateGraphsFor(Path({1, 2})), std::vector<int>{0});
+  EXPECT_EQ(filter.CandidateGraphsFor(Path({3, 4})), std::vector<int>{1});
+}
+
+}  // namespace
+}  // namespace gsps

@@ -1,0 +1,288 @@
+// Unit tests for the labeled graph, change operations, streams, and I/O.
+
+#include "gsps/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "gsps/common/random.h"
+#include "gsps/graph/graph_change.h"
+#include "gsps/graph/graph_io.h"
+#include "gsps/graph/graph_stream.h"
+
+namespace gsps {
+namespace {
+
+Graph MakeTriangle() {
+  Graph g;
+  const VertexId a = g.AddVertex(1);
+  const VertexId b = g.AddVertex(2);
+  const VertexId c = g.AddVertex(3);
+  EXPECT_TRUE(g.AddEdge(a, b, 0));
+  EXPECT_TRUE(g.AddEdge(b, c, 0));
+  EXPECT_TRUE(g.AddEdge(a, c, 0));
+  return g;
+}
+
+TEST(GraphTest, AddVertexAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.AddVertex(5), 0);
+  EXPECT_EQ(g.AddVertex(6), 1);
+  EXPECT_EQ(g.NumVertices(), 2);
+  EXPECT_EQ(g.GetVertexLabel(0), 5);
+  EXPECT_EQ(g.GetVertexLabel(1), 6);
+}
+
+TEST(GraphTest, EnsureVertexGrowsTable) {
+  Graph g;
+  EXPECT_TRUE(g.EnsureVertex(4, 9));
+  EXPECT_EQ(g.NumVertices(), 1);
+  EXPECT_TRUE(g.HasVertex(4));
+  EXPECT_FALSE(g.HasVertex(3));
+  EXPECT_EQ(g.VertexIdBound(), 5);
+}
+
+TEST(GraphTest, EnsureVertexRejectsLabelConflict) {
+  Graph g;
+  EXPECT_TRUE(g.EnsureVertex(0, 1));
+  EXPECT_FALSE(g.EnsureVertex(0, 2));
+  EXPECT_TRUE(g.EnsureVertex(0, 1));  // Same label is idempotent.
+  EXPECT_EQ(g.NumVertices(), 1);
+}
+
+TEST(GraphTest, AddEdgeRejectsSelfLoopDuplicateAndMissingEndpoint) {
+  Graph g;
+  const VertexId a = g.AddVertex(1);
+  const VertexId b = g.AddVertex(1);
+  EXPECT_FALSE(g.AddEdge(a, a, 0));
+  EXPECT_FALSE(g.AddEdge(a, 7, 0));
+  EXPECT_TRUE(g.AddEdge(a, b, 0));
+  EXPECT_FALSE(g.AddEdge(b, a, 0));  // Duplicate in either direction.
+  EXPECT_EQ(g.NumEdges(), 1);
+}
+
+TEST(GraphTest, EdgesAreUndirectedWithLabels) {
+  Graph g;
+  const VertexId a = g.AddVertex(1);
+  const VertexId b = g.AddVertex(2);
+  EXPECT_TRUE(g.AddEdge(a, b, 42));
+  EXPECT_TRUE(g.HasEdge(a, b));
+  EXPECT_TRUE(g.HasEdge(b, a));
+  EXPECT_EQ(g.GetEdgeLabel(a, b), 42);
+  EXPECT_EQ(g.GetEdgeLabel(b, a), 42);
+}
+
+TEST(GraphTest, RemoveEdgeUpdatesBothAdjacencies) {
+  Graph g = MakeTriangle();
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 1);
+  EXPECT_EQ(g.Degree(2), 2);
+}
+
+TEST(GraphTest, RemoveVertexRemovesIncidentEdges) {
+  Graph g = MakeTriangle();
+  EXPECT_TRUE(g.RemoveVertex(0));
+  EXPECT_FALSE(g.RemoveVertex(0));
+  EXPECT_EQ(g.NumVertices(), 2);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_FALSE(g.HasVertex(0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(GraphTest, AdjacencyStaysSorted) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddVertex(0);
+  EXPECT_TRUE(g.AddEdge(2, 4, 0));
+  EXPECT_TRUE(g.AddEdge(2, 1, 0));
+  EXPECT_TRUE(g.AddEdge(2, 3, 0));
+  EXPECT_TRUE(g.AddEdge(2, 0, 0));
+  const std::vector<HalfEdge>& adj = g.Neighbors(2);
+  for (size_t i = 1; i < adj.size(); ++i) {
+    EXPECT_LT(adj[i - 1].to, adj[i].to);
+  }
+}
+
+TEST(GraphTest, ConnectivityCheck) {
+  Graph g;
+  EXPECT_TRUE(g.IsConnected());  // Empty graph.
+  const VertexId a = g.AddVertex(0);
+  EXPECT_TRUE(g.IsConnected());
+  const VertexId b = g.AddVertex(0);
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_TRUE(g.AddEdge(a, b, 0));
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphTest, MaxDegree) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.MaxDegree(), 2);
+  const VertexId d = g.AddVertex(0);
+  EXPECT_TRUE(g.AddEdge(0, d, 0));
+  EXPECT_EQ(g.MaxDegree(), 3);
+}
+
+TEST(GraphTest, EqualityIsStructural) {
+  Graph a = MakeTriangle();
+  Graph b = MakeTriangle();
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(b.RemoveEdge(0, 1));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(GraphChangeTest, ApplyRunsDeletionsBeforeInsertions) {
+  Graph g = MakeTriangle();
+  GraphChange change;
+  // Inserting (0,1) would fail if deletions did not run first.
+  change.ops.push_back(EdgeOp::Insert(0, 1, 7, 1, 2));
+  change.ops.push_back(EdgeOp::Delete(0, 1));
+  EXPECT_EQ(ApplyChange(change, g), 2);
+  EXPECT_EQ(g.GetEdgeLabel(0, 1), 7);
+}
+
+TEST(GraphChangeTest, ApplySkipsInvalidOps) {
+  Graph g = MakeTriangle();
+  GraphChange change;
+  change.ops.push_back(EdgeOp::Delete(0, 9));       // Absent edge.
+  change.ops.push_back(EdgeOp::Insert(0, 1, 0, 1, 2));  // Duplicate.
+  change.ops.push_back(EdgeOp::Insert(0, 0, 0, 1, 1));  // Self loop.
+  EXPECT_EQ(ApplyChange(change, g), 0);
+  EXPECT_EQ(g, MakeTriangle());
+}
+
+TEST(GraphChangeTest, InsertMaterializesNewVertices) {
+  Graph g;
+  g.AddVertex(1);
+  GraphChange change;
+  change.ops.push_back(EdgeOp::Insert(0, 5, 2, 1, 9));
+  EXPECT_EQ(ApplyChange(change, g), 1);
+  EXPECT_TRUE(g.HasVertex(5));
+  EXPECT_EQ(g.GetVertexLabel(5), 9);
+  EXPECT_EQ(g.GetEdgeLabel(0, 5), 2);
+}
+
+TEST(GraphChangeTest, DiffThenApplyReproducesTarget) {
+  Graph from = MakeTriangle();
+  Graph to = MakeTriangle();
+  EXPECT_TRUE(to.RemoveEdge(0, 1));
+  const VertexId d = to.AddVertex(4);
+  EXPECT_TRUE(to.AddEdge(2, d, 5));
+
+  const GraphChange diff = DiffGraphs(from, to);
+  ApplyChange(diff, from);
+  EXPECT_EQ(from, to);
+}
+
+TEST(GraphChangeTest, DiffHandlesEdgeRelabel) {
+  Graph from = MakeTriangle();
+  Graph to = MakeTriangle();
+  EXPECT_TRUE(to.RemoveEdge(0, 1));
+  EXPECT_TRUE(to.AddEdge(0, 1, 9));
+  const GraphChange diff = DiffGraphs(from, to);
+  ApplyChange(diff, from);
+  EXPECT_EQ(from, to);
+}
+
+TEST(GraphChangeTest, DiffApplyRandomProperty) {
+  // apply(diff(a, b), a) == b for random same-vertex-set graph pairs.
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    Graph a, b;
+    constexpr int kVertices = 8;
+    for (int i = 0; i < kVertices; ++i) {
+      const VertexLabel label =
+          static_cast<VertexLabel>(rng.UniformInt(0, 2));
+      a.AddVertex(label);
+      b.AddVertex(label);
+    }
+    for (int k = 0; k < 12; ++k) {
+      const VertexId u = static_cast<VertexId>(rng.UniformInt(0, 7));
+      const VertexId v = static_cast<VertexId>(rng.UniformInt(0, 7));
+      if (u == v) continue;
+      if (rng.Bernoulli(0.5)) {
+        a.AddEdge(u, v, static_cast<EdgeLabel>(rng.UniformInt(0, 1)));
+      }
+      if (rng.Bernoulli(0.5)) {
+        b.AddEdge(u, v, static_cast<EdgeLabel>(rng.UniformInt(0, 1)));
+      }
+    }
+    ApplyChange(DiffGraphs(a, b), a);
+    EXPECT_EQ(a, b) << "trial " << trial;
+  }
+}
+
+TEST(GraphStreamTest, MaterializeReplaysChanges) {
+  GraphStream stream(MakeTriangle());
+  GraphChange c1;
+  c1.ops.push_back(EdgeOp::Delete(0, 1));
+  stream.AppendChange(c1);
+  GraphChange c2;
+  c2.ops.push_back(EdgeOp::Insert(0, 3, 0, 1, 8));
+  stream.AppendChange(c2);
+
+  EXPECT_EQ(stream.NumTimestamps(), 3);
+  EXPECT_EQ(stream.MaterializeAt(0), MakeTriangle());
+  EXPECT_FALSE(stream.MaterializeAt(1).HasEdge(0, 1));
+  const Graph at2 = stream.MaterializeAt(2);
+  EXPECT_TRUE(at2.HasVertex(3));
+  EXPECT_TRUE(at2.HasEdge(0, 3));
+}
+
+TEST(GraphStreamTest, CursorMatchesMaterialize) {
+  GraphStream stream(MakeTriangle());
+  for (int t = 0; t < 4; ++t) {
+    GraphChange change;
+    if (t % 2 == 0) {
+      change.ops.push_back(EdgeOp::Delete(0, 1));
+    } else {
+      change.ops.push_back(EdgeOp::Insert(0, 1, 0, 1, 2));
+    }
+    stream.AppendChange(change);
+  }
+  StreamCursor cursor(stream);
+  EXPECT_EQ(cursor.CurrentGraph(), stream.MaterializeAt(0));
+  while (cursor.HasNext()) {
+    cursor.Advance();
+    EXPECT_EQ(cursor.CurrentGraph(),
+              stream.MaterializeAt(cursor.CurrentTimestamp()));
+  }
+  EXPECT_EQ(cursor.CurrentTimestamp(), 4);
+}
+
+TEST(GraphIoTest, RoundTripSingleGraph) {
+  const Graph g = MakeTriangle();
+  const std::string text = FormatGraph(g);
+  const std::optional<Graph> parsed = ParseGraph(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, g);
+}
+
+TEST(GraphIoTest, RoundTripDataset) {
+  std::vector<Graph> graphs = {MakeTriangle(), Graph()};
+  graphs[1].AddVertex(7);
+  const std::string text = FormatGraphs(graphs);
+  const std::optional<std::vector<Graph>> parsed = ParseGraphs(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], graphs[0]);
+  EXPECT_EQ((*parsed)[1], graphs[1]);
+}
+
+TEST(GraphIoTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseGraph("x 1 2\n").has_value());
+  EXPECT_FALSE(ParseGraph("v 0 1\nv 0 2\n").has_value());   // Duplicate id.
+  EXPECT_FALSE(ParseGraph("e 0 1 0\n").has_value());        // Edge first.
+  EXPECT_FALSE(ParseGraph("v 0\n").has_value());            // Missing field.
+}
+
+TEST(GraphIoTest, ParseIgnoresCommentsAndBlankLines) {
+  const std::optional<Graph> parsed =
+      ParseGraph("# comment\n\nv 0 1\nv 1 2\n# another\ne 0 1 3\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->NumVertices(), 2);
+  EXPECT_EQ(parsed->GetEdgeLabel(0, 1), 3);
+}
+
+}  // namespace
+}  // namespace gsps

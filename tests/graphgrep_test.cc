@@ -1,0 +1,124 @@
+// Tests for the GraphGrep-style path-fingerprint baseline.
+
+#include "gsps/baselines/graphgrep/graphgrep_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "gsps/common/random.h"
+#include "gsps/gen/query_extractor.h"
+#include "gsps/gen/synthetic_generator.h"
+#include "gsps/iso/subgraph_isomorphism.h"
+
+namespace gsps {
+namespace {
+
+Graph Path(std::initializer_list<VertexLabel> labels) {
+  Graph g;
+  VertexId prev = kInvalidVertex;
+  for (const VertexLabel label : labels) {
+    const VertexId v = g.AddVertex(label);
+    if (prev != kInvalidVertex) {
+      EXPECT_TRUE(g.AddEdge(prev, v, 0));
+    }
+    prev = v;
+  }
+  return g;
+}
+
+TEST(PathIndexTest, CountsVerticesAndPaths) {
+  const Graph g = Path({1, 2, 3});
+  const PathIndex index(g, 2);
+  // 3 length-0 + 4 directed length-1 + 2 directed length-2.
+  EXPECT_EQ(index.TotalPaths(), 9);
+}
+
+TEST(PathIndexTest, SubgraphFingerprintIsContained) {
+  const Graph g = Path({1, 2, 3, 1});
+  const Graph q = Path({2, 3});
+  const PathIndex gi(g, 4);
+  const PathIndex qi(q, 4);
+  EXPECT_TRUE(gi.MayContain(qi));
+  EXPECT_FALSE(qi.MayContain(gi));
+}
+
+TEST(PathIndexTest, LabelCountMismatchFiltersOut) {
+  const Graph g = Path({1, 2});
+  const Graph q = Path({1, 1});  // Needs two vertices labeled 1.
+  EXPECT_FALSE(PathIndex(g, 4).MayContain(PathIndex(q, 4)));
+}
+
+TEST(PathIndexTest, PathCountsPruneDespiteLabelMatch) {
+  // Star with three leaves vs path: same label multiset possible, but the
+  // query path of length 2 through distinct labels is absent in the star's
+  // center-to-leaf structure when labels differ.
+  Graph star;
+  star.AddVertex(1);
+  for (VertexLabel l : {2, 3, 4}) {
+    const VertexId v = star.AddVertex(l);
+    ASSERT_TRUE(star.AddEdge(0, v, 0));
+  }
+  const Graph q = Path({2, 3, 4});  // No such path in the star.
+  EXPECT_FALSE(PathIndex(star, 4).MayContain(PathIndex(q, 4)));
+}
+
+TEST(GraphGrepFilterTest, NoFalseNegativesOnRandomWorkload) {
+  Rng rng(31);
+  SyntheticParams params;
+  params.num_graphs = 30;
+  params.num_seeds = 6;
+  params.avg_seed_edges = 5;
+  params.avg_graph_edges = 20;
+  params.num_vertex_labels = 3;
+  const std::vector<Graph> dataset = GenerateSyntheticDataset(params);
+  const std::vector<Graph> queries = ExtractQuerySet(dataset, 4, 10, rng);
+  ASSERT_FALSE(queries.empty());
+
+  GraphGrepFilter filter(4);
+  filter.SetQueries(queries);
+  int64_t true_pairs = 0;
+  for (const Graph& data : dataset) {
+    const std::vector<int> candidates = filter.CandidateQueries(data);
+    for (size_t j = 0; j < queries.size(); ++j) {
+      if (IsSubgraphIsomorphic(queries[j], data)) {
+        ++true_pairs;
+        EXPECT_TRUE(std::find(candidates.begin(), candidates.end(),
+                              static_cast<int>(j)) != candidates.end());
+      }
+    }
+  }
+  EXPECT_GT(true_pairs, 0);
+}
+
+TEST(GraphGrepFilterTest, DatabaseDirectionMatchesQueryDirection) {
+  Rng rng(32);
+  SyntheticParams params;
+  params.num_graphs = 15;
+  params.num_seeds = 4;
+  params.avg_seed_edges = 4;
+  params.avg_graph_edges = 15;
+  const std::vector<Graph> dataset = GenerateSyntheticDataset(params);
+  const std::vector<Graph> queries = ExtractQuerySet(dataset, 3, 5, rng);
+  ASSERT_FALSE(queries.empty());
+
+  GraphGrepFilter by_query(4);
+  by_query.SetQueries(queries);
+  GraphGrepFilter by_database(4);
+  by_database.IndexDatabase(dataset);
+
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const std::vector<int> from_data =
+        by_query.CandidateQueries(dataset[i]);
+    for (size_t j = 0; j < queries.size(); ++j) {
+      const std::vector<int> from_query =
+          by_database.CandidateGraphsFor(queries[j]);
+      const bool a = std::find(from_data.begin(), from_data.end(),
+                               static_cast<int>(j)) != from_data.end();
+      const bool b = std::find(from_query.begin(), from_query.end(),
+                               static_cast<int>(i)) != from_query.end();
+      EXPECT_EQ(a, b) << "graph " << i << " query " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsps

@@ -1,0 +1,241 @@
+// Tests for the exact subgraph isomorphism checker and branch compatibility.
+
+#include "gsps/iso/subgraph_isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "gsps/common/random.h"
+#include "gsps/gen/query_extractor.h"
+#include "gsps/gen/synthetic_generator.h"
+#include "gsps/iso/branch_compatibility.h"
+
+namespace gsps {
+namespace {
+
+Graph Path(std::initializer_list<VertexLabel> labels) {
+  Graph g;
+  VertexId prev = kInvalidVertex;
+  for (const VertexLabel label : labels) {
+    const VertexId v = g.AddVertex(label);
+    if (prev != kInvalidVertex) {
+      EXPECT_TRUE(g.AddEdge(prev, v, 0));
+    }
+    prev = v;
+  }
+  return g;
+}
+
+Graph Cycle(int n, VertexLabel label) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.AddVertex(label);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(g.AddEdge(i, (i + 1) % n, 0));
+  }
+  return g;
+}
+
+TEST(IsoTest, EmptyQueryIsAlwaysContained) {
+  EXPECT_TRUE(IsSubgraphIsomorphic(Graph(), Path({1, 2})));
+  EXPECT_TRUE(IsSubgraphIsomorphic(Graph(), Graph()));
+}
+
+TEST(IsoTest, SingleVertexMatchesByLabel) {
+  Graph q;
+  q.AddVertex(2);
+  EXPECT_TRUE(IsSubgraphIsomorphic(q, Path({1, 2})));
+  EXPECT_FALSE(IsSubgraphIsomorphic(q, Path({1, 3})));
+}
+
+TEST(IsoTest, PathInPath) {
+  EXPECT_TRUE(IsSubgraphIsomorphic(Path({1, 2}), Path({3, 1, 2})));
+  EXPECT_TRUE(IsSubgraphIsomorphic(Path({2, 1}), Path({3, 1, 2})));
+  EXPECT_FALSE(IsSubgraphIsomorphic(Path({2, 2}), Path({3, 1, 2})));
+}
+
+TEST(IsoTest, PathInCycleButNotViceVersa) {
+  const Graph p3 = Path({1, 1, 1});
+  const Graph c4 = Cycle(4, 1);
+  EXPECT_TRUE(IsSubgraphIsomorphic(p3, c4));
+  EXPECT_FALSE(IsSubgraphIsomorphic(c4, p3));
+}
+
+TEST(IsoTest, TriangleNotInSquare) {
+  EXPECT_FALSE(IsSubgraphIsomorphic(Cycle(3, 1), Cycle(4, 1)));
+}
+
+TEST(IsoTest, NonInducedSemantics) {
+  // Query: path a-b-c. Data: triangle. The extra data edge must not matter.
+  EXPECT_TRUE(IsSubgraphIsomorphic(Path({1, 1, 1}), Cycle(3, 1)));
+}
+
+TEST(IsoTest, EdgeLabelsMustMatch) {
+  Graph q;
+  q.AddVertex(1);
+  q.AddVertex(1);
+  EXPECT_TRUE(q.AddEdge(0, 1, 5));
+  Graph g;
+  g.AddVertex(1);
+  g.AddVertex(1);
+  EXPECT_TRUE(g.AddEdge(0, 1, 6));
+  EXPECT_FALSE(IsSubgraphIsomorphic(q, g));
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_TRUE(g.AddEdge(0, 1, 5));
+  EXPECT_TRUE(IsSubgraphIsomorphic(q, g));
+}
+
+TEST(IsoTest, FindEmbeddingReturnsValidMapping) {
+  const Graph q = Path({1, 2, 3});
+  Graph g = Path({3, 2, 1});
+  const VertexId extra = g.AddVertex(9);
+  EXPECT_TRUE(g.AddEdge(0, extra, 0));
+  const std::optional<Embedding> embedding = FindEmbedding(q, g);
+  ASSERT_TRUE(embedding.has_value());
+  ASSERT_EQ(embedding->query_order.size(), 3u);
+  // Check the mapping is a genuine homomorphism + injective.
+  for (size_t i = 0; i < embedding->query_order.size(); ++i) {
+    const VertexId qu = embedding->query_order[i];
+    const VertexId du = embedding->mapping[i];
+    EXPECT_EQ(q.GetVertexLabel(qu), g.GetVertexLabel(du));
+    for (size_t k = i + 1; k < embedding->query_order.size(); ++k) {
+      EXPECT_NE(du, embedding->mapping[k]);
+      if (q.HasEdge(qu, embedding->query_order[k])) {
+        EXPECT_TRUE(g.HasEdge(du, embedding->mapping[k]));
+      }
+    }
+  }
+}
+
+TEST(IsoTest, CountEmbeddingsCountsAutomorphicImages) {
+  // A 1-edge query with equal labels embeds into a triangle 6 ways.
+  Graph q;
+  q.AddVertex(1);
+  q.AddVertex(1);
+  EXPECT_TRUE(q.AddEdge(0, 1, 0));
+  EXPECT_EQ(CountEmbeddings(q, Cycle(3, 1), 0), 6);
+  EXPECT_EQ(CountEmbeddings(q, Cycle(3, 1), 4), 4);  // Limit respected.
+}
+
+TEST(IsoTest, ForEachEmbeddingVisitsAll) {
+  Graph q;
+  q.AddVertex(1);
+  q.AddVertex(1);
+  EXPECT_TRUE(q.AddEdge(0, 1, 0));
+  int visits = 0;
+  ForEachEmbedding(q, Cycle(3, 1), 0, [&visits](const Embedding&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 6);
+  visits = 0;
+  ForEachEmbedding(q, Cycle(3, 1), 0, [&visits](const Embedding&) {
+    ++visits;
+    return visits < 2;  // Early stop.
+  });
+  EXPECT_EQ(visits, 2);
+}
+
+TEST(IsoTest, ExtractedSubgraphsAreAlwaysContained) {
+  // Property: a subgraph extracted from G is subgraph-isomorphic to G.
+  Rng rng(99);
+  SyntheticParams params;
+  params.num_graphs = 20;
+  params.num_seeds = 5;
+  params.avg_seed_edges = 4;
+  params.avg_graph_edges = 18;
+  const std::vector<Graph> dataset = GenerateSyntheticDataset(params);
+  int checked = 0;
+  for (const Graph& g : dataset) {
+    std::optional<Graph> q = ExtractConnectedSubgraph(g, 5, rng);
+    if (!q.has_value()) continue;
+    EXPECT_TRUE(IsSubgraphIsomorphic(*q, g));
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(IsoTest, StateBudgetAbortsConservatively) {
+  // With a tiny state budget the checker gives up and reports "no" — the
+  // documented conservative behavior (callers relying on exactness use the
+  // default, effectively unlimited, budget).
+  Graph clique;
+  for (int i = 0; i < 9; ++i) clique.AddVertex(0);
+  for (int i = 0; i < 9; ++i) {
+    for (int k = i + 1; k < 9; ++k) {
+      ASSERT_TRUE(clique.AddEdge(i, k, 0));
+    }
+  }
+  Graph query = Cycle(8, 0);
+  IsoOptions strict;
+  strict.max_states = 3;
+  EXPECT_FALSE(IsSubgraphIsomorphic(query, clique, strict));
+  EXPECT_TRUE(IsSubgraphIsomorphic(query, clique));  // Default budget.
+}
+
+TEST(BranchCompatibilityTest, EnumerateBranchesCountsSimplePaths) {
+  // Triangle with distinct labels: from vertex 0 at depth 2 the simple
+  // paths are 0-1, 0-2, 0-1-2, 0-2-1.
+  Graph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.AddVertex(3);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0));
+  EXPECT_TRUE(g.AddEdge(1, 2, 0));
+  EXPECT_TRUE(g.AddEdge(0, 2, 0));
+  const auto branches = EnumerateBranches(g, 0, 2);
+  int64_t total = 0;
+  for (const auto& [sig, count] : branches) total += count;
+  EXPECT_EQ(total, 4);
+  // Depth 3: edge-simple allows closing the cycle: 0-1-2-0 and 0-2-1-0.
+  const auto deeper = EnumerateBranches(g, 0, 3);
+  total = 0;
+  for (const auto& [sig, count] : deeper) total += count;
+  EXPECT_EQ(total, 6);
+}
+
+TEST(BranchCompatibilityTest, IsomorphismImpliesBranchCompatibility) {
+  // Lemma 4.1, checked on random extracted pairs.
+  Rng rng(7);
+  SyntheticParams params;
+  params.num_graphs = 12;
+  params.num_seeds = 4;
+  params.avg_seed_edges = 4;
+  params.avg_graph_edges = 15;
+  const std::vector<Graph> dataset = GenerateSyntheticDataset(params);
+  int checked = 0;
+  for (const Graph& g : dataset) {
+    std::optional<Graph> q = ExtractConnectedSubgraph(g, 4, rng);
+    if (!q.has_value()) continue;
+    const std::optional<Embedding> embedding = FindEmbedding(*q, g);
+    ASSERT_TRUE(embedding.has_value());
+    for (int depth = 1; depth <= 3; ++depth) {
+      for (size_t i = 0; i < embedding->query_order.size(); ++i) {
+        EXPECT_TRUE(BranchCompatible(*q, embedding->query_order[i], g,
+                                     embedding->mapping[i], depth));
+      }
+      EXPECT_TRUE(BranchCompatibleFilter(*q, g, depth));
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(BranchCompatibilityTest, LabelMismatchIsIncompatible) {
+  const Graph a = Path({1, 2});
+  const Graph b = Path({2, 2});
+  EXPECT_FALSE(BranchCompatible(a, 0, b, 0, 2));
+}
+
+TEST(BranchCompatibilityTest, MissingBranchDetected) {
+  // Query vertex has two distinct-label neighbors; data vertex only one.
+  Graph q;
+  q.AddVertex(1);
+  q.AddVertex(2);
+  q.AddVertex(3);
+  EXPECT_TRUE(q.AddEdge(0, 1, 0));
+  EXPECT_TRUE(q.AddEdge(0, 2, 0));
+  const Graph g = Path({2, 1});  // Vertex 1 has label 1, one neighbor.
+  EXPECT_FALSE(BranchCompatible(q, 0, g, 1, 2));
+}
+
+}  // namespace
+}  // namespace gsps

@@ -1,0 +1,335 @@
+// Tests for Node-Neighbor Trees: construction, incremental maintenance
+// (insert/delete), indexes, and projection (dimensions + NPVs).
+//
+// The central properties, checked on randomized workloads:
+//   * after any sequence of edge inserts/deletes, the incrementally
+//     maintained trees equal a from-scratch rebuild (same branch multisets)
+//     and Validate() holds (index consistency, dimension recounts, and an
+//     independent simple-path enumeration oracle);
+//   * NPVs derived incrementally equal NPVs of the rebuild.
+
+#include "gsps/nnt/nnt_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gsps/common/random.h"
+#include "gsps/gen/stream_generator.h"
+#include "gsps/gen/synthetic_generator.h"
+#include "gsps/graph/graph_change.h"
+#include "gsps/nnt/dimension.h"
+#include "gsps/nnt/npv.h"
+
+namespace gsps {
+namespace {
+
+// The paper's Figure 3 example graph: vertices 1..6 (here 0..5) with labels
+// A,B,A,C,B,C and edges forming the example topology.
+Graph PaperExampleGraph() {
+  Graph g;
+  const VertexLabel kA = 0, kB = 1, kC = 2;
+  g.AddVertex(kA);  // 0
+  g.AddVertex(kB);  // 1
+  g.AddVertex(kA);  // 2
+  g.AddVertex(kC);  // 3
+  g.AddVertex(kB);  // 4
+  g.AddVertex(kC);  // 5
+  EXPECT_TRUE(g.AddEdge(0, 1, 0));
+  EXPECT_TRUE(g.AddEdge(1, 2, 0));
+  EXPECT_TRUE(g.AddEdge(1, 3, 0));
+  EXPECT_TRUE(g.AddEdge(2, 4, 0));
+  EXPECT_TRUE(g.AddEdge(3, 5, 0));
+  return g;
+}
+
+// Asserts that `nnts` is internally consistent and that every tree matches
+// a from-scratch rebuild of `graph`.
+void ExpectMatchesRebuild(const NntSet& nnts, const Graph& graph, int depth) {
+  ASSERT_TRUE(nnts.Validate(graph));
+  DimensionTable fresh_dims;
+  NntSet fresh(depth, &fresh_dims);
+  fresh.Build(graph);
+  ASSERT_EQ(nnts.Roots(), fresh.Roots());
+  for (const VertexId root : fresh.Roots()) {
+    EXPECT_EQ(nnts.BranchesOf(root), fresh.BranchesOf(root))
+        << "root " << root;
+  }
+  EXPECT_EQ(nnts.TotalTreeNodes(), fresh.TotalTreeNodes());
+}
+
+TEST(NntTest, BuildSingleVertex) {
+  Graph g;
+  g.AddVertex(7);
+  DimensionTable dims;
+  NntSet nnts(3, &dims);
+  nnts.Build(g);
+  ASSERT_NE(nnts.TreeOf(0), nullptr);
+  EXPECT_EQ(nnts.TreeOf(0)->NumAliveNodes(), 1);
+  EXPECT_EQ(nnts.NpvOf(0).nnz(), 0);
+  EXPECT_TRUE(nnts.Validate(g));
+}
+
+TEST(NntTest, BuildPaperExample) {
+  const Graph g = PaperExampleGraph();
+  DimensionTable dims;
+  NntSet nnts(2, &dims);
+  nnts.Build(g);
+  EXPECT_TRUE(nnts.Validate(g));
+  // Vertex 0 (label A) at depth 2: paths 0-1, 0-1-2, 0-1-3.
+  const auto branches = nnts.BranchesOf(0);
+  int64_t total = 0;
+  for (const auto& [sig, count] : branches) total += count;
+  EXPECT_EQ(total, 3);
+  // Its NPV: one level-1 (A,B) edge, level-2 (B,A) and (B,C).
+  const Npv npv = nnts.NpvOf(0);
+  EXPECT_EQ(npv.nnz(), 3);
+  const DimId d1 = *dims.Find(1, 0, 1);
+  EXPECT_EQ(npv.ValueAt(d1), 1);
+}
+
+TEST(NntTest, TreeCountsMatchDegreeStructure) {
+  // Star: center connected to 4 leaves; depth 2.
+  Graph g;
+  g.AddVertex(0);
+  for (int i = 0; i < 4; ++i) {
+    g.AddVertex(1);
+    EXPECT_TRUE(g.AddEdge(0, i + 1, 0));
+  }
+  DimensionTable dims;
+  NntSet nnts(2, &dims);
+  nnts.Build(g);
+  // Center tree: root + 4 children (depth-2 continuations would revisit the
+  // same edge, so none exist).
+  EXPECT_EQ(nnts.TreeOf(0)->NumAliveNodes(), 5);
+  // Leaf tree: root + center + 3 siblings at depth 2.
+  EXPECT_EQ(nnts.TreeOf(1)->NumAliveNodes(), 5);
+  EXPECT_TRUE(nnts.Validate(g));
+}
+
+TEST(NntTest, EdgeSimplePathsAllowRevisitingVertices) {
+  // Triangle at depth 3: paths may return to the root through unused edges.
+  Graph g;
+  g.AddVertex(0);
+  g.AddVertex(0);
+  g.AddVertex(0);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0));
+  EXPECT_TRUE(g.AddEdge(1, 2, 0));
+  EXPECT_TRUE(g.AddEdge(0, 2, 0));
+  DimensionTable dims;
+  NntSet nnts(3, &dims);
+  nnts.Build(g);
+  // From the root: 2 length-1, 2 length-2, 2 length-3 = 6 non-root nodes.
+  EXPECT_EQ(nnts.TreeOf(0)->NumAliveNodes(), 7);
+  EXPECT_TRUE(nnts.Validate(g));
+}
+
+TEST(NntTest, InsertEdgeMatchesRebuild) {
+  Graph g = PaperExampleGraph();
+  DimensionTable dims;
+  NntSet nnts(2, &dims);
+  nnts.Build(g);
+  // The paper's running example: insert edge (0-based) {0, 3}.
+  ASSERT_TRUE(g.AddEdge(0, 3, 0));
+  nnts.InsertEdge(g, 0, 3);
+  ExpectMatchesRebuild(nnts, g, 2);
+}
+
+TEST(NntTest, DeleteEdgeMatchesRebuild) {
+  Graph g = PaperExampleGraph();
+  DimensionTable dims;
+  NntSet nnts(2, &dims);
+  nnts.Build(g);
+  // The paper's running example: delete edge {1, 3} (paper's (1,3)).
+  nnts.DeleteEdge(1, 3);
+  ASSERT_TRUE(g.RemoveEdge(1, 3));
+  ExpectMatchesRebuild(nnts, g, 2);
+}
+
+TEST(NntTest, InsertIntoEmptyVertexPairCreatesTrees) {
+  Graph g;
+  g.AddVertex(1);
+  DimensionTable dims;
+  NntSet nnts(3, &dims);
+  nnts.Build(g);
+  // New vertex arrives via an edge insertion.
+  ASSERT_TRUE(g.EnsureVertex(1, 2));
+  ASSERT_TRUE(g.AddEdge(0, 1, 0));
+  nnts.InsertEdge(g, 0, 1);
+  ExpectMatchesRebuild(nnts, g, 3);
+  EXPECT_EQ(nnts.TreeOf(1)->NumAliveNodes(), 2);
+}
+
+TEST(NntTest, DeleteThenReinsertRestoresState) {
+  Graph g = PaperExampleGraph();
+  DimensionTable dims;
+  NntSet nnts(3, &dims);
+  nnts.Build(g);
+  const auto before = nnts.BranchesOf(1);
+  nnts.DeleteEdge(1, 2);
+  ASSERT_TRUE(g.RemoveEdge(1, 2));
+  ExpectMatchesRebuild(nnts, g, 3);
+  ASSERT_TRUE(g.AddEdge(1, 2, 0));
+  nnts.InsertEdge(g, 1, 2);
+  ExpectMatchesRebuild(nnts, g, 3);
+  EXPECT_EQ(nnts.BranchesOf(1), before);
+}
+
+TEST(NntTest, DirtyRootsReportedOnChange) {
+  Graph g = PaperExampleGraph();
+  DimensionTable dims;
+  NntSet nnts(2, &dims);
+  nnts.Build(g);
+  // Build marks everything dirty.
+  EXPECT_EQ(nnts.TakeDirtyRoots().size(), 6u);
+  EXPECT_TRUE(nnts.TakeDirtyRoots().empty());
+  // Deleting a pendant edge touches trees within depth of both endpoints.
+  nnts.DeleteEdge(3, 5);
+  ASSERT_TRUE(g.RemoveEdge(3, 5));
+  const std::vector<VertexId> dirty = nnts.TakeDirtyRoots();
+  EXPECT_FALSE(dirty.empty());
+  for (const VertexId v : dirty) {
+    EXPECT_TRUE(g.HasVertex(v));
+  }
+  ExpectMatchesRebuild(nnts, g, 2);
+}
+
+TEST(NntTest, RemoveTreeAfterIsolation) {
+  Graph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0));
+  DimensionTable dims;
+  NntSet nnts(2, &dims);
+  nnts.Build(g);
+  nnts.DeleteEdge(0, 1);
+  ASSERT_TRUE(g.RemoveEdge(0, 1));
+  nnts.RemoveTree(1);
+  ASSERT_TRUE(g.RemoveVertex(1));
+  EXPECT_EQ(nnts.TreeOf(1), nullptr);
+  EXPECT_EQ(nnts.Roots(), std::vector<VertexId>{0});
+  ExpectMatchesRebuild(nnts, g, 2);
+}
+
+// Property test: a randomized mixed insert/delete workload, incremental vs
+// rebuild, across depths.
+class NntRandomWorkloadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NntRandomWorkloadTest, IncrementalEqualsRebuild) {
+  const int depth = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(depth));
+  // A pool of vertices; edges toggled randomly.
+  constexpr int kNumVertices = 14;
+  constexpr int kSteps = 120;
+  Graph g;
+  for (int i = 0; i < kNumVertices; ++i) {
+    g.AddVertex(static_cast<VertexLabel>(rng.UniformInt(0, 2)));
+  }
+  DimensionTable dims;
+  NntSet nnts(depth, &dims);
+  nnts.Build(g);
+  for (int step = 0; step < kSteps; ++step) {
+    const VertexId a =
+        static_cast<VertexId>(rng.UniformInt(0, kNumVertices - 1));
+    const VertexId b =
+        static_cast<VertexId>(rng.UniformInt(0, kNumVertices - 1));
+    if (a == b) continue;
+    if (g.HasEdge(a, b)) {
+      nnts.DeleteEdge(a, b);
+      ASSERT_TRUE(g.RemoveEdge(a, b));
+    } else {
+      ASSERT_TRUE(g.AddEdge(a, b, static_cast<EdgeLabel>(step % 2)));
+      nnts.InsertEdge(g, a, b);
+    }
+    // Full validation is expensive; do it on a sample of steps plus the
+    // final state.
+    if (step % 20 == 19 || step == kSteps - 1) {
+      ExpectMatchesRebuild(nnts, g, depth);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, NntRandomWorkloadTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(NntTest, StreamWorkloadStaysConsistent) {
+  // Drive a generated stream through incremental maintenance.
+  SyntheticStreamParams params;
+  params.num_pairs = 2;
+  params.avg_graph_edges = 12;
+  params.evolution.num_timestamps = 40;
+  params.seed = 5;
+  const StreamDataset dataset = MakeSyntheticStreams(params);
+  for (const GraphStream& stream : dataset.streams) {
+    DimensionTable dims;
+    NntSet nnts(3, &dims);
+    Graph g = stream.StartGraph();
+    nnts.Build(g);
+    for (int t = 1; t < stream.NumTimestamps(); ++t) {
+      for (const EdgeOp& op : stream.ChangeAt(t).ops) {
+        if (op.kind == EdgeOp::Kind::kDelete) {
+          if (!g.HasEdge(op.u, op.v)) continue;
+          nnts.DeleteEdge(op.u, op.v);
+          ASSERT_TRUE(g.RemoveEdge(op.u, op.v));
+        } else {
+          ASSERT_TRUE(g.EnsureVertex(op.u, op.u_label));
+          ASSERT_TRUE(g.EnsureVertex(op.v, op.v_label));
+          if (!g.AddEdge(op.u, op.v, op.edge_label)) continue;
+          nnts.InsertEdge(g, op.u, op.v);
+        }
+      }
+      if (t % 10 == 0 || t == stream.NumTimestamps() - 1) {
+        ExpectMatchesRebuild(nnts, g, 3);
+      }
+    }
+  }
+}
+
+TEST(NpvTest, FromMapDropsZeros) {
+  std::unordered_map<DimId, int32_t> counts = {{3, 2}, {1, 0}, {7, 5}};
+  const Npv npv = Npv::FromMap(counts);
+  EXPECT_EQ(npv.nnz(), 2);
+  EXPECT_EQ(npv.ValueAt(1), 0);
+  EXPECT_EQ(npv.ValueAt(3), 2);
+  EXPECT_EQ(npv.ValueAt(7), 5);
+  EXPECT_EQ(npv.ValueAt(99), 0);
+}
+
+TEST(NpvTest, DominanceBasics) {
+  const Npv a = Npv::FromMap({{1, 2}, {2, 3}});
+  const Npv b = Npv::FromMap({{1, 1}, {2, 3}});
+  const Npv c = Npv::FromMap({{1, 1}, {3, 1}});
+  const Npv empty;
+  EXPECT_TRUE(a.Dominates(b));
+  EXPECT_FALSE(b.Dominates(a));
+  EXPECT_TRUE(a.Dominates(a));
+  EXPECT_FALSE(a.Dominates(c));  // Dimension 3 missing in a.
+  EXPECT_FALSE(c.Dominates(a));
+  EXPECT_TRUE(a.Dominates(empty));
+  EXPECT_FALSE(empty.Dominates(a));
+  EXPECT_TRUE(empty.Dominates(empty));
+}
+
+TEST(DimensionTableTest, InternIsIdempotentAndDense) {
+  DimensionTable dims;
+  const DimId a = dims.Intern(1, 0, 1);
+  const DimId b = dims.Intern(2, 0, 1);
+  const DimId c = dims.Intern(1, 0, 1);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dims.size(), 2);
+  EXPECT_EQ(dims.Get(a).level, 1);
+  EXPECT_EQ(dims.Get(b).level, 2);
+  EXPECT_FALSE(dims.Find(3, 0, 1).has_value());
+  EXPECT_EQ(*dims.Find(2, 0, 1), b);
+}
+
+TEST(DimensionTableTest, DistinguishesDirectionOfLabels) {
+  DimensionTable dims;
+  const DimId ab = dims.Intern(1, 0, 1);
+  const DimId ba = dims.Intern(1, 1, 0);
+  EXPECT_NE(ab, ba);
+}
+
+}  // namespace
+}  // namespace gsps

@@ -1,0 +1,108 @@
+// White-box tests for the skyline strategy's optimizations: the
+// monochromatic-skyline reduction, max-value pruning, and the comparison
+// counter that the early stop is supposed to keep small.
+
+#include "gsps/join/skyline_earlystop_join.h"
+
+#include <gtest/gtest.h>
+
+namespace gsps {
+namespace {
+
+Npv Vec(std::initializer_list<std::pair<DimId, int32_t>> entries) {
+  std::unordered_map<DimId, int32_t> counts;
+  for (const auto& [dim, count] : entries) counts[dim] = count;
+  return Npv::FromMap(counts);
+}
+
+TEST(SkylineInternalsTest, MaxValuePruningAvoidsAllComparisons) {
+  SkylineEarlyStopJoin strategy;
+  std::vector<QueryVectors> queries;
+  // One query vector demanding more than any stream vector has in dim 0.
+  queries.push_back(QueryVectors{{Vec({{0, 10}})}});
+  strategy.SetQueries(std::move(queries));
+  strategy.SetNumStreams(1);
+  for (VertexId v = 0; v < 20; ++v) {
+    strategy.UpdateStreamVertex(0, v, Vec({{0, 3}, {1, 5}}));
+  }
+  EXPECT_TRUE(strategy.CandidatesForStream(0).empty());
+  // The per-dimension maximum (3 < 10) proves non-coverage without touching
+  // a single stream vector.
+  EXPECT_EQ(strategy.comparisons(), 0);
+}
+
+TEST(SkylineInternalsTest, MissingDimensionPrunesWithoutComparisons) {
+  SkylineEarlyStopJoin strategy;
+  std::vector<QueryVectors> queries;
+  queries.push_back(QueryVectors{{Vec({{7, 1}})}});  // Dim 7 unseen.
+  strategy.SetQueries(std::move(queries));
+  strategy.SetNumStreams(1);
+  strategy.UpdateStreamVertex(0, 0, Vec({{0, 5}}));
+  EXPECT_TRUE(strategy.CandidatesForStream(0).empty());
+  EXPECT_EQ(strategy.comparisons(), 0);
+}
+
+TEST(SkylineInternalsTest, MinCardinalityDimensionIsScanned) {
+  SkylineEarlyStopJoin strategy;
+  std::vector<QueryVectors> queries;
+  // Query vector non-zero in dims 0 and 1.
+  queries.push_back(QueryVectors{{Vec({{0, 2}, {1, 2}})}});
+  strategy.SetQueries(std::move(queries));
+  strategy.SetNumStreams(1);
+  // Dim 0: many vectors; dim 1: exactly one vector (which dominates).
+  for (VertexId v = 0; v < 10; ++v) {
+    strategy.UpdateStreamVertex(0, v, Vec({{0, 9}}));
+  }
+  strategy.UpdateStreamVertex(0, 99, Vec({{0, 9}, {1, 9}}));
+  EXPECT_EQ(strategy.CandidatesForStream(0), std::vector<int>{0});
+  // Only the singleton dim-1 bucket needed scanning: one comparison.
+  EXPECT_EQ(strategy.comparisons(), 1);
+}
+
+TEST(SkylineInternalsTest, DominatedQueryVectorsAreNeverChecked) {
+  SkylineEarlyStopJoin strategy;
+  std::vector<QueryVectors> queries;
+  // q_small is dominated by q_big: only q_big is a skyline point.
+  const Npv q_small = Vec({{0, 1}});
+  const Npv q_big = Vec({{0, 5}, {1, 5}});
+  queries.push_back(QueryVectors{{q_small, q_big}});
+  strategy.SetQueries(std::move(queries));
+  strategy.SetNumStreams(1);
+  // A stream vector covering q_big (hence q_small transitively).
+  strategy.UpdateStreamVertex(0, 0, Vec({{0, 5}, {1, 5}}));
+  EXPECT_EQ(strategy.CandidatesForStream(0), std::vector<int>{0});
+  // One skyline point, one bucket entry: exactly one comparison, not two.
+  EXPECT_EQ(strategy.comparisons(), 1);
+}
+
+TEST(SkylineInternalsTest, EqualQueryVectorsDeduplicated) {
+  SkylineEarlyStopJoin strategy;
+  std::vector<QueryVectors> queries;
+  const Npv q = Vec({{0, 2}});
+  queries.push_back(QueryVectors{{q, q, q}});
+  strategy.SetQueries(std::move(queries));
+  strategy.SetNumStreams(1);
+  strategy.UpdateStreamVertex(0, 0, Vec({{0, 2}}));
+  EXPECT_EQ(strategy.CandidatesForStream(0), std::vector<int>{0});
+  EXPECT_EQ(strategy.comparisons(), 1);
+}
+
+TEST(SkylineInternalsTest, BucketMaxRecomputedAfterRemoval) {
+  SkylineEarlyStopJoin strategy;
+  std::vector<QueryVectors> queries;
+  queries.push_back(QueryVectors{{Vec({{0, 4}})}});
+  strategy.SetQueries(std::move(queries));
+  strategy.SetNumStreams(1);
+  strategy.UpdateStreamVertex(0, 0, Vec({{0, 9}}));
+  strategy.UpdateStreamVertex(0, 1, Vec({{0, 2}}));
+  EXPECT_EQ(strategy.CandidatesForStream(0), std::vector<int>{0});
+  // Removing the maximal vector must shrink the bucket max to 2 and the
+  // max-value prune must now fire.
+  strategy.RemoveStreamVertex(0, 0);
+  const int64_t before = strategy.comparisons();
+  EXPECT_TRUE(strategy.CandidatesForStream(0).empty());
+  EXPECT_EQ(strategy.comparisons(), before);  // Pruned without comparisons.
+}
+
+}  // namespace
+}  // namespace gsps

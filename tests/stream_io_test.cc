@@ -1,0 +1,99 @@
+// Tests for graph-stream text serialization.
+
+#include "gsps/graph/stream_io.h"
+
+#include <gtest/gtest.h>
+
+#include "gsps/gen/stream_generator.h"
+
+namespace gsps {
+namespace {
+
+GraphStream MakeSampleStream() {
+  Graph start;
+  start.AddVertex(1);
+  start.AddVertex(2);
+  start.AddVertex(3);
+  EXPECT_TRUE(start.AddEdge(0, 1, 5));
+  GraphStream stream(start);
+  GraphChange c1;
+  c1.ops.push_back(EdgeOp::Insert(1, 2, 0, 2, 3));
+  stream.AppendChange(c1);
+  stream.AppendChange(GraphChange{});  // Empty batch.
+  GraphChange c3;
+  c3.ops.push_back(EdgeOp::Delete(0, 1));
+  c3.ops.push_back(EdgeOp::Insert(0, 3, 1, 1, 9));
+  stream.AppendChange(c3);
+  return stream;
+}
+
+void ExpectStreamsEqual(const GraphStream& a, const GraphStream& b) {
+  ASSERT_EQ(a.NumTimestamps(), b.NumTimestamps());
+  for (int t = 0; t < a.NumTimestamps(); ++t) {
+    EXPECT_EQ(a.MaterializeAt(t), b.MaterializeAt(t)) << "t=" << t;
+    if (t > 0) {
+      EXPECT_EQ(a.ChangeAt(t), b.ChangeAt(t)) << "t=" << t;
+    }
+  }
+}
+
+TEST(StreamIoTest, RoundTrip) {
+  const GraphStream stream = MakeSampleStream();
+  const std::string text = FormatStream(stream);
+  const std::optional<GraphStream> parsed = ParseStream(text);
+  ASSERT_TRUE(parsed.has_value());
+  ExpectStreamsEqual(stream, *parsed);
+  // Round-tripping the parse is a fixed point.
+  EXPECT_EQ(FormatStream(*parsed), text);
+}
+
+TEST(StreamIoTest, RoundTripGeneratedStream) {
+  SyntheticStreamParams params;
+  params.num_pairs = 2;
+  params.avg_graph_edges = 10;
+  params.evolution.num_timestamps = 25;
+  params.seed = 9;
+  const StreamDataset dataset = MakeSyntheticStreams(params);
+  for (const GraphStream& stream : dataset.streams) {
+    const std::optional<GraphStream> parsed =
+        ParseStream(FormatStream(stream));
+    ASSERT_TRUE(parsed.has_value());
+    ExpectStreamsEqual(stream, *parsed);
+  }
+}
+
+TEST(StreamIoTest, StartGraphOnly) {
+  Graph start;
+  start.AddVertex(4);
+  const std::optional<GraphStream> parsed =
+      ParseStream(FormatStream(GraphStream(start)));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->NumTimestamps(), 1);
+  EXPECT_EQ(parsed->StartGraph(), start);
+}
+
+TEST(StreamIoTest, CommentsAndBlankLinesIgnored) {
+  const std::optional<GraphStream> parsed = ParseStream(
+      "# header\nv 0 1\nv 1 1\n\ne 0 1 0\nt 1\n# batch\n- 0 1\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->NumTimestamps(), 2);
+  EXPECT_EQ(parsed->MaterializeAt(1).NumEdges(), 0);
+}
+
+TEST(StreamIoTest, RejectsMalformedInput) {
+  // Out-of-order timestamps.
+  EXPECT_FALSE(ParseStream("v 0 1\nt 2\n").has_value());
+  EXPECT_FALSE(ParseStream("v 0 1\nt 1\nt 3\n").has_value());
+  // Ops before any timestamp.
+  EXPECT_FALSE(ParseStream("v 0 1\n+ 0 1 0 1 1\n").has_value());
+  // Start-graph records after a timestamp.
+  EXPECT_FALSE(ParseStream("v 0 1\nt 1\nv 1 1\n").has_value());
+  // Unknown record and missing fields.
+  EXPECT_FALSE(ParseStream("x 1\n").has_value());
+  EXPECT_FALSE(ParseStream("v 0 1\nt 1\n- 0\n").has_value());
+  // Edge between missing vertices in the start graph.
+  EXPECT_FALSE(ParseStream("v 0 1\ne 0 1 0\n").has_value());
+}
+
+}  // namespace
+}  // namespace gsps
