@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_preliminary.dir/fig02_preliminary.cc.o"
+  "CMakeFiles/fig02_preliminary.dir/fig02_preliminary.cc.o.d"
+  "fig02_preliminary"
+  "fig02_preliminary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_preliminary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

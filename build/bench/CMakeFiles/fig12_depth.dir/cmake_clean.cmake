@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_depth.dir/fig12_depth.cc.o"
+  "CMakeFiles/fig12_depth.dir/fig12_depth.cc.o.d"
+  "fig12_depth"
+  "fig12_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

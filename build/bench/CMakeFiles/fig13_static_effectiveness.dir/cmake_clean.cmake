@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_static_effectiveness.dir/fig13_static_effectiveness.cc.o"
+  "CMakeFiles/fig13_static_effectiveness.dir/fig13_static_effectiveness.cc.o.d"
+  "fig13_static_effectiveness"
+  "fig13_static_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_static_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

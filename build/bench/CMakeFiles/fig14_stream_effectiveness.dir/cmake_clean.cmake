@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_stream_effectiveness.dir/fig14_stream_effectiveness.cc.o"
+  "CMakeFiles/fig14_stream_effectiveness.dir/fig14_stream_effectiveness.cc.o.d"
+  "fig14_stream_effectiveness"
+  "fig14_stream_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_stream_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_stream_efficiency.dir/fig15_stream_efficiency.cc.o"
+  "CMakeFiles/fig15_stream_efficiency.dir/fig15_stream_efficiency.cc.o.d"
+  "fig15_stream_efficiency"
+  "fig15_stream_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_stream_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_scalability_queries.dir/fig16_scalability_queries.cc.o"
+  "CMakeFiles/fig16_scalability_queries.dir/fig16_scalability_queries.cc.o.d"
+  "fig16_scalability_queries"
+  "fig16_scalability_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_scalability_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

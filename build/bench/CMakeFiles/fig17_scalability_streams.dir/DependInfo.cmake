@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig17_scalability_streams.cc" "bench/CMakeFiles/fig17_scalability_streams.dir/fig17_scalability_streams.cc.o" "gcc" "bench/CMakeFiles/fig17_scalability_streams.dir/fig17_scalability_streams.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gsps_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_nnt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_graphgrep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_gindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_scalability_streams.dir/fig17_scalability_streams.cc.o"
+  "CMakeFiles/fig17_scalability_streams.dir/fig17_scalability_streams.cc.o.d"
+  "fig17_scalability_streams"
+  "fig17_scalability_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_scalability_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

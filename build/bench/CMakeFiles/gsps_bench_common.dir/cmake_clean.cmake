@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/gsps_bench_common.dir/bench_common.cc.o.d"
+  "libgsps_bench_common.a"
+  "libgsps_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

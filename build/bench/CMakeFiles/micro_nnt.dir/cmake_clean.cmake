@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_nnt.dir/micro_nnt.cc.o"
+  "CMakeFiles/micro_nnt.dir/micro_nnt.cc.o.d"
+  "micro_nnt"
+  "micro_nnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_nnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_probe.dir/workload_probe.cc.o"
+  "CMakeFiles/workload_probe.dir/workload_probe.cc.o.d"
+  "workload_probe"
+  "workload_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

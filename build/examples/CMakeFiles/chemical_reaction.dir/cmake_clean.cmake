@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chemical_reaction.dir/chemical_reaction.cpp.o"
+  "CMakeFiles/chemical_reaction.dir/chemical_reaction.cpp.o.d"
+  "chemical_reaction"
+  "chemical_reaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chemical_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for chemical_reaction.
+# This may be replaced when dependencies are built.

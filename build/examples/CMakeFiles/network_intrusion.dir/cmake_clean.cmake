@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_intrusion.dir/network_intrusion.cpp.o"
+  "CMakeFiles/network_intrusion.dir/network_intrusion.cpp.o.d"
+  "network_intrusion"
+  "network_intrusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_intrusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_proximity.dir/social_proximity.cpp.o"
+  "CMakeFiles/social_proximity.dir/social_proximity.cpp.o.d"
+  "social_proximity"
+  "social_proximity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_proximity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

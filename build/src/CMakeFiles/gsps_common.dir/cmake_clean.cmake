@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_common.dir/gsps/common/random.cc.o"
+  "CMakeFiles/gsps_common.dir/gsps/common/random.cc.o.d"
+  "CMakeFiles/gsps_common.dir/gsps/common/stopwatch.cc.o"
+  "CMakeFiles/gsps_common.dir/gsps/common/stopwatch.cc.o.d"
+  "libgsps_common.a"
+  "libgsps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

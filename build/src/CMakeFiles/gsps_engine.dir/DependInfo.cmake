@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsps/engine/candidate_tracker.cc" "src/CMakeFiles/gsps_engine.dir/gsps/engine/candidate_tracker.cc.o" "gcc" "src/CMakeFiles/gsps_engine.dir/gsps/engine/candidate_tracker.cc.o.d"
+  "/root/repo/src/gsps/engine/continuous_query_engine.cc" "src/CMakeFiles/gsps_engine.dir/gsps/engine/continuous_query_engine.cc.o" "gcc" "src/CMakeFiles/gsps_engine.dir/gsps/engine/continuous_query_engine.cc.o.d"
+  "/root/repo/src/gsps/engine/filter_stats.cc" "src/CMakeFiles/gsps_engine.dir/gsps/engine/filter_stats.cc.o" "gcc" "src/CMakeFiles/gsps_engine.dir/gsps/engine/filter_stats.cc.o.d"
+  "/root/repo/src/gsps/engine/static_npv_index.cc" "src/CMakeFiles/gsps_engine.dir/gsps/engine/static_npv_index.cc.o" "gcc" "src/CMakeFiles/gsps_engine.dir/gsps/engine/static_npv_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsps_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_nnt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

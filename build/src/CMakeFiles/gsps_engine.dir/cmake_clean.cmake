@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_engine.dir/gsps/engine/candidate_tracker.cc.o"
+  "CMakeFiles/gsps_engine.dir/gsps/engine/candidate_tracker.cc.o.d"
+  "CMakeFiles/gsps_engine.dir/gsps/engine/continuous_query_engine.cc.o"
+  "CMakeFiles/gsps_engine.dir/gsps/engine/continuous_query_engine.cc.o.d"
+  "CMakeFiles/gsps_engine.dir/gsps/engine/filter_stats.cc.o"
+  "CMakeFiles/gsps_engine.dir/gsps/engine/filter_stats.cc.o.d"
+  "CMakeFiles/gsps_engine.dir/gsps/engine/static_npv_index.cc.o"
+  "CMakeFiles/gsps_engine.dir/gsps/engine/static_npv_index.cc.o.d"
+  "libgsps_engine.a"
+  "libgsps_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsps/gen/aids_like.cc" "src/CMakeFiles/gsps_gen.dir/gsps/gen/aids_like.cc.o" "gcc" "src/CMakeFiles/gsps_gen.dir/gsps/gen/aids_like.cc.o.d"
+  "/root/repo/src/gsps/gen/query_extractor.cc" "src/CMakeFiles/gsps_gen.dir/gsps/gen/query_extractor.cc.o" "gcc" "src/CMakeFiles/gsps_gen.dir/gsps/gen/query_extractor.cc.o.d"
+  "/root/repo/src/gsps/gen/reality_like.cc" "src/CMakeFiles/gsps_gen.dir/gsps/gen/reality_like.cc.o" "gcc" "src/CMakeFiles/gsps_gen.dir/gsps/gen/reality_like.cc.o.d"
+  "/root/repo/src/gsps/gen/stream_generator.cc" "src/CMakeFiles/gsps_gen.dir/gsps/gen/stream_generator.cc.o" "gcc" "src/CMakeFiles/gsps_gen.dir/gsps/gen/stream_generator.cc.o.d"
+  "/root/repo/src/gsps/gen/synthetic_generator.cc" "src/CMakeFiles/gsps_gen.dir/gsps/gen/synthetic_generator.cc.o" "gcc" "src/CMakeFiles/gsps_gen.dir/gsps/gen/synthetic_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

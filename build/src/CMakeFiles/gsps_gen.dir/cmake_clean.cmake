@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_gen.dir/gsps/gen/aids_like.cc.o"
+  "CMakeFiles/gsps_gen.dir/gsps/gen/aids_like.cc.o.d"
+  "CMakeFiles/gsps_gen.dir/gsps/gen/query_extractor.cc.o"
+  "CMakeFiles/gsps_gen.dir/gsps/gen/query_extractor.cc.o.d"
+  "CMakeFiles/gsps_gen.dir/gsps/gen/reality_like.cc.o"
+  "CMakeFiles/gsps_gen.dir/gsps/gen/reality_like.cc.o.d"
+  "CMakeFiles/gsps_gen.dir/gsps/gen/stream_generator.cc.o"
+  "CMakeFiles/gsps_gen.dir/gsps/gen/stream_generator.cc.o.d"
+  "CMakeFiles/gsps_gen.dir/gsps/gen/synthetic_generator.cc.o"
+  "CMakeFiles/gsps_gen.dir/gsps/gen/synthetic_generator.cc.o.d"
+  "libgsps_gen.a"
+  "libgsps_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

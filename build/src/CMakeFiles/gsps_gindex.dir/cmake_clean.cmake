@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_gindex.dir/gsps/baselines/gindex/dfs_code.cc.o"
+  "CMakeFiles/gsps_gindex.dir/gsps/baselines/gindex/dfs_code.cc.o.d"
+  "CMakeFiles/gsps_gindex.dir/gsps/baselines/gindex/gindex_filter.cc.o"
+  "CMakeFiles/gsps_gindex.dir/gsps/baselines/gindex/gindex_filter.cc.o.d"
+  "CMakeFiles/gsps_gindex.dir/gsps/baselines/gindex/gspan_miner.cc.o"
+  "CMakeFiles/gsps_gindex.dir/gsps/baselines/gindex/gspan_miner.cc.o.d"
+  "libgsps_gindex.a"
+  "libgsps_gindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_gindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

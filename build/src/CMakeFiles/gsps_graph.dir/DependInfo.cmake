@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsps/graph/graph.cc" "src/CMakeFiles/gsps_graph.dir/gsps/graph/graph.cc.o" "gcc" "src/CMakeFiles/gsps_graph.dir/gsps/graph/graph.cc.o.d"
+  "/root/repo/src/gsps/graph/graph_change.cc" "src/CMakeFiles/gsps_graph.dir/gsps/graph/graph_change.cc.o" "gcc" "src/CMakeFiles/gsps_graph.dir/gsps/graph/graph_change.cc.o.d"
+  "/root/repo/src/gsps/graph/graph_io.cc" "src/CMakeFiles/gsps_graph.dir/gsps/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/gsps_graph.dir/gsps/graph/graph_io.cc.o.d"
+  "/root/repo/src/gsps/graph/graph_stream.cc" "src/CMakeFiles/gsps_graph.dir/gsps/graph/graph_stream.cc.o" "gcc" "src/CMakeFiles/gsps_graph.dir/gsps/graph/graph_stream.cc.o.d"
+  "/root/repo/src/gsps/graph/stream_io.cc" "src/CMakeFiles/gsps_graph.dir/gsps/graph/stream_io.cc.o" "gcc" "src/CMakeFiles/gsps_graph.dir/gsps/graph/stream_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

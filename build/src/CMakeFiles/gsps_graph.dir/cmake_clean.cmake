@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_graph.dir/gsps/graph/graph.cc.o"
+  "CMakeFiles/gsps_graph.dir/gsps/graph/graph.cc.o.d"
+  "CMakeFiles/gsps_graph.dir/gsps/graph/graph_change.cc.o"
+  "CMakeFiles/gsps_graph.dir/gsps/graph/graph_change.cc.o.d"
+  "CMakeFiles/gsps_graph.dir/gsps/graph/graph_io.cc.o"
+  "CMakeFiles/gsps_graph.dir/gsps/graph/graph_io.cc.o.d"
+  "CMakeFiles/gsps_graph.dir/gsps/graph/graph_stream.cc.o"
+  "CMakeFiles/gsps_graph.dir/gsps/graph/graph_stream.cc.o.d"
+  "CMakeFiles/gsps_graph.dir/gsps/graph/stream_io.cc.o"
+  "CMakeFiles/gsps_graph.dir/gsps/graph/stream_io.cc.o.d"
+  "libgsps_graph.a"
+  "libgsps_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

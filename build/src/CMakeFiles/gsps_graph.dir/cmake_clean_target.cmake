@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgsps_graph.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsps/baselines/graphgrep/graphgrep_filter.cc" "src/CMakeFiles/gsps_graphgrep.dir/gsps/baselines/graphgrep/graphgrep_filter.cc.o" "gcc" "src/CMakeFiles/gsps_graphgrep.dir/gsps/baselines/graphgrep/graphgrep_filter.cc.o.d"
+  "/root/repo/src/gsps/baselines/graphgrep/path_index.cc" "src/CMakeFiles/gsps_graphgrep.dir/gsps/baselines/graphgrep/path_index.cc.o" "gcc" "src/CMakeFiles/gsps_graphgrep.dir/gsps/baselines/graphgrep/path_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

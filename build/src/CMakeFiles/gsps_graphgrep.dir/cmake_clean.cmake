@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_graphgrep.dir/gsps/baselines/graphgrep/graphgrep_filter.cc.o"
+  "CMakeFiles/gsps_graphgrep.dir/gsps/baselines/graphgrep/graphgrep_filter.cc.o.d"
+  "CMakeFiles/gsps_graphgrep.dir/gsps/baselines/graphgrep/path_index.cc.o"
+  "CMakeFiles/gsps_graphgrep.dir/gsps/baselines/graphgrep/path_index.cc.o.d"
+  "libgsps_graphgrep.a"
+  "libgsps_graphgrep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_graphgrep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

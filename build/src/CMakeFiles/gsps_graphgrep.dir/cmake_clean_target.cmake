@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgsps_graphgrep.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsps/iso/bipartite_matching.cc" "src/CMakeFiles/gsps_iso.dir/gsps/iso/bipartite_matching.cc.o" "gcc" "src/CMakeFiles/gsps_iso.dir/gsps/iso/bipartite_matching.cc.o.d"
+  "/root/repo/src/gsps/iso/branch_compatibility.cc" "src/CMakeFiles/gsps_iso.dir/gsps/iso/branch_compatibility.cc.o" "gcc" "src/CMakeFiles/gsps_iso.dir/gsps/iso/branch_compatibility.cc.o.d"
+  "/root/repo/src/gsps/iso/subgraph_isomorphism.cc" "src/CMakeFiles/gsps_iso.dir/gsps/iso/subgraph_isomorphism.cc.o" "gcc" "src/CMakeFiles/gsps_iso.dir/gsps/iso/subgraph_isomorphism.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_iso.dir/gsps/iso/bipartite_matching.cc.o"
+  "CMakeFiles/gsps_iso.dir/gsps/iso/bipartite_matching.cc.o.d"
+  "CMakeFiles/gsps_iso.dir/gsps/iso/branch_compatibility.cc.o"
+  "CMakeFiles/gsps_iso.dir/gsps/iso/branch_compatibility.cc.o.d"
+  "CMakeFiles/gsps_iso.dir/gsps/iso/subgraph_isomorphism.cc.o"
+  "CMakeFiles/gsps_iso.dir/gsps/iso/subgraph_isomorphism.cc.o.d"
+  "libgsps_iso.a"
+  "libgsps_iso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_iso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

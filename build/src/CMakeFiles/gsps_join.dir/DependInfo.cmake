@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsps/join/dominance.cc" "src/CMakeFiles/gsps_join.dir/gsps/join/dominance.cc.o" "gcc" "src/CMakeFiles/gsps_join.dir/gsps/join/dominance.cc.o.d"
+  "/root/repo/src/gsps/join/dominated_set_cover_join.cc" "src/CMakeFiles/gsps_join.dir/gsps/join/dominated_set_cover_join.cc.o" "gcc" "src/CMakeFiles/gsps_join.dir/gsps/join/dominated_set_cover_join.cc.o.d"
+  "/root/repo/src/gsps/join/nested_loop_join.cc" "src/CMakeFiles/gsps_join.dir/gsps/join/nested_loop_join.cc.o" "gcc" "src/CMakeFiles/gsps_join.dir/gsps/join/nested_loop_join.cc.o.d"
+  "/root/repo/src/gsps/join/skyline_earlystop_join.cc" "src/CMakeFiles/gsps_join.dir/gsps/join/skyline_earlystop_join.cc.o" "gcc" "src/CMakeFiles/gsps_join.dir/gsps/join/skyline_earlystop_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsps_nnt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_join.dir/gsps/join/dominance.cc.o"
+  "CMakeFiles/gsps_join.dir/gsps/join/dominance.cc.o.d"
+  "CMakeFiles/gsps_join.dir/gsps/join/dominated_set_cover_join.cc.o"
+  "CMakeFiles/gsps_join.dir/gsps/join/dominated_set_cover_join.cc.o.d"
+  "CMakeFiles/gsps_join.dir/gsps/join/nested_loop_join.cc.o"
+  "CMakeFiles/gsps_join.dir/gsps/join/nested_loop_join.cc.o.d"
+  "CMakeFiles/gsps_join.dir/gsps/join/skyline_earlystop_join.cc.o"
+  "CMakeFiles/gsps_join.dir/gsps/join/skyline_earlystop_join.cc.o.d"
+  "libgsps_join.a"
+  "libgsps_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

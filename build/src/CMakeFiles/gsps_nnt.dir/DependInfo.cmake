@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsps/nnt/dimension.cc" "src/CMakeFiles/gsps_nnt.dir/gsps/nnt/dimension.cc.o" "gcc" "src/CMakeFiles/gsps_nnt.dir/gsps/nnt/dimension.cc.o.d"
+  "/root/repo/src/gsps/nnt/nnt_set.cc" "src/CMakeFiles/gsps_nnt.dir/gsps/nnt/nnt_set.cc.o" "gcc" "src/CMakeFiles/gsps_nnt.dir/gsps/nnt/nnt_set.cc.o.d"
+  "/root/repo/src/gsps/nnt/node_neighbor_tree.cc" "src/CMakeFiles/gsps_nnt.dir/gsps/nnt/node_neighbor_tree.cc.o" "gcc" "src/CMakeFiles/gsps_nnt.dir/gsps/nnt/node_neighbor_tree.cc.o.d"
+  "/root/repo/src/gsps/nnt/npv.cc" "src/CMakeFiles/gsps_nnt.dir/gsps/nnt/npv.cc.o" "gcc" "src/CMakeFiles/gsps_nnt.dir/gsps/nnt/npv.cc.o.d"
+  "/root/repo/src/gsps/nnt/subtree_filter.cc" "src/CMakeFiles/gsps_nnt.dir/gsps/nnt/subtree_filter.cc.o" "gcc" "src/CMakeFiles/gsps_nnt.dir/gsps/nnt/subtree_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsps_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_nnt.dir/gsps/nnt/dimension.cc.o"
+  "CMakeFiles/gsps_nnt.dir/gsps/nnt/dimension.cc.o.d"
+  "CMakeFiles/gsps_nnt.dir/gsps/nnt/nnt_set.cc.o"
+  "CMakeFiles/gsps_nnt.dir/gsps/nnt/nnt_set.cc.o.d"
+  "CMakeFiles/gsps_nnt.dir/gsps/nnt/node_neighbor_tree.cc.o"
+  "CMakeFiles/gsps_nnt.dir/gsps/nnt/node_neighbor_tree.cc.o.d"
+  "CMakeFiles/gsps_nnt.dir/gsps/nnt/npv.cc.o"
+  "CMakeFiles/gsps_nnt.dir/gsps/nnt/npv.cc.o.d"
+  "CMakeFiles/gsps_nnt.dir/gsps/nnt/subtree_filter.cc.o"
+  "CMakeFiles/gsps_nnt.dir/gsps/nnt/subtree_filter.cc.o.d"
+  "libgsps_nnt.a"
+  "libgsps_nnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_nnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphgrep_test.dir/graphgrep_test.cc.o"
+  "CMakeFiles/graphgrep_test.dir/graphgrep_test.cc.o.d"
+  "graphgrep_test"
+  "graphgrep_test.pdb"
+  "graphgrep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphgrep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iso_test.dir/iso_test.cc.o"
+  "CMakeFiles/iso_test.dir/iso_test.cc.o.d"
+  "iso_test"
+  "iso_test.pdb"
+  "iso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

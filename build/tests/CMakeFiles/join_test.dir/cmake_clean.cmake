@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_test.dir/join_test.cc.o"
+  "CMakeFiles/join_test.dir/join_test.cc.o.d"
+  "join_test"
+  "join_test.pdb"
+  "join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

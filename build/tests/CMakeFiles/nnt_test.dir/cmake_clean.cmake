@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nnt_test.dir/nnt_test.cc.o"
+  "CMakeFiles/nnt_test.dir/nnt_test.cc.o.d"
+  "nnt_test"
+  "nnt_test.pdb"
+  "nnt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nnt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

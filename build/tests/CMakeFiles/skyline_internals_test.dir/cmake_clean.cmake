@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_internals_test.dir/skyline_internals_test.cc.o"
+  "CMakeFiles/skyline_internals_test.dir/skyline_internals_test.cc.o.d"
+  "skyline_internals_test"
+  "skyline_internals_test.pdb"
+  "skyline_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_io_test.dir/stream_io_test.cc.o"
+  "CMakeFiles/stream_io_test.dir/stream_io_test.cc.o.d"
+  "stream_io_test"
+  "stream_io_test.pdb"
+  "stream_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subtree_filter_test.dir/subtree_filter_test.cc.o"
+  "CMakeFiles/subtree_filter_test.dir/subtree_filter_test.cc.o.d"
+  "subtree_filter_test"
+  "subtree_filter_test.pdb"
+  "subtree_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subtree_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

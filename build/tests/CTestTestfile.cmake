@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/iso_test[1]_include.cmake")
+include("/root/repo/build/tests/nnt_test[1]_include.cmake")
+include("/root/repo/build/tests/join_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/graphgrep_test[1]_include.cmake")
+include("/root/repo/build/tests/gindex_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_example_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/subtree_filter_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_io_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/skyline_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_extras_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_gen_workload.dir/gsps_gen_workload.cc.o"
+  "CMakeFiles/gsps_gen_workload.dir/gsps_gen_workload.cc.o.d"
+  "gsps_gen_workload"
+  "gsps_gen_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_gen_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsps_monitor.dir/gsps_monitor.cc.o"
+  "CMakeFiles/gsps_monitor.dir/gsps_monitor.cc.o.d"
+  "gsps_monitor"
+  "gsps_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsps_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_gen_workload "/root/repo/build/tools/gsps_gen_workload" "--out_queries=/root/repo/build/tools/cli_queries.txt" "--out_stream=/root/repo/build/tools/cli_stream.txt" "--kind=reality" "--timestamps=20")
+set_tests_properties(cli_gen_workload PROPERTIES  FIXTURES_SETUP "cli_files" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_monitor "/root/repo/build/tools/gsps_monitor" "--queries=/root/repo/build/tools/cli_queries.txt" "--stream=/root/repo/build/tools/cli_stream.txt" "--verify" "--quiet")
+set_tests_properties(cli_monitor PROPERTIES  FIXTURES_REQUIRED "cli_files" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
