@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "gsps/common/check.h"
 #include "gsps/common/stopwatch.h"
 #include "gsps/engine/continuous_query_engine.h"
+#include "gsps/engine/parallel_query_engine.h"
 #include "gsps/gen/reality_like.h"
 #include "gsps/iso/subgraph_isomorphism.h"
 #include "gsps/join/dominance.h"
@@ -57,6 +59,12 @@ uint64_t Flags::GetUint64(const std::string& name,
   return it == values_.end()
              ? default_value
              : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
 }
 
 StreamWorkload MakeWorkload(StreamDataset dataset, int num_queries,
@@ -119,8 +127,75 @@ int64_t ExactTruePairs(const std::vector<Graph>& queries,
 
 }  // namespace
 
+namespace {
+
+// Shared driver loop for both engine flavors. `apply` applies one
+// timestamp's batches, `all_pairs` runs the join over every stream, and
+// `graph_of` exposes the live stream graphs for ground truth.
+template <typename ApplyFn, typename PairsFn, typename GraphFn>
+StatsAccumulator DriveEngine(const StreamWorkload& workload,
+                             const RunOptions& options, ApplyFn apply,
+                             PairsFn all_pairs, GraphFn graph_of) {
+  StatsAccumulator stats;
+  const int num_streams = static_cast<int>(workload.streams.size());
+  const int64_t total_pairs =
+      static_cast<int64_t>(workload.queries.size()) * num_streams;
+  Stopwatch watch;
+  for (int t = 0; t < workload.horizon; ++t) {
+    TimestampStats sample;
+    sample.timestamp = t;
+    sample.total_pairs = total_pairs;
+    if (t > 0) {
+      watch.Restart();
+      apply(t);
+      sample.update_millis = watch.ElapsedMillis();
+    }
+    watch.Restart();
+    sample.candidate_pairs = all_pairs();
+    sample.join_millis = watch.ElapsedMillis();
+    if (options.ground_truth_every > 0 &&
+        t % options.ground_truth_every == 0) {
+      std::vector<const Graph*> graphs;
+      for (int i = 0; i < num_streams; ++i) graphs.push_back(graph_of(i));
+      sample.true_pairs = ExactTruePairs(workload.queries, graphs);
+    }
+    stats.Add(sample);
+  }
+  return stats;
+}
+
+}  // namespace
+
 StatsAccumulator RunNpvEngine(const StreamWorkload& workload, JoinKind kind,
                               int depth, const RunOptions& options) {
+  const int num_streams = static_cast<int>(workload.streams.size());
+  if (options.num_threads > 1) {
+    ParallelEngineOptions parallel_options;
+    parallel_options.engine.nnt_depth = depth;
+    parallel_options.engine.join_kind = kind;
+    parallel_options.num_threads = options.num_threads;
+    ParallelQueryEngine engine(parallel_options);
+    for (const Graph& q : workload.queries) engine.AddQuery(q);
+    for (const GraphStream& s : workload.streams) {
+      engine.AddStream(s.StartGraph());
+    }
+    engine.Start();
+    std::vector<GraphChange> batches(static_cast<size_t>(num_streams));
+    return DriveEngine(
+        workload, options,
+        [&](int t) {
+          for (int i = 0; i < num_streams; ++i) {
+            batches[static_cast<size_t>(i)] =
+                workload.streams[static_cast<size_t>(i)].ChangeAt(t);
+          }
+          engine.ApplyChanges(batches);
+        },
+        [&] {
+          return static_cast<int64_t>(engine.AllCandidatePairs().size());
+        },
+        [&](int i) { return &engine.StreamGraph(i); });
+  }
+
   EngineOptions engine_options;
   engine_options.nnt_depth = depth;
   engine_options.join_kind = kind;
@@ -129,43 +204,24 @@ StatsAccumulator RunNpvEngine(const StreamWorkload& workload, JoinKind kind,
   for (const GraphStream& s : workload.streams) {
     engine.AddStream(s.StartGraph());
   }
-  Stopwatch watch;
   engine.Start();
-
-  StatsAccumulator stats;
-  const int num_streams = static_cast<int>(workload.streams.size());
-  const int64_t total_pairs =
-      static_cast<int64_t>(workload.queries.size()) * num_streams;
-  for (int t = 0; t < workload.horizon; ++t) {
-    TimestampStats sample;
-    sample.timestamp = t;
-    sample.total_pairs = total_pairs;
-    if (t > 0) {
-      watch.Restart();
-      for (int i = 0; i < num_streams; ++i) {
-        engine.ApplyChange(i, workload.streams[static_cast<size_t>(i)]
-                                  .ChangeAt(t));
-      }
-      sample.update_millis = watch.ElapsedMillis();
-    }
-    watch.Restart();
-    int64_t candidates = 0;
-    for (int i = 0; i < num_streams; ++i) {
-      candidates += static_cast<int64_t>(engine.CandidatesForStream(i).size());
-    }
-    sample.join_millis = watch.ElapsedMillis();
-    sample.candidate_pairs = candidates;
-    if (options.ground_truth_every > 0 &&
-        t % options.ground_truth_every == 0) {
-      std::vector<const Graph*> graphs;
-      for (int i = 0; i < num_streams; ++i) {
-        graphs.push_back(&engine.StreamGraph(i));
-      }
-      sample.true_pairs = ExactTruePairs(workload.queries, graphs);
-    }
-    stats.Add(sample);
-  }
-  return stats;
+  return DriveEngine(
+      workload, options,
+      [&](int t) {
+        for (int i = 0; i < num_streams; ++i) {
+          engine.ApplyChange(i,
+                             workload.streams[static_cast<size_t>(i)].ChangeAt(t));
+        }
+      },
+      [&] {
+        int64_t candidates = 0;
+        for (int i = 0; i < num_streams; ++i) {
+          candidates +=
+              static_cast<int64_t>(engine.CandidatesForStream(i).size());
+        }
+        return candidates;
+      },
+      [&](int i) { return &engine.StreamGraph(i); });
 }
 
 StatsAccumulator RunGraphGrepBaseline(const StreamWorkload& workload,
@@ -307,6 +363,63 @@ void PrintRow(const std::string& label, const std::vector<double>& values,
     std::printf("  %s=%.4f", columns[i].c_str(), values[i]);
   }
   std::printf("\n");
+}
+
+namespace {
+
+// Minimal JSON string escaping; keys and settings are harness-controlled
+// identifiers, so only the characters that would break the framing matter.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  // JSON has no NaN/Inf; clamp to null-free sentinels.
+  if (!std::isfinite(value)) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void EmitBenchJson(const std::string& bench, const std::string& setting,
+                   const std::map<std::string, double>& fields) {
+  std::string line = "{\"bench\":\"" + JsonEscape(bench) + "\"";
+  if (!setting.empty()) {
+    line += ",\"setting\":\"" + JsonEscape(setting) + "\"";
+  }
+  for (const auto& [key, value] : fields) {
+    line += ",\"" + JsonEscape(key) + "\":" + JsonNumber(value);
+  }
+  line += "}";
+  std::printf("BENCH_JSON %s\n", line.c_str());
+  if (const char* path = std::getenv("GSPS_BENCH_JSON"); path != nullptr) {
+    if (std::FILE* f = std::fopen(path, "a"); f != nullptr) {
+      std::fprintf(f, "%s\n", line.c_str());
+      std::fclose(f);
+    }
+  }
+}
+
+std::map<std::string, double> StatsJsonFields(const StatsAccumulator& stats) {
+  return {
+      {"timestamps", static_cast<double>(stats.num_timestamps())},
+      {"avg_cost_ms", stats.AvgCostMillis()},
+      {"avg_update_ms", stats.AvgUpdateMillis()},
+      {"avg_join_ms", stats.AvgJoinMillis()},
+      {"avg_candidate_ratio", stats.AvgCandidateRatio()},
+      {"avg_precision", stats.AvgPrecision()},
+  };
 }
 
 }  // namespace gsps::bench

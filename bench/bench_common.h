@@ -29,6 +29,8 @@ class Flags {
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
   uint64_t GetUint64(const std::string& name, uint64_t default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
 
  private:
   std::map<std::string, std::string> values_;
@@ -62,6 +64,10 @@ struct RunOptions {
   // Compute exact ground truth (VF2 over all pairs) every N timestamps;
   // 0 disables. Ground truth feeds precision columns only.
   int ground_truth_every = 0;
+  // Worker threads for the NPV engine; 1 runs the sequential
+  // ContinuousQueryEngine, >1 the sharded ParallelQueryEngine (identical
+  // output, update+join barriers run shard-concurrently).
+  int num_threads = 1;
 };
 
 // Runs the NPV engine (this paper's method) over the workload.
@@ -93,6 +99,19 @@ double NpvStaticCandidateRatio(const std::vector<Graph>& database,
 void PrintHeader(const std::string& title);
 void PrintRow(const std::string& label, const std::vector<double>& values,
               const std::vector<std::string>& columns);
+
+// Emits one machine-readable JSON line for a finished run:
+//   {"bench":"<bench>","setting":"<setting>","<k>":<v>,...}
+// Always written to stdout (prefixed "BENCH_JSON "); additionally appended
+// verbatim to the file named by the GSPS_BENCH_JSON environment variable
+// when set, which is how CI archives the perf trajectory of every figure
+// harness as a BENCH_<name>.json workflow artifact.
+void EmitBenchJson(const std::string& bench, const std::string& setting,
+                   const std::map<std::string, double>& fields);
+
+// Flattens a StatsAccumulator into EmitBenchJson fields (avg costs, ratio,
+// precision, sample count).
+std::map<std::string, double> StatsJsonFields(const StatsAccumulator& stats);
 
 }  // namespace gsps::bench
 

@@ -5,6 +5,7 @@
 //
 // Paper scale: fig15_stream_efficiency --pairs=70 --real_streams=25 ...
 //                  --timestamps=1000 --gindex_timestamps=1000
+// --threads=N runs the NPV engine on the sharded parallel engine.
 
 #include <algorithm>
 #include <cstdio>
@@ -16,22 +17,29 @@ namespace gsps::bench {
 namespace {
 
 void RunSetting(const char* name, const StreamWorkload& workload,
-                int gindex_timestamps, int64_t gindex_max_patterns) {
-  std::printf("\n[%s] %zu queries x %zu streams, %d timestamps\n", name,
-              workload.queries.size(), workload.streams.size(),
-              workload.horizon);
+                int gindex_timestamps, int64_t gindex_max_patterns,
+                int num_threads) {
+  std::printf("\n[%s] %zu queries x %zu streams, %d timestamps, "
+              "%d thread(s)\n", name, workload.queries.size(),
+              workload.streams.size(), workload.horizon, num_threads);
   {
-    const StatsAccumulator stats =
-        RunNpvEngine(workload, JoinKind::kDominatedSetCover, /*depth=*/3);
+    RunOptions options;
+    options.num_threads = num_threads;
+    const StatsAccumulator stats = RunNpvEngine(
+        workload, JoinKind::kDominatedSetCover, /*depth=*/3, options);
     std::printf("  %-8s cost/step=%9.3f ms (update %.3f + join %.3f)\n",
                 "NPV", stats.AvgCostMillis(), stats.AvgUpdateMillis(),
                 stats.AvgJoinMillis());
+    auto fields = StatsJsonFields(stats);
+    fields["num_threads"] = num_threads;
+    EmitBenchJson("fig15_npv", name, fields);
   }
   {
     const StatsAccumulator stats = RunGraphGrepBaseline(workload, 4);
     std::printf("  %-8s cost/step=%9.3f ms (update %.3f + join %.3f)\n",
                 "Ggrep", stats.AvgCostMillis(), stats.AvgUpdateMillis(),
                 stats.AvgJoinMillis());
+    EmitBenchJson("fig15_graphgrep", name, StatsJsonFields(stats));
   }
   StreamWorkload truncated = workload;
   truncated.horizon = std::min(workload.horizon, gindex_timestamps);
@@ -49,6 +57,7 @@ void RunSetting(const char* name, const StreamWorkload& workload,
                 "(on %d timestamps)\n",
                 "gIndex1", stats.AvgCostMillis(), stats.AvgUpdateMillis(),
                 stats.AvgJoinMillis(), truncated.horizon);
+    EmitBenchJson("fig15_gindex1", name, StatsJsonFields(stats));
   }
   {
     const StatsAccumulator stats =
@@ -57,6 +66,7 @@ void RunSetting(const char* name, const StreamWorkload& workload,
                 "(on %d timestamps)\n",
                 "gIndex2", stats.AvgCostMillis(), stats.AvgUpdateMillis(),
                 stats.AvgJoinMillis(), truncated.horizon);
+    EmitBenchJson("fig15_gindex2", name, StatsJsonFields(stats));
   }
 }
 
@@ -69,21 +79,22 @@ int Main(int argc, char** argv) {
   const int64_t gindex_max_patterns =
       flags.GetInt("gindex_max_patterns", 20000);
   const uint64_t seed = flags.GetUint64("seed", 11);
+  const int num_threads = flags.GetInt("threads", 1);
 
   std::printf("Figure 15: stream efficiency (avg cost per timestamp)\n");
 
   RunSetting("reality-like",
              RealityStreamWorkload(real_streams, real_streams, timestamps,
                                    seed),
-             gindex_timestamps, gindex_max_patterns);
+             gindex_timestamps, gindex_max_patterns, num_threads);
   RunSetting("synthetic sparse",
              SyntheticStreamWorkload(pairs, 0.1, 0.3, timestamps, seed + 1,
                                      /*extra_pair_fraction=*/12.0),
-             gindex_timestamps, gindex_max_patterns);
+             gindex_timestamps, gindex_max_patterns, num_threads);
   RunSetting("synthetic dense",
              SyntheticStreamWorkload(pairs, 0.2, 0.15, timestamps, seed + 2,
                                      /*extra_pair_fraction=*/6.2),
-             gindex_timestamps, gindex_max_patterns);
+             gindex_timestamps, gindex_max_patterns, num_threads);
 
   std::printf("\nPaper shape check: gIndex1 is orders of magnitude more "
               "costly (per-timestamp mining);\ngIndex2, GraphGrep, and NPV "

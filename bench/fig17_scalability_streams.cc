@@ -6,6 +6,7 @@
 //
 // Paper scale: fig17_scalability_streams --pairs=70 --real_streams=25 ...
 //                  --timestamps=1000
+// --threads=N runs the NPV engine on the sharded parallel engine.
 
 #include <cstdio>
 #include <vector>
@@ -16,13 +17,15 @@ namespace gsps::bench {
 namespace {
 
 void RunSetting(const char* name, const StreamWorkload& full,
-                const std::vector<int>& stream_counts) {
-  std::printf("\n[%s] %zu queries fixed, %d timestamps\n", name,
-              full.queries.size(), full.horizon);
+                const std::vector<int>& stream_counts, int num_threads) {
+  std::printf("\n[%s] %zu queries fixed, %d timestamps, %d thread(s)\n",
+              name, full.queries.size(), full.horizon, num_threads);
   // The NNT/index maintenance (update) is shared work; the join column is
   // where the strategies differ.
   std::printf("  %-9s %28s %28s %28s\n", "streams",
               "NL upd/join(ms)", "DSC upd/join(ms)", "Skyline upd/join(ms)");
+  RunOptions options;
+  options.num_threads = num_threads;
   for (const int count : stream_counts) {
     if (count > static_cast<int>(full.streams.size())) continue;
     StreamWorkload subset;
@@ -32,15 +35,24 @@ void RunSetting(const char* name, const StreamWorkload& full,
     }
     subset.horizon = full.horizon;
     const StatsAccumulator nl =
-        RunNpvEngine(subset, JoinKind::kNestedLoop, 3);
+        RunNpvEngine(subset, JoinKind::kNestedLoop, 3, options);
     const StatsAccumulator dsc =
-        RunNpvEngine(subset, JoinKind::kDominatedSetCover, 3);
+        RunNpvEngine(subset, JoinKind::kDominatedSetCover, 3, options);
     const StatsAccumulator skyline =
-        RunNpvEngine(subset, JoinKind::kSkylineEarlyStop, 3);
+        RunNpvEngine(subset, JoinKind::kSkylineEarlyStop, 3, options);
     std::printf("  %-9d %17.2f /%9.3f %17.2f /%9.3f %17.2f /%9.3f\n", count,
                 nl.AvgUpdateMillis(), nl.AvgJoinMillis(),
                 dsc.AvgUpdateMillis(), dsc.AvgJoinMillis(),
                 skyline.AvgUpdateMillis(), skyline.AvgJoinMillis());
+    for (const auto& [label, stats] :
+         {std::pair<const char*, const StatsAccumulator*>{"nl", &nl},
+          {"dsc", &dsc},
+          {"skyline", &skyline}}) {
+      auto fields = StatsJsonFields(*stats);
+      fields["streams"] = count;
+      fields["num_threads"] = num_threads;
+      EmitBenchJson(std::string("fig17_") + label, name, fields);
+    }
   }
 }
 
@@ -50,30 +62,34 @@ int Main(int argc, char** argv) {
   const int real_streams = flags.GetInt("real_streams", 10);
   const int timestamps = flags.GetInt("timestamps", 30);
   const uint64_t seed = flags.GetUint64("seed", 11);
+  const int num_threads = flags.GetInt("threads", 1);
 
   std::printf("Figure 17: cost per timestamp vs number of streams\n");
 
+  // A zero step would loop forever when the count is below 5.
+  const int real_step = std::max(1, real_streams / 5);
   std::vector<int> real_counts;
-  for (int c = real_streams / 5; c <= real_streams; c += real_streams / 5) {
-    real_counts.push_back(std::max(1, c));
+  for (int c = real_step; c <= real_streams; c += real_step) {
+    real_counts.push_back(c);
   }
+  const int synth_step = std::max(1, pairs / 5);
   std::vector<int> synth_counts;
-  for (int c = pairs / 5; c <= pairs; c += pairs / 5) {
-    synth_counts.push_back(std::max(1, c));
+  for (int c = synth_step; c <= pairs; c += synth_step) {
+    synth_counts.push_back(c);
   }
 
   RunSetting("reality-like",
              RealityStreamWorkload(real_streams, real_streams, timestamps,
                                    seed),
-             real_counts);
+             real_counts, num_threads);
   RunSetting("synthetic sparse",
              SyntheticStreamWorkload(pairs, 0.1, 0.3, timestamps, seed + 1,
                                      /*extra_pair_fraction=*/12.0),
-             synth_counts);
+             synth_counts, num_threads);
   RunSetting("synthetic dense",
              SyntheticStreamWorkload(pairs, 0.2, 0.15, timestamps, seed + 2,
                                      /*extra_pair_fraction=*/6.2),
-             synth_counts);
+             synth_counts, num_threads);
 
   std::printf("\nPaper shape check: per-timestamp cost grows linearly with "
               "the number of streams for\nall strategies (both update and "

@@ -1,0 +1,88 @@
+#include "gsps/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::HardwareThreads() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto barrier = std::make_shared<Barrier>();
+  barrier->fn = &fn;
+  barrier->limit = n;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GSPS_CHECK_MSG(current_ == nullptr || current_->completed == current_->limit,
+                   "ParallelFor is not reentrant");
+    barrier->generation = ++next_generation_;
+    current_ = barrier;
+  }
+  work_ready_.notify_all();
+  // The caller is a full worker lane for this barrier.
+  Drain(*barrier);
+  std::unique_lock<std::mutex> lock(mutex_);
+  barrier_done_.wait(lock,
+                     [&] { return barrier->completed == barrier->limit; });
+}
+
+void ThreadPool::Drain(Barrier& barrier) {
+  int done = 0;
+  for (int i = barrier.next.fetch_add(1, std::memory_order_relaxed);
+       i < barrier.limit;
+       i = barrier.next.fetch_add(1, std::memory_order_relaxed)) {
+    (*barrier.fn)(i);
+    ++done;
+  }
+  if (done == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  barrier.completed += done;
+  if (barrier.completed == barrier.limit) barrier_done_.notify_all();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    std::shared_ptr<Barrier> barrier;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ ||
+               (current_ != nullptr && current_->generation != seen_generation);
+      });
+      if (shutdown_) return;
+      barrier = current_;
+      seen_generation = barrier->generation;
+    }
+    // If this barrier already finished, the cursor is exhausted and Drain
+    // falls straight through without touching barrier->fn.
+    Drain(*barrier);
+  }
+}
+
+}  // namespace gsps

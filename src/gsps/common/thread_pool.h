@@ -1,0 +1,92 @@
+// A small fixed-size worker pool built for barrier-style data parallelism.
+//
+// The primary primitive is ParallelFor(n, fn): run fn(0..n-1) across the
+// workers plus the calling thread, returning when every index has finished.
+// Indices are handed out through a per-barrier atomic cursor, so the
+// schedule is self-balancing (work-stealing-friendly: a worker that
+// finishes its index immediately "steals" the next unclaimed one instead of
+// idling behind a static partition). Tasks must not throw — the library is
+// exception-free; programmer errors abort via GSPS_CHECK.
+//
+// One pool is meant to live as long as its owner (e.g. the parallel query
+// engine) and be reused across many barriers; workers block on a condition
+// variable between barriers rather than spinning. Each barrier's state
+// (cursor, completion count, the user function) lives in one shared-ptr'd
+// block, so a worker that wakes late for an already-finished barrier finds
+// its cursor exhausted and simply goes back to sleep — it can never touch
+// the next barrier's indices or a dead std::function.
+//
+// A pool constructed with num_threads <= 1 spawns no workers and runs
+// ParallelFor inline on the caller, which keeps single-threaded callers
+// free of any synchronization cost.
+
+#ifndef GSPS_COMMON_THREAD_POOL_H_
+#define GSPS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gsps {
+
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers (the caller is the remaining lane).
+  // num_threads <= 1 means fully inline execution.
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  // The parallelism degree this pool was built for (>= 1).
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(i) exactly once for every i in [0, n), distributing indices
+  // dynamically over the workers and the calling thread. Returns after all
+  // n calls have completed (a full barrier). Not reentrant: ParallelFor
+  // must not be called from inside a ParallelFor task of the same pool.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareThreads();
+
+ private:
+  // One ParallelFor invocation's state. The caller's ParallelFor frame only
+  // returns once `completed == limit`, at which point `next >= limit`
+  // forever, so any thread still holding a reference can no longer claim an
+  // index (and therefore never dereferences `fn` again).
+  struct Barrier {
+    const std::function<void(int)>* fn = nullptr;
+    int limit = 0;
+    uint64_t generation = 0;
+    std::atomic<int> next{0};  // Next unclaimed index (lock-free claim).
+    int completed = 0;         // Guarded by the pool mutex.
+  };
+
+  void WorkerLoop();
+
+  // Claims and runs indices from `barrier` until its cursor is exhausted,
+  // then credits the completions.
+  void Drain(Barrier& barrier);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable barrier_done_;
+  std::shared_ptr<Barrier> current_;  // Guarded by mutex_.
+  uint64_t next_generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_COMMON_THREAD_POOL_H_

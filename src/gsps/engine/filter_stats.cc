@@ -1,6 +1,27 @@
 #include "gsps/engine/filter_stats.h"
 
+#include <algorithm>
+
+#include "gsps/common/check.h"
+
 namespace gsps {
+
+TimestampStats MergeParallelSamples(const std::vector<TimestampStats>& shards) {
+  GSPS_CHECK(!shards.empty());
+  TimestampStats merged;
+  merged.timestamp = shards.front().timestamp;
+  merged.true_pairs = 0;
+  for (const TimestampStats& s : shards) {
+    merged.candidate_pairs += s.candidate_pairs;
+    merged.total_pairs += s.total_pairs;
+    merged.update_millis = std::max(merged.update_millis, s.update_millis);
+    merged.join_millis = std::max(merged.join_millis, s.join_millis);
+    if (merged.true_pairs >= 0) {
+      merged.true_pairs = s.true_pairs < 0 ? -1 : merged.true_pairs + s.true_pairs;
+    }
+  }
+  return merged;
+}
 
 void StatsAccumulator::Add(const TimestampStats& stats) {
   samples_.push_back(stats);

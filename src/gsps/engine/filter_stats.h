@@ -25,6 +25,14 @@ struct TimestampStats {
   double join_millis = 0.0;
 };
 
+// Merges the per-shard samples of one parallel barrier into a single
+// timestamp sample. Pair counts are summed across shards; update/join costs
+// take the maximum (the barrier's critical path — the wall-clock cost the
+// caller observed, not aggregate CPU time); true_pairs sums when every
+// shard computed it and stays -1 otherwise. The timestamp is taken from the
+// first shard. Shards must be non-empty.
+TimestampStats MergeParallelSamples(const std::vector<TimestampStats>& shards);
+
 // Aggregates TimestampStats.
 class StatsAccumulator {
  public:

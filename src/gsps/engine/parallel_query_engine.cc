@@ -1,0 +1,171 @@
+#include "gsps/engine/parallel_query_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gsps/common/check.h"
+#include "gsps/common/stopwatch.h"
+
+namespace gsps {
+
+ParallelQueryEngine::ParallelQueryEngine(const ParallelEngineOptions& options)
+    : options_(options) {
+  GSPS_CHECK(options.num_threads >= 0);
+  if (options_.num_threads == 0) {
+    options_.num_threads = ThreadPool::HardwareThreads();
+  }
+}
+
+int ParallelQueryEngine::AddQuery(const Graph& query) {
+  GSPS_CHECK_MSG(!started_, "use AddQueryDynamic after Start()");
+  pending_queries_.push_back(query);
+  return num_queries_++;
+}
+
+int ParallelQueryEngine::AddStream(Graph start) {
+  GSPS_CHECK_MSG(!started_, "streams are fixed at Start()");
+  pending_streams_.push_back(std::move(start));
+  return static_cast<int>(pending_streams_.size()) - 1;
+}
+
+void ParallelQueryEngine::Start() {
+  GSPS_CHECK(!started_);
+  started_ = true;
+  const int num_streams = static_cast<int>(pending_streams_.size());
+  const int num_shards =
+      std::max(1, std::min(options_.num_threads, num_streams));
+  shards_.resize(static_cast<size_t>(num_shards));
+  stream_to_shard_.resize(static_cast<size_t>(num_streams));
+  pool_ = std::make_unique<ThreadPool>(num_shards);
+  // Shard setup — including the per-shard query-vector computation and the
+  // initial NNT builds — is itself shard-parallel.
+  pool_->ParallelFor(num_shards, [&](int s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    shard.engine = std::make_unique<ContinuousQueryEngine>(options_.engine);
+    for (const Graph& query : pending_queries_) shard.engine->AddQuery(query);
+    for (int i = s; i < num_streams; i += num_shards) {
+      shard.engine->AddStream(pending_streams_[static_cast<size_t>(i)]);
+      shard.global_streams.push_back(i);
+    }
+    shard.join_results.resize(shard.global_streams.size());
+    shard.engine->Start();
+  });
+  for (int i = 0; i < num_streams; ++i) stream_to_shard_[static_cast<size_t>(i)] = i % num_shards;
+  pending_queries_.clear();
+  pending_streams_.clear();
+}
+
+void ParallelQueryEngine::ApplyChanges(const std::vector<GraphChange>& changes) {
+  GSPS_CHECK(started_);
+  GSPS_CHECK_MSG(static_cast<int>(changes.size()) == num_streams(),
+                 "one change batch per stream");
+  pool_->ParallelFor(num_shards(), [&](int s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    Stopwatch watch;
+    for (size_t local = 0; local < shard.global_streams.size(); ++local) {
+      const int global = shard.global_streams[local];
+      shard.engine->ApplyChange(static_cast<int>(local),
+                                changes[static_cast<size_t>(global)]);
+    }
+    shard.pending.update_millis += watch.ElapsedMillis();
+  });
+}
+
+void ParallelQueryEngine::ApplyChange(int stream, const GraphChange& change) {
+  GSPS_CHECK(started_);
+  Shard& shard = ShardOf(stream);
+  Stopwatch watch;
+  shard.engine->ApplyChange(LocalIndex(stream), change);
+  shard.pending.update_millis += watch.ElapsedMillis();
+}
+
+std::vector<int> ParallelQueryEngine::CandidatesForStream(int stream) {
+  GSPS_CHECK(started_);
+  return ShardOf(stream).engine->CandidatesForStream(LocalIndex(stream));
+}
+
+std::vector<std::pair<int, int>> ParallelQueryEngine::AllCandidatePairs() {
+  GSPS_CHECK(started_);
+  pool_->ParallelFor(num_shards(), [&](int s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    Stopwatch watch;
+    int64_t candidates = 0;
+    for (size_t local = 0; local < shard.global_streams.size(); ++local) {
+      shard.join_results[local] =
+          shard.engine->CandidatesForStream(static_cast<int>(local));
+      candidates += static_cast<int64_t>(shard.join_results[local].size());
+    }
+    shard.pending.join_millis += watch.ElapsedMillis();
+    shard.pending.candidate_pairs += candidates;
+  });
+  // Deterministic merge: ascending global stream, queries ascending within
+  // (each shard already reports queries ascending).
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < num_streams(); ++i) {
+    const Shard& shard = ShardOf(i);
+    for (const int q :
+         shard.join_results[static_cast<size_t>(LocalIndex(i))]) {
+      pairs.emplace_back(i, q);
+    }
+  }
+  return pairs;
+}
+
+bool ParallelQueryEngine::VerifyCandidate(int stream, int query) const {
+  GSPS_CHECK(started_);
+  return ShardOf(stream).engine->VerifyCandidate(LocalIndex(stream), query);
+}
+
+int ParallelQueryEngine::AddQueryDynamic(const Graph& query) {
+  GSPS_CHECK(started_);
+  pool_->ParallelFor(num_shards(), [&](int s) {
+    const int index =
+        shards_[static_cast<size_t>(s)].engine->AddQueryDynamic(query);
+    GSPS_CHECK(index == num_queries_);
+  });
+  return num_queries_++;
+}
+
+void ParallelQueryEngine::RemoveQueryDynamic(int query) {
+  GSPS_CHECK(started_);
+  pool_->ParallelFor(num_shards(), [&](int s) {
+    shards_[static_cast<size_t>(s)].engine->RemoveQueryDynamic(query);
+  });
+}
+
+TimestampStats ParallelQueryEngine::TakeBarrierStats() {
+  GSPS_CHECK(started_);
+  std::vector<TimestampStats> samples;
+  samples.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    shard.pending.total_pairs =
+        static_cast<int64_t>(shard.global_streams.size()) * num_queries_;
+    samples.push_back(shard.pending);
+    shard.pending = TimestampStats{};
+  }
+  return MergeParallelSamples(samples);
+}
+
+const Graph& ParallelQueryEngine::StreamGraph(int stream) const {
+  GSPS_CHECK(started_);
+  return ShardOf(stream).engine->StreamGraph(LocalIndex(stream));
+}
+
+const Graph& ParallelQueryEngine::QueryGraph(int query) const {
+  GSPS_CHECK(started_);
+  return shards_.front().engine->QueryGraph(query);
+}
+
+const ParallelQueryEngine::Shard& ParallelQueryEngine::ShardOf(
+    int stream) const {
+  GSPS_CHECK(stream >= 0 && stream < num_streams());
+  return shards_[static_cast<size_t>(
+      stream_to_shard_[static_cast<size_t>(stream)])];
+}
+
+ParallelQueryEngine::Shard& ParallelQueryEngine::ShardOf(int stream) {
+  return const_cast<Shard&>(
+      static_cast<const ParallelQueryEngine*>(this)->ShardOf(stream));
+}
+
+}  // namespace gsps

@@ -1,0 +1,151 @@
+// A sharded, thread-pool-backed continuous query engine.
+//
+// The paper's workload is embarrassingly parallel across the k1 graph
+// streams: whether query q is a candidate for stream G_i depends only on
+// G_i's NPVs and q's vectors (Lemma 4.2), never on another stream. This
+// engine exploits that by partitioning the streams round-robin into shards,
+// each shard owning a complete, independent sequential engine — its own
+// DimensionTable, NntSets, and join strategy over the full query workload.
+//
+// Why fully isolated shards instead of one shared query-side index: the
+// DimensionTable is an interner that streams append to while revealing new
+// label combinations, and the join strategies keep mutable per-stream
+// counters. Sharing either across workers would put a lock (or atomic
+// traffic) on the hottest path of NNT maintenance. Duplicating the
+// query-side state per shard costs a one-time setup pass plus a few
+// kilobytes per query, and buys a hot path with zero shared mutable state —
+// every barrier is plain data parallelism. Dimension ids then differ
+// between shards, but ids are a private encoding; candidate sets do not.
+//
+// Determinism: shard s owns global streams {i : i mod S == s}, every shard
+// applies the same deletions-first protocol as ContinuousQueryEngine, and
+// AllCandidatePairs() merges the per-shard results in ascending global
+// stream order (queries ascending within a stream). The output is therefore
+// byte-identical to the sequential engine's on the same inputs, regardless
+// of thread count or scheduling; tests/parallel_engine_test.cc enforces
+// this, and the no-false-negative guarantee carries over unchanged.
+//
+// Per-worker statistics: each shard records its own update/join wall times
+// and candidate counts during a barrier (no shared counters); the merged
+// critical-path sample is available from TakeBarrierStats() afterwards.
+//
+// Usage (one timestamp):
+//   ParallelQueryEngine engine(options);
+//   ... AddQuery / AddStream / Start() as with ContinuousQueryEngine ...
+//   engine.ApplyChanges(batches);            // batches[i] -> stream i
+//   auto pairs = engine.AllCandidatePairs(); // parallel join, merged
+//   TimestampStats cost = engine.TakeBarrierStats();
+
+#ifndef GSPS_ENGINE_PARALLEL_QUERY_ENGINE_H_
+#define GSPS_ENGINE_PARALLEL_QUERY_ENGINE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gsps/common/thread_pool.h"
+#include "gsps/engine/continuous_query_engine.h"
+#include "gsps/engine/filter_stats.h"
+#include "gsps/graph/graph.h"
+#include "gsps/graph/graph_change.h"
+
+namespace gsps {
+
+struct ParallelEngineOptions {
+  EngineOptions engine;  // Depth and join strategy, as for the sequential engine.
+  // Worker count; 0 means ThreadPool::HardwareThreads(). The effective
+  // shard count is min(num_threads, num_streams).
+  int num_threads = 0;
+};
+
+class ParallelQueryEngine {
+ public:
+  explicit ParallelQueryEngine(const ParallelEngineOptions& options);
+
+  ParallelQueryEngine(const ParallelQueryEngine&) = delete;
+  ParallelQueryEngine& operator=(const ParallelQueryEngine&) = delete;
+
+  // --- Setup (before Start) -------------------------------------------------
+
+  int AddQuery(const Graph& query);
+  int AddStream(Graph start);
+
+  // Creates the shards and builds all NNTs (in parallel). Must be called
+  // once after registration, before any streaming call.
+  void Start();
+
+  // --- Streaming ------------------------------------------------------------
+
+  // Applies one timestamp's edge batches — changes[i] to stream i, which
+  // requires changes.size() == num_streams() — concurrently across shards,
+  // returning at the barrier once every shard has flushed its dirty NPVs.
+  void ApplyChanges(const std::vector<GraphChange>& changes);
+
+  // Single-stream variant, applied inline on the calling thread (no
+  // parallelism; provided for API parity with the sequential engine).
+  void ApplyChange(int stream, const GraphChange& change);
+
+  // Candidate query indices for one stream, ascending (inline).
+  std::vector<int> CandidatesForStream(int stream);
+
+  // All candidate (stream, query) pairs at the current state: the join runs
+  // shard-concurrently, then the per-shard results are merged in ascending
+  // global stream order — identical output to the sequential engine.
+  std::vector<std::pair<int, int>> AllCandidatePairs();
+
+  // Exact subgraph-isomorphism check on one pair (off the hot path).
+  bool VerifyCandidate(int stream, int query) const;
+
+  // --- Dynamic queries ------------------------------------------------------
+
+  // Registers/retires a query on every shard (shard-parallel rebuild).
+  int AddQueryDynamic(const Graph& query);
+  void RemoveQueryDynamic(int query);
+
+  // --- Statistics -----------------------------------------------------------
+
+  // Merges and clears the per-shard samples accumulated by ApplyChanges /
+  // AllCandidatePairs barriers since the previous call: candidate counts
+  // sum across shards, costs take the slowest shard (the barrier's critical
+  // path). See MergeParallelSamples.
+  TimestampStats TakeBarrierStats();
+
+  // --- Introspection --------------------------------------------------------
+
+  int num_streams() const { return static_cast<int>(stream_to_shard_.size()); }
+  int num_queries() const { return num_queries_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_threads() const { return options_.num_threads; }
+  const Graph& StreamGraph(int stream) const;
+  const Graph& QueryGraph(int query) const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<ContinuousQueryEngine> engine;
+    std::vector<int> global_streams;  // Global index of each local stream.
+    // Per-worker barrier sample; touched only by the worker running this
+    // shard during a barrier, merged by TakeBarrierStats between barriers.
+    TimestampStats pending;
+    // AllCandidatePairs scratch: per local stream, the candidate queries.
+    std::vector<std::vector<int>> join_results;
+  };
+
+  const Shard& ShardOf(int stream) const;
+  Shard& ShardOf(int stream);
+  int LocalIndex(int stream) const { return stream / num_shards(); }
+
+  ParallelEngineOptions options_;
+  // Pre-Start buffers; drained into the shards by Start().
+  std::vector<Graph> pending_queries_;
+  std::vector<Graph> pending_streams_;
+
+  std::vector<Shard> shards_;
+  std::vector<int> stream_to_shard_;
+  int num_queries_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  bool started_ = false;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_ENGINE_PARALLEL_QUERY_ENGINE_H_

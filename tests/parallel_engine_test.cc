@@ -1,0 +1,340 @@
+// Tests for the sharded parallel engine and its thread pool.
+//
+// The load-bearing property is output equivalence: ParallelQueryEngine must
+// produce byte-identical candidate pairs to ContinuousQueryEngine on the
+// same inputs at every timestamp, for every join strategy and thread count
+// (1-8, spanning fewer and more workers than streams). On top of that, the
+// paper's no-false-negative guarantee is re-checked under concurrency
+// against VF2 ground truth. These tests are the payload of the TSan CI job.
+
+#include "gsps/engine/parallel_query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gsps/common/thread_pool.h"
+#include "gsps/engine/continuous_query_engine.h"
+#include "gsps/gen/stream_generator.h"
+#include "gsps/graph/graph_change.h"
+#include "gsps/iso/subgraph_isomorphism.h"
+
+namespace gsps {
+namespace {
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    constexpr int kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](int i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBarriers) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  int64_t expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int n = 1 + round % 7;
+    pool.ParallelFor(n, [&](int i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    expected += n * (n + 1) / 2;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeCountsAreNoops) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](int) { ran = true; });
+  pool.ParallelFor(-3, [&](int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int calls = 0;
+  pool.ParallelFor(5, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 5);
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+// --- Equivalence with the sequential engine --------------------------------
+
+struct Workload {
+  std::vector<Graph> queries;
+  std::vector<GraphStream> streams;
+};
+
+Workload RandomWorkload(int num_streams, int num_timestamps, uint64_t seed) {
+  SyntheticStreamParams params;
+  params.num_pairs = num_streams;
+  params.evolution.num_timestamps = num_timestamps;
+  params.evolution.p_appear = 0.25;
+  params.evolution.p_disappear = 0.2;
+  params.evolution.extra_pair_fraction = 3.0;
+  params.seed = seed;
+  StreamDataset dataset = MakeSyntheticStreams(params);
+  return Workload{std::move(dataset.queries), std::move(dataset.streams)};
+}
+
+// Runs both engines over the workload and asserts identical candidate
+// pairs at every timestamp.
+void ExpectEquivalent(const Workload& workload, JoinKind kind,
+                      int num_threads) {
+  EngineOptions sequential_options;
+  sequential_options.join_kind = kind;
+  ContinuousQueryEngine sequential(sequential_options);
+
+  ParallelEngineOptions parallel_options;
+  parallel_options.engine = sequential_options;
+  parallel_options.num_threads = num_threads;
+  ParallelQueryEngine parallel(parallel_options);
+
+  for (const Graph& q : workload.queries) {
+    sequential.AddQuery(q);
+    parallel.AddQuery(q);
+  }
+  const int num_streams = static_cast<int>(workload.streams.size());
+  for (const GraphStream& s : workload.streams) {
+    sequential.AddStream(s.StartGraph());
+    parallel.AddStream(s.StartGraph());
+  }
+  sequential.Start();
+  parallel.Start();
+  EXPECT_EQ(parallel.num_shards(),
+            std::min(std::max(1, num_threads), num_streams));
+
+  int horizon = 0;
+  for (const GraphStream& s : workload.streams) {
+    horizon = std::max(horizon, s.NumTimestamps());
+  }
+  std::vector<GraphChange> batches(static_cast<size_t>(num_streams));
+  for (int t = 0; t < horizon; ++t) {
+    if (t > 0) {
+      for (int i = 0; i < num_streams; ++i) {
+        const GraphStream& s = workload.streams[static_cast<size_t>(i)];
+        batches[static_cast<size_t>(i)] =
+            t < s.NumTimestamps() ? s.ChangeAt(t) : GraphChange{};
+        sequential.ApplyChange(i, batches[static_cast<size_t>(i)]);
+      }
+      parallel.ApplyChanges(batches);
+    }
+    ASSERT_EQ(parallel.AllCandidatePairs(), sequential.AllCandidatePairs())
+        << "join=" << JoinKindName(kind) << " threads=" << num_threads
+        << " t=" << t;
+  }
+}
+
+TEST(ParallelEngineTest, MatchesSequentialAcrossThreadCountsAndStrategies) {
+  const Workload workload = RandomWorkload(/*num_streams=*/9,
+                                           /*num_timestamps=*/12,
+                                           /*seed=*/77);
+  for (const JoinKind kind :
+       {JoinKind::kNestedLoop, JoinKind::kDominatedSetCover,
+        JoinKind::kSkylineEarlyStop}) {
+    // 1 = degenerate single shard; 4 < streams; 8 ~ streams; 12 > streams.
+    for (const int threads : {1, 4, 8, 12}) {
+      ExpectEquivalent(workload, kind, threads);
+    }
+  }
+}
+
+TEST(ParallelEngineTest, MatchesSequentialOnManyRandomSeeds) {
+  for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const Workload workload =
+        RandomWorkload(/*num_streams=*/6, /*num_timestamps=*/8, seed);
+    ExpectEquivalent(workload, JoinKind::kDominatedSetCover, 3);
+  }
+}
+
+TEST(ParallelEngineTest, CandidatesForStreamMatchesMergedPairs) {
+  const Workload workload = RandomWorkload(5, 6, 21);
+  ParallelEngineOptions options;
+  options.num_threads = 3;
+  ParallelQueryEngine engine(options);
+  for (const Graph& q : workload.queries) engine.AddQuery(q);
+  for (const GraphStream& s : workload.streams) {
+    engine.AddStream(s.StartGraph());
+  }
+  engine.Start();
+  std::vector<std::pair<int, int>> rebuilt;
+  for (int i = 0; i < engine.num_streams(); ++i) {
+    for (const int q : engine.CandidatesForStream(i)) rebuilt.emplace_back(i, q);
+  }
+  EXPECT_EQ(rebuilt, engine.AllCandidatePairs());
+}
+
+// --- No-false-negative property under concurrency --------------------------
+
+TEST(ParallelEngineTest, NoFalseNegativesAgainstExactIsomorphism) {
+  // A dense regime — small low-label queries, appear-biased evolution — so
+  // streams actually grow supergraphs of their base query and ground-truth
+  // matches occur (asserted below: the property must have teeth).
+  SyntheticStreamParams params;
+  params.num_pairs = 6;
+  params.avg_graph_edges = 9;
+  params.num_vertex_labels = 2;
+  params.evolution.num_timestamps = 10;
+  params.evolution.p_appear = 0.55;
+  params.evolution.p_disappear = 0.05;
+  params.evolution.extra_pair_fraction = 2.0;
+  params.seed = 99;
+  StreamDataset dataset = MakeSyntheticStreams(params);
+  const Workload workload{std::move(dataset.queries),
+                          std::move(dataset.streams)};
+  ParallelEngineOptions options;
+  options.num_threads = 4;
+  ParallelQueryEngine engine(options);
+  for (const Graph& q : workload.queries) engine.AddQuery(q);
+  const int num_streams = static_cast<int>(workload.streams.size());
+  for (const GraphStream& s : workload.streams) {
+    engine.AddStream(s.StartGraph());
+  }
+  engine.Start();
+
+  int horizon = 0;
+  for (const GraphStream& s : workload.streams) {
+    horizon = std::max(horizon, s.NumTimestamps());
+  }
+  int true_pairs_seen = 0;
+  std::vector<GraphChange> batches(static_cast<size_t>(num_streams));
+  for (int t = 0; t < horizon; ++t) {
+    if (t > 0) {
+      for (int i = 0; i < num_streams; ++i) {
+        const GraphStream& s = workload.streams[static_cast<size_t>(i)];
+        batches[static_cast<size_t>(i)] =
+            t < s.NumTimestamps() ? s.ChangeAt(t) : GraphChange{};
+      }
+      engine.ApplyChanges(batches);
+    }
+    const std::vector<std::pair<int, int>> candidates =
+        engine.AllCandidatePairs();
+    for (int i = 0; i < num_streams; ++i) {
+      for (int q = 0; q < engine.num_queries(); ++q) {
+        if (!IsSubgraphIsomorphic(engine.QueryGraph(q),
+                                  engine.StreamGraph(i))) {
+          continue;
+        }
+        ++true_pairs_seen;
+        EXPECT_NE(std::find(candidates.begin(), candidates.end(),
+                            std::make_pair(i, q)),
+                  candidates.end())
+            << "false negative: stream " << i << " query " << q << " at t="
+            << t;
+        EXPECT_TRUE(engine.VerifyCandidate(i, q));
+      }
+    }
+  }
+  // The workload derives queries from the streams, so ground-truth matches
+  // must actually occur for the property to have teeth.
+  EXPECT_GT(true_pairs_seen, 0);
+}
+
+// --- Dynamic queries and stats ---------------------------------------------
+
+TEST(ParallelEngineTest, DynamicQueriesStayEquivalent) {
+  const Workload workload = RandomWorkload(5, 4, 13);
+  EngineOptions sequential_options;
+  ContinuousQueryEngine sequential(sequential_options);
+  ParallelEngineOptions parallel_options;
+  parallel_options.num_threads = 4;
+  ParallelQueryEngine parallel(parallel_options);
+
+  for (size_t j = 0; j + 1 < workload.queries.size(); ++j) {
+    sequential.AddQuery(workload.queries[j]);
+    parallel.AddQuery(workload.queries[j]);
+  }
+  const int num_streams = static_cast<int>(workload.streams.size());
+  for (const GraphStream& s : workload.streams) {
+    sequential.AddStream(s.StartGraph());
+    parallel.AddStream(s.StartGraph());
+  }
+  sequential.Start();
+  parallel.Start();
+
+  const Graph& late_query = workload.queries.back();
+  EXPECT_EQ(parallel.AddQueryDynamic(late_query),
+            sequential.AddQueryDynamic(late_query));
+  EXPECT_EQ(parallel.AllCandidatePairs(), sequential.AllCandidatePairs());
+
+  sequential.RemoveQueryDynamic(0);
+  parallel.RemoveQueryDynamic(0);
+  std::vector<GraphChange> batches(static_cast<size_t>(num_streams));
+  for (int i = 0; i < num_streams; ++i) {
+    const GraphStream& s = workload.streams[static_cast<size_t>(i)];
+    batches[static_cast<size_t>(i)] = s.NumTimestamps() > 1
+                                          ? s.ChangeAt(1)
+                                          : GraphChange{};
+    sequential.ApplyChange(i, batches[static_cast<size_t>(i)]);
+  }
+  parallel.ApplyChanges(batches);
+  EXPECT_EQ(parallel.AllCandidatePairs(), sequential.AllCandidatePairs());
+}
+
+TEST(ParallelEngineTest, BarrierStatsMergePerWorkerSamples) {
+  const Workload workload = RandomWorkload(6, 3, 31);
+  ParallelEngineOptions options;
+  options.num_threads = 3;
+  ParallelQueryEngine engine(options);
+  for (const Graph& q : workload.queries) engine.AddQuery(q);
+  for (const GraphStream& s : workload.streams) {
+    engine.AddStream(s.StartGraph());
+  }
+  engine.Start();
+
+  const std::vector<std::pair<int, int>> pairs = engine.AllCandidatePairs();
+  const TimestampStats stats = engine.TakeBarrierStats();
+  EXPECT_EQ(stats.candidate_pairs, static_cast<int64_t>(pairs.size()));
+  EXPECT_EQ(stats.total_pairs,
+            static_cast<int64_t>(engine.num_streams()) * engine.num_queries());
+  EXPECT_GE(stats.join_millis, 0.0);
+  // The merge drained the per-shard accumulators.
+  const TimestampStats drained = engine.TakeBarrierStats();
+  EXPECT_EQ(drained.candidate_pairs, 0);
+  EXPECT_EQ(drained.update_millis, 0.0);
+}
+
+TEST(MergeParallelSamplesTest, SumsCountsAndTakesCriticalPath) {
+  TimestampStats a;
+  a.timestamp = 7;
+  a.candidate_pairs = 3;
+  a.total_pairs = 10;
+  a.true_pairs = 2;
+  a.update_millis = 1.5;
+  a.join_millis = 0.25;
+  TimestampStats b;
+  b.timestamp = 7;
+  b.candidate_pairs = 5;
+  b.total_pairs = 10;
+  b.true_pairs = 4;
+  b.update_millis = 0.5;
+  b.join_millis = 2.0;
+  const TimestampStats merged = MergeParallelSamples({a, b});
+  EXPECT_EQ(merged.timestamp, 7);
+  EXPECT_EQ(merged.candidate_pairs, 8);
+  EXPECT_EQ(merged.total_pairs, 20);
+  EXPECT_EQ(merged.true_pairs, 6);
+  EXPECT_DOUBLE_EQ(merged.update_millis, 1.5);
+  EXPECT_DOUBLE_EQ(merged.join_millis, 2.0);
+
+  b.true_pairs = -1;  // One shard without ground truth poisons the sum.
+  EXPECT_EQ(MergeParallelSamples({a, b}).true_pairs, -1);
+}
+
+}  // namespace
+}  // namespace gsps

@@ -1,28 +1,33 @@
-// gsps_monitor — continuous subgraph pattern monitoring over a recorded
-// graph stream.
+// gsps_monitor — continuous subgraph pattern monitoring over recorded
+// graph streams.
 //
 // Reads a query file (graphs in the "g/v/e" dataset format of graph_io.h)
-// and a stream file (the "v/e/t/+/-" format of stream_io.h), replays the
-// stream through the engine, and prints the possibly-matching queries at
-// every timestamp. With --verify each candidate is confirmed by the exact
-// checker before being printed; with --events only the transitions
-// (patterns that start or stop matching) are printed instead of the full
-// candidate set.
+// and one or more stream files (the "v/e/t/+/-" format of stream_io.h,
+// comma-separated), replays the streams through the engine, and prints the
+// possibly-matching queries at every timestamp. With --verify each
+// candidate is confirmed by the exact checker before being printed; with
+// --events only the transitions (patterns that start or stop matching) are
+// printed instead of the full candidate set. --threads=N shards the
+// streams over N workers (0 = one per hardware thread, 1 = the sequential
+// engine; the reported candidates are identical either way).
 //
-//   gsps_monitor --queries=patterns.txt --stream=traffic.txt ...
-//       [--depth=3] [--join=dsc|nl|skyline] [--verify] [--events] [--quiet]
+//   gsps_monitor --queries=patterns.txt --stream=traffic.txt[,more.txt...]
+//       [--depth=3] [--join=dsc|nl|skyline] [--threads=1] [--verify]
+//       [--events] [--quiet]
 //
 // Exit status: 0 on success, 2 on usage/file errors.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "gsps/common/stopwatch.h"
 #include "gsps/engine/candidate_tracker.h"
-#include "gsps/engine/continuous_query_engine.h"
+#include "gsps/engine/parallel_query_engine.h"
 #include "gsps/graph/graph_io.h"
 #include "gsps/graph/stream_io.h"
 
@@ -59,10 +64,24 @@ std::optional<std::string> ReadFile(const std::string& path) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: gsps_monitor --queries=FILE --stream=FILE\n"
-               "        [--depth=3] [--join=dsc|nl|skyline] [--verify] "
-               "[--events] [--quiet]\n");
+               "usage: gsps_monitor --queries=FILE --stream=FILE[,FILE...]\n"
+               "        [--depth=3] [--join=dsc|nl|skyline] [--threads=1] "
+               "[--verify] [--events] [--quiet]\n");
   return 2;
+}
+
+std::vector<std::string> SplitCommas(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string token;
+  for (const char c : spec + ",") {
+    if (c == ',') {
+      if (!token.empty()) parts.push_back(token);
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  return parts;
 }
 
 }  // namespace
@@ -85,16 +104,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::optional<std::string> stream_text = ReadFile(stream_path);
-  if (!stream_text) {
-    std::fprintf(stderr, "cannot read %s\n", stream_path.c_str());
-    return 2;
+  std::vector<GraphStream> streams;
+  for (const std::string& path : SplitCommas(stream_path)) {
+    const std::optional<std::string> stream_text = ReadFile(path);
+    if (!stream_text) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::optional<GraphStream> stream = ParseStream(*stream_text);
+    if (!stream) {
+      std::fprintf(stderr, "malformed stream file %s\n", path.c_str());
+      return 2;
+    }
+    streams.push_back(*std::move(stream));
   }
-  const std::optional<GraphStream> stream = ParseStream(*stream_text);
-  if (!stream) {
-    std::fprintf(stderr, "malformed stream file %s\n", stream_path.c_str());
-    return 2;
-  }
+  if (streams.empty()) return Usage();
 
   EngineOptions options;
   options.nnt_depth = std::atoi(GetFlag(argc, argv, "depth", "3").c_str());
@@ -112,44 +136,67 @@ int main(int argc, char** argv) {
   const bool events = HasFlag(argc, argv, "events");
   const bool quiet = HasFlag(argc, argv, "quiet");
 
-  ContinuousQueryEngine engine(options);
+  ParallelEngineOptions parallel_options;
+  parallel_options.engine = options;
+  parallel_options.num_threads =
+      std::atoi(GetFlag(argc, argv, "threads", "1").c_str());
+
+  ParallelQueryEngine engine(parallel_options);
   for (const Graph& q : *queries) engine.AddQuery(q);
-  engine.AddStream(stream->StartGraph());
+  int horizon = 0;
+  for (GraphStream& stream : streams) {
+    engine.AddStream(stream.StartGraph());
+    horizon = std::max(horizon, stream.NumTimestamps());
+  }
   engine.Start();
+  const int num_streams = engine.num_streams();
+  const bool multi = num_streams > 1;
 
   Stopwatch watch;
-  CandidateTracker tracker(1);
+  CandidateTracker tracker(num_streams);
   int64_t total_candidates = 0;
-  for (int t = 0; t < stream->NumTimestamps(); ++t) {
-    if (t > 0) engine.ApplyChange(0, stream->ChangeAt(t));
-    std::vector<int> reported;
-    for (const int q : engine.CandidatesForStream(0)) {
-      if (verify && !engine.VerifyCandidate(0, q)) continue;
-      ++total_candidates;
-      reported.push_back(q);
-    }
-    if (events) {
-      const CandidateTransitions transitions = tracker.Observe(0, reported);
-      if (!quiet && !transitions.empty()) {
-        std::string line;
-        for (const int q : transitions.appeared) {
-          line += " +q" + std::to_string(q);
-        }
-        for (const int q : transitions.disappeared) {
-          line += " -q" + std::to_string(q);
-        }
-        std::printf("t=%d events:%s\n", t, line.c_str());
+  std::vector<GraphChange> batches(static_cast<size_t>(num_streams));
+  for (int t = 0; t < horizon; ++t) {
+    if (t > 0) {
+      for (int i = 0; i < num_streams; ++i) {
+        const GraphStream& stream = streams[static_cast<size_t>(i)];
+        batches[static_cast<size_t>(i)] =
+            t < stream.NumTimestamps() ? stream.ChangeAt(t) : GraphChange{};
       }
-    } else if (!quiet && !reported.empty()) {
-      std::string hits;
-      for (const int q : reported) hits += " q" + std::to_string(q);
-      std::printf("t=%d%s%s\n", t, verify ? " matches:" : " candidates:",
-                  hits.c_str());
+      engine.ApplyChanges(batches);
+    }
+    for (int i = 0; i < num_streams; ++i) {
+      std::vector<int> reported;
+      for (const int q : engine.CandidatesForStream(i)) {
+        if (verify && !engine.VerifyCandidate(i, q)) continue;
+        ++total_candidates;
+        reported.push_back(q);
+      }
+      const std::string where =
+          multi ? " s" + std::to_string(i) : std::string();
+      if (events) {
+        const CandidateTransitions transitions = tracker.Observe(i, reported);
+        if (!quiet && !transitions.empty()) {
+          std::string line;
+          for (const int q : transitions.appeared) {
+            line += " +q" + std::to_string(q);
+          }
+          for (const int q : transitions.disappeared) {
+            line += " -q" + std::to_string(q);
+          }
+          std::printf("t=%d%s events:%s\n", t, where.c_str(), line.c_str());
+        }
+      } else if (!quiet && !reported.empty()) {
+        std::string hits;
+        for (const int q : reported) hits += " q" + std::to_string(q);
+        std::printf("t=%d%s%s%s\n", t, where.c_str(),
+                    verify ? " matches:" : " candidates:", hits.c_str());
+      }
     }
   }
-  std::printf("processed %d timestamps x %zu queries in %.1f ms; "
-              "%lld %s reported\n",
-              stream->NumTimestamps(), queries->size(),
+  std::printf("processed %d timestamps x %zu queries x %d stream(s) on %d "
+              "shard(s) in %.1f ms; %lld %s reported\n",
+              horizon, queries->size(), num_streams, engine.num_shards(),
               watch.ElapsedMillis(), static_cast<long long>(total_candidates),
               verify ? "verified matches" : "candidates");
   return 0;
