@@ -2,12 +2,12 @@
 
 #include <algorithm>
 
-#include "gsps/common/check.h"
-
 namespace gsps {
 
 TimestampStats MergeParallelSamples(const std::vector<TimestampStats>& shards) {
-  GSPS_CHECK(!shards.empty());
+  // Zero shards (an engine with no streams, or a barrier that recorded
+  // nothing) merges to the empty sample: all-zero counts, no ground truth.
+  if (shards.empty()) return TimestampStats{};
   TimestampStats merged;
   merged.timestamp = shards.front().timestamp;
   merged.true_pairs = 0;

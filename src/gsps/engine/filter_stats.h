@@ -30,7 +30,9 @@ struct TimestampStats {
 // take the maximum (the barrier's critical path — the wall-clock cost the
 // caller observed, not aggregate CPU time); true_pairs sums when every
 // shard computed it and stays -1 otherwise. The timestamp is taken from the
-// first shard. Shards must be non-empty.
+// first shard. Sums and maxima are commutative and associative, so the
+// result is independent of shard order. Zero shards merge to the empty
+// sample (all-zero counts, true_pairs = -1).
 TimestampStats MergeParallelSamples(const std::vector<TimestampStats>& shards);
 
 // Aggregates TimestampStats.

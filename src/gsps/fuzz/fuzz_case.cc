@@ -1,0 +1,52 @@
+#include "gsps/fuzz/fuzz_case.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gsps {
+
+int TotalEdges(const FuzzCase& c) {
+  int edges = 0;
+  for (const Graph& q : c.workload.queries) edges += q.NumEdges();
+  for (const GraphStream& s : c.workload.streams) {
+    edges += s.StartGraph().NumEdges();
+    for (int t = 1; t < s.NumTimestamps(); ++t) {
+      for (const EdgeOp& op : s.ChangeAt(t).ops) {
+        if (op.kind == EdgeOp::Kind::kInsert) ++edges;
+      }
+    }
+  }
+  return edges;
+}
+
+int Horizon(const FuzzCase& c) {
+  int horizon = 1;
+  for (const GraphStream& s : c.workload.streams) {
+    horizon = std::max(horizon, s.NumTimestamps());
+  }
+  return horizon;
+}
+
+std::string DescribeCase(const FuzzCase& c) {
+  return "streams=" + std::to_string(c.workload.streams.size()) +
+         " queries=" + std::to_string(c.workload.queries.size()) +
+         " ts=" + std::to_string(Horizon(c)) +
+         " edges=" + std::to_string(TotalEdges(c));
+}
+
+GraphStream RebuildStream(Graph start,
+                          const std::vector<GraphChange>& batches) {
+  GraphStream stream(std::move(start));
+  for (const GraphChange& batch : batches) stream.AppendChange(batch);
+  return stream;
+}
+
+std::vector<GraphChange> BatchesOf(const GraphStream& stream) {
+  std::vector<GraphChange> batches;
+  for (int t = 1; t < stream.NumTimestamps(); ++t) {
+    batches.push_back(stream.ChangeAt(t));
+  }
+  return batches;
+}
+
+}  // namespace gsps

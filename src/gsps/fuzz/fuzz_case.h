@@ -1,0 +1,45 @@
+// The unit of work of the differential fuzzer: one complete randomized
+// scenario — a query set, a set of evolving streams, and the engine
+// configuration under test. Cases are value types: the minimizer edits
+// copies freely and the replay format (replay.h) round-trips them exactly.
+
+#ifndef GSPS_FUZZ_FUZZ_CASE_H_
+#define GSPS_FUZZ_FUZZ_CASE_H_
+
+#include <string>
+#include <vector>
+
+#include "gsps/graph/graph_change.h"
+#include "gsps/graph/graph_stream.h"
+#include "gsps/graph/workload_io.h"
+
+namespace gsps {
+
+struct FuzzCase {
+  // NNT depth every engine in the oracle set is built with.
+  int nnt_depth = 3;
+  Workload workload;
+};
+
+// Total edge volume of a case: query edges + start-graph edges + insertion
+// ops across all batches. This is the size metric minimization reports
+// ("minimized to N edges") and tests bound.
+int TotalEdges(const FuzzCase& c);
+
+// Longest stream horizon (max NumTimestamps over streams; 1 when empty).
+int Horizon(const FuzzCase& c);
+
+// One-line shape summary, e.g. "streams=2 queries=3 ts=6 edges=17".
+// Deterministic — safe for the fuzzer's reproducible log.
+std::string DescribeCase(const FuzzCase& c);
+
+// Rebuilds a stream from a start graph and an explicit batch list (the
+// minimizer's editing primitive — GraphStream itself is append-only).
+GraphStream RebuildStream(Graph start, const std::vector<GraphChange>& batches);
+
+// The change batches of `stream`, timestamps 1..NumTimestamps-1.
+std::vector<GraphChange> BatchesOf(const GraphStream& stream);
+
+}  // namespace gsps
+
+#endif  // GSPS_FUZZ_FUZZ_CASE_H_

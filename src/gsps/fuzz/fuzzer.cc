@@ -1,0 +1,82 @@
+#include "gsps/fuzz/fuzzer.h"
+
+#include <utility>
+
+namespace gsps {
+namespace {
+
+void Emit(const std::function<void(const std::string&)>& log,
+          const std::string& line) {
+  if (log) log(line);
+}
+
+}  // namespace
+
+uint64_t CaseSeed(uint64_t seed, int iteration) {
+  // SplitMix64 over (seed, iteration): decorrelates consecutive iterations
+  // and makes every case reproducible standalone.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL *
+                          (static_cast<uint64_t>(iteration) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+FuzzOutcome RunFuzz(const FuzzOptions& options,
+                    const std::function<void(const std::string&)>& log) {
+  FuzzOutcome outcome;
+  Emit(log, "fuzz seed=" + std::to_string(options.seed) +
+                " iterations=" + std::to_string(options.iterations) +
+                " depth=" +
+                (options.gen.nnt_depth > 0
+                     ? std::to_string(options.gen.nnt_depth)
+                     : std::string("auto")));
+  for (int iteration = 0; iteration < options.iterations; ++iteration) {
+    const uint64_t case_seed = CaseSeed(options.seed, iteration);
+    Rng rng(case_seed);
+    const FuzzCase c = GenerateCase(options.gen, rng);
+    const std::optional<std::string> failure = RunOracles(c, options.oracles);
+    if (!failure) {
+      if (options.verbose) {
+        Emit(log, "iter " + std::to_string(iteration) + " ok " +
+                      DescribeCase(c));
+      }
+      continue;
+    }
+    Emit(log, "iter " + std::to_string(iteration) + " FAIL (case_seed=" +
+                  std::to_string(case_seed) + " " + DescribeCase(c) +
+                  "): " + *failure);
+    outcome.ok = false;
+    outcome.failing_iteration = iteration;
+    outcome.case_seed = case_seed;
+    outcome.failure = *failure;
+    outcome.original = c;
+
+    Emit(log, "minimizing (budget " +
+                  std::to_string(options.minimize_attempts) + " attempts)");
+    const OracleOptions oracle_options = options.oracles;
+    MinimizeOptions minimize_options;
+    minimize_options.max_attempts = options.minimize_attempts;
+    const MinimizeResult minimized = Minimize(
+        c,
+        [&oracle_options](const FuzzCase& candidate) {
+          return RunOracles(candidate, oracle_options).has_value();
+        },
+        minimize_options);
+    outcome.minimized = minimized.best;
+    outcome.minimize_attempts = minimized.attempts;
+    outcome.minimize_reductions = minimized.reductions;
+    outcome.minimized_failure =
+        RunOracles(minimized.best, oracle_options).value_or("(no longer fails?)");
+    Emit(log, "minimized to " + DescribeCase(minimized.best) + " (" +
+                  std::to_string(minimized.attempts) + " attempts, " +
+                  std::to_string(minimized.reductions) + " reductions)");
+    Emit(log, "minimized failure: " + outcome.minimized_failure);
+    return outcome;
+  }
+  Emit(log, "all " + std::to_string(options.iterations) +
+                " iterations passed");
+  return outcome;
+}
+
+}  // namespace gsps

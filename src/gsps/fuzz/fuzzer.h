@@ -1,0 +1,59 @@
+// The differential fuzzing driver: generate a case per iteration, run the
+// oracle set, and on the first failure shrink the case to a minimal replay.
+//
+// Determinism contract: RunFuzz's log and outcome are pure functions of
+// FuzzOptions. Iteration k of seed S always fuzzes the case derived from
+// CaseSeed(S, k) — independent of every other iteration — so a failure
+// report names everything needed to reproduce it, and re-running with the
+// same options replays the identical sequence (the CLI test diffs two runs
+// byte for byte). Log lines never contain wall-clock time or pointers.
+
+#ifndef GSPS_FUZZ_FUZZER_H_
+#define GSPS_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "gsps/fuzz/fuzz_case.h"
+#include "gsps/fuzz/minimizer.h"
+#include "gsps/fuzz/oracles.h"
+#include "gsps/fuzz/workload_gen.h"
+
+namespace gsps {
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  int iterations = 100;
+  GenParams gen;
+  OracleOptions oracles;
+  int minimize_attempts = 4000;
+  // Log every iteration (shape summaries); failures always log.
+  bool verbose = true;
+};
+
+struct FuzzOutcome {
+  bool ok = true;
+  // Set when !ok:
+  int failing_iteration = -1;
+  uint64_t case_seed = 0;        // CaseSeed(seed, failing_iteration).
+  std::string failure;           // Diagnostic on the generated case.
+  std::string minimized_failure; // Diagnostic on the minimized case.
+  FuzzCase original;
+  FuzzCase minimized;
+  int minimize_attempts = 0;
+  int minimize_reductions = 0;
+};
+
+// The per-iteration derivation (SplitMix64-style mixing), part of the seed
+// protocol documented in EXPERIMENTS.md.
+uint64_t CaseSeed(uint64_t seed, int iteration);
+
+// Runs the loop. `log` receives one line at a time (no trailing newline);
+// pass nullptr to discard.
+FuzzOutcome RunFuzz(const FuzzOptions& options,
+                    const std::function<void(const std::string&)>& log);
+
+}  // namespace gsps
+
+#endif  // GSPS_FUZZ_FUZZER_H_

@@ -1,0 +1,207 @@
+#include "gsps/fuzz/minimizer.h"
+
+#include <utility>
+#include <vector>
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+namespace {
+
+// Shared shrink-loop state: the best case so far and the budget.
+struct Shrinker {
+  FuzzCase best;
+  const CasePredicate& still_fails;
+  int max_attempts;
+  int attempts = 0;
+  int reductions = 0;
+
+  bool Exhausted() const { return attempts >= max_attempts; }
+
+  // Tries `candidate`; adopts it when it still fails. Returns true on
+  // adoption.
+  bool Try(FuzzCase candidate) {
+    if (Exhausted()) return false;
+    ++attempts;
+    if (!still_fails(candidate)) return false;
+    best = std::move(candidate);
+    ++reductions;
+    return true;
+  }
+};
+
+bool DropStreams(Shrinker& s) {
+  bool progress = false;
+  for (size_t i = s.best.workload.streams.size(); i-- > 0;) {
+    FuzzCase candidate = s.best;
+    candidate.workload.streams.erase(
+        candidate.workload.streams.begin() + static_cast<long>(i));
+    progress |= s.Try(std::move(candidate));
+    if (s.Exhausted()) break;
+  }
+  return progress;
+}
+
+bool DropQueries(Shrinker& s) {
+  bool progress = false;
+  for (size_t q = s.best.workload.queries.size(); q-- > 0;) {
+    FuzzCase candidate = s.best;
+    candidate.workload.queries.erase(
+        candidate.workload.queries.begin() + static_cast<long>(q));
+    progress |= s.Try(std::move(candidate));
+    if (s.Exhausted()) break;
+  }
+  return progress;
+}
+
+// Drops trailing batches first (cheap big cuts), then single batches.
+bool DropBatches(Shrinker& s) {
+  bool progress = false;
+  for (size_t i = 0; i < s.best.workload.streams.size(); ++i) {
+    // Halve the tail while that still fails.
+    while (!s.Exhausted()) {
+      const GraphStream& stream = s.best.workload.streams[i];
+      std::vector<GraphChange> batches = BatchesOf(stream);
+      if (batches.empty()) break;
+      FuzzCase candidate = s.best;
+      std::vector<GraphChange> kept(batches.begin(),
+                                    batches.begin() +
+                                        static_cast<long>(batches.size() / 2));
+      candidate.workload.streams[i] =
+          RebuildStream(stream.StartGraph(), kept);
+      if (!s.Try(std::move(candidate))) break;
+      progress = true;
+    }
+    // Then individual batches, last to first.
+    const size_t num_batches =
+        BatchesOf(s.best.workload.streams[i]).size();
+    for (size_t t = num_batches; t-- > 0;) {
+      if (s.Exhausted()) break;
+      const GraphStream& stream = s.best.workload.streams[i];
+      std::vector<GraphChange> batches = BatchesOf(stream);
+      if (t >= batches.size()) continue;
+      batches.erase(batches.begin() + static_cast<long>(t));
+      FuzzCase candidate = s.best;
+      candidate.workload.streams[i] =
+          RebuildStream(stream.StartGraph(), batches);
+      progress |= s.Try(std::move(candidate));
+    }
+  }
+  return progress;
+}
+
+bool DropOps(Shrinker& s) {
+  bool progress = false;
+  for (size_t i = 0; i < s.best.workload.streams.size(); ++i) {
+    for (int t = 1; t < s.best.workload.streams[i].NumTimestamps(); ++t) {
+      const size_t num_ops =
+          s.best.workload.streams[i].ChangeAt(t).ops.size();
+      for (size_t k = num_ops; k-- > 0;) {
+        if (s.Exhausted()) return progress;
+        const GraphStream& stream = s.best.workload.streams[i];
+        if (t >= stream.NumTimestamps()) break;
+        std::vector<GraphChange> batches = BatchesOf(stream);
+        std::vector<EdgeOp>& ops = batches[static_cast<size_t>(t - 1)].ops;
+        if (k >= ops.size()) continue;
+        ops.erase(ops.begin() + static_cast<long>(k));
+        FuzzCase candidate = s.best;
+        candidate.workload.streams[i] =
+            RebuildStream(stream.StartGraph(), batches);
+        progress |= s.Try(std::move(candidate));
+      }
+    }
+  }
+  return progress;
+}
+
+// Edits one graph in place via `edit`, which returns false when the edit
+// does not apply.
+template <typename Edit>
+bool TryGraphEdit(Shrinker& s, bool is_query, size_t index,
+                  const Edit& edit) {
+  FuzzCase candidate = s.best;
+  if (is_query) {
+    if (!edit(candidate.workload.queries[index])) return false;
+  } else {
+    const GraphStream& stream = candidate.workload.streams[index];
+    Graph start = stream.StartGraph();
+    if (!edit(start)) return false;
+    candidate.workload.streams[index] =
+        RebuildStream(std::move(start), BatchesOf(stream));
+  }
+  return s.Try(std::move(candidate));
+}
+
+// Removes edges one by one from queries and start graphs, then strips
+// isolated vertices (queries keep at least one vertex so the empty pattern
+// — vacuously contained everywhere — cannot appear during shrinking).
+bool DropGraphParts(Shrinker& s, bool is_query) {
+  bool progress = false;
+  const size_t count = is_query ? s.best.workload.queries.size()
+                                : s.best.workload.streams.size();
+  for (size_t index = 0; index < count; ++index) {
+    bool removed = true;
+    while (removed && !s.Exhausted()) {
+      removed = false;
+      const Graph& graph =
+          is_query ? s.best.workload.queries[index]
+                   : s.best.workload.streams[index].StartGraph();
+      // Edges.
+      for (const VertexId u : graph.VertexIds()) {
+        bool done = false;
+        for (const HalfEdge& half : graph.Neighbors(u)) {
+          if (half.to < u) continue;
+          const VertexId v = half.to;
+          if (TryGraphEdit(s, is_query, index, [u, v](Graph& g) {
+                return g.RemoveEdge(u, v);
+              })) {
+            removed = true;
+            progress = true;
+            done = true;
+            break;  // Adjacency changed; re-enumerate.
+          }
+          if (s.Exhausted()) return progress;
+        }
+        if (done) break;
+      }
+      if (removed) continue;
+      // Isolated vertices.
+      for (const VertexId v : graph.VertexIds()) {
+        if (graph.Degree(v) != 0) continue;
+        if (is_query && graph.NumVertices() <= 1) break;
+        if (TryGraphEdit(s, is_query, index, [v](Graph& g) {
+              return g.RemoveVertex(v);
+            })) {
+          removed = true;
+          progress = true;
+          break;
+        }
+        if (s.Exhausted()) return progress;
+      }
+    }
+  }
+  return progress;
+}
+
+}  // namespace
+
+MinimizeResult Minimize(const FuzzCase& failing,
+                        const CasePredicate& still_fails,
+                        const MinimizeOptions& options) {
+  GSPS_CHECK_MSG(still_fails(failing),
+                 "Minimize requires a failing case on entry");
+  Shrinker s{failing, still_fails, options.max_attempts};
+  bool progress = true;
+  while (progress && !s.Exhausted()) {
+    progress = false;
+    progress |= DropStreams(s);
+    progress |= DropQueries(s);
+    progress |= DropBatches(s);
+    progress |= DropOps(s);
+    progress |= DropGraphParts(s, /*is_query=*/false);
+    progress |= DropGraphParts(s, /*is_query=*/true);
+  }
+  return MinimizeResult{std::move(s.best), s.attempts, s.reductions};
+}
+
+}  // namespace gsps

@@ -1,0 +1,44 @@
+// Greedy test-case minimization: given a failing FuzzCase and a predicate
+// that re-runs the oracles, shrink the case while it keeps failing.
+//
+// The reduction order works coarse to fine — whole streams, whole queries,
+// trailing timestamps, individual batches, individual ops, then start-graph
+// and query edges and stray vertices — repeating until a full sweep makes
+// no progress (a 1-minimal case under these operators) or the attempt
+// budget runs out. Every kept reduction re-ran the predicate, so the
+// result is guaranteed to still fail; the caller serializes it as the
+// replay regression file.
+
+#ifndef GSPS_FUZZ_MINIMIZER_H_
+#define GSPS_FUZZ_MINIMIZER_H_
+
+#include <functional>
+
+#include "gsps/fuzz/fuzz_case.h"
+
+namespace gsps {
+
+// Returns true when the case still exhibits the failure being chased.
+using CasePredicate = std::function<bool(const FuzzCase&)>;
+
+struct MinimizeOptions {
+  // Upper bound on predicate evaluations (each one replays the whole case
+  // through the oracle set, so this bounds total minimization cost).
+  int max_attempts = 4000;
+};
+
+struct MinimizeResult {
+  FuzzCase best;
+  int attempts = 0;    // Predicate evaluations spent.
+  int reductions = 0;  // Accepted shrink steps.
+};
+
+// `still_fails(failing)` must be true on entry; the returned case also
+// satisfies it.
+MinimizeResult Minimize(const FuzzCase& failing,
+                        const CasePredicate& still_fails,
+                        const MinimizeOptions& options = {});
+
+}  // namespace gsps
+
+#endif  // GSPS_FUZZ_MINIMIZER_H_

@@ -1,0 +1,348 @@
+#include "gsps/fuzz/oracles.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "gsps/baselines/gindex/gindex_filter.h"
+#include "gsps/baselines/graphgrep/graphgrep_filter.h"
+#include "gsps/engine/continuous_query_engine.h"
+#include "gsps/engine/parallel_query_engine.h"
+#include "gsps/fuzz/replay.h"
+#include "gsps/graph/graph_io.h"
+#include "gsps/graph/stream_io.h"
+#include "gsps/iso/subgraph_isomorphism.h"
+#include "gsps/nnt/dimension.h"
+#include "gsps/nnt/nnt_set.h"
+
+namespace gsps {
+namespace {
+
+constexpr int kParallelThreadCounts[] = {1, 2, 4};
+
+std::string At(int timestamp, int stream) {
+  return "t=" + std::to_string(timestamp) + " stream=" +
+         std::to_string(stream);
+}
+
+// Structural stream equality (GraphStream has no operator==).
+bool StreamsEqual(const GraphStream& a, const GraphStream& b) {
+  if (a.NumTimestamps() != b.NumTimestamps()) return false;
+  if (!(a.StartGraph() == b.StartGraph())) return false;
+  for (int t = 1; t < a.NumTimestamps(); ++t) {
+    if (!(a.ChangeAt(t) == b.ChangeAt(t))) return false;
+  }
+  return true;
+}
+
+// Oracle 4: every text format must reproduce its input exactly.
+std::optional<std::string> CheckRoundTrips(const FuzzCase& c) {
+  for (size_t i = 0; i < c.workload.streams.size(); ++i) {
+    const GraphStream& stream = c.workload.streams[i];
+    const std::string text = FormatStream(stream);
+    IoError error;
+    std::optional<GraphStream> parsed = ParseStream(text, &error);
+    if (!parsed) {
+      return "roundtrip: stream " + std::to_string(i) +
+             " failed to re-parse (" + error.ToString() + ")";
+    }
+    if (!StreamsEqual(stream, *parsed)) {
+      return "roundtrip: stream " + std::to_string(i) +
+             " changed across Format/Parse";
+    }
+    if (FormatStream(*parsed) != text) {
+      return "roundtrip: stream " + std::to_string(i) +
+             " format is not a fixed point";
+    }
+  }
+  {
+    const std::string text = FormatGraphs(c.workload.queries);
+    IoError error;
+    std::optional<std::vector<Graph>> parsed = ParseGraphs(text, &error);
+    if (!parsed) {
+      return "roundtrip: query set failed to re-parse (" + error.ToString() +
+             ")";
+    }
+    if (parsed->size() != c.workload.queries.size()) {
+      return "roundtrip: query set changed size across Format/Parse";
+    }
+    for (size_t q = 0; q < parsed->size(); ++q) {
+      if (!((*parsed)[q] == c.workload.queries[q])) {
+        return "roundtrip: query " + std::to_string(q) +
+               " changed across Format/Parse";
+      }
+    }
+  }
+  {
+    const std::string text = FormatReplay(c);
+    IoError error;
+    std::optional<FuzzCase> parsed = ParseReplay(text, &error);
+    if (!parsed) {
+      return "roundtrip: replay failed to re-parse (" + error.ToString() +
+             ")";
+    }
+    if (FormatReplay(*parsed) != text) {
+      return "roundtrip: replay format is not a fixed point";
+    }
+    if (parsed->nnt_depth != c.nnt_depth) {
+      return "roundtrip: replay depth changed across Format/Parse";
+    }
+  }
+  return std::nullopt;
+}
+
+// Oracle 2: the incrementally maintained NntSet must match a from-scratch
+// rebuild of the current graph, tree by tree. Branch multisets are
+// dimension-table independent, so a private table for the rebuild is fine.
+std::optional<std::string> CheckNntRebuild(const NntSet& maintained,
+                                           const Graph& graph, int depth,
+                                           int timestamp, int stream) {
+  if (!maintained.Validate(graph)) {
+    return "nnt-validate: internal invariants violated, " +
+           At(timestamp, stream);
+  }
+  DimensionTable table;
+  NntSet fresh(depth, &table);
+  fresh.Build(graph);
+  const std::vector<VertexId> maintained_roots = maintained.Roots();
+  const std::vector<VertexId> fresh_roots = fresh.Roots();
+  if (maintained_roots != fresh_roots) {
+    return "nnt-rebuild: root sets differ, " + At(timestamp, stream) +
+           " (maintained " + std::to_string(maintained_roots.size()) +
+           " roots, rebuild " + std::to_string(fresh_roots.size()) + ")";
+  }
+  for (const VertexId root : maintained_roots) {
+    if (maintained.BranchesOf(root) != fresh.BranchesOf(root)) {
+      return "nnt-rebuild: tree of vertex " + std::to_string(root) +
+             " differs from a from-scratch rebuild, " + At(timestamp, stream);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<int> MissingCandidates(const std::vector<int>& candidates,
+                                   const std::vector<int>& required) {
+  std::vector<int> missing;
+  for (const int value : required) {
+    if (!std::binary_search(candidates.begin(), candidates.end(), value)) {
+      missing.push_back(value);
+    }
+  }
+  return missing;
+}
+
+std::string DescribeSet(const std::vector<int>& values) {
+  std::string out = "{";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(values[i]);
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<std::string> CheckNoFalseNegatives(
+    const std::string& filter_name, int timestamp, int stream,
+    const std::vector<int>& candidates, const std::vector<int>& truth) {
+  const std::vector<int> missing = MissingCandidates(candidates, truth);
+  if (missing.empty()) return std::nullopt;
+  return "false-negative: filter=" + filter_name + " " +
+         At(timestamp, stream) + " missing=" + DescribeSet(missing) +
+         " candidates=" + DescribeSet(candidates) +
+         " truth=" + DescribeSet(truth);
+}
+
+std::optional<std::string> CheckStrategiesAgree(
+    const std::string& name_a, const std::vector<int>& candidates_a,
+    const std::string& name_b, const std::vector<int>& candidates_b,
+    int timestamp, int stream) {
+  if (candidates_a == candidates_b) return std::nullopt;
+  return "strategy-disagreement: " + name_a + "=" +
+         DescribeSet(candidates_a) + " vs " + name_b + "=" +
+         DescribeSet(candidates_b) + ", " + At(timestamp, stream);
+}
+
+std::optional<std::string> RunOracles(const FuzzCase& c,
+                                      const OracleOptions& options) {
+  const std::vector<Graph>& queries = c.workload.queries;
+  const std::vector<GraphStream>& streams = c.workload.streams;
+  const int num_streams = static_cast<int>(streams.size());
+  const int num_queries = static_cast<int>(queries.size());
+
+  if (options.check_roundtrip) {
+    if (auto failure = CheckRoundTrips(c)) return failure;
+  }
+
+  // One sequential engine per join strategy.
+  struct NamedEngine {
+    std::string name;
+    std::unique_ptr<ContinuousQueryEngine> engine;
+  };
+  std::vector<NamedEngine> engines;
+  const std::pair<JoinKind, const char*> kinds[] = {
+      {JoinKind::kNestedLoop, "NL"},
+      {JoinKind::kDominatedSetCover, "DSC"},
+      {JoinKind::kSkylineEarlyStop, "Skyline"},
+  };
+  for (const auto& [kind, name] : kinds) {
+    EngineOptions engine_options;
+    engine_options.nnt_depth = c.nnt_depth;
+    engine_options.join_kind = kind;
+    NamedEngine named{name, std::make_unique<ContinuousQueryEngine>(
+                                engine_options)};
+    for (const Graph& q : queries) named.engine->AddQuery(q);
+    for (const GraphStream& s : streams) named.engine->AddStream(s.StartGraph());
+    named.engine->Start();
+    engines.push_back(std::move(named));
+  }
+  ContinuousQueryEngine& reference = *engines[1].engine;  // DSC.
+
+  std::vector<std::unique_ptr<ParallelQueryEngine>> parallel_engines;
+  if (options.check_parallel) {
+    for (const int threads : kParallelThreadCounts) {
+      ParallelEngineOptions parallel_options;
+      parallel_options.engine.nnt_depth = c.nnt_depth;
+      parallel_options.engine.join_kind = JoinKind::kDominatedSetCover;
+      parallel_options.num_threads = threads;
+      auto engine = std::make_unique<ParallelQueryEngine>(parallel_options);
+      for (const Graph& q : queries) engine->AddQuery(q);
+      for (const GraphStream& s : streams) engine->AddStream(s.StartGraph());
+      engine->Start();
+      parallel_engines.push_back(std::move(engine));
+    }
+  }
+
+  GraphGrepFilter graphgrep;
+  if (options.check_baselines) graphgrep.SetQueries(queries);
+
+  // Materialized per-stream graphs (the VF2 ground truth substrate).
+  std::vector<Graph> current;
+  current.reserve(static_cast<size_t>(num_streams));
+  for (const GraphStream& s : streams) current.push_back(s.StartGraph());
+
+  const bool need_truth = options.check_strategies || options.check_baselines;
+  const int horizon = Horizon(c);
+  for (int t = 0; t < horizon; ++t) {
+    if (t > 0) {
+      std::vector<GraphChange> batches(static_cast<size_t>(num_streams));
+      for (int i = 0; i < num_streams; ++i) {
+        const GraphStream& s = streams[static_cast<size_t>(i)];
+        if (t < s.NumTimestamps()) batches[static_cast<size_t>(i)] = s.ChangeAt(t);
+      }
+      for (NamedEngine& named : engines) {
+        for (int i = 0; i < num_streams; ++i) {
+          named.engine->ApplyChange(i, batches[static_cast<size_t>(i)]);
+        }
+      }
+      for (auto& engine : parallel_engines) engine->ApplyChanges(batches);
+      for (int i = 0; i < num_streams; ++i) {
+        ApplyChange(batches[static_cast<size_t>(i)],
+                    current[static_cast<size_t>(i)]);
+      }
+    }
+
+    std::vector<std::vector<int>> truth(static_cast<size_t>(num_streams));
+    if (need_truth) {
+      for (int i = 0; i < num_streams; ++i) {
+        for (int q = 0; q < num_queries; ++q) {
+          if (IsSubgraphIsomorphic(queries[static_cast<size_t>(q)],
+                                   current[static_cast<size_t>(i)])) {
+            truth[static_cast<size_t>(i)].push_back(q);
+          }
+        }
+      }
+    }
+
+    if (options.check_strategies) {
+      for (int i = 0; i < num_streams; ++i) {
+        std::vector<std::vector<int>> candidate_sets;
+        for (NamedEngine& named : engines) {
+          candidate_sets.push_back(named.engine->CandidatesForStream(i));
+        }
+        for (size_t k = 0; k < engines.size(); ++k) {
+          if (auto failure = CheckNoFalseNegatives(
+                  engines[k].name, t, i, candidate_sets[k],
+                  truth[static_cast<size_t>(i)])) {
+            return failure;
+          }
+          if (k > 0) {
+            if (auto failure = CheckStrategiesAgree(
+                    engines[0].name, candidate_sets[0], engines[k].name,
+                    candidate_sets[k], t, i)) {
+              return failure;
+            }
+          }
+        }
+      }
+    }
+
+    if (options.check_parallel) {
+      const std::vector<std::pair<int, int>> sequential_pairs =
+          reference.AllCandidatePairs();
+      for (size_t p = 0; p < parallel_engines.size(); ++p) {
+        const std::vector<std::pair<int, int>> parallel_pairs =
+            parallel_engines[p]->AllCandidatePairs();
+        if (parallel_pairs != sequential_pairs) {
+          return "parallel-divergence: threads=" +
+                 std::to_string(kParallelThreadCounts[p]) + " reported " +
+                 std::to_string(parallel_pairs.size()) +
+                 " pairs vs sequential " +
+                 std::to_string(sequential_pairs.size()) +
+                 " at t=" + std::to_string(t);
+        }
+      }
+    }
+
+    if (options.check_nnt_rebuild) {
+      for (int i = 0; i < num_streams; ++i) {
+        if (auto failure = CheckNntRebuild(reference.StreamNnts(i),
+                                           current[static_cast<size_t>(i)],
+                                           c.nnt_depth, t, i)) {
+          return failure;
+        }
+      }
+    }
+
+    if (options.check_baselines) {
+      for (int i = 0; i < num_streams; ++i) {
+        if (auto failure = CheckNoFalseNegatives(
+                "GraphGrep", t, i,
+                graphgrep.CandidateQueries(current[static_cast<size_t>(i)]),
+                truth[static_cast<size_t>(i)])) {
+          return failure;
+        }
+      }
+      if (num_streams > 0) {
+        // Re-mined from the live snapshots each timestamp, as the paper's
+        // stream experiments do.
+        GindexFilter gindex(GindexFilter::Gindex2Options());
+        gindex.BuildIndex(current);
+        for (int q = 0; q < num_queries; ++q) {
+          std::vector<int> required;
+          for (int i = 0; i < num_streams; ++i) {
+            const std::vector<int>& t_i = truth[static_cast<size_t>(i)];
+            if (std::binary_search(t_i.begin(), t_i.end(), q)) {
+              required.push_back(i);
+            }
+          }
+          const std::vector<int> candidates = gindex.CandidateGraphsFor(
+              queries[static_cast<size_t>(q)]);
+          const std::vector<int> missing =
+              MissingCandidates(candidates, required);
+          if (!missing.empty()) {
+            return "false-negative: filter=gIndex2 t=" + std::to_string(t) +
+                   " query=" + std::to_string(q) +
+                   " missing streams=" + DescribeSet(missing) +
+                   " candidates=" + DescribeSet(candidates);
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace gsps

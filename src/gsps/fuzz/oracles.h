@@ -1,0 +1,72 @@
+// The pluggable invariant-oracle set the fuzzer checks at every timestamp
+// of every case:
+//
+//   1. No false negatives (Theorem 4.1 / Lemma 4.2): for each of the three
+//      join strategies (NL, DSC, Skyline) and both baselines (GraphGrep,
+//      gIndex2), every (stream, query) pair the exact VF2 matcher accepts
+//      must be in the reported candidate set. The three strategies must
+//      also report *identical* candidate sets (they implement one
+//      definition three ways).
+//   2. Incremental NNT maintenance (paper Figs. 4-5): the maintained
+//      NntSet must pass its internal Validate() against the live graph and
+//      its trees must be branch-for-branch identical to a from-scratch
+//      rebuild of the materialized graph.
+//   3. Parallel engine: ParallelQueryEngine at 2 and 4 threads must report
+//      exactly the sequential engine's candidate pairs.
+//   4. Serialization: streams, queries, and the whole replay file must
+//      round-trip exactly through their text formats.
+//
+// RunOracles is deterministic and returns a diagnostic naming the oracle,
+// timestamp, stream, and query on the first violation — the string the
+// minimizer preserves while shrinking.
+
+#ifndef GSPS_FUZZ_ORACLES_H_
+#define GSPS_FUZZ_ORACLES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gsps/fuzz/fuzz_case.h"
+
+namespace gsps {
+
+struct OracleOptions {
+  bool check_strategies = true;   // Oracle 1, engine side.
+  bool check_baselines = true;    // Oracle 1, GraphGrep + gIndex2.
+  bool check_nnt_rebuild = true;  // Oracle 2.
+  bool check_parallel = true;     // Oracle 3.
+  bool check_roundtrip = true;    // Oracle 4.
+};
+
+// Runs every enabled oracle over the whole case, timestamp by timestamp.
+// Returns nullopt when all hold, or a one-line diagnostic on the first
+// violation.
+std::optional<std::string> RunOracles(const FuzzCase& c,
+                                      const OracleOptions& options = {});
+
+// --- Pure helpers (unit-testable without triggering a real engine bug) ---
+
+// Elements of `required` missing from `candidates` (both ascending).
+std::vector<int> MissingCandidates(const std::vector<int>& candidates,
+                                   const std::vector<int>& required);
+
+// "{1, 3, 7}" for logging.
+std::string DescribeSet(const std::vector<int>& values);
+
+// Diagnostic for a filter reporting `candidates` when `truth` holds, or
+// nullopt when no false negative occurred. `filter_name` names the
+// offender ("Skyline", "gIndex2", ...).
+std::optional<std::string> CheckNoFalseNegatives(
+    const std::string& filter_name, int timestamp, int stream,
+    const std::vector<int>& candidates, const std::vector<int>& truth);
+
+// Diagnostic when two strategies disagree on a candidate set, else nullopt.
+std::optional<std::string> CheckStrategiesAgree(
+    const std::string& name_a, const std::vector<int>& candidates_a,
+    const std::string& name_b, const std::vector<int>& candidates_b,
+    int timestamp, int stream);
+
+}  // namespace gsps
+
+#endif  // GSPS_FUZZ_ORACLES_H_

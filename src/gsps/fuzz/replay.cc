@@ -1,0 +1,74 @@
+#include "gsps/fuzz/replay.h"
+
+#include <sstream>
+#include <utility>
+
+namespace gsps {
+
+std::string FormatReplay(const FuzzCase& c) {
+  std::string out = "# gsps_fuzz replay v1\n";
+  out += "depth " + std::to_string(c.nnt_depth) + "\n";
+  out += FormatWorkload(c.workload);
+  return out;
+}
+
+std::optional<FuzzCase> ParseReplay(const std::string& text, IoError* error) {
+  FuzzCase c;
+  // Extract the directive header, blanking consumed lines (instead of
+  // removing them) so workload_io's error line numbers still refer to the
+  // original file.
+  std::string workload_text;
+  workload_text.reserve(text.size());
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  bool saw_depth = false;
+  bool in_workload = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const bool skippable = line.empty() || line[0] == '#';
+    if (!in_workload && !skippable && line[0] == 'd') {
+      std::istringstream fields(line);
+      std::string word;
+      long long depth = 0;
+      if (!(fields >> word >> depth) || word != "depth") {
+        if (error != nullptr) {
+          error->line = line_number;
+          error->message = "malformed directive (want: depth <l>)";
+        }
+        return std::nullopt;
+      }
+      if (saw_depth) {
+        if (error != nullptr) {
+          error->line = line_number;
+          error->message = "duplicate depth directive";
+        }
+        return std::nullopt;
+      }
+      if (depth < kMinReplayDepth || depth > kMaxReplayDepth) {
+        if (error != nullptr) {
+          error->line = line_number;
+          error->message = "depth " + std::to_string(depth) +
+                           " out of range [" +
+                           std::to_string(kMinReplayDepth) + ", " +
+                           std::to_string(kMaxReplayDepth) + "]";
+        }
+        return std::nullopt;
+      }
+      saw_depth = true;
+      c.nnt_depth = static_cast<int>(depth);
+      workload_text += "#\n";  // Placeholder keeps line numbers aligned.
+      continue;
+    }
+    if (!skippable) in_workload = true;
+    workload_text += line;
+    workload_text += '\n';
+  }
+
+  std::optional<Workload> workload = ParseWorkload(workload_text, error);
+  if (!workload) return std::nullopt;
+  c.workload = *std::move(workload);
+  return c;
+}
+
+}  // namespace gsps

@@ -1,0 +1,49 @@
+// Replay files: a FuzzCase serialized to one self-contained text file, so
+// every failure the fuzzer finds becomes a committed regression test.
+//
+// Format — a directive header followed by the workload format of
+// graph/workload_io.h:
+//
+//   # gsps_fuzz replay v1        (comments/blank lines ignored anywhere)
+//   depth <l>                    (NNT depth; optional, default 3)
+//   q 0
+//   v 0 1
+//   ...
+//   s 0
+//   v 0 1
+//   t 1
+//   + 0 1 0 1 1
+//
+// `depth` must appear before the first section. Format/Parse are exact
+// inverses: Parse(Format(c)) == c and Format is a fixed point, which the
+// fuzzer's round-trip oracle itself enforces.
+
+#ifndef GSPS_FUZZ_REPLAY_H_
+#define GSPS_FUZZ_REPLAY_H_
+
+#include <optional>
+#include <string>
+
+#include "gsps/fuzz/fuzz_case.h"
+#include "gsps/graph/graph_io.h"
+
+namespace gsps {
+
+// Bounds accepted for the `depth` directive. Depth 1 is the minimum the
+// engine supports; 8 is far beyond the paper's useful range (Fig. 12 shows
+// 3 suffices) and exists only to keep replays from configuring an
+// exponential tree build.
+inline constexpr int kMinReplayDepth = 1;
+inline constexpr int kMaxReplayDepth = 8;
+
+// Serializes a case.
+std::string FormatReplay(const FuzzCase& c);
+
+// Parses a replay file. Returns nullopt on malformed input, filling
+// `error` when provided.
+std::optional<FuzzCase> ParseReplay(const std::string& text,
+                                    IoError* error = nullptr);
+
+}  // namespace gsps
+
+#endif  // GSPS_FUZZ_REPLAY_H_

@@ -2,55 +2,135 @@
 
 #include <cstdio>
 #include <sstream>
+#include <utility>
+
+#include "gsps/graph/io_util.h"
 
 namespace gsps {
 namespace {
 
-// Parses records into `graph`. Stops at a "g" line (returned in `*stopped`)
-// or end of input. Returns false on malformed input.
-bool ParseInto(std::istringstream& in, Graph& graph, bool* stopped) {
-  *stopped = false;
-  std::string line;
-  std::streampos before = in.tellg();
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') {
-      before = in.tellg();
-      continue;
-    }
-    std::istringstream fields(line);
-    char kind = 0;
-    fields >> kind;
-    if (kind == 'g') {
-      // Rewind so the caller sees the separator.
-      in.clear();
-      in.seekg(before);
-      *stopped = true;
-      return true;
-    }
-    if (kind == 'v') {
-      long long id = -1, label = 0;
-      if (!(fields >> id >> label)) return false;
-      if (graph.HasVertex(static_cast<VertexId>(id))) return false;
-      if (!graph.EnsureVertex(static_cast<VertexId>(id),
-                              static_cast<VertexLabel>(label))) {
-        return false;
-      }
-    } else if (kind == 'e') {
-      long long u = -1, v = -1, label = 0;
-      if (!(fields >> u >> v >> label)) return false;
-      if (!graph.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
-                         static_cast<EdgeLabel>(label))) {
-        return false;
-      }
+using io_internal::Fail;
+using io_internal::FitsLabel;
+using io_internal::ValidVertexId;
+
+// Splits `text` into lines, keeping empty lines so indices map 1:1 to
+// 1-based line numbers (line i of the file is `lines[i - 1]`).
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
     } else {
-      return false;
+      current.push_back(c);
     }
-    before = in.tellg();
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+bool IsSkippable(const std::string& line) {
+  return line.empty() || line[0] == '#';
+}
+
+// Parses one "v <id> <label>" record into `graph`.
+bool ParseVertexRecord(const std::string& line, int line_number, Graph& graph,
+                       IoError* error) {
+  std::istringstream fields(line);
+  char kind = 0;
+  long long id = -1, label = 0;
+  if (!(fields >> kind >> id >> label)) {
+    return Fail(error, line_number, "truncated vertex record (want: v <id> <label>)");
+  }
+  if (!ValidVertexId(id)) {
+    return Fail(error, line_number,
+                "vertex id " + std::to_string(id) + " out of range [0, " +
+                    std::to_string(kMaxIoVertexId) + "]");
+  }
+  if (!FitsLabel(label)) {
+    return Fail(error, line_number, "vertex label out of 32-bit range");
+  }
+  if (graph.HasVertex(static_cast<VertexId>(id))) {
+    return Fail(error, line_number,
+                "duplicate vertex id " + std::to_string(id));
+  }
+  if (!graph.EnsureVertex(static_cast<VertexId>(id),
+                          static_cast<VertexLabel>(label))) {
+    return Fail(error, line_number,
+                "vertex " + std::to_string(id) + " redeclared with a different label");
   }
   return true;
 }
 
+// Parses one "e <u> <v> <label>" record into `graph`.
+bool ParseEdgeRecord(const std::string& line, int line_number, Graph& graph,
+                     IoError* error) {
+  std::istringstream fields(line);
+  char kind = 0;
+  long long u = -1, v = -1, label = 0;
+  if (!(fields >> kind >> u >> v >> label)) {
+    return Fail(error, line_number, "truncated edge record (want: e <u> <v> <label>)");
+  }
+  if (!ValidVertexId(u) || !ValidVertexId(v)) {
+    return Fail(error, line_number, "edge endpoint id out of range");
+  }
+  if (!FitsLabel(label)) {
+    return Fail(error, line_number, "edge label out of 32-bit range");
+  }
+  const VertexId a = static_cast<VertexId>(u);
+  const VertexId b = static_cast<VertexId>(v);
+  if (a == b) {
+    return Fail(error, line_number, "self-loop edge " + std::to_string(u));
+  }
+  if (!graph.HasVertex(a) || !graph.HasVertex(b)) {
+    return Fail(error, line_number,
+                "edge " + std::to_string(u) + "-" + std::to_string(v) +
+                    " references an undeclared vertex");
+  }
+  if (graph.HasEdge(a, b)) {
+    return Fail(error, line_number,
+                "duplicate edge " + std::to_string(u) + "-" + std::to_string(v));
+  }
+  if (!graph.AddEdge(a, b, static_cast<EdgeLabel>(label))) {
+    return Fail(error, line_number, "invalid edge record");
+  }
+  return true;
+}
+
+// Parses graph records from lines [begin, end). Stops at a "g" line,
+// returning its index in `*stop`; sets *stop = end when input ran out.
+bool ParseInto(const std::vector<std::string>& lines, size_t begin, size_t end,
+               Graph& graph, size_t* stop, IoError* error) {
+  for (size_t i = begin; i < end; ++i) {
+    const std::string& line = lines[i];
+    if (IsSkippable(line)) continue;
+    const int line_number = static_cast<int>(i) + 1;
+    switch (line[0]) {
+      case 'g':
+        *stop = i;
+        return true;
+      case 'v':
+        if (!ParseVertexRecord(line, line_number, graph, error)) return false;
+        break;
+      case 'e':
+        if (!ParseEdgeRecord(line, line_number, graph, error)) return false;
+        break;
+      default:
+        return Fail(error, line_number,
+                    std::string("unknown record type '") + line[0] + "'");
+    }
+  }
+  *stop = end;
+  return true;
+}
+
 }  // namespace
+
+std::string IoError::ToString() const {
+  if (line <= 0) return message;
+  return "line " + std::to_string(line) + ": " + message;
+}
 
 std::string FormatGraph(const Graph& graph) {
   std::string out;
@@ -82,27 +162,43 @@ std::string FormatGraphs(const std::vector<Graph>& graphs) {
   return out;
 }
 
-std::optional<Graph> ParseGraph(const std::string& text) {
-  std::istringstream in(text);
+std::optional<Graph> ParseGraph(const std::string& text, IoError* error) {
+  const std::vector<std::string> lines = SplitLines(text);
   Graph graph;
-  bool stopped = false;
-  if (!ParseInto(in, graph, &stopped) || stopped) return std::nullopt;
+  size_t stop = 0;
+  if (!ParseInto(lines, 0, lines.size(), graph, &stop, error)) {
+    return std::nullopt;
+  }
+  if (stop != lines.size()) {
+    Fail(error, static_cast<int>(stop) + 1,
+         "unexpected 'g' separator in a single-graph input");
+    return std::nullopt;
+  }
   return graph;
 }
 
-std::optional<std::vector<Graph>> ParseGraphs(const std::string& text) {
-  std::istringstream in(text);
+std::optional<std::vector<Graph>> ParseGraphs(const std::string& text,
+                                              IoError* error) {
+  const std::vector<std::string> lines = SplitLines(text);
   std::vector<Graph> graphs;
-  std::string line;
-  // Expect a "g" separator, then records.
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    if (line[0] != 'g') return std::nullopt;
+  size_t i = 0;
+  while (i < lines.size()) {
+    if (IsSkippable(lines[i])) {
+      ++i;
+      continue;
+    }
+    if (lines[i][0] != 'g') {
+      Fail(error, static_cast<int>(i) + 1,
+           "expected a 'g <index>' separator before graph records");
+      return std::nullopt;
+    }
     Graph graph;
-    bool stopped = false;
-    if (!ParseInto(in, graph, &stopped)) return std::nullopt;
+    size_t stop = 0;
+    if (!ParseInto(lines, i + 1, lines.size(), graph, &stop, error)) {
+      return std::nullopt;
+    }
     graphs.push_back(std::move(graph));
-    if (!stopped) break;
+    i = stop;
   }
   return graphs;
 }

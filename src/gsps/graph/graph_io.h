@@ -7,6 +7,13 @@
 // This is the widely used "gSpan transaction" style format, convenient for
 // dumping generated datasets and for examples. Multiple graphs in one file
 // are separated by lines reading "g <index>".
+//
+// All parsers in graph/ report malformed input through an optional IoError
+// out-parameter carrying the 1-based line number and a human-readable
+// message, so CLI tools can print "file:line: what went wrong" instead of
+// a bare failure. Inputs are validated up front — vertex ids must lie in
+// [0, kMaxIoVertexId], labels must fit in 32 bits — so that no record read
+// from disk can trip a GSPS_CHECK later inside the engine.
 
 #ifndef GSPS_GRAPH_GRAPH_IO_H_
 #define GSPS_GRAPH_GRAPH_IO_H_
@@ -19,6 +26,23 @@
 
 namespace gsps {
 
+// A parse diagnostic: which line of the input was malformed and why.
+// `line` is 1-based; 0 means the problem is not tied to a single line
+// (e.g. truncated input).
+struct IoError {
+  int line = 0;
+  std::string message;
+
+  // "line <n>: <message>" (or just the message when line is 0).
+  std::string ToString() const;
+};
+
+// Largest vertex id accepted from serialized input. The graphs this system
+// monitors have tens to hundreds of vertices (see graph.h); the dense vertex
+// table makes absurd ids an out-of-memory hazard, so parsers reject them
+// instead of letting Graph::EnsureVertex allocate gigabytes.
+inline constexpr VertexId kMaxIoVertexId = 2'000'000;
+
 // Serializes one graph (without a leading "g" line).
 std::string FormatGraph(const Graph& graph);
 
@@ -27,12 +51,15 @@ std::string FormatGraphs(const std::vector<Graph>& graphs);
 
 // Parses a single graph serialized by FormatGraph. Returns nullopt on
 // malformed input (unknown record type, edge before endpoints, duplicate
-// vertex id, non-numeric field).
-std::optional<Graph> ParseGraph(const std::string& text);
+// vertex id or edge, out-of-range id, non-numeric field), filling `error`
+// when provided.
+std::optional<Graph> ParseGraph(const std::string& text,
+                                IoError* error = nullptr);
 
 // Parses a dataset serialized by FormatGraphs. Returns nullopt on malformed
-// input.
-std::optional<std::vector<Graph>> ParseGraphs(const std::string& text);
+// input, filling `error` when provided.
+std::optional<std::vector<Graph>> ParseGraphs(const std::string& text,
+                                              IoError* error = nullptr);
 
 }  // namespace gsps
 

@@ -1,0 +1,40 @@
+// Shared internals of the graph/ text parsers: line-numbered error
+// reporting and range validation. Implementation detail of graph_io.cc,
+// stream_io.cc, and workload_io.cc — not part of the public API.
+
+#ifndef GSPS_GRAPH_IO_UTIL_H_
+#define GSPS_GRAPH_IO_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "gsps/graph/graph_io.h"
+
+namespace gsps {
+namespace io_internal {
+
+// Records an error (if the caller asked for one) and returns false so call
+// sites can write `return Fail(error, line, "...")`.
+inline bool Fail(IoError* error, int line, std::string message) {
+  if (error != nullptr) {
+    error->line = line;
+    error->message = std::move(message);
+  }
+  return false;
+}
+
+// True when `id` is usable as a vertex id read from disk.
+inline bool ValidVertexId(long long id) {
+  return id >= 0 && id <= static_cast<long long>(kMaxIoVertexId);
+}
+
+// True when `value` fits a 32-bit label.
+inline bool FitsLabel(long long value) {
+  return value >= INT32_MIN && value <= INT32_MAX;
+}
+
+}  // namespace io_internal
+}  // namespace gsps
+
+#endif  // GSPS_GRAPH_IO_UTIL_H_

@@ -4,9 +4,20 @@
 #include <sstream>
 #include <utility>
 
-#include "gsps/graph/graph_io.h"
+#include "gsps/graph/io_util.h"
 
 namespace gsps {
+namespace {
+
+using io_internal::Fail;
+using io_internal::FitsLabel;
+using io_internal::ValidVertexId;
+
+void SetFail(IoError* error, int line, const std::string& message) {
+  Fail(error, line, message);
+}
+
+}  // namespace
 
 std::string FormatStream(const GraphStream& stream) {
   std::string out = FormatGraph(stream.StartGraph());
@@ -27,12 +38,14 @@ std::string FormatStream(const GraphStream& stream) {
   return out;
 }
 
-std::optional<GraphStream> ParseStream(const std::string& text) {
+std::optional<GraphStream> ParseStream(const std::string& text,
+                                       IoError* error) {
   std::istringstream in(text);
   Graph start;
   std::optional<GraphStream> stream;
   GraphChange batch;
   int current_timestamp = 0;
+  int line_number = 0;
 
   auto flush_batch = [&]() {
     if (current_timestamp > 0) stream->AppendChange(std::move(batch));
@@ -41,37 +54,102 @@ std::optional<GraphStream> ParseStream(const std::string& text) {
 
   std::string line;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
     char kind = 0;
     fields >> kind;
     switch (kind) {
       case 'v': {
-        if (current_timestamp != 0) return std::nullopt;
+        if (current_timestamp != 0) {
+          SetFail(error, line_number, "vertex record after the first 't' line");
+          return std::nullopt;
+        }
         long long id = -1, label = 0;
-        if (!(fields >> id >> label)) return std::nullopt;
-        if (start.HasVertex(static_cast<VertexId>(id))) return std::nullopt;
+        if (!(fields >> id >> label)) {
+          SetFail(error, line_number,
+                  "truncated vertex record (want: v <id> <label>)");
+          return std::nullopt;
+        }
+        if (!ValidVertexId(id)) {
+          SetFail(error, line_number,
+                  "vertex id " + std::to_string(id) + " out of range [0, " +
+                      std::to_string(kMaxIoVertexId) + "]");
+          return std::nullopt;
+        }
+        if (!FitsLabel(label)) {
+          SetFail(error, line_number, "vertex label out of 32-bit range");
+          return std::nullopt;
+        }
+        if (start.HasVertex(static_cast<VertexId>(id))) {
+          SetFail(error, line_number,
+                  "duplicate vertex id " + std::to_string(id));
+          return std::nullopt;
+        }
         if (!start.EnsureVertex(static_cast<VertexId>(id),
                                 static_cast<VertexLabel>(label))) {
+          SetFail(error, line_number, "invalid vertex record");
           return std::nullopt;
         }
         break;
       }
       case 'e': {
-        if (current_timestamp != 0) return std::nullopt;
+        if (current_timestamp != 0) {
+          SetFail(error, line_number,
+                  "edge record after the first 't' line (use '+')");
+          return std::nullopt;
+        }
         long long u = -1, v = -1, label = 0;
-        if (!(fields >> u >> v >> label)) return std::nullopt;
-        if (!start.AddEdge(static_cast<VertexId>(u),
-                           static_cast<VertexId>(v),
-                           static_cast<EdgeLabel>(label))) {
+        if (!(fields >> u >> v >> label)) {
+          SetFail(error, line_number,
+                  "truncated edge record (want: e <u> <v> <label>)");
+          return std::nullopt;
+        }
+        if (!ValidVertexId(u) || !ValidVertexId(v)) {
+          SetFail(error, line_number, "edge endpoint id out of range");
+          return std::nullopt;
+        }
+        if (!FitsLabel(label)) {
+          SetFail(error, line_number, "edge label out of 32-bit range");
+          return std::nullopt;
+        }
+        const VertexId a = static_cast<VertexId>(u);
+        const VertexId b = static_cast<VertexId>(v);
+        if (a == b) {
+          SetFail(error, line_number, "self-loop edge " + std::to_string(u));
+          return std::nullopt;
+        }
+        if (!start.HasVertex(a) || !start.HasVertex(b)) {
+          SetFail(error, line_number,
+                  "edge " + std::to_string(u) + "-" + std::to_string(v) +
+                      " references an undeclared vertex");
+          return std::nullopt;
+        }
+        if (start.HasEdge(a, b)) {
+          SetFail(error, line_number,
+                  "duplicate edge " + std::to_string(u) + "-" +
+                      std::to_string(v));
+          return std::nullopt;
+        }
+        if (!start.AddEdge(a, b, static_cast<EdgeLabel>(label))) {
+          SetFail(error, line_number, "invalid edge record");
           return std::nullopt;
         }
         break;
       }
       case 't': {
         long long timestamp = -1;
-        if (!(fields >> timestamp)) return std::nullopt;
-        if (timestamp != current_timestamp + 1) return std::nullopt;
+        if (!(fields >> timestamp)) {
+          SetFail(error, line_number, "truncated timestamp record");
+          return std::nullopt;
+        }
+        if (timestamp != current_timestamp + 1) {
+          SetFail(error, line_number,
+                  "out-of-order timestamp " + std::to_string(timestamp) +
+                      " (expected " + std::to_string(current_timestamp + 1) +
+                      ")");
+          return std::nullopt;
+        }
         if (current_timestamp == 0) {
           stream.emplace(std::move(start));
         } else {
@@ -81,9 +159,26 @@ std::optional<GraphStream> ParseStream(const std::string& text) {
         break;
       }
       case '+': {
-        if (current_timestamp == 0) return std::nullopt;
+        if (current_timestamp == 0) {
+          SetFail(error, line_number, "insertion before the first 't' line");
+          return std::nullopt;
+        }
         long long u, v, edge_label, u_label, v_label;
         if (!(fields >> u >> v >> edge_label >> u_label >> v_label)) {
+          SetFail(error, line_number,
+                  "truncated insertion (want: + <u> <v> <edge_label> "
+                  "<u_label> <v_label>)");
+          return std::nullopt;
+        }
+        if (!ValidVertexId(u) || !ValidVertexId(v)) {
+          SetFail(error, line_number,
+                  "insertion endpoint id out of range [0, " +
+                      std::to_string(kMaxIoVertexId) + "]");
+          return std::nullopt;
+        }
+        if (!FitsLabel(edge_label) || !FitsLabel(u_label) ||
+            !FitsLabel(v_label)) {
+          SetFail(error, line_number, "insertion label out of 32-bit range");
           return std::nullopt;
         }
         batch.ops.push_back(EdgeOp::Insert(
@@ -94,14 +189,26 @@ std::optional<GraphStream> ParseStream(const std::string& text) {
         break;
       }
       case '-': {
-        if (current_timestamp == 0) return std::nullopt;
+        if (current_timestamp == 0) {
+          SetFail(error, line_number, "deletion before the first 't' line");
+          return std::nullopt;
+        }
         long long u, v;
-        if (!(fields >> u >> v)) return std::nullopt;
+        if (!(fields >> u >> v)) {
+          SetFail(error, line_number, "truncated deletion (want: - <u> <v>)");
+          return std::nullopt;
+        }
+        if (!ValidVertexId(u) || !ValidVertexId(v)) {
+          SetFail(error, line_number, "deletion endpoint id out of range");
+          return std::nullopt;
+        }
         batch.ops.push_back(EdgeOp::Delete(static_cast<VertexId>(u),
                                            static_cast<VertexId>(v)));
         break;
       }
       default:
+        SetFail(error, line_number,
+                std::string("unknown record type '") + kind + "'");
         return std::nullopt;
     }
   }

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 
+#include "gsps/graph/graph_io.h"
 #include "gsps/graph/graph_stream.h"
 
 namespace gsps {
@@ -26,9 +27,13 @@ namespace gsps {
 std::string FormatStream(const GraphStream& stream);
 
 // Parses a stream file. Returns nullopt on malformed input (bad record
-// kind, out-of-order timestamps, non-numeric fields, edge before its
-// endpoints in the start graph).
-std::optional<GraphStream> ParseStream(const std::string& text);
+// kind, out-of-order timestamps, non-numeric or truncated fields, edge
+// before its endpoints in the start graph, out-of-range vertex ids),
+// filling `error` (line number + message) when provided. Accepted streams
+// never trip engine-side precondition checks: every id a change batch can
+// carry has been range-validated here.
+std::optional<GraphStream> ParseStream(const std::string& text,
+                                       IoError* error = nullptr);
 
 }  // namespace gsps
 

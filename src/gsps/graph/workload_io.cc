@@ -1,0 +1,159 @@
+#include "gsps/graph/workload_io.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "gsps/graph/io_util.h"
+#include "gsps/graph/stream_io.h"
+
+namespace gsps {
+namespace {
+
+using io_internal::Fail;
+
+// One "q <i>" / "s <i>" section: header location plus body line range.
+struct Section {
+  char kind = 0;       // 'q' or 's'.
+  long long index = -1;
+  int header_line = 0;  // 1-based.
+  size_t body_begin = 0, body_end = 0;  // Line indices (0-based, half-open).
+};
+
+// Joins lines [begin, end) back into one newline-terminated string.
+std::string JoinLines(const std::vector<std::string>& lines, size_t begin,
+                      size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; ++i) {
+    out += lines[i];
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatWorkload(const Workload& workload) {
+  std::string out;
+  char buffer[32];
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "q %zu\n", i);
+    out += buffer;
+    out += FormatGraph(workload.queries[i]);
+  }
+  for (size_t i = 0; i < workload.streams.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "s %zu\n", i);
+    out += buffer;
+    out += FormatStream(workload.streams[i]);
+  }
+  return out;
+}
+
+std::optional<Workload> ParseWorkload(const std::string& text,
+                                      IoError* error) {
+  // Split keeping blank lines so indices map to 1-based file line numbers.
+  std::vector<std::string> lines;
+  {
+    std::string current;
+    for (const char c : text) {
+      if (c == '\n') {
+        lines.push_back(std::move(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!current.empty()) lines.push_back(std::move(current));
+  }
+
+  // Pass 1: locate the section headers.
+  std::vector<Section> sections;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty() || line[0] == '#') continue;
+    if (line[0] != 'q' && line[0] != 's') {
+      if (sections.empty()) {
+        Fail(error, static_cast<int>(i) + 1,
+             "expected a 'q <index>' or 's <index>' section header");
+        return std::nullopt;
+      }
+      continue;  // Body line of the current section.
+    }
+    std::istringstream fields(line);
+    char kind = 0;
+    long long index = -1;
+    if (!(fields >> kind >> index) || index < 0) {
+      Fail(error, static_cast<int>(i) + 1,
+           std::string("malformed section header (want: ") + line[0] +
+               " <index>)");
+      return std::nullopt;
+    }
+    if (!sections.empty()) sections.back().body_end = i;
+    sections.push_back(Section{kind, index, static_cast<int>(i) + 1, i + 1,
+                               lines.size()});
+  }
+
+  // Validate header ordering: queries first, indices sequential per kind.
+  Workload workload;
+  long long next_query = 0, next_stream = 0;
+  for (const Section& section : sections) {
+    if (section.kind == 'q') {
+      if (next_stream > 0) {
+        Fail(error, section.header_line,
+             "query section after the first stream section");
+        return std::nullopt;
+      }
+      if (section.index != next_query) {
+        Fail(error, section.header_line,
+             "query index " + std::to_string(section.index) + " (expected " +
+                 std::to_string(next_query) + ")");
+        return std::nullopt;
+      }
+      ++next_query;
+    } else {
+      if (section.index != next_stream) {
+        Fail(error, section.header_line,
+             "stream index " + std::to_string(section.index) + " (expected " +
+                 std::to_string(next_stream) + ")");
+        return std::nullopt;
+      }
+      ++next_stream;
+    }
+  }
+
+  // Pass 2: parse each section body with its dedicated parser, translating
+  // body-relative error lines back to whole-file line numbers.
+  for (const Section& section : sections) {
+    const std::string body =
+        JoinLines(lines, section.body_begin, section.body_end);
+    IoError sub_error;
+    if (section.kind == 'q') {
+      std::optional<Graph> graph = ParseGraph(body, &sub_error);
+      if (!graph) {
+        Fail(error,
+             sub_error.line > 0
+                 ? static_cast<int>(section.body_begin) + sub_error.line
+                 : section.header_line,
+             "in query " + std::to_string(section.index) + ": " +
+                 sub_error.message);
+        return std::nullopt;
+      }
+      workload.queries.push_back(*std::move(graph));
+    } else {
+      std::optional<GraphStream> stream = ParseStream(body, &sub_error);
+      if (!stream) {
+        Fail(error,
+             sub_error.line > 0
+                 ? static_cast<int>(section.body_begin) + sub_error.line
+                 : section.header_line,
+             "in stream " + std::to_string(section.index) + ": " +
+                 sub_error.message);
+        return std::nullopt;
+      }
+      workload.streams.push_back(*std::move(stream));
+    }
+  }
+  return workload;
+}
+
+}  // namespace gsps

@@ -1,0 +1,60 @@
+// Plain-text serialization for a complete monitoring workload: the fixed
+// query set plus every graph stream, in one self-contained file.
+//
+// Format: zero or more query sections followed by zero or more stream
+// sections. A section header is a line reading "q <index>" (query) or
+// "s <index>" (stream); indices must be 0, 1, 2, ... per kind, and all
+// queries precede all streams. A query body is the graph format of
+// graph_io.h ("v"/"e" records); a stream body is the stream format of
+// stream_io.h ("v"/"e"/"t"/"+"/"-" records). '#' comments and blank lines
+// are ignored everywhere.
+//
+//   # two queries, one stream
+//   q 0
+//   v 0 1
+//   v 1 2
+//   e 0 1 0
+//   q 1
+//   v 0 1
+//   s 0
+//   v 0 1
+//   v 1 2
+//   t 1
+//   + 0 1 0 1 2
+//
+// The fuzz subsystem's replay files (src/gsps/fuzz/replay.h) embed this
+// format under a small directive header; gsps_monitor-style tools can also
+// use it to ship a whole scenario as one file.
+
+#ifndef GSPS_GRAPH_WORKLOAD_IO_H_
+#define GSPS_GRAPH_WORKLOAD_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gsps/graph/graph.h"
+#include "gsps/graph/graph_io.h"
+#include "gsps/graph/graph_stream.h"
+
+namespace gsps {
+
+// A query set plus the streams they are monitored against.
+struct Workload {
+  std::vector<Graph> queries;
+  std::vector<GraphStream> streams;
+};
+
+// Serializes a workload. Parse(Format(w)) reproduces `w` exactly.
+std::string FormatWorkload(const Workload& workload);
+
+// Parses a workload file. Returns nullopt on malformed input — bad section
+// headers, out-of-order indices, or any error the per-section graph/stream
+// parsers report — filling `error` (with the line number in the full file)
+// when provided.
+std::optional<Workload> ParseWorkload(const std::string& text,
+                                      IoError* error = nullptr);
+
+}  // namespace gsps
+
+#endif  // GSPS_GRAPH_WORKLOAD_IO_H_

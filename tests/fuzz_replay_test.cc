@@ -1,0 +1,69 @@
+// Runs every committed replay in tests/corpus/ through the full oracle
+// set. The corpus holds scenarios the fuzzer generated (and, whenever a
+// real failure is found and fixed, its minimized replay): each file must
+// parse, pass every oracle, and be a serialization fixed point.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gsps/fuzz/oracles.h"
+#include "gsps/fuzz/replay.h"
+
+namespace gsps {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(GSPS_CORPUS_DIR)) {
+    if (entry.path().extension() == ".replay") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFileOrDie(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(FuzzReplayTest, CorpusIsNonEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 2u)
+      << "tests/corpus/ must ship at least two .replay files";
+}
+
+TEST(FuzzReplayTest, EveryReplayParsesAndPassesAllOracles) {
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    IoError error;
+    const std::optional<FuzzCase> c = ParseReplay(ReadFileOrDie(path), &error);
+    ASSERT_TRUE(c.has_value()) << error.ToString();
+    const std::optional<std::string> failure = RunOracles(*c);
+    EXPECT_EQ(failure, std::nullopt);
+  }
+}
+
+TEST(FuzzReplayTest, FormatIsAFixedPoint) {
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    const std::optional<FuzzCase> c = ParseReplay(ReadFileOrDie(path));
+    ASSERT_TRUE(c.has_value());
+    const std::string once = FormatReplay(*c);
+    const std::optional<FuzzCase> again = ParseReplay(once);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(FormatReplay(*again), once);
+    EXPECT_EQ(again->nnt_depth, c->nnt_depth);
+  }
+}
+
+}  // namespace
+}  // namespace gsps

@@ -1,0 +1,333 @@
+// Tests for the differential-fuzzing subsystem: deterministic generation,
+// the replay format, the oracle helper functions, the minimizer (driven by
+// synthetic predicates, since shrinking a real failure needs a real bug),
+// and short end-to-end RunFuzz runs that must pass every oracle.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gsps/common/random.h"
+#include "gsps/fuzz/fuzz_case.h"
+#include "gsps/fuzz/fuzzer.h"
+#include "gsps/fuzz/minimizer.h"
+#include "gsps/fuzz/oracles.h"
+#include "gsps/fuzz/replay.h"
+#include "gsps/fuzz/workload_gen.h"
+
+namespace gsps {
+namespace {
+
+GenParams SmallParams() {
+  GenParams params;
+  params.max_queries = 3;
+  params.max_streams = 2;
+  params.max_timestamps = 5;
+  params.max_query_edges = 4;
+  params.max_start_edges = 8;
+  params.max_batch_ops = 4;
+  return params;
+}
+
+TEST(WorkloadGenTest, SameSeedSameCase) {
+  const GenParams params = SmallParams();
+  for (uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    Rng a(seed);
+    Rng b(seed);
+    const FuzzCase ca = GenerateCase(params, a);
+    const FuzzCase cb = GenerateCase(params, b);
+    EXPECT_EQ(FormatReplay(ca), FormatReplay(cb)) << "seed " << seed;
+    EXPECT_EQ(DescribeCase(ca), DescribeCase(cb));
+  }
+}
+
+TEST(WorkloadGenTest, DifferentSeedsDiffer) {
+  const GenParams params = SmallParams();
+  std::set<std::string> replays;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    replays.insert(FormatReplay(GenerateCase(params, rng)));
+  }
+  // Tiny cases can collide, but a dozen seeds must not all agree.
+  EXPECT_GT(replays.size(), 6u);
+}
+
+TEST(WorkloadGenTest, GeneratedCasesRoundTripAndRespectBounds) {
+  const GenParams params = SmallParams();
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const FuzzCase c = GenerateCase(params, rng);
+    EXPECT_GE(static_cast<int>(c.workload.streams.size()), 1);
+    EXPECT_LE(static_cast<int>(c.workload.streams.size()),
+              params.max_streams);
+    EXPECT_LE(static_cast<int>(c.workload.queries.size()),
+              params.max_queries);
+    EXPECT_GE(c.nnt_depth, 1);
+    EXPECT_LE(c.nnt_depth, 3);
+    for (const GraphStream& s : c.workload.streams) {
+      EXPECT_LE(s.NumTimestamps(), params.max_timestamps);
+    }
+    const std::string text = FormatReplay(c);
+    const std::optional<FuzzCase> parsed = ParseReplay(text);
+    ASSERT_TRUE(parsed.has_value()) << "seed " << seed;
+    EXPECT_EQ(FormatReplay(*parsed), text);
+    EXPECT_EQ(parsed->nnt_depth, c.nnt_depth);
+  }
+}
+
+TEST(ReplayTest, DepthDirective) {
+  // Default depth when the directive is absent.
+  std::optional<FuzzCase> c = ParseReplay("q 0\nv 0 1\n");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->nnt_depth, 3);
+
+  c = ParseReplay("depth 2\nq 0\nv 0 1\n");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->nnt_depth, 2);
+
+  IoError error;
+  // Out of range, duplicated, after a section, or malformed.
+  EXPECT_FALSE(ParseReplay("depth 0\n", &error).has_value());
+  EXPECT_EQ(error.line, 1);
+  EXPECT_FALSE(ParseReplay("depth 99\n", &error).has_value());
+  EXPECT_FALSE(ParseReplay("depth 2\ndepth 3\n", &error).has_value());
+  EXPECT_EQ(error.line, 2);
+  EXPECT_FALSE(ParseReplay("q 0\nv 0 1\ndepth 2\n", &error).has_value());
+  EXPECT_EQ(error.line, 3);
+  EXPECT_FALSE(ParseReplay("depth x\n", &error).has_value());
+}
+
+TEST(FuzzCaseTest, TotalEdgesCountsQueriesStartsAndInsertions) {
+  FuzzCase c;
+  Graph q;
+  q.AddVertex(1);
+  q.AddVertex(1);
+  ASSERT_TRUE(q.AddEdge(0, 1, 0));
+  c.workload.queries.push_back(q);  // 1 edge.
+
+  Graph start;
+  start.AddVertex(1);
+  start.AddVertex(2);
+  start.AddVertex(3);
+  ASSERT_TRUE(start.AddEdge(0, 1, 0));
+  ASSERT_TRUE(start.AddEdge(1, 2, 0));  // 2 edges.
+  GraphStream stream(start);
+  GraphChange batch;
+  batch.ops.push_back(EdgeOp::Insert(0, 2, 0, 1, 3));  // +1.
+  batch.ops.push_back(EdgeOp::Delete(0, 1));           // Deletions free.
+  stream.AppendChange(batch);
+  c.workload.streams.push_back(stream);
+
+  EXPECT_EQ(TotalEdges(c), 4);
+  EXPECT_EQ(Horizon(c), 2);
+  EXPECT_EQ(DescribeCase(c), "streams=1 queries=1 ts=2 edges=4");
+}
+
+TEST(FuzzCaseTest, RebuildStreamInvertsBatchesOf) {
+  Rng rng(5);
+  FuzzCase c = GenerateCase(SmallParams(), rng);
+  for (const GraphStream& s : c.workload.streams) {
+    const GraphStream rebuilt = RebuildStream(s.StartGraph(), BatchesOf(s));
+    ASSERT_EQ(rebuilt.NumTimestamps(), s.NumTimestamps());
+    for (int t = 0; t < s.NumTimestamps(); ++t) {
+      EXPECT_EQ(rebuilt.MaterializeAt(t), s.MaterializeAt(t));
+    }
+  }
+}
+
+TEST(OracleHelpersTest, MissingCandidates) {
+  EXPECT_TRUE(MissingCandidates({1, 2, 3}, {1, 3}).empty());
+  EXPECT_TRUE(MissingCandidates({}, {}).empty());
+  EXPECT_EQ(MissingCandidates({1, 3}, {1, 2, 3}), (std::vector<int>{2}));
+  EXPECT_EQ(MissingCandidates({}, {0, 4}), (std::vector<int>{0, 4}));
+}
+
+TEST(OracleHelpersTest, DescribeSet) {
+  EXPECT_EQ(DescribeSet({}), "{}");
+  EXPECT_EQ(DescribeSet({2}), "{2}");
+  EXPECT_EQ(DescribeSet({1, 3, 7}), "{1, 3, 7}");
+}
+
+TEST(OracleHelpersTest, CheckNoFalseNegatives) {
+  EXPECT_FALSE(CheckNoFalseNegatives("NL", 2, 0, {0, 1, 2}, {1}).has_value());
+  // A superset (false positives) is fine; a miss is not.
+  const std::optional<std::string> miss =
+      CheckNoFalseNegatives("Skyline", 4, 1, {0}, {0, 2});
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_NE(miss->find("Skyline"), std::string::npos);
+  EXPECT_NE(miss->find("t=4"), std::string::npos);
+  EXPECT_NE(miss->find("2"), std::string::npos);
+}
+
+TEST(OracleHelpersTest, CheckStrategiesAgree) {
+  EXPECT_FALSE(
+      CheckStrategiesAgree("NL", {1, 2}, "DSC", {1, 2}, 0, 0).has_value());
+  const std::optional<std::string> diff =
+      CheckStrategiesAgree("NL", {1, 2}, "DSC", {1}, 3, 1);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_NE(diff->find("NL"), std::string::npos);
+  EXPECT_NE(diff->find("DSC"), std::string::npos);
+}
+
+TEST(OracleTest, HandBuiltCasePasses) {
+  // A planted query (path of two labeled vertices) that appears, vanishes,
+  // and reappears across the stream; every oracle must hold.
+  FuzzCase c;
+  c.nnt_depth = 2;
+  Graph query;
+  query.AddVertex(1);
+  query.AddVertex(2);
+  ASSERT_TRUE(query.AddEdge(0, 1, 0));
+  c.workload.queries.push_back(query);
+
+  Graph start;
+  start.AddVertex(1);
+  start.AddVertex(2);
+  start.AddVertex(2);
+  ASSERT_TRUE(start.AddEdge(0, 1, 0));
+  GraphStream stream(start);
+  GraphChange del;
+  del.ops.push_back(EdgeOp::Delete(0, 1));
+  stream.AppendChange(del);
+  GraphChange ins;
+  ins.ops.push_back(EdgeOp::Insert(0, 2, 0, 1, 2));
+  stream.AppendChange(ins);
+  c.workload.streams.push_back(stream);
+
+  EXPECT_EQ(RunOracles(c), std::nullopt);
+}
+
+TEST(OracleTest, EmptyWorkloadEdgeCases) {
+  // No queries at all: every candidate set is empty, oracles still run.
+  FuzzCase no_queries;
+  no_queries.workload.streams.push_back(GraphStream(Graph{}));
+  EXPECT_EQ(RunOracles(no_queries), std::nullopt);
+
+  // An empty-graph query against an empty stream.
+  FuzzCase empty_query;
+  empty_query.workload.queries.push_back(Graph{});
+  empty_query.workload.streams.push_back(GraphStream(Graph{}));
+  EXPECT_EQ(RunOracles(empty_query), std::nullopt);
+}
+
+TEST(MinimizerTest, ShrinksToThePredicateCore) {
+  // Generate a sizeable case, then chase a synthetic "failure": the case
+  // contains at least one insertion op with edge label 0. The minimizer
+  // must shrink everything else away.
+  Rng rng(17);
+  GenParams params = SmallParams();
+  params.max_streams = 3;
+  params.max_timestamps = 7;
+  FuzzCase big = GenerateCase(params, rng);
+  const CasePredicate has_insert = [](const FuzzCase& c) {
+    for (const GraphStream& s : c.workload.streams) {
+      for (const GraphChange& batch : BatchesOf(s)) {
+        for (const EdgeOp& op : batch.ops) {
+          if (op.kind == EdgeOp::Kind::kInsert) return true;
+        }
+      }
+    }
+    return false;
+  };
+  if (!has_insert(big)) {
+    GraphChange batch;
+    batch.ops.push_back(EdgeOp::Insert(0, 1, 0, 1, 1));
+    GraphStream s = big.workload.streams.front();
+    s.AppendChange(batch);
+    big.workload.streams.front() = s;
+  }
+  const MinimizeResult result = Minimize(big, has_insert);
+  EXPECT_TRUE(has_insert(result.best));
+  EXPECT_EQ(result.best.workload.streams.size(), 1u);
+  EXPECT_TRUE(result.best.workload.queries.empty());
+  // One insertion op in one batch, empty start graph: a single edge.
+  EXPECT_LE(TotalEdges(result.best), 1);
+  EXPECT_GT(result.attempts, 0);
+  EXPECT_LE(result.attempts, 4000);
+}
+
+TEST(MinimizerTest, ShrinksQueryEdges) {
+  Rng rng(23);
+  const FuzzCase big = GenerateCase(SmallParams(), rng);
+  // Synthetic failure: total query edge count >= 1.
+  const CasePredicate has_query_edge = [](const FuzzCase& c) {
+    for (const Graph& q : c.workload.queries) {
+      if (q.NumEdges() > 0) return true;
+    }
+    return false;
+  };
+  FuzzCase seeded = big;
+  bool any = has_query_edge(seeded);
+  if (!any) {
+    Graph q;
+    q.AddVertex(1);
+    q.AddVertex(1);
+    ASSERT_TRUE(q.AddEdge(0, 1, 0));
+    seeded.workload.queries.push_back(q);
+  }
+  const MinimizeResult result = Minimize(seeded, has_query_edge);
+  EXPECT_TRUE(has_query_edge(result.best));
+  EXPECT_TRUE(result.best.workload.streams.empty());
+  ASSERT_EQ(result.best.workload.queries.size(), 1u);
+  EXPECT_EQ(result.best.workload.queries.front().NumEdges(), 1);
+  EXPECT_EQ(TotalEdges(result.best), 1);
+}
+
+TEST(MinimizerTest, RespectsAttemptBudget) {
+  Rng rng(29);
+  const FuzzCase big = GenerateCase(SmallParams(), rng);
+  int calls = 0;
+  const CasePredicate counting = [&calls](const FuzzCase&) {
+    ++calls;
+    return true;
+  };
+  MinimizeOptions options;
+  options.max_attempts = 10;
+  const MinimizeResult result = Minimize(big, counting, options);
+  EXPECT_LE(result.attempts, 10);
+  // The entry check is not billed against the budget.
+  EXPECT_LE(calls, 11);
+}
+
+TEST(FuzzerTest, CaseSeedSpreads) {
+  std::set<uint64_t> seeds;
+  for (int i = 0; i < 64; ++i) {
+    seeds.insert(CaseSeed(1, i));
+    seeds.insert(CaseSeed(2, i));
+  }
+  EXPECT_EQ(seeds.size(), 128u);
+}
+
+TEST(FuzzerTest, ShortRunPassesAndLogsDeterministically) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.iterations = 4;
+  options.gen = SmallParams();
+
+  std::vector<std::string> log_a;
+  const FuzzOutcome a = RunFuzz(
+      options, [&log_a](const std::string& line) { log_a.push_back(line); });
+  EXPECT_TRUE(a.ok) << a.failure;
+
+  std::vector<std::string> log_b;
+  const FuzzOutcome b = RunFuzz(
+      options, [&log_b](const std::string& line) { log_b.push_back(line); });
+  EXPECT_TRUE(b.ok);
+  EXPECT_EQ(log_a, log_b);
+  ASSERT_FALSE(log_a.empty());
+  EXPECT_EQ(log_a.back(), "all 4 iterations passed");
+}
+
+TEST(FuzzerTest, NullLogIsAccepted) {
+  FuzzOptions options;
+  options.seed = 3;
+  options.iterations = 2;
+  options.gen = SmallParams();
+  const FuzzOutcome outcome = RunFuzz(options, nullptr);
+  EXPECT_TRUE(outcome.ok) << outcome.failure;
+}
+
+}  // namespace
+}  // namespace gsps

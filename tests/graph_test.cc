@@ -276,6 +276,35 @@ TEST(GraphIoTest, ParseRejectsMalformedInput) {
   EXPECT_FALSE(ParseGraph("v 0\n").has_value());            // Missing field.
 }
 
+TEST(GraphIoTest, ParseReportsLineAndReason) {
+  IoError error;
+  EXPECT_FALSE(ParseGraph("v 0 1\nv 1 1\ne 0 1\n", &error).has_value());
+  EXPECT_EQ(error.line, 3);
+  EXPECT_NE(error.message.find("truncated edge"), std::string::npos);
+  EXPECT_EQ(error.ToString(), "line 3: " + error.message);
+
+  // Out-of-range ids are rejected before they can reach the engine's dense
+  // vertex table (negative ids would trip a check, huge ones would OOM).
+  EXPECT_FALSE(ParseGraph("v -1 1\n", &error).has_value());
+  EXPECT_NE(error.message.find("out of range"), std::string::npos);
+  EXPECT_FALSE(ParseGraph("v 3000000 1\n", &error).has_value());
+  EXPECT_NE(error.message.find("out of range"), std::string::npos);
+  EXPECT_FALSE(ParseGraph("v 0 1\nv 1 1\ne 1 1 0\n", &error).has_value());
+  EXPECT_NE(error.message.find("self-loop"), std::string::npos);
+  EXPECT_FALSE(
+      ParseGraph("v 0 1\nv 1 1\ne 0 1 0\ne 1 0 2\n", &error).has_value());
+  EXPECT_EQ(error.line, 4);
+  EXPECT_NE(error.message.find("duplicate edge"), std::string::npos);
+
+  // A stray dataset separator in single-graph input, and records before
+  // any separator in dataset input.
+  EXPECT_FALSE(ParseGraph("v 0 1\ng 1\n", &error).has_value());
+  EXPECT_EQ(error.line, 2);
+  EXPECT_FALSE(ParseGraphs("v 0 1\n", &error).has_value());
+  EXPECT_EQ(error.line, 1);
+  EXPECT_NE(error.message.find("'g <index>' separator"), std::string::npos);
+}
+
 TEST(GraphIoTest, ParseIgnoresCommentsAndBlankLines) {
   const std::optional<Graph> parsed =
       ParseGraph("# comment\n\nv 0 1\nv 1 2\n# another\ne 0 1 3\n");

@@ -80,6 +80,62 @@ TEST(StreamIoTest, CommentsAndBlankLinesIgnored) {
   EXPECT_EQ(parsed->MaterializeAt(1).NumEdges(), 0);
 }
 
+// Expects `text` to be rejected with an error on `line` whose message
+// contains `fragment`.
+void ExpectStreamError(const std::string& text, int line,
+                       const std::string& fragment) {
+  IoError error;
+  EXPECT_FALSE(ParseStream(text, &error).has_value()) << text;
+  EXPECT_EQ(error.line, line) << text;
+  EXPECT_NE(error.message.find(fragment), std::string::npos)
+      << "message \"" << error.message << "\" lacks \"" << fragment << "\"";
+  EXPECT_NE(error.ToString().find("line " + std::to_string(line)),
+            std::string::npos);
+}
+
+TEST(StreamIoTest, RejectsTruncatedRecords) {
+  ExpectStreamError("v 0\n", 1, "truncated vertex");
+  ExpectStreamError("v 0 1\nv 1 1\ne 0 1\n", 3, "truncated edge");
+  ExpectStreamError("v 0 1\nt\n", 2, "truncated timestamp");
+  ExpectStreamError("v 0 1\nt 1\n+ 0 1 0 1\n", 3, "truncated insertion");
+  ExpectStreamError("v 0 1\nt 1\n- 0\n", 3, "truncated deletion");
+}
+
+TEST(StreamIoTest, RejectsDuplicates) {
+  ExpectStreamError("v 0 1\nv 0 2\n", 2, "duplicate vertex");
+  ExpectStreamError("v 0 1\nv 1 1\ne 0 1 0\ne 1 0 0\n", 4, "duplicate edge");
+}
+
+TEST(StreamIoTest, RejectsOutOfRangeIds) {
+  // Negative and absurdly large ids are refused by the parser, so no file
+  // can drive the engine's dense vertex table out of memory (or trip its
+  // internal id checks) — gsps_monitor reports these as clean errors.
+  ExpectStreamError("v -1 1\n", 1, "out of range");
+  ExpectStreamError("v 9999999999 1\n", 1, "out of range");
+  ExpectStreamError("v 0 1\nv 1 1\ne -1 1 0\n", 3, "out of range");
+  ExpectStreamError("v 0 1\nt 1\n+ -1 2 0 1 1\n", 3, "out of range");
+  ExpectStreamError("v 0 1\nt 1\n+ 0 9999999999 0 1 1\n", 3, "out of range");
+  ExpectStreamError("v 0 1\nt 1\n- -2 0\n", 3, "out of range");
+  // Labels must fit in 32 bits.
+  ExpectStreamError("v 0 99999999999\n", 1, "32-bit");
+  ExpectStreamError("v 0 1\nt 1\n+ 0 1 99999999999 1 1\n", 3, "32-bit");
+}
+
+TEST(StreamIoTest, RejectsStructuralErrors) {
+  ExpectStreamError("v 0 1\nv 1 1\ne 0 0 0\n", 3, "self-loop");
+  ExpectStreamError("v 0 1\ne 0 1 0\n", 2, "undeclared");
+  ExpectStreamError("v 0 1\nt 2\n", 2, "out-of-order timestamp");
+  ExpectStreamError("v 0 1\nt 1\nt 3\n", 3, "out-of-order timestamp");
+  ExpectStreamError("v 0 1\n+ 0 1 0 1 1\n", 2, "before the first 't'");
+  ExpectStreamError("v 0 1\nt 1\nv 1 1\n", 3, "after the first 't'");
+  ExpectStreamError("x 1\n", 1, "unknown record");
+}
+
+TEST(StreamIoTest, ErrorLinesCountCommentsAndBlanks) {
+  ExpectStreamError("# header\n\nv 0 1\n# more\nv 0 2\n", 5,
+                    "duplicate vertex");
+}
+
 TEST(StreamIoTest, RejectsMalformedInput) {
   // Out-of-order timestamps.
   EXPECT_FALSE(ParseStream("v 0 1\nt 2\n").has_value());

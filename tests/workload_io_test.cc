@@ -1,0 +1,133 @@
+// Tests for the single-file workload format (queries + streams).
+
+#include "gsps/graph/workload_io.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gsps {
+namespace {
+
+Graph MakePath(int n, VertexLabel label) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.AddVertex(label + i);
+  for (int i = 0; i + 1 < n; ++i) EXPECT_TRUE(g.AddEdge(i, i + 1, 0));
+  return g;
+}
+
+GraphStream MakeStream() {
+  GraphStream stream(MakePath(3, 1));
+  GraphChange c1;
+  c1.ops.push_back(EdgeOp::Insert(0, 3, 1, 1, 7));
+  stream.AppendChange(c1);
+  GraphChange c2;
+  c2.ops.push_back(EdgeOp::Delete(0, 1));
+  stream.AppendChange(c2);
+  return stream;
+}
+
+void ExpectWorkloadsEqual(const Workload& a, const Workload& b) {
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i], b.queries[i]) << "query " << i;
+  }
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  for (size_t i = 0; i < a.streams.size(); ++i) {
+    const GraphStream& sa = a.streams[i];
+    const GraphStream& sb = b.streams[i];
+    ASSERT_EQ(sa.NumTimestamps(), sb.NumTimestamps()) << "stream " << i;
+    EXPECT_EQ(sa.StartGraph(), sb.StartGraph()) << "stream " << i;
+    for (int t = 1; t < sa.NumTimestamps(); ++t) {
+      EXPECT_EQ(sa.ChangeAt(t), sb.ChangeAt(t))
+          << "stream " << i << " t=" << t;
+    }
+  }
+}
+
+TEST(WorkloadIoTest, RoundTrip) {
+  Workload w;
+  w.queries.push_back(MakePath(2, 1));
+  w.queries.push_back(MakePath(4, 2));
+  w.streams.push_back(MakeStream());
+  w.streams.push_back(GraphStream(Graph{}));  // Empty stream.
+
+  const std::string text = FormatWorkload(w);
+  const std::optional<Workload> parsed = ParseWorkload(text);
+  ASSERT_TRUE(parsed.has_value());
+  ExpectWorkloadsEqual(w, *parsed);
+  // Formatting the parse is a fixed point.
+  EXPECT_EQ(FormatWorkload(*parsed), text);
+}
+
+TEST(WorkloadIoTest, EmptyWorkload) {
+  const std::optional<Workload> parsed = ParseWorkload("# nothing here\n\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->queries.empty());
+  EXPECT_TRUE(parsed->streams.empty());
+  EXPECT_EQ(ParseWorkload(FormatWorkload(*parsed)).has_value(), true);
+}
+
+TEST(WorkloadIoTest, StreamOnlyAndQueryOnly) {
+  Workload streams_only;
+  streams_only.streams.push_back(MakeStream());
+  std::optional<Workload> parsed =
+      ParseWorkload(FormatWorkload(streams_only));
+  ASSERT_TRUE(parsed.has_value());
+  ExpectWorkloadsEqual(streams_only, *parsed);
+
+  Workload queries_only;
+  queries_only.queries.push_back(MakePath(3, 5));
+  parsed = ParseWorkload(FormatWorkload(queries_only));
+  ASSERT_TRUE(parsed.has_value());
+  ExpectWorkloadsEqual(queries_only, *parsed);
+}
+
+TEST(WorkloadIoTest, RejectsBadSectionHeaders) {
+  IoError error;
+  // Record before any section header.
+  EXPECT_FALSE(ParseWorkload("v 0 1\n", &error).has_value());
+  EXPECT_EQ(error.line, 1);
+  // Non-sequential query indices.
+  EXPECT_FALSE(ParseWorkload("q 1\nv 0 1\n", &error).has_value());
+  EXPECT_EQ(error.line, 1);
+  EXPECT_FALSE(ParseWorkload("q 0\nv 0 1\nq 2\nv 0 1\n", &error).has_value());
+  EXPECT_EQ(error.line, 3);
+  // Query section after a stream section.
+  EXPECT_FALSE(
+      ParseWorkload("s 0\nv 0 1\nq 0\nv 0 1\n", &error).has_value());
+  EXPECT_EQ(error.line, 3);
+  // Truncated header.
+  EXPECT_FALSE(ParseWorkload("q\nv 0 1\n", &error).has_value());
+  EXPECT_EQ(error.line, 1);
+}
+
+TEST(WorkloadIoTest, ErrorLinesPointIntoTheFullFile) {
+  // The malformed edge is on line 5 of the overall file; the error must not
+  // be reported relative to the section body.
+  IoError error;
+  const std::string text =
+      "q 0\n"       // line 1
+      "v 0 1\n"     // line 2
+      "v 1 1\n"     // line 3
+      "e 0 1 0\n"   // line 4
+      "e 0 1 0\n";  // line 5 — duplicate edge
+  EXPECT_FALSE(ParseWorkload(text, &error).has_value());
+  EXPECT_EQ(error.line, 5);
+  EXPECT_NE(error.message.find("duplicate edge"), std::string::npos);
+
+  // Same in a stream section following a query section.
+  const std::string stream_text =
+      "q 0\n"          // line 1
+      "v 0 1\n"        // line 2
+      "s 0\n"          // line 3
+      "v 0 1\n"        // line 4
+      "t 1\n"          // line 5
+      "+ 0 1 0\n";     // line 6 — truncated insertion
+  EXPECT_FALSE(ParseWorkload(stream_text, &error).has_value());
+  EXPECT_EQ(error.line, 6);
+  EXPECT_NE(error.message.find("truncated insertion"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gsps

@@ -96,11 +96,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot read %s\n", queries_path.c_str());
     return 2;
   }
+  IoError parse_error;
   const std::optional<std::vector<Graph>> queries =
-      ParseGraphs(*queries_text);
-  if (!queries || queries->empty()) {
-    std::fprintf(stderr, "malformed or empty query file %s\n",
-                 queries_path.c_str());
+      ParseGraphs(*queries_text, &parse_error);
+  if (!queries) {
+    std::fprintf(stderr, "malformed query file %s: %s\n", queries_path.c_str(),
+                 parse_error.ToString().c_str());
+    return 2;
+  }
+  if (queries->empty()) {
+    std::fprintf(stderr, "empty query file %s\n", queries_path.c_str());
     return 2;
   }
 
@@ -111,9 +116,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot read %s\n", path.c_str());
       return 2;
     }
-    std::optional<GraphStream> stream = ParseStream(*stream_text);
+    std::optional<GraphStream> stream = ParseStream(*stream_text, &parse_error);
     if (!stream) {
-      std::fprintf(stderr, "malformed stream file %s\n", path.c_str());
+      std::fprintf(stderr, "malformed stream file %s: %s\n", path.c_str(),
+                   parse_error.ToString().c_str());
       return 2;
     }
     streams.push_back(*std::move(stream));
