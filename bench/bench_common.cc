@@ -130,12 +130,16 @@ int64_t ExactTruePairs(const std::vector<Graph>& queries,
 namespace {
 
 // Shared driver loop for both engine flavors. `apply` applies one
-// timestamp's batches, `all_pairs` runs the join over every stream, and
-// `graph_of` exposes the live stream graphs for ground truth.
-template <typename ApplyFn, typename PairsFn, typename GraphFn>
+// timestamp's batches, `all_pairs` runs the join over every stream,
+// `graph_of` exposes the live stream graphs for ground truth, and
+// `decorate` fills the fields only the engine knows (busy_millis) into the
+// otherwise-complete sample.
+template <typename ApplyFn, typename PairsFn, typename GraphFn,
+          typename DecorateFn>
 StatsAccumulator DriveEngine(const StreamWorkload& workload,
                              const RunOptions& options, ApplyFn apply,
-                             PairsFn all_pairs, GraphFn graph_of) {
+                             PairsFn all_pairs, GraphFn graph_of,
+                             DecorateFn decorate) {
   StatsAccumulator stats;
   const int num_streams = static_cast<int>(workload.streams.size());
   const int64_t total_pairs =
@@ -159,6 +163,7 @@ StatsAccumulator DriveEngine(const StreamWorkload& workload,
       for (int i = 0; i < num_streams; ++i) graphs.push_back(graph_of(i));
       sample.true_pairs = ExactTruePairs(workload.queries, graphs);
     }
+    decorate(sample);
     stats.Add(sample);
   }
   return stats;
@@ -193,7 +198,12 @@ StatsAccumulator RunNpvEngine(const StreamWorkload& workload, JoinKind kind,
         [&] {
           return static_cast<int64_t>(engine.AllCandidatePairs().size());
         },
-        [&](int i) { return &engine.StreamGraph(i); });
+        [&](int i) { return &engine.StreamGraph(i); },
+        [&](TimestampStats& sample) {
+          // The engine's barrier samples carry the aggregate cross-shard
+          // work time this driver cannot see from outside.
+          sample.busy_millis = engine.TakeBarrierStats().busy_millis;
+        });
   }
 
   EngineOptions engine_options;
@@ -221,7 +231,10 @@ StatsAccumulator RunNpvEngine(const StreamWorkload& workload, JoinKind kind,
         }
         return candidates;
       },
-      [&](int i) { return &engine.StreamGraph(i); });
+      [&](int i) { return &engine.StreamGraph(i); },
+      [](TimestampStats& sample) {
+        sample.busy_millis = sample.update_millis + sample.join_millis;
+      });
 }
 
 StatsAccumulator RunGraphGrepBaseline(const StreamWorkload& workload,
@@ -264,6 +277,7 @@ StatsAccumulator RunGraphGrepBaseline(const StreamWorkload& workload,
       }
       sample.true_pairs = ExactTruePairs(workload.queries, graphs);
     }
+    sample.busy_millis = sample.update_millis + sample.join_millis;
     stats.Add(sample);
   }
   return stats;
@@ -314,6 +328,7 @@ StatsAccumulator RunGindexBaseline(const StreamWorkload& workload,
       for (const Graph& g : snapshots) graphs.push_back(&g);
       sample.true_pairs = ExactTruePairs(workload.queries, graphs);
     }
+    sample.busy_millis = sample.update_millis + sample.join_millis;
     stats.Add(sample);
   }
   return stats;
@@ -417,6 +432,10 @@ std::map<std::string, double> StatsJsonFields(const StatsAccumulator& stats) {
       {"avg_cost_ms", stats.AvgCostMillis()},
       {"avg_update_ms", stats.AvgUpdateMillis()},
       {"avg_join_ms", stats.AvgJoinMillis()},
+      {"avg_busy_ms", stats.AvgBusyMillis()},
+      {"p50_cost_ms", stats.CostPercentileMillis(50.0)},
+      {"p95_cost_ms", stats.CostPercentileMillis(95.0)},
+      {"max_cost_ms", stats.MaxCostMillis()},
       {"avg_candidate_ratio", stats.AvgCandidateRatio()},
       {"avg_precision", stats.AvgPrecision()},
   };

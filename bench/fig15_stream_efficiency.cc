@@ -27,18 +27,22 @@ void RunSetting(const char* name, const StreamWorkload& workload,
     options.num_threads = num_threads;
     const StatsAccumulator stats = RunNpvEngine(
         workload, JoinKind::kDominatedSetCover, /*depth=*/3, options);
-    std::printf("  %-8s cost/step=%9.3f ms (update %.3f + join %.3f)\n",
+    std::printf("  %-8s cost/step=%9.3f ms (update %.3f + join %.3f) "
+                "p50=%.3f p95=%.3f max=%.3f\n",
                 "NPV", stats.AvgCostMillis(), stats.AvgUpdateMillis(),
-                stats.AvgJoinMillis());
+                stats.AvgJoinMillis(), stats.CostPercentileMillis(50.0),
+                stats.CostPercentileMillis(95.0), stats.MaxCostMillis());
     auto fields = StatsJsonFields(stats);
     fields["num_threads"] = num_threads;
     EmitBenchJson("fig15_npv", name, fields);
   }
   {
     const StatsAccumulator stats = RunGraphGrepBaseline(workload, 4);
-    std::printf("  %-8s cost/step=%9.3f ms (update %.3f + join %.3f)\n",
+    std::printf("  %-8s cost/step=%9.3f ms (update %.3f + join %.3f) "
+                "p50=%.3f p95=%.3f max=%.3f\n",
                 "Ggrep", stats.AvgCostMillis(), stats.AvgUpdateMillis(),
-                stats.AvgJoinMillis());
+                stats.AvgJoinMillis(), stats.CostPercentileMillis(50.0),
+                stats.CostPercentileMillis(95.0), stats.MaxCostMillis());
     EmitBenchJson("fig15_graphgrep", name, StatsJsonFields(stats));
   }
   StreamWorkload truncated = workload;

@@ -44,6 +44,12 @@ void RunSetting(const char* name, const StreamWorkload& full,
                 nl.AvgUpdateMillis(), nl.AvgJoinMillis(),
                 dsc.AvgUpdateMillis(), dsc.AvgJoinMillis(),
                 skyline.AvgUpdateMillis(), skyline.AvgJoinMillis());
+    // Tail behavior: the mean can hide rare expensive timestamps (bulk
+    // deletions, skew); the p95/max columns make the tail visible.
+    std::printf("  %-9s %17.2f /%9.2f %17.2f /%9.2f %17.2f /%9.2f\n",
+                "  p95/max", nl.CostPercentileMillis(95.0), nl.MaxCostMillis(),
+                dsc.CostPercentileMillis(95.0), dsc.MaxCostMillis(),
+                skyline.CostPercentileMillis(95.0), skyline.MaxCostMillis());
     for (const auto& [label, stats] :
          {std::pair<const char*, const StatsAccumulator*>{"nl", &nl},
           {"dsc", &dsc},

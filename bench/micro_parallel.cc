@@ -14,11 +14,13 @@
 //                  [--depth=3] [--seed=11] [--threads=1,2,4,8]
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "gsps/common/thread_pool.h"
+#include "gsps/obs/obs.h"
 
 namespace gsps::bench {
 namespace {
@@ -50,6 +52,14 @@ int Main(int argc, char** argv) {
   const StreamWorkload workload = SyntheticStreamWorkload(
       streams, 0.2, 0.15, timestamps, seed, /*extra_pair_fraction=*/6.2);
 
+  // Keep metric recording live on the driver thread for the whole run so
+  // the measured cost includes the instrumentation the CI overhead job
+  // compares against a GSPS_OBS_DISABLED build. (Shard threads install
+  // their own sinks inside the parallel engine.)
+  obs::MetricSink root_sink;
+  std::optional<obs::ScopedObsContext> obs_scope;
+  if constexpr (obs::kEnabled) obs_scope.emplace(&root_sink, nullptr);
+
   std::printf("micro_parallel: %zu streams x %zu queries, %d timestamps, "
               "join=%s, %d hardware threads\n",
               workload.streams.size(), workload.queries.size(),
@@ -59,8 +69,8 @@ int Main(int argc, char** argv) {
   // Sequential reference.
   const StatsAccumulator sequential = RunNpvEngine(workload, kind, depth);
   const double seq_cost = sequential.AvgCostMillis();
-  std::printf("  %-12s cost/step=%9.3f ms  throughput=%8.1f t/s\n",
-              "sequential", seq_cost,
+  std::printf("  %-12s cost/step=%9.3f ms  p95=%9.3f ms  throughput=%8.1f t/s\n",
+              "sequential", seq_cost, sequential.CostPercentileMillis(95.0),
               seq_cost > 0 ? 1000.0 / seq_cost : 0.0);
   {
     auto fields = StatsJsonFields(sequential);
@@ -79,9 +89,11 @@ int Main(int argc, char** argv) {
         RunNpvEngine(workload, kind, depth, options);
     const double cost = stats.AvgCostMillis();
     const double speedup = cost > 0 ? seq_cost / cost : 0.0;
-    std::printf("  %2d thread(s) cost/step=%9.3f ms  throughput=%8.1f t/s  "
-                "speedup=%.2fx\n",
-                threads, cost, cost > 0 ? 1000.0 / cost : 0.0, speedup);
+    std::printf("  %2d thread(s) cost/step=%9.3f ms  p95=%9.3f ms  "
+                "throughput=%8.1f t/s  speedup=%.2fx  busy=%.3f ms\n",
+                threads, cost, stats.CostPercentileMillis(95.0),
+                cost > 0 ? 1000.0 / cost : 0.0, speedup,
+                stats.AvgBusyMillis());
     auto fields = StatsJsonFields(stats);
     fields["streams"] = streams;
     fields["num_threads"] = threads;

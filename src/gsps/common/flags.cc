@@ -1,0 +1,131 @@
+#include "gsps/common/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gsps {
+
+namespace {
+
+// Classic dynamic-programming Levenshtein distance; flag names are short so
+// the quadratic cost is irrelevant.
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    Arg arg;
+    arg.raw = argv[i];
+    if (arg.raw.rfind("--", 0) == 0) {
+      const size_t eq = arg.raw.find('=');
+      if (eq == std::string::npos) {
+        arg.name = arg.raw.substr(2);
+      } else {
+        arg.name = arg.raw.substr(2, eq - 2);
+        arg.value = arg.raw.substr(eq + 1);
+        arg.has_value = true;
+      }
+    }
+    args_.push_back(std::move(arg));
+  }
+}
+
+FlagParser::Arg* FlagParser::Find(const std::string& name) {
+  if (std::find(known_.begin(), known_.end(), name) == known_.end()) {
+    known_.push_back(name);
+  }
+  Arg* found = nullptr;
+  for (Arg& arg : args_) {
+    if (!arg.name.empty() && arg.name == name) {
+      arg.recognized = true;
+      found = &arg;  // Last occurrence wins, like the previous parsers.
+    }
+  }
+  return found;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) {
+  const Arg* arg = Find(name);
+  return arg != nullptr ? arg->value : fallback;
+}
+
+int FlagParser::GetInt(const std::string& name, int fallback) {
+  const Arg* arg = Find(name);
+  return arg != nullptr && arg->has_value ? std::atoi(arg->value.c_str())
+                                          : fallback;
+}
+
+long long FlagParser::GetInt64(const std::string& name, long long fallback) {
+  const Arg* arg = Find(name);
+  return arg != nullptr && arg->has_value ? std::atoll(arg->value.c_str())
+                                          : fallback;
+}
+
+double FlagParser::GetDouble(const std::string& name, double fallback) {
+  const Arg* arg = Find(name);
+  return arg != nullptr && arg->has_value ? std::atof(arg->value.c_str())
+                                          : fallback;
+}
+
+bool FlagParser::GetBool(const std::string& name) {
+  const Arg* arg = Find(name);
+  if (arg == nullptr) return false;
+  if (!arg->has_value) return true;
+  return arg->value != "false" && arg->value != "0";
+}
+
+bool FlagParser::Has(const std::string& name) {
+  return Find(name) != nullptr;
+}
+
+std::vector<std::string> FlagParser::UnrecognizedArgs() const {
+  std::vector<std::string> out;
+  for (const Arg& arg : args_) {
+    if (!arg.recognized) out.push_back(arg.raw);
+  }
+  return out;
+}
+
+std::string FlagParser::ErrorMessage() const {
+  for (const Arg& arg : args_) {
+    if (arg.recognized) continue;
+    if (arg.name.empty()) {
+      return "unexpected argument '" + arg.raw + "' (flags are --name=value)";
+    }
+    std::string message = "unknown flag '--" + arg.name + "'";
+    const std::string* best = nullptr;
+    size_t best_distance = 0;
+    for (const std::string& candidate : known_) {
+      const size_t distance = EditDistance(arg.name, candidate);
+      if (best == nullptr || distance < best_distance) {
+        best = &candidate;
+        best_distance = distance;
+      }
+    }
+    // Only suggest close misses; "--frobnicate" should not suggest "--out".
+    if (best != nullptr &&
+        best_distance <= std::max<size_t>(2, best->size() / 3)) {
+      message += " (did you mean '--" + *best + "'?)";
+    }
+    return message;
+  }
+  return "";
+}
+
+}  // namespace gsps

@@ -1,0 +1,73 @@
+// Strict --flag parsing for the CLI tools.
+//
+// The previous ad-hoc parsers scanned argv for each flag they knew about
+// and silently ignored everything else, so a misspelling like --thread=4
+// degraded behavior without a word. FlagParser inverts that: each Get*
+// call declares its flag as known, and after all declarations the tool
+// asks for UnrecognizedArgs() — anything left (unknown --flags, stray
+// positionals) is a usage error, reported with a nearest-match suggestion.
+//
+//   gsps::FlagParser flags(argc, argv);
+//   const std::string out = flags.GetString("out", "");
+//   const int n = flags.GetInt("iterations", 100);
+//   const bool quiet = flags.GetBool("quiet");
+//   if (!flags.UnrecognizedArgs().empty()) {
+//     std::fprintf(stderr, "%s\n", flags.ErrorMessage().c_str());
+//     return 2;  // after printing usage
+//   }
+//
+// Accepted syntax: --name=value and bare --name (boolean true). A bare
+// "--" is not special. Parsing never exits or throws; policy stays in the
+// tool's main().
+
+#ifndef GSPS_COMMON_FLAGS_H_
+#define GSPS_COMMON_FLAGS_H_
+
+#include <string>
+#include <vector>
+
+namespace gsps {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  // Each getter marks `name` as a known flag and returns its value, or
+  // `fallback` when absent. GetBool returns true for bare --name or
+  // --name=true/1, false for --name=false/0 or absence.
+  std::string GetString(const std::string& name, const std::string& fallback);
+  int GetInt(const std::string& name, int fallback);
+  long long GetInt64(const std::string& name, long long fallback);
+  double GetDouble(const std::string& name, double fallback);
+  bool GetBool(const std::string& name);
+
+  // True iff --name was present on the command line (and marks it known).
+  bool Has(const std::string& name);
+
+  // Arguments never claimed by a getter: unknown --flags and positional
+  // arguments, in command-line order. Call after all getters.
+  std::vector<std::string> UnrecognizedArgs() const;
+
+  // Diagnostic for the first unrecognized argument, with a did-you-mean
+  // suggestion when a declared flag is within small edit distance. Empty
+  // string when everything was recognized.
+  std::string ErrorMessage() const;
+
+ private:
+  struct Arg {
+    std::string raw;      // As typed, e.g. "--iterations=5".
+    std::string name;     // "iterations" ("" for positionals).
+    std::string value;    // "5" ("" for bare flags).
+    bool has_value = false;
+    bool recognized = false;
+  };
+
+  Arg* Find(const std::string& name);
+
+  std::vector<Arg> args_;
+  std::vector<std::string> known_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_COMMON_FLAGS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gsps/common/check.h"
+#include "gsps/obs/obs.h"
 
 namespace gsps {
 
@@ -29,6 +30,10 @@ int ThreadPool::HardwareThreads() {
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
+  // Recorded on the calling thread: the dispatch itself is not parallel.
+  GSPS_OBS_COUNT(Counter::kPoolBarriers, 1);
+  GSPS_OBS_COUNT(Counter::kPoolTasks, n);
+  GSPS_OBS_GAUGE_SET(Gauge::kPoolQueueDepth, n);
   if (workers_.empty() || n == 1) {
     for (int i = 0; i < n; ++i) fn(i);
     return;

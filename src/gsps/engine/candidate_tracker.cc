@@ -1,6 +1,7 @@
 #include "gsps/engine/candidate_tracker.h"
 
 #include "gsps/common/check.h"
+#include "gsps/obs/obs.h"
 
 namespace gsps {
 
@@ -36,6 +37,11 @@ CandidateTransitions CandidateTracker::Observe(
     }
   }
   previous = current;
+  GSPS_OBS_COUNT(Counter::kTrackerObservations, 1);
+  GSPS_OBS_COUNT(Counter::kTrackerAppeared,
+                 static_cast<int64_t>(transitions.appeared.size()));
+  GSPS_OBS_COUNT(Counter::kTrackerDisappeared,
+                 static_cast<int64_t>(transitions.disappeared.size()));
   return transitions;
 }
 

@@ -16,6 +16,7 @@ TimestampStats MergeParallelSamples(const std::vector<TimestampStats>& shards) {
     merged.total_pairs += s.total_pairs;
     merged.update_millis = std::max(merged.update_millis, s.update_millis);
     merged.join_millis = std::max(merged.join_millis, s.join_millis);
+    merged.busy_millis += s.busy_millis;
     if (merged.true_pairs >= 0) {
       merged.true_pairs = s.true_pairs < 0 ? -1 : merged.true_pairs + s.true_pairs;
     }
@@ -55,6 +56,34 @@ double StatsAccumulator::AvgJoinMillis() const {
   double sum = 0.0;
   for (const TimestampStats& s : samples_) sum += s.join_millis;
   return sum / static_cast<double>(samples_.size());
+}
+
+double StatsAccumulator::AvgBusyMillis() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TimestampStats& s : samples_) sum += s.busy_millis;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double StatsAccumulator::CostPercentileMillis(double pct) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> costs;
+  costs.reserve(samples_.size());
+  for (const TimestampStats& s : samples_) {
+    costs.push_back(s.update_millis + s.join_millis);
+  }
+  std::sort(costs.begin(), costs.end());
+  // Nearest-rank: the smallest cost with at least pct% of samples at or
+  // below it. pct=100 is the maximum, pct->0 clamps to the minimum.
+  const double rank = pct / 100.0 * static_cast<double>(costs.size());
+  size_t index = static_cast<size_t>(rank);
+  if (static_cast<double>(index) < rank) ++index;  // ceil
+  if (index > 0) --index;                          // 1-based -> 0-based
+  return costs[std::min(index, costs.size() - 1)];
+}
+
+double StatsAccumulator::MaxCostMillis() const {
+  return CostPercentileMillis(100.0);
 }
 
 double StatsAccumulator::AvgPrecision() const {

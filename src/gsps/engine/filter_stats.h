@@ -23,16 +23,22 @@ struct TimestampStats {
   int64_t true_pairs = -1;  // -1 when ground truth was not computed.
   double update_millis = 0.0;
   double join_millis = 0.0;
+  // Aggregate CPU time spent inside update/join work across all shards.
+  // For a sequential run this equals update + join; for a parallel run it
+  // exceeds the critical-path update/join costs, and the gap between
+  // num_shards * (update + join) and busy is barrier-wait (idle) time.
+  double busy_millis = 0.0;
 };
 
 // Merges the per-shard samples of one parallel barrier into a single
 // timestamp sample. Pair counts are summed across shards; update/join costs
 // take the maximum (the barrier's critical path — the wall-clock cost the
-// caller observed, not aggregate CPU time); true_pairs sums when every
-// shard computed it and stays -1 otherwise. The timestamp is taken from the
-// first shard. Sums and maxima are commutative and associative, so the
-// result is independent of shard order. Zero shards merge to the empty
-// sample (all-zero counts, true_pairs = -1).
+// caller observed, not aggregate CPU time) while busy_millis sums (aggregate
+// work done); true_pairs sums when every shard computed it and stays -1
+// otherwise. The timestamp is taken from the first shard. Sums and maxima
+// are commutative and associative, so the result is independent of shard
+// order. Zero shards merge to the empty sample (all-zero counts,
+// true_pairs = -1).
 TimestampStats MergeParallelSamples(const std::vector<TimestampStats>& shards);
 
 // Aggregates TimestampStats.
@@ -52,6 +58,14 @@ class StatsAccumulator {
 
   double AvgUpdateMillis() const;
   double AvgJoinMillis() const;
+  double AvgBusyMillis() const;
+
+  // Nearest-rank percentile of per-timestamp cost (update + join) in
+  // milliseconds; pct in (0, 100]. 0.0 with no samples.
+  double CostPercentileMillis(double pct) const;
+
+  // Slowest per-timestamp cost (update + join), milliseconds.
+  double MaxCostMillis() const;
 
   // Mean precision (true pairs / candidate pairs) over timestamps where
   // ground truth is present; 1.0 when no candidates were reported.

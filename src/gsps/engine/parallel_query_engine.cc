@@ -1,12 +1,22 @@
 #include "gsps/engine/parallel_query_engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 #include <utility>
 
 #include "gsps/common/check.h"
 #include "gsps/common/stopwatch.h"
 
 namespace gsps {
+
+namespace {
+
+int64_t MillisToMicros(double millis) {
+  return static_cast<int64_t>(std::llround(millis * 1000.0));
+}
+
+}  // namespace
 
 ParallelQueryEngine::ParallelQueryEngine(const ParallelEngineOptions& options)
     : options_(options) {
@@ -37,6 +47,14 @@ void ParallelQueryEngine::Start() {
   shards_.resize(static_cast<size_t>(num_shards));
   stream_to_shard_.resize(static_cast<size_t>(num_streams));
   pool_ = std::make_unique<ThreadPool>(num_shards);
+  if constexpr (obs::kEnabled) {
+    // One trace row per shard (tid 0 is the driver thread). NewBuffer
+    // returns nullptr while tracing is off, which keeps spans inert.
+    for (int s = 0; s < num_shards; ++s) {
+      shards_[static_cast<size_t>(s)].trace =
+          obs::Tracer::Global().NewBuffer(s + 1);
+    }
+  }
   // Shard setup — including the per-shard query-vector computation and the
   // initial NNT builds — is itself shard-parallel.
   pool_->ParallelFor(num_shards, [&](int s) {
@@ -53,22 +71,41 @@ void ParallelQueryEngine::Start() {
   for (int i = 0; i < num_streams; ++i) stream_to_shard_[static_cast<size_t>(i)] = i % num_shards;
   pending_queries_.clear();
   pending_streams_.clear();
+  if constexpr (obs::kEnabled) {
+    Shard& first = shards_.front();
+    first.sink.Set(obs::Gauge::kEngineShards, num_shards);
+    first.sink.Set(obs::Gauge::kEngineStreams, num_streams);
+    first.sink.Set(obs::Gauge::kEngineQueries, num_queries_);
+    obs::MetricsRegistry::Global().MergeAndReset(first.sink);
+  }
 }
 
 void ParallelQueryEngine::ApplyChanges(const std::vector<GraphChange>& changes) {
   GSPS_CHECK(started_);
   GSPS_CHECK_MSG(static_cast<int>(changes.size()) == num_streams(),
                  "one change batch per stream");
+  Stopwatch barrier_watch;
   pool_->ParallelFor(num_shards(), [&](int s) {
     Shard& shard = shards_[static_cast<size_t>(s)];
+    std::optional<obs::ScopedObsContext> obs_scope;
+    if constexpr (obs::kEnabled) obs_scope.emplace(&shard.sink, shard.trace);
+    GSPS_OBS_SPAN("shard_update", "engine");
     Stopwatch watch;
     for (size_t local = 0; local < shard.global_streams.size(); ++local) {
       const int global = shard.global_streams[local];
       shard.engine->ApplyChange(static_cast<int>(local),
                                 changes[static_cast<size_t>(global)]);
     }
-    shard.pending.update_millis += watch.ElapsedMillis();
+    const double elapsed = watch.ElapsedMillis();
+    shard.pending.update_millis += elapsed;
+    shard.pending.busy_millis += elapsed;
+    shard.busy_micros = MillisToMicros(elapsed);
   });
+  if constexpr (obs::kEnabled) {
+    ObserveBarrier(obs::Counter::kEngineUpdateBarriers,
+                   obs::Hist::kUpdateBatchMicros,
+                   barrier_watch.ElapsedMillis());
+  }
 }
 
 void ParallelQueryEngine::ApplyChange(int stream, const GraphChange& change) {
@@ -76,7 +113,9 @@ void ParallelQueryEngine::ApplyChange(int stream, const GraphChange& change) {
   Shard& shard = ShardOf(stream);
   Stopwatch watch;
   shard.engine->ApplyChange(LocalIndex(stream), change);
-  shard.pending.update_millis += watch.ElapsedMillis();
+  const double elapsed = watch.ElapsedMillis();
+  shard.pending.update_millis += elapsed;
+  shard.pending.busy_millis += elapsed;
 }
 
 std::vector<int> ParallelQueryEngine::CandidatesForStream(int stream) {
@@ -86,8 +125,12 @@ std::vector<int> ParallelQueryEngine::CandidatesForStream(int stream) {
 
 std::vector<std::pair<int, int>> ParallelQueryEngine::AllCandidatePairs() {
   GSPS_CHECK(started_);
+  Stopwatch barrier_watch;
   pool_->ParallelFor(num_shards(), [&](int s) {
     Shard& shard = shards_[static_cast<size_t>(s)];
+    std::optional<obs::ScopedObsContext> obs_scope;
+    if constexpr (obs::kEnabled) obs_scope.emplace(&shard.sink, shard.trace);
+    GSPS_OBS_SPAN("shard_join", "engine");
     Stopwatch watch;
     int64_t candidates = 0;
     for (size_t local = 0; local < shard.global_streams.size(); ++local) {
@@ -95,9 +138,16 @@ std::vector<std::pair<int, int>> ParallelQueryEngine::AllCandidatePairs() {
           shard.engine->CandidatesForStream(static_cast<int>(local));
       candidates += static_cast<int64_t>(shard.join_results[local].size());
     }
-    shard.pending.join_millis += watch.ElapsedMillis();
+    const double elapsed = watch.ElapsedMillis();
+    shard.pending.join_millis += elapsed;
+    shard.pending.busy_millis += elapsed;
     shard.pending.candidate_pairs += candidates;
+    shard.busy_micros = MillisToMicros(elapsed);
   });
+  if constexpr (obs::kEnabled) {
+    ObserveBarrier(obs::Counter::kEngineJoinBarriers,
+                   obs::Hist::kJoinBatchMicros, barrier_watch.ElapsedMillis());
+  }
   // Deterministic merge: ascending global stream, queries ascending within
   // (each shard already reports queries ascending).
   std::vector<std::pair<int, int>> pairs;
@@ -131,6 +181,27 @@ void ParallelQueryEngine::RemoveQueryDynamic(int query) {
   pool_->ParallelFor(num_shards(), [&](int s) {
     shards_[static_cast<size_t>(s)].engine->RemoveQueryDynamic(query);
   });
+}
+
+void ParallelQueryEngine::ObserveBarrier(obs::Counter barrier_counter,
+                                         obs::Hist batch_hist,
+                                         double barrier_millis) {
+  // Runs on the calling thread after the barrier completed, so every
+  // shard's sink is quiescent (the pool's barrier handshake provides the
+  // happens-before edge). Wait time is the gap between the barrier's
+  // wall-clock span and the shard's own work inside it.
+  const int64_t barrier_micros = MillisToMicros(barrier_millis);
+  shards_.front().sink.Add(barrier_counter, 1);
+  for (Shard& shard : shards_) {
+    const int64_t busy = shard.busy_micros;
+    const int64_t wait = std::max<int64_t>(0, barrier_micros - busy);
+    shard.sink.Add(obs::Counter::kShardBusyMicros, busy);
+    shard.sink.Add(obs::Counter::kShardBarrierWaitMicros, wait);
+    shard.sink.Observe(batch_hist, busy);
+    shard.sink.Observe(obs::Hist::kBarrierWaitMicros, wait);
+    obs::MetricsRegistry::Global().MergeAndReset(shard.sink);
+    shard.busy_micros = 0;
+  }
 }
 
 TimestampStats ParallelQueryEngine::TakeBarrierStats() {

@@ -48,6 +48,7 @@
 #include "gsps/engine/filter_stats.h"
 #include "gsps/graph/graph.h"
 #include "gsps/graph/graph_change.h"
+#include "gsps/obs/obs.h"
 
 namespace gsps {
 
@@ -128,11 +129,24 @@ class ParallelQueryEngine {
     TimestampStats pending;
     // AllCandidatePairs scratch: per local stream, the candidate queries.
     std::vector<std::vector<int>> join_results;
+    // Observability: the worker running this shard records into sink/trace
+    // during a barrier (installed via ScopedObsContext); the calling thread
+    // folds the sink into MetricsRegistry::Global() after the barrier —
+    // never a lock on the hot path. busy_micros carries this barrier's work
+    // time out to that post-barrier accounting.
+    obs::MetricSink sink;
+    obs::TraceBuffer* trace = nullptr;
+    int64_t busy_micros = 0;
   };
 
   const Shard& ShardOf(int stream) const;
   Shard& ShardOf(int stream);
   int LocalIndex(int stream) const { return stream / num_shards(); }
+
+  // Post-barrier observability bookkeeping: per-shard busy/wait counters and
+  // histograms, then a registry merge. Only called when obs is enabled.
+  void ObserveBarrier(obs::Counter barrier_counter, obs::Hist batch_hist,
+                      double barrier_millis);
 
   ParallelEngineOptions options_;
   // Pre-Start buffers; drained into the shards by Start().

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "gsps/common/check.h"
+#include "gsps/obs/obs.h"
 
 namespace gsps {
 
@@ -97,6 +98,13 @@ std::vector<int> DominatedSetCoverJoin::CandidatesForStream(int stream_index) {
     if (query_trivial_vectors_[j] > 0 && !stream_nonempty) continue;
     candidates.push_back(static_cast<int>(j));
   }
+  GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(queries_.size()));
+  GSPS_OBS_COUNT(Counter::kJoinPairsOut,
+                 static_cast<int64_t>(candidates.size()));
+  GSPS_OBS_COUNT(Counter::kJoinSetCoverRounds, pending_rounds_);
+  GSPS_OBS_COUNT(Counter::kJoinSetCoverFlips, pending_flips_);
+  pending_rounds_ = 0;
+  pending_flips_ = 0;
   return candidates;
 }
 
@@ -111,6 +119,7 @@ void DominatedSetCoverJoin::AdjustRange(StreamState& stream,
                                         StreamVertexState& vertex, DimId dim,
                                         int32_t from, int32_t to, int delta) {
   GSPS_DCHECK(from < to);
+  ++pending_rounds_;
   auto list_it = dim_lists_.find(dim);
   if (list_it == dim_lists_.end()) return;
   const std::vector<DimEntry>& list = list_it->second;
@@ -142,6 +151,7 @@ void DominatedSetCoverJoin::AdjustRange(StreamState& stream,
 
 void DominatedSetCoverJoin::SetDominates(StreamState& stream, QVec qvec,
                                          bool now_dominates) {
+  ++pending_flips_;
   int32_t& cover = stream.cover_count[static_cast<size_t>(qvec)];
   const int32_t query = qvec_query_[static_cast<size_t>(qvec)];
   if (now_dominates) {

@@ -87,6 +87,14 @@ class DominatedSetCoverJoin final : public JoinStrategy {
   std::unordered_map<DimId, std::vector<DimEntry>> dim_lists_;
 
   std::vector<StreamState> streams_;
+
+  // Observability accumulators for the maintenance inner loops: plain
+  // member adds there (AdjustRange / SetDominates run per dimension-range
+  // per NPV move), flushed to the installed sink once per
+  // CandidatesForStream. Counts pending since the last flush are only lost
+  // if no candidate read ever follows the updates.
+  int64_t pending_rounds_ = 0;
+  int64_t pending_flips_ = 0;
 };
 
 }  // namespace gsps

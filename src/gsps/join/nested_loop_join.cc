@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "gsps/common/check.h"
+#include "gsps/obs/obs.h"
 
 namespace gsps {
 
@@ -29,12 +30,14 @@ std::vector<int> NestedLoopJoin::CandidatesForStream(int stream) {
   const std::unordered_map<VertexId, Npv>& vectors =
       streams_[static_cast<size_t>(stream)];
   std::vector<int> candidates;
+  int64_t dominance_tests = 0;
   for (size_t j = 0; j < queries_.size(); ++j) {
     bool all_covered = true;
     for (const Npv& query_vector : queries_[j].vectors) {
       bool covered = false;
       for (const auto& [v, stream_vector] : vectors) {
         (void)v;
+        ++dominance_tests;
         if (stream_vector.Dominates(query_vector)) {
           covered = true;
           break;
@@ -47,6 +50,10 @@ std::vector<int> NestedLoopJoin::CandidatesForStream(int stream) {
     }
     if (all_covered) candidates.push_back(static_cast<int>(j));
   }
+  GSPS_OBS_COUNT(Counter::kJoinDominanceTests, dominance_tests);
+  GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(queries_.size()));
+  GSPS_OBS_COUNT(Counter::kJoinPairsOut,
+                 static_cast<int64_t>(candidates.size()));
   return candidates;
 }
 

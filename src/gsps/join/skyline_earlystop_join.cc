@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "gsps/common/check.h"
+#include "gsps/obs/obs.h"
 
 namespace gsps {
 
@@ -81,6 +82,8 @@ std::vector<int> SkylineEarlyStopJoin::CandidatesForStream(int stream_index) {
   StreamState& stream = streams_[static_cast<size_t>(stream_index)];
   const bool stream_nonempty = !stream.vertices.empty();
   std::vector<int> candidates;
+  const int64_t comparisons_before = comparisons_;
+  int64_t early_stops = 0;
   for (size_t j = 0; j < plans_.size(); ++j) {
     const QueryPlan& plan = plans_[j];
     if (plan.empty_query) {
@@ -92,11 +95,18 @@ std::vector<int> SkylineEarlyStopJoin::CandidatesForStream(int stream_index) {
     for (const Npv& point : plan.skyline) {
       if (!Covered(stream, point)) {
         found_skyline_point = true;  // Early stop: the pair is pruned.
+        ++early_stops;
         break;
       }
     }
     if (!found_skyline_point) candidates.push_back(static_cast<int>(j));
   }
+  GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(plans_.size()));
+  GSPS_OBS_COUNT(Counter::kJoinPairsOut,
+                 static_cast<int64_t>(candidates.size()));
+  GSPS_OBS_COUNT(Counter::kJoinSkylineEarlyStops, early_stops);
+  GSPS_OBS_COUNT(Counter::kJoinDominanceTests,
+                 comparisons_ - comparisons_before);
   return candidates;
 }
 

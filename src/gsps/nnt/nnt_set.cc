@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "gsps/common/check.h"
+#include "gsps/obs/obs.h"
 
 namespace gsps {
 
@@ -40,6 +41,10 @@ void NntSet::InsertEdge(const Graph& graph, VertexId u, VertexId v) {
   // pre-existing appearance of u (crossing u->v) or of v (crossing v->u).
   const std::vector<Appearance> appearances_u = node_index_[u];
   const std::vector<Appearance> appearances_v = node_index_[v];
+  GSPS_OBS_COUNT(Counter::kNntInsertEdges, 1);
+  GSPS_OBS_COUNT(Counter::kNntPathsTouched,
+                 static_cast<int64_t>(appearances_u.size()) +
+                     static_cast<int64_t>(appearances_v.size()));
 
   auto extend = [&](const std::vector<Appearance>& appearances, VertexId from,
                     VertexId to) {
@@ -69,6 +74,9 @@ void NntSet::DeleteEdge(VertexId u, VertexId v) {
   // appearances of the same edge that sit deeper in that subtree; the
   // generation check skips those stale snapshot entries.
   const std::vector<Appearance> appearances = it->second;
+  GSPS_OBS_COUNT(Counter::kNntDeleteEdges, 1);
+  GSPS_OBS_COUNT(Counter::kNntPathsTouched,
+                 static_cast<int64_t>(appearances.size()));
   for (const Appearance& appearance : appearances) {
     NodeNeighborTree* tree = MutableTreeOf(appearance.tree_root);
     if (tree == nullptr ||
@@ -211,6 +219,7 @@ TreeNodeId NntSet::AddTreeChild(VertexId root, TreeNodeId parent,
   edge_list.push_back(appearance);
   child_node.edge_index_pos = static_cast<int32_t>(edge_list.size()) - 1;
   BumpDimension(root, child_node.depth, parent_label, vertex_label, +1);
+  GSPS_OBS_COUNT(Counter::kNntTreeNodesCreated, 1);
   return child;
 }
 
@@ -239,6 +248,7 @@ void NntSet::FreeTreeNode(VertexId root, TreeNodeId node_id) {
 
   BumpDimension(root, level, parent_label, vertex_label, -1);
   tree->FreeNode(node_id);
+  GSPS_OBS_COUNT(Counter::kNntTreeNodesFreed, 1);
 }
 
 void NntSet::EraseAppearanceAt(std::vector<Appearance>& list, int32_t pos,
@@ -311,7 +321,9 @@ void NntSet::BumpDimension(VertexId root, int32_t level,
   it->second += delta;
   GSPS_CHECK(it->second >= 0);
   if (it->second == 0) counts.erase(it);
-  dirty_roots_.insert(root);
+  if (dirty_roots_.insert(root).second) {
+    GSPS_OBS_COUNT(Counter::kNntRootsDirtied, 1);
+  }
 }
 
 bool NntSet::Validate(const Graph& graph) const {

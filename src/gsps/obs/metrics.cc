@@ -1,0 +1,209 @@
+#include "gsps/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+namespace gsps::obs {
+
+namespace {
+
+constexpr const char* kCounterNames[kNumCounters] = {
+    "gsps_nnt_insert_edges",
+    "gsps_nnt_delete_edges",
+    "gsps_nnt_paths_touched",
+    "gsps_nnt_tree_nodes_created",
+    "gsps_nnt_tree_nodes_freed",
+    "gsps_nnt_roots_dirtied",
+    "gsps_join_dominance_tests",
+    "gsps_join_skyline_early_stops",
+    "gsps_join_set_cover_rounds",
+    "gsps_join_set_cover_flips",
+    "gsps_join_pairs_in",
+    "gsps_join_pairs_out",
+    "gsps_tracker_observations",
+    "gsps_tracker_appeared",
+    "gsps_tracker_disappeared",
+    "gsps_pool_barriers",
+    "gsps_pool_tasks",
+    "gsps_engine_update_barriers",
+    "gsps_engine_join_barriers",
+    "gsps_shard_busy_micros",
+    "gsps_shard_barrier_wait_micros",
+};
+
+constexpr const char* kGaugeNames[kNumGauges] = {
+    "gsps_pool_queue_depth",
+    "gsps_engine_shards",
+    "gsps_engine_streams",
+    "gsps_engine_queries",
+};
+
+constexpr const char* kHistNames[kNumHists] = {
+    "gsps_update_batch_micros",
+    "gsps_join_batch_micros",
+    "gsps_barrier_wait_micros",
+};
+
+std::string FormatInt(int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(value));
+  return buffer;
+}
+
+// The aggregate behind MetricsRegistry::Global(). Kept out of the class so
+// metrics.h stays free of <mutex>.
+struct RegistryState {
+  std::mutex mutex;
+  MetricSink root;
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+}  // namespace
+
+const char* CounterName(Counter counter) {
+  return kCounterNames[static_cast<size_t>(counter)];
+}
+
+const char* GaugeName(Gauge gauge) {
+  return kGaugeNames[static_cast<size_t>(gauge)];
+}
+
+const char* HistName(Hist hist) {
+  return kHistNames[static_cast<size_t>(hist)];
+}
+
+int HistogramData::BucketIndex(int64_t value) {
+  const auto it = std::lower_bound(kHistBucketBounds.begin(),
+                                   kHistBucketBounds.end(), value);
+  return static_cast<int>(it - kHistBucketBounds.begin());
+}
+
+void HistogramData::Observe(int64_t value) {
+  ++buckets[static_cast<size_t>(BucketIndex(value))];
+  ++count;
+  sum += value;
+}
+
+void HistogramData::MergeFrom(const HistogramData& other) {
+  for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+void MetricSink::MergeFrom(const MetricSink& other) {
+  for (int i = 0; i < kNumCounters; ++i) {
+    counters_[static_cast<size_t>(i)] += other.counters_[static_cast<size_t>(i)];
+  }
+  for (int i = 0; i < kNumGauges; ++i) {
+    gauges_[static_cast<size_t>(i)] =
+        std::max(gauges_[static_cast<size_t>(i)],
+                 other.gauges_[static_cast<size_t>(i)]);
+  }
+  for (int i = 0; i < kNumHists; ++i) {
+    hists_[static_cast<size_t>(i)].MergeFrom(
+        other.hists_[static_cast<size_t>(i)]);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::MergeAndReset(MetricSink& sink) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.root.MergeFrom(sink);
+  sink.Reset();
+}
+
+MetricSink MetricsRegistry::Snapshot() const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.root;
+}
+
+void MetricsRegistry::Reset() {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.root.Reset();
+}
+
+std::string ToPrometheusText(const MetricSink& snapshot) {
+  std::string out;
+  for (int i = 0; i < kNumCounters; ++i) {
+    const Counter counter = static_cast<Counter>(i);
+    const std::string name = std::string(CounterName(counter)) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + FormatInt(snapshot.Value(counter)) + "\n";
+  }
+  for (int i = 0; i < kNumGauges; ++i) {
+    const Gauge gauge = static_cast<Gauge>(i);
+    out += "# TYPE " + std::string(GaugeName(gauge)) + " gauge\n";
+    out += std::string(GaugeName(gauge)) + " " +
+           FormatInt(snapshot.GaugeValue(gauge)) + "\n";
+  }
+  for (int i = 0; i < kNumHists; ++i) {
+    const Hist hist = static_cast<Hist>(i);
+    const HistogramData& data = snapshot.histogram(hist);
+    const std::string name = HistName(hist);
+    out += "# TYPE " + name + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t b = 0; b < kHistBucketBounds.size(); ++b) {
+      cumulative += data.buckets[b];
+      out += name + "_bucket{le=\"" + FormatInt(kHistBucketBounds[b]) +
+             "\"} " + FormatInt(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + FormatInt(data.count) + "\n";
+    out += name + "_sum " + FormatInt(data.sum) + "\n";
+    out += name + "_count " + FormatInt(data.count) + "\n";
+  }
+  return out;
+}
+
+std::string ToMetricsJson(const MetricSink& snapshot) {
+  std::string out = "{\"counters\":{";
+  for (int i = 0; i < kNumCounters; ++i) {
+    const Counter counter = static_cast<Counter>(i);
+    if (i > 0) out += ",";
+    out += "\"";
+    out += CounterName(counter);
+    out += "\":" + FormatInt(snapshot.Value(counter));
+  }
+  out += "},\"gauges\":{";
+  for (int i = 0; i < kNumGauges; ++i) {
+    const Gauge gauge = static_cast<Gauge>(i);
+    if (i > 0) out += ",";
+    out += "\"";
+    out += GaugeName(gauge);
+    out += "\":" + FormatInt(snapshot.GaugeValue(gauge));
+  }
+  out += "},\"histograms\":{";
+  for (int i = 0; i < kNumHists; ++i) {
+    const Hist hist = static_cast<Hist>(i);
+    const HistogramData& data = snapshot.histogram(hist);
+    if (i > 0) out += ",";
+    out += "\"";
+    out += HistName(hist);
+    out += "\":{\"buckets\":[";
+    for (size_t b = 0; b < data.buckets.size(); ++b) {
+      if (b > 0) out += ",";
+      out += "{\"le\":";
+      out += b < kHistBucketBounds.size() ? FormatInt(kHistBucketBounds[b])
+                                          : std::string("\"+Inf\"");
+      out += ",\"count\":" + FormatInt(data.buckets[b]) + "}";
+    }
+    out += "],\"sum\":" + FormatInt(data.sum) +
+           ",\"count\":" + FormatInt(data.count) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace gsps::obs

@@ -1,0 +1,178 @@
+// Low-overhead counters, gauges, and fixed-bucket latency histograms.
+//
+// The design splits recording from aggregation so the hot path never takes
+// a lock or touches shared memory:
+//
+//   * MetricSink is a plain value type (arrays of int64) that exactly one
+//     thread writes at a time. The engine keeps one sink per shard; the CLI
+//     tools keep one for the driver thread. Recording is an array add.
+//   * MetricsRegistry is the process-wide aggregate. Owners push their
+//     sinks into it with MergeAndReset at parallel-engine barriers (or at
+//     flush time for single-threaded drivers) — a mutex acquisition per
+//     barrier, never per operation.
+//   * Snapshot() copies the aggregate for serialization: Prometheus text
+//     exposition format (ToPrometheusText) or JSON (ToMetricsJson).
+//
+// Metric identity is a compile-time enum, so recording needs no name lookup
+// and a sink is a fixed-size struct. Adding a metric means extending the
+// enum and its name table here; every serializer and merge picks it up.
+//
+// The instrumentation macros that feed sinks live in gsps/obs/obs.h; the
+// GSPS_OBS_DISABLED compile-time switch reduces those macros to no-ops but
+// keeps these types functional, so tooling builds in both modes.
+
+#ifndef GSPS_OBS_METRICS_H_
+#define GSPS_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gsps::obs {
+
+// Monotonic event counts. Serialized with a "_total" suffix per Prometheus
+// counter convention.
+enum class Counter : int {
+  // NNT incremental maintenance (nnt/nnt_set.cc).
+  kNntInsertEdges = 0,     // InsertEdge calls applied.
+  kNntDeleteEdges,         // DeleteEdge calls applied.
+  kNntPathsTouched,        // Appearance-list entries visited by insert/delete.
+  kNntTreeNodesCreated,    // Tree nodes allocated (AddTreeChild).
+  kNntTreeNodesFreed,      // Tree nodes freed (FreeTreeNode).
+  kNntRootsDirtied,        // Roots whose NPV went clean -> dirty.
+  // Join strategies (join/).
+  kJoinDominanceTests,     // Pairwise Npv::Dominates evaluations (NL, Skyline).
+  kJoinSkylineEarlyStops,  // Pairs pruned at the first uncovered skyline point.
+  kJoinSetCoverRounds,     // DSC AdjustRange maintenance rounds.
+  kJoinSetCoverFlips,      // DSC domination-status flips (SetDominates).
+  kJoinPairsIn,            // (stream, query) pairs evaluated.
+  kJoinPairsOut,           // Pairs surviving as candidates.
+  // Candidate transition tracking (engine/candidate_tracker.cc).
+  kTrackerObservations,
+  kTrackerAppeared,
+  kTrackerDisappeared,
+  // Worker pool and sharded engine (common/thread_pool.cc, engine/).
+  kPoolBarriers,            // ParallelFor invocations.
+  kPoolTasks,               // Indices dispatched across all barriers.
+  kEngineUpdateBarriers,    // ApplyChanges barriers.
+  kEngineJoinBarriers,      // AllCandidatePairs barriers.
+  kShardBusyMicros,         // Summed per-shard busy time inside barriers.
+  kShardBarrierWaitMicros,  // Summed per-shard idle time at barriers.
+  kNumCounters,
+};
+
+// Last-written values; merged by maximum, so an aggregated gauge reads as a
+// high-water mark.
+enum class Gauge : int {
+  kPoolQueueDepth = 0,  // Tasks enqueued by the most recent barrier.
+  kEngineShards,
+  kEngineStreams,
+  kEngineQueries,
+  kNumGauges,
+};
+
+// Fixed-bucket latency histograms, in microseconds.
+enum class Hist : int {
+  kUpdateBatchMicros = 0,  // Per-shard NNT/index update time per barrier.
+  kJoinBatchMicros,        // Per-shard join time per barrier.
+  kBarrierWaitMicros,      // Per-shard idle time at each barrier.
+  kNumHists,
+};
+
+inline constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);
+inline constexpr int kNumGauges = static_cast<int>(Gauge::kNumGauges);
+inline constexpr int kNumHists = static_cast<int>(Hist::kNumHists);
+
+// Prometheus-style base names ("gsps_nnt_insert_edges", ...).
+const char* CounterName(Counter counter);
+const char* GaugeName(Gauge gauge);
+const char* HistName(Hist hist);
+
+// Shared upper bounds (inclusive, microseconds) of the histogram buckets;
+// a final implicit +Inf bucket catches the overflow. Quarter-decade spacing
+// covers sub-microsecond NNT ops up to multi-second barriers.
+inline constexpr std::array<int64_t, 12> kHistBucketBounds = {
+    1,     4,     16,     64,     256,     1024,
+    4096, 16384, 65536, 262144, 1048576, 4194304};
+
+// One histogram: non-cumulative per-bucket counts plus count/sum, enough to
+// reconstruct the Prometheus cumulative exposition and mean latency.
+struct HistogramData {
+  std::array<int64_t, kHistBucketBounds.size() + 1> buckets{};
+  int64_t count = 0;
+  int64_t sum = 0;
+
+  // Index of the bucket a value falls into (last = +Inf overflow).
+  static int BucketIndex(int64_t value);
+
+  void Observe(int64_t value);
+  void MergeFrom(const HistogramData& other);
+
+  friend bool operator==(const HistogramData&, const HistogramData&) = default;
+};
+
+// A single-writer bundle of every metric. Copyable plain data.
+class MetricSink {
+ public:
+  void Add(Counter counter, int64_t n) {
+    counters_[static_cast<size_t>(counter)] += n;
+  }
+  int64_t Value(Counter counter) const {
+    return counters_[static_cast<size_t>(counter)];
+  }
+
+  void Set(Gauge gauge, int64_t value) {
+    gauges_[static_cast<size_t>(gauge)] = value;
+  }
+  int64_t GaugeValue(Gauge gauge) const {
+    return gauges_[static_cast<size_t>(gauge)];
+  }
+
+  void Observe(Hist hist, int64_t value) {
+    hists_[static_cast<size_t>(hist)].Observe(value);
+  }
+  const HistogramData& histogram(Hist hist) const {
+    return hists_[static_cast<size_t>(hist)];
+  }
+
+  // Counters and histograms sum, gauges take the maximum — all commutative
+  // and associative, so merge order never matters.
+  void MergeFrom(const MetricSink& other);
+
+  void Reset() { *this = MetricSink{}; }
+
+  friend bool operator==(const MetricSink&, const MetricSink&) = default;
+
+ private:
+  std::array<int64_t, kNumCounters> counters_{};
+  std::array<int64_t, kNumGauges> gauges_{};
+  std::array<HistogramData, kNumHists> hists_{};
+};
+
+// Process-wide aggregate. All methods are thread-safe (one mutex), but by
+// construction they are only reached off the hot path: owners merge whole
+// sinks at barriers, and serialization happens at flush cadence.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Folds `sink` into the aggregate and zeroes it.
+  void MergeAndReset(MetricSink& sink);
+
+  // Copy of the current aggregate.
+  MetricSink Snapshot() const;
+
+  // Zeroes the aggregate (test isolation).
+  void Reset();
+};
+
+// Prometheus text exposition format: "# TYPE" headers, "_total" counters,
+// cumulative le="..." histogram buckets with _sum/_count.
+std::string ToPrometheusText(const MetricSink& snapshot);
+
+// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+std::string ToMetricsJson(const MetricSink& snapshot);
+
+}  // namespace gsps::obs
+
+#endif  // GSPS_OBS_METRICS_H_

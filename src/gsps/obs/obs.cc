@@ -1,0 +1,7 @@
+#include "gsps/obs/obs.h"
+
+namespace gsps::obs {
+
+constinit thread_local ObsContext g_obs_context;
+
+}  // namespace gsps::obs

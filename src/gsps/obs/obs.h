@@ -1,0 +1,146 @@
+// Instrumentation entry points: thread-local recording context + macros.
+//
+// A thread records into whatever ObsContext is installed on it. Installing
+// is explicit and scoped (ScopedObsContext): the parallel engine installs a
+// shard's sink/trace-buffer around each barrier task, CLI drivers install a
+// root sink for the main thread. With no context installed every macro is a
+// single null check, so library code is always safe to instrument.
+//
+//   GSPS_OBS_COUNT(Counter::kNntInsertEdges, 1);
+//   GSPS_OBS_GAUGE_SET(Gauge::kPoolQueueDepth, n);
+//   GSPS_OBS_OBSERVE(Hist::kUpdateBatchMicros, micros);
+//   GSPS_OBS_SPAN("shard_update", "engine");   // RAII, ends at scope exit
+//
+// Compile with -DGSPS_OBS_DISABLED (CMake option of the same name) and all
+// four macros expand to nothing — zero instructions on the hot path — while
+// the obs types themselves stay linkable so tools build unchanged. Code
+// that does obs-only work outside the macros (timing reads, sink merges)
+// should gate on `if constexpr (gsps::obs::kEnabled)`.
+
+#ifndef GSPS_OBS_OBS_H_
+#define GSPS_OBS_OBS_H_
+
+#include "gsps/obs/metrics.h"
+#include "gsps/obs/trace.h"
+
+namespace gsps::obs {
+
+#if defined(GSPS_OBS_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+// What the current thread records into. Either pointer may be null.
+struct ObsContext {
+  MetricSink* sink = nullptr;
+  TraceBuffer* trace = nullptr;
+};
+
+// The installed context. `constinit` guarantees constant initialization,
+// which lets the compiler access the extern TLS variable directly instead
+// of through an init-guard wrapper call — the counter macros compile down
+// to a TLS load, a branch, and an add, cheap enough for the join inner
+// loops. Use the accessors; the variable is exposed only so they inline.
+extern constinit thread_local ObsContext g_obs_context;
+
+// Accessors for the installed context (null when nothing is installed).
+inline MetricSink* CurrentSink() { return g_obs_context.sink; }
+inline TraceBuffer* CurrentTrace() { return g_obs_context.trace; }
+
+// Installs a context for the current scope and restores the previous one on
+// destruction. Nesting works: an inner scope shadows the outer.
+class ScopedObsContext {
+ public:
+  ScopedObsContext(MetricSink* sink, TraceBuffer* trace)
+      : saved_(g_obs_context) {
+    g_obs_context.sink = sink;
+    g_obs_context.trace = trace;
+  }
+  ~ScopedObsContext() { g_obs_context = saved_; }
+
+  ScopedObsContext(const ScopedObsContext&) = delete;
+  ScopedObsContext& operator=(const ScopedObsContext&) = delete;
+
+ private:
+  ObsContext saved_;
+};
+
+// Emits one complete trace_event span covering its own lifetime. Inert when
+// the current thread has no trace buffer. `name` and `category` must be
+// string literals.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category)
+      : buffer_(CurrentTrace()), name_(name), category_(category) {
+    if (buffer_ != nullptr) start_ = Tracer::Global().NowMicros();
+  }
+  ~ScopedSpan() {
+    if (buffer_ != nullptr) {
+      const int64_t end = Tracer::Global().NowMicros();
+      buffer_->Record(name_, category_, start_, end - start_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceBuffer* buffer_;
+  const char* name_;
+  const char* category_;
+  int64_t start_ = 0;
+};
+
+}  // namespace gsps::obs
+
+#if defined(GSPS_OBS_DISABLED)
+
+#define GSPS_OBS_COUNT(counter, n) \
+  do {                             \
+  } while (false)
+#define GSPS_OBS_GAUGE_SET(gauge, value) \
+  do {                                   \
+  } while (false)
+#define GSPS_OBS_OBSERVE(hist, value) \
+  do {                                \
+  } while (false)
+#define GSPS_OBS_SPAN(name, category) \
+  do {                                \
+  } while (false)
+
+#else  // !GSPS_OBS_DISABLED
+
+#define GSPS_OBS_COUNT(counter, n)                                        \
+  do {                                                                    \
+    if (::gsps::obs::MetricSink* gsps_obs_sink = ::gsps::obs::CurrentSink(); \
+        gsps_obs_sink != nullptr) {                                       \
+      gsps_obs_sink->Add(::gsps::obs::counter, (n));                      \
+    }                                                                     \
+  } while (false)
+
+#define GSPS_OBS_GAUGE_SET(gauge, value)                                  \
+  do {                                                                    \
+    if (::gsps::obs::MetricSink* gsps_obs_sink = ::gsps::obs::CurrentSink(); \
+        gsps_obs_sink != nullptr) {                                       \
+      gsps_obs_sink->Set(::gsps::obs::gauge, (value));                    \
+    }                                                                     \
+  } while (false)
+
+#define GSPS_OBS_OBSERVE(hist, value)                                     \
+  do {                                                                    \
+    if (::gsps::obs::MetricSink* gsps_obs_sink = ::gsps::obs::CurrentSink(); \
+        gsps_obs_sink != nullptr) {                                       \
+      gsps_obs_sink->Observe(::gsps::obs::hist, (value));                 \
+    }                                                                     \
+  } while (false)
+
+#define GSPS_OBS_CONCAT_INNER(a, b) a##b
+#define GSPS_OBS_CONCAT(a, b) GSPS_OBS_CONCAT_INNER(a, b)
+#define GSPS_OBS_SPAN(name, category)                     \
+  ::gsps::obs::ScopedSpan GSPS_OBS_CONCAT(gsps_obs_span_, \
+                                          __LINE__)((name), (category))
+
+#endif  // GSPS_OBS_DISABLED
+
+#endif  // GSPS_OBS_OBS_H_

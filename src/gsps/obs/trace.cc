@@ -1,0 +1,104 @@
+#include "gsps/obs/trace.h"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace gsps::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Buffers are heap-allocated unique_ptrs so handed-out pointers survive
+// vector growth; the vector itself is guarded by the mutex (NewBuffer and
+// ToJson are cold paths).
+struct TracerState {
+  std::mutex mutex;
+  bool enabled = false;
+  Clock::time_point epoch{};
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+};
+
+TracerState& State() {
+  static TracerState* state = new TracerState();
+  return *state;
+}
+
+std::string FormatInt(int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(value));
+  return buffer;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.enabled = true;
+  state.epoch = Clock::now();
+}
+
+bool Tracer::enabled() const {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.enabled;
+}
+
+TraceBuffer* Tracer::NewBuffer(int32_t tid) {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.enabled) return nullptr;
+  state.buffers.push_back(std::make_unique<TraceBuffer>(tid));
+  return state.buffers.back().get();
+}
+
+int64_t Tracer::NowMicros() const {
+  TracerState& state = State();
+  Clock::time_point epoch;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    epoch = state.epoch;
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch)
+      .count();
+}
+
+std::string Tracer::ToJson() const {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : state.buffers) {
+    for (const TraceEvent& event : buffer->events()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"";
+      out += event.name;
+      out += "\",\"cat\":\"";
+      out += event.category;
+      out += "\",\"ph\":\"X\",\"ts\":" + FormatInt(event.ts_micros) +
+             ",\"dur\":" + FormatInt(event.dur_micros) +
+             ",\"pid\":1,\"tid\":" + FormatInt(buffer->tid()) + "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::Clear() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.enabled = false;
+  state.buffers.clear();
+}
+
+}  // namespace gsps::obs

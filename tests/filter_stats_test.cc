@@ -20,6 +20,7 @@ TimestampStats MakeSample(int timestamp, int64_t candidates, int64_t total,
   s.true_pairs = truth;
   s.update_millis = update_ms;
   s.join_millis = join_ms;
+  s.busy_millis = update_ms + join_ms;
   return s;
 }
 
@@ -94,6 +95,47 @@ TEST(FilterStatsTest, MissingTruthOnAnyShardPoisonsTheMerge) {
     }
     EXPECT_EQ(MergeParallelSamples(shards).true_pairs, -1) << missing;
   }
+}
+
+TEST(FilterStatsTest, MergeSumsBusyAcrossShards) {
+  // Costs take the barrier's critical path (max), but busy time is
+  // aggregate work and must sum — that difference is what exposes the
+  // busy vs. barrier-wait split.
+  const std::vector<TimestampStats> shards = {
+      MakeSample(1, 0, 4, -1, 3.0, 1.0),
+      MakeSample(1, 0, 4, -1, 1.0, 2.0),
+  };
+  const TimestampStats merged = MergeParallelSamples(shards);
+  EXPECT_DOUBLE_EQ(merged.update_millis, 3.0);
+  EXPECT_DOUBLE_EQ(merged.join_millis, 2.0);
+  EXPECT_DOUBLE_EQ(merged.busy_millis, 7.0);
+}
+
+TEST(FilterStatsTest, CostPercentilesUseNearestRank) {
+  StatsAccumulator acc;
+  // Costs 1..10 ms (update + join split arbitrarily), inserted out of order.
+  for (const int cost : {7, 2, 10, 1, 5, 3, 9, 4, 8, 6}) {
+    acc.Add(MakeSample(cost, 0, 1, -1, cost * 0.25, cost * 0.75));
+  }
+  EXPECT_DOUBLE_EQ(acc.CostPercentileMillis(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(acc.CostPercentileMillis(95.0), 10.0);
+  EXPECT_DOUBLE_EQ(acc.CostPercentileMillis(90.0), 9.0);
+  EXPECT_DOUBLE_EQ(acc.CostPercentileMillis(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(acc.MaxCostMillis(), 10.0);
+  EXPECT_DOUBLE_EQ(acc.AvgBusyMillis(), 5.5);
+}
+
+TEST(FilterStatsTest, PercentilesOfSingleSampleAndEmpty) {
+  StatsAccumulator empty;
+  EXPECT_DOUBLE_EQ(empty.CostPercentileMillis(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.MaxCostMillis(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.AvgBusyMillis(), 0.0);
+
+  StatsAccumulator one;
+  one.Add(MakeSample(0, 0, 1, -1, 1.5, 2.5));
+  EXPECT_DOUBLE_EQ(one.CostPercentileMillis(50.0), 4.0);
+  EXPECT_DOUBLE_EQ(one.CostPercentileMillis(95.0), 4.0);
+  EXPECT_DOUBLE_EQ(one.MaxCostMillis(), 4.0);
 }
 
 TEST(FilterStatsTest, AccumulatorHandlesMergedEmptySamples) {

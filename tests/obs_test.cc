@@ -1,0 +1,461 @@
+// Tests for the observability layer (gsps/obs/): histogram bucket
+// boundaries, single-writer sink merge algebra (commutative, empty-merge
+// identity), registry merge-and-reset, serializer shape (Prometheus text
+// and JSON), trace_event JSON well-formedness (parsed back by a minimal
+// JSON parser), and an end-to-end run of the instrumented parallel engine
+// that must leave every counter, gauge, and histogram nonzero.
+
+#include "gsps/obs/obs.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gsps/engine/candidate_tracker.h"
+#include "gsps/engine/parallel_query_engine.h"
+#include "gsps/gen/stream_generator.h"
+#include "gsps/graph/graph_change.h"
+
+namespace gsps {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Hist;
+using obs::HistogramData;
+using obs::MetricSink;
+
+// --- Minimal JSON parser ---------------------------------------------------
+// Just enough of RFC 8259 to prove the emitted metrics/trace JSON is
+// syntactically well-formed (Perfetto and Prometheus scrapers parse it with
+// real parsers; a substring check alone would not catch a stray comma).
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!ParseValue()) return false;
+    SkipWhitespace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseLiteral(const char* literal) {
+    const size_t n = std::string(literal).size();
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString() {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;  // Skip the escaped character.
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    do {
+      SkipWhitespace();
+      if (!ParseString()) return false;
+      if (!Consume(':')) return false;
+      if (!ParseValue()) return false;
+    } while (Consume(','));
+    return Consume('}');
+  }
+
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    do {
+      if (!ParseValue()) return false;
+    } while (Consume(','));
+    return Consume(']');
+  }
+
+  bool ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// --- Histogram buckets -----------------------------------------------------
+
+TEST(ObsHistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  // Each bound is the last value of its own bucket; bound + 1 spills into
+  // the next one. Everything above the top bound lands in +Inf.
+  for (size_t b = 0; b < obs::kHistBucketBounds.size(); ++b) {
+    const int64_t bound = obs::kHistBucketBounds[b];
+    EXPECT_EQ(HistogramData::BucketIndex(bound), static_cast<int>(b))
+        << "bound " << bound;
+    EXPECT_EQ(HistogramData::BucketIndex(bound + 1), static_cast<int>(b) + 1)
+        << "bound " << bound;
+  }
+  EXPECT_EQ(HistogramData::BucketIndex(0), 0);
+  EXPECT_EQ(HistogramData::BucketIndex(-5), 0);
+  EXPECT_EQ(HistogramData::BucketIndex(INT64_MAX),
+            static_cast<int>(obs::kHistBucketBounds.size()));
+}
+
+TEST(ObsHistogramTest, ObserveTracksBucketsCountAndSum) {
+  HistogramData h;
+  h.Observe(1);        // Bucket 0 (le=1).
+  h.Observe(2);        // Bucket 1 (le=4).
+  h.Observe(4);        // Bucket 1.
+  h.Observe(5000000);  // +Inf overflow.
+  EXPECT_EQ(h.buckets[0], 1);
+  EXPECT_EQ(h.buckets[1], 2);
+  EXPECT_EQ(h.buckets[obs::kHistBucketBounds.size()], 1);
+  EXPECT_EQ(h.count, 4);
+  EXPECT_EQ(h.sum, 5000007);
+}
+
+TEST(ObsHistogramTest, MergeAddsBucketwise) {
+  HistogramData a, b;
+  a.Observe(3);
+  a.Observe(100);
+  b.Observe(3);
+  HistogramData merged = a;
+  merged.MergeFrom(b);
+  EXPECT_EQ(merged.count, 3);
+  EXPECT_EQ(merged.sum, 106);
+  EXPECT_EQ(merged.buckets[HistogramData::BucketIndex(3)], 2);
+  EXPECT_EQ(merged.buckets[HistogramData::BucketIndex(100)], 1);
+}
+
+// --- Sink merge algebra ----------------------------------------------------
+
+MetricSink SampleSinkA() {
+  MetricSink s;
+  s.Add(Counter::kNntInsertEdges, 3);
+  s.Add(Counter::kJoinPairsIn, 10);
+  s.Set(Gauge::kPoolQueueDepth, 4);
+  s.Set(Gauge::kEngineShards, 2);
+  s.Observe(Hist::kUpdateBatchMicros, 17);
+  return s;
+}
+
+MetricSink SampleSinkB() {
+  MetricSink s;
+  s.Add(Counter::kNntInsertEdges, 5);
+  s.Add(Counter::kTrackerAppeared, 1);
+  s.Set(Gauge::kPoolQueueDepth, 2);
+  s.Set(Gauge::kEngineQueries, 9);
+  s.Observe(Hist::kUpdateBatchMicros, 40000);
+  s.Observe(Hist::kJoinBatchMicros, 8);
+  return s;
+}
+
+TEST(ObsSinkTest, MergeSumsCountersMaxesGauges) {
+  MetricSink merged = SampleSinkA();
+  merged.MergeFrom(SampleSinkB());
+  EXPECT_EQ(merged.Value(Counter::kNntInsertEdges), 8);
+  EXPECT_EQ(merged.Value(Counter::kJoinPairsIn), 10);
+  EXPECT_EQ(merged.Value(Counter::kTrackerAppeared), 1);
+  EXPECT_EQ(merged.GaugeValue(Gauge::kPoolQueueDepth), 4);  // max(4, 2)
+  EXPECT_EQ(merged.GaugeValue(Gauge::kEngineShards), 2);
+  EXPECT_EQ(merged.GaugeValue(Gauge::kEngineQueries), 9);
+  EXPECT_EQ(merged.histogram(Hist::kUpdateBatchMicros).count, 2);
+  EXPECT_EQ(merged.histogram(Hist::kJoinBatchMicros).count, 1);
+}
+
+TEST(ObsSinkTest, MergeIsCommutative) {
+  // Shards are merged in whatever order barriers complete; the aggregate
+  // must not depend on it.
+  MetricSink ab = SampleSinkA();
+  ab.MergeFrom(SampleSinkB());
+  MetricSink ba = SampleSinkB();
+  ba.MergeFrom(SampleSinkA());
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(ObsSinkTest, MergingAnEmptySinkIsIdentity) {
+  MetricSink merged = SampleSinkA();
+  merged.MergeFrom(MetricSink{});
+  EXPECT_EQ(merged, SampleSinkA());
+
+  MetricSink from_empty;
+  from_empty.MergeFrom(SampleSinkA());
+  EXPECT_EQ(from_empty, SampleSinkA());
+}
+
+TEST(ObsSinkTest, RegistryMergeAndResetDrainsTheSink) {
+  obs::MetricsRegistry::Global().Reset();
+  MetricSink sink = SampleSinkA();
+  obs::MetricsRegistry::Global().MergeAndReset(sink);
+  EXPECT_EQ(sink, MetricSink{}) << "sink must be zeroed after the merge";
+  obs::MetricsRegistry::Global().MergeAndReset(sink);  // No-op second merge.
+  const MetricSink snapshot = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot, SampleSinkA());
+  obs::MetricsRegistry::Global().Reset();
+  EXPECT_EQ(obs::MetricsRegistry::Global().Snapshot(), MetricSink{});
+}
+
+// --- Serializers -----------------------------------------------------------
+
+TEST(ObsSerializerTest, PrometheusTextShape) {
+  MetricSink sink;
+  sink.Add(Counter::kNntInsertEdges, 7);
+  sink.Set(Gauge::kEngineStreams, 5);
+  sink.Observe(Hist::kJoinBatchMicros, 1);   // le="1".
+  sink.Observe(Hist::kJoinBatchMicros, 3);   // le="4".
+  sink.Observe(Hist::kJoinBatchMicros, 99);  // le="256".
+  const std::string text = obs::ToPrometheusText(sink);
+
+  EXPECT_NE(text.find("# TYPE gsps_nnt_insert_edges_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsps_nnt_insert_edges_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gsps_engine_streams gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsps_engine_streams 5\n"), std::string::npos);
+
+  // Buckets are cumulative: le="1" holds 1, le="4" holds 2, le="64" still 2,
+  // le="256" jumps to 3, and +Inf equals _count.
+  EXPECT_NE(text.find("gsps_join_batch_micros_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsps_join_batch_micros_bucket{le=\"4\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsps_join_batch_micros_bucket{le=\"64\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsps_join_batch_micros_bucket{le=\"256\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsps_join_batch_micros_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsps_join_batch_micros_sum 103\n"), std::string::npos);
+  EXPECT_NE(text.find("gsps_join_batch_micros_count 3\n"), std::string::npos);
+
+  // Every counter appears with the _total suffix even when zero.
+  EXPECT_EQ(CountOccurrences(text, "_total counter\n"),
+            static_cast<int>(obs::kNumCounters));
+}
+
+TEST(ObsSerializerTest, MetricsJsonParsesBack) {
+  MetricSink sink = SampleSinkA();
+  sink.MergeFrom(SampleSinkB());
+  const std::string json = obs::ToMetricsJson(sink);
+  JsonParser parser(json);
+  EXPECT_TRUE(parser.Valid()) << json;
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gsps_nnt_insert_edges\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+}
+
+// --- Scoped context --------------------------------------------------------
+
+TEST(ObsContextTest, ScopedContextInstallsNestsAndRestores) {
+  EXPECT_EQ(obs::CurrentSink(), nullptr);
+  MetricSink outer_sink, inner_sink;
+  {
+    obs::ScopedObsContext outer(&outer_sink, nullptr);
+    EXPECT_EQ(obs::CurrentSink(), &outer_sink);
+    {
+      obs::ScopedObsContext inner(&inner_sink, nullptr);
+      EXPECT_EQ(obs::CurrentSink(), &inner_sink);
+      GSPS_OBS_COUNT(Counter::kNntInsertEdges, 2);
+    }
+    EXPECT_EQ(obs::CurrentSink(), &outer_sink);
+    GSPS_OBS_COUNT(Counter::kNntInsertEdges, 1);
+  }
+  EXPECT_EQ(obs::CurrentSink(), nullptr);
+  GSPS_OBS_COUNT(Counter::kNntInsertEdges, 100);  // No context: dropped.
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(inner_sink.Value(Counter::kNntInsertEdges), 2);
+    EXPECT_EQ(outer_sink.Value(Counter::kNntInsertEdges), 1);
+  } else {
+    EXPECT_EQ(inner_sink.Value(Counter::kNntInsertEdges), 0);
+    EXPECT_EQ(outer_sink.Value(Counter::kNntInsertEdges), 0);
+  }
+}
+
+// --- Trace JSON ------------------------------------------------------------
+
+TEST(ObsTraceTest, TraceJsonParsesBackWithAllSpans) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  ASSERT_TRUE(tracer.enabled());
+  obs::TraceBuffer* driver = tracer.NewBuffer(/*tid=*/0);
+  obs::TraceBuffer* shard = tracer.NewBuffer(/*tid=*/1);
+  ASSERT_NE(driver, nullptr);
+  ASSERT_NE(shard, nullptr);
+
+  {
+    // ScopedSpan works in both build modes; only the GSPS_OBS_SPAN macro is
+    // compiled out under GSPS_OBS_DISABLED.
+    obs::ScopedObsContext scope(nullptr, driver);
+    obs::ScopedSpan span("tick", "monitor");
+  }
+  shard->Record("shard_update", "engine", 5, 10);
+  shard->Record("shard_join", "engine", 20, 2);
+
+  const std::string json = tracer.ToJson();
+  JsonParser parser(json);
+  EXPECT_TRUE(parser.Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 3);
+  EXPECT_EQ(CountOccurrences(json, "\"tid\":0"), 1);
+  EXPECT_EQ(CountOccurrences(json, "\"tid\":1"), 2);
+  EXPECT_NE(json.find("\"name\":\"tick\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"engine\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"pid\":1"), 3);
+
+  tracer.Clear();
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.NewBuffer(2), nullptr) << "disabled tracer hands out null";
+  const std::string empty = tracer.ToJson();
+  JsonParser empty_parser(empty);
+  EXPECT_TRUE(empty_parser.Valid()) << empty;
+  EXPECT_EQ(CountOccurrences(empty, "\"ph\":\"X\""), 0);
+}
+
+// --- End to end: the instrumented engine -----------------------------------
+
+// Runs the sharded engine (updates + joins) over an evolving workload for
+// one join strategy, recording driver-thread metrics into `root_sink` and
+// shard metrics into the registry (the engine's own barrier bookkeeping).
+void DriveEngine(const StreamDataset& dataset, JoinKind kind,
+                 MetricSink& root_sink) {
+  obs::ScopedObsContext scope(&root_sink, nullptr);
+  ParallelEngineOptions options;
+  options.engine.join_kind = kind;
+  options.engine.nnt_depth = 3;
+  options.num_threads = 2;
+  ParallelQueryEngine engine(options);
+  for (const Graph& q : dataset.queries) engine.AddQuery(q);
+  int horizon = 0;
+  for (const GraphStream& s : dataset.streams) {
+    engine.AddStream(s.StartGraph());
+    horizon = std::max(horizon, s.NumTimestamps());
+  }
+  engine.Start();
+  std::vector<GraphChange> batches(dataset.streams.size());
+  for (int t = 1; t < horizon; ++t) {
+    for (size_t i = 0; i < dataset.streams.size(); ++i) {
+      const GraphStream& s = dataset.streams[i];
+      batches[i] = t < s.NumTimestamps() ? s.ChangeAt(t) : GraphChange{};
+    }
+    engine.ApplyChanges(batches);
+    engine.AllCandidatePairs();
+  }
+}
+
+TEST(ObsEndToEndTest, EveryMetricNonzeroAfterInstrumentedRun) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "instrumentation compiled out (GSPS_OBS_DISABLED)";
+  }
+  obs::MetricsRegistry::Global().Reset();
+
+  SyntheticStreamParams params;
+  params.num_pairs = 6;
+  params.evolution.num_timestamps = 10;
+  params.evolution.p_appear = 0.25;
+  params.evolution.p_disappear = 0.2;
+  params.evolution.extra_pair_fraction = 3.0;
+  params.seed = 7;
+  const StreamDataset dataset = MakeSyntheticStreams(params);
+
+  MetricSink root_sink;
+  // All three strategies so NL/Skyline (dominance tests, early stops) and
+  // DSC (set-cover rounds/flips) counters all fire.
+  DriveEngine(dataset, JoinKind::kNestedLoop, root_sink);
+  DriveEngine(dataset, JoinKind::kDominatedSetCover, root_sink);
+  DriveEngine(dataset, JoinKind::kSkylineEarlyStop, root_sink);
+
+  // Candidate transitions, driven deterministically.
+  {
+    obs::ScopedObsContext scope(&root_sink, nullptr);
+    CandidateTracker tracker(1);
+    tracker.Observe(0, {0, 1});
+    tracker.Observe(0, {1, 2});  // q0 disappears, q2 appears.
+  }
+
+  obs::MetricsRegistry::Global().MergeAndReset(root_sink);
+  const MetricSink snapshot = obs::MetricsRegistry::Global().Snapshot();
+  for (int i = 0; i < obs::kNumCounters; ++i) {
+    const Counter counter = static_cast<Counter>(i);
+    EXPECT_GT(snapshot.Value(counter), 0) << obs::CounterName(counter);
+  }
+  for (int i = 0; i < obs::kNumGauges; ++i) {
+    const Gauge gauge = static_cast<Gauge>(i);
+    EXPECT_GT(snapshot.GaugeValue(gauge), 0) << obs::GaugeName(gauge);
+  }
+  for (int i = 0; i < obs::kNumHists; ++i) {
+    const Hist hist = static_cast<Hist>(i);
+    EXPECT_GT(snapshot.histogram(hist).count, 0) << obs::HistName(hist);
+  }
+  obs::MetricsRegistry::Global().Reset();
+}
+
+}  // namespace
+}  // namespace gsps

@@ -26,36 +26,17 @@
 // mode writes the minimized replay first); 2 usage or file errors.
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "gsps/common/flags.h"
 #include "gsps/fuzz/fuzzer.h"
 #include "gsps/fuzz/replay.h"
 
 namespace {
 
 using namespace gsps;
-
-std::string GetFlag(int argc, char** argv, const std::string& name,
-                    const std::string& default_value) {
-  const std::string prefix = "--" + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::string(argv[i]).substr(prefix.size());
-    }
-  }
-  return default_value;
-}
-
-bool HasFlag(int argc, char** argv, const std::string& name) {
-  const std::string flag = "--" + name;
-  for (int i = 1; i < argc; ++i) {
-    if (flag == argv[i]) return true;
-  }
-  return false;
-}
 
 int Usage() {
   std::fprintf(
@@ -108,24 +89,27 @@ int RunReplayMode(const std::string& path, const OracleOptions& oracles,
 }  // namespace
 
 int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
   FuzzOptions options;
-  options.seed = static_cast<uint64_t>(
-      std::strtoull(GetFlag(argc, argv, "seed", "1").c_str(), nullptr, 10));
-  options.iterations =
-      std::atoi(GetFlag(argc, argv, "iterations", "100").c_str());
-  options.gen.nnt_depth = std::atoi(GetFlag(argc, argv, "depth", "0").c_str());
-  options.gen.max_streams =
-      std::atoi(GetFlag(argc, argv, "max_streams", "3").c_str());
-  options.gen.max_queries =
-      std::atoi(GetFlag(argc, argv, "max_queries", "4").c_str());
-  options.gen.max_timestamps =
-      std::atoi(GetFlag(argc, argv, "max_timestamps", "8").c_str());
-  options.minimize_attempts =
-      std::atoi(GetFlag(argc, argv, "minimize_attempts", "4000").c_str());
-  options.oracles.check_parallel = !HasFlag(argc, argv, "no-parallel");
-  options.oracles.check_baselines = !HasFlag(argc, argv, "no-baselines");
-  const bool quiet = HasFlag(argc, argv, "quiet");
+  options.seed = static_cast<uint64_t>(flags.GetInt64("seed", 1));
+  options.iterations = flags.GetInt("iterations", 100);
+  options.gen.nnt_depth = flags.GetInt("depth", 0);
+  options.gen.max_streams = flags.GetInt("max_streams", 3);
+  options.gen.max_queries = flags.GetInt("max_queries", 4);
+  options.gen.max_timestamps = flags.GetInt("max_timestamps", 8);
+  options.minimize_attempts = flags.GetInt("minimize_attempts", 4000);
+  options.oracles.check_parallel = !flags.GetBool("no-parallel");
+  options.oracles.check_baselines = !flags.GetBool("no-baselines");
+  const bool quiet = flags.GetBool("quiet");
   options.verbose = !quiet;
+  const std::string replay_path = flags.GetString("replay", "");
+  const std::string emit_path = flags.GetString("emit", "");
+  const int iteration = flags.GetInt("iteration", 0);
+  const std::string out_flag = flags.GetString("out", "");
+  if (!flags.UnrecognizedArgs().empty()) {
+    std::fprintf(stderr, "gsps_fuzz: %s\n", flags.ErrorMessage().c_str());
+    return Usage();
+  }
 
   if (options.iterations <= 0 || options.gen.max_streams <= 0 ||
       options.gen.max_queries <= 0 || options.gen.max_timestamps <= 0 ||
@@ -133,15 +117,11 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  const std::string replay_path = GetFlag(argc, argv, "replay", "");
   if (!replay_path.empty()) {
     return RunReplayMode(replay_path, options.oracles, quiet);
   }
 
-  const std::string emit_path = GetFlag(argc, argv, "emit", "");
   if (!emit_path.empty()) {
-    const int iteration =
-        std::atoi(GetFlag(argc, argv, "iteration", "0").c_str());
     Rng rng(CaseSeed(options.seed, iteration));
     const FuzzCase c = GenerateCase(options.gen, rng);
     if (!WriteFile(emit_path, FormatReplay(c))) {
@@ -160,7 +140,7 @@ int main(int argc, char** argv) {
       });
   if (outcome.ok) return 0;
 
-  std::string out_path = GetFlag(argc, argv, "out", "");
+  std::string out_path = out_flag;
   if (out_path.empty()) {
     out_path = "gsps_fuzz_seed" + std::to_string(options.seed) + "_iter" +
                std::to_string(outcome.failing_iteration) + ".replay";

@@ -11,48 +11,40 @@
 // streams over N workers (0 = one per hardware thread, 1 = the sequential
 // engine; the reported candidates are identical either way).
 //
+// Observability: --metrics=FILE (or "-" for stdout) dumps the engine's
+// counter/gauge/histogram snapshot, by default once at the end;
+// --metrics_every=N rewrites it every N timestamps. --metrics_format
+// selects Prometheus text exposition (default) or JSON. --trace=FILE
+// writes a Chrome trace_event JSON of the replay (one timeline row per
+// shard plus the driver) loadable in about://tracing or Perfetto.
+//
 //   gsps_monitor --queries=patterns.txt --stream=traffic.txt[,more.txt...]
 //       [--depth=3] [--join=dsc|nl|skyline] [--threads=1] [--verify]
-//       [--events] [--quiet]
+//       [--events] [--quiet] [--metrics=FILE|-] [--metrics_every=N]
+//       [--metrics_format=prom|json] [--trace=FILE]
 //
-// Exit status: 0 on success, 2 on usage/file errors.
+// Unrecognized flags are an error. Exit status: 0 on success, 2 on
+// usage/file errors.
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "gsps/common/flags.h"
 #include "gsps/common/stopwatch.h"
 #include "gsps/engine/candidate_tracker.h"
 #include "gsps/engine/parallel_query_engine.h"
 #include "gsps/graph/graph_io.h"
 #include "gsps/graph/stream_io.h"
+#include "gsps/obs/obs.h"
 
 namespace {
 
 using namespace gsps;
-
-std::string GetFlag(int argc, char** argv, const std::string& name,
-                    const std::string& default_value) {
-  const std::string prefix = "--" + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::string(argv[i]).substr(prefix.size());
-    }
-  }
-  return default_value;
-}
-
-bool HasFlag(int argc, char** argv, const std::string& name) {
-  const std::string flag = "--" + name;
-  for (int i = 1; i < argc; ++i) {
-    if (flag == argv[i]) return true;
-  }
-  return false;
-}
 
 std::optional<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
@@ -66,7 +58,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: gsps_monitor --queries=FILE --stream=FILE[,FILE...]\n"
                "        [--depth=3] [--join=dsc|nl|skyline] [--threads=1] "
-               "[--verify] [--events] [--quiet]\n");
+               "[--verify] [--events] [--quiet]\n"
+               "        [--metrics=FILE|-] [--metrics_every=N] "
+               "[--metrics_format=prom|json] [--trace=FILE]\n");
   return 2;
 }
 
@@ -84,12 +78,53 @@ std::vector<std::string> SplitCommas(const std::string& spec) {
   return parts;
 }
 
+bool WriteWholeFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+// Folds the driver thread's sink into the registry and rewrites the metrics
+// destination with a fresh snapshot (cumulative since process start).
+bool FlushMetrics(obs::MetricSink& root_sink, const std::string& destination,
+                  bool json) {
+  obs::MetricsRegistry::Global().MergeAndReset(root_sink);
+  const obs::MetricSink snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const std::string text =
+      json ? obs::ToMetricsJson(snapshot) : obs::ToPrometheusText(snapshot);
+  if (destination == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    if (json) std::fputc('\n', stdout);
+    return true;
+  }
+  return WriteWholeFile(destination, text);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string queries_path = GetFlag(argc, argv, "queries", "");
-  const std::string stream_path = GetFlag(argc, argv, "stream", "");
+  FlagParser flags(argc, argv);
+  const std::string queries_path = flags.GetString("queries", "");
+  const std::string stream_path = flags.GetString("stream", "");
+  const int depth = flags.GetInt("depth", 3);
+  const std::string join = flags.GetString("join", "dsc");
+  const int threads = flags.GetInt("threads", 1);
+  const bool verify = flags.GetBool("verify");
+  const bool events = flags.GetBool("events");
+  const bool quiet = flags.GetBool("quiet");
+  const std::string metrics_path = flags.GetString("metrics", "");
+  const int metrics_every = flags.GetInt("metrics_every", 0);
+  const std::string metrics_format = flags.GetString("metrics_format", "prom");
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!flags.UnrecognizedArgs().empty()) {
+    std::fprintf(stderr, "gsps_monitor: %s\n", flags.ErrorMessage().c_str());
+    return Usage();
+  }
   if (queries_path.empty() || stream_path.empty()) return Usage();
+  if (metrics_format != "prom" && metrics_format != "json") return Usage();
+  const bool metrics_json = metrics_format == "json";
 
   const std::optional<std::string> queries_text = ReadFile(queries_path);
   if (!queries_text) {
@@ -127,8 +162,7 @@ int main(int argc, char** argv) {
   if (streams.empty()) return Usage();
 
   EngineOptions options;
-  options.nnt_depth = std::atoi(GetFlag(argc, argv, "depth", "3").c_str());
-  const std::string join = GetFlag(argc, argv, "join", "dsc");
+  options.nnt_depth = depth;
   if (join == "dsc") {
     options.join_kind = JoinKind::kDominatedSetCover;
   } else if (join == "nl") {
@@ -138,14 +172,22 @@ int main(int argc, char** argv) {
   } else {
     return Usage();
   }
-  const bool verify = HasFlag(argc, argv, "verify");
-  const bool events = HasFlag(argc, argv, "events");
-  const bool quiet = HasFlag(argc, argv, "quiet");
+
+  // Arm tracing before Start() so the engine allocates per-shard trace
+  // rows; install the driver thread's metric sink and trace row for the
+  // whole replay. When the build has GSPS_OBS_DISABLED these stay inert and
+  // the flags still produce (empty) outputs.
+  obs::MetricSink root_sink;
+  obs::TraceBuffer* root_trace = nullptr;
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Enable();
+    root_trace = obs::Tracer::Global().NewBuffer(/*tid=*/0);
+  }
+  obs::ScopedObsContext obs_scope(&root_sink, root_trace);
 
   ParallelEngineOptions parallel_options;
   parallel_options.engine = options;
-  parallel_options.num_threads =
-      std::atoi(GetFlag(argc, argv, "threads", "1").c_str());
+  parallel_options.num_threads = threads;
 
   ParallelQueryEngine engine(parallel_options);
   for (const Graph& q : *queries) engine.AddQuery(q);
@@ -163,6 +205,7 @@ int main(int argc, char** argv) {
   int64_t total_candidates = 0;
   std::vector<GraphChange> batches(static_cast<size_t>(num_streams));
   for (int t = 0; t < horizon; ++t) {
+    GSPS_OBS_SPAN("tick", "monitor");
     if (t > 0) {
       for (int i = 0; i < num_streams; ++i) {
         const GraphStream& stream = streams[static_cast<size_t>(i)];
@@ -199,11 +242,30 @@ int main(int argc, char** argv) {
                     verify ? " matches:" : " candidates:", hits.c_str());
       }
     }
+    if (!metrics_path.empty() && metrics_every > 0 &&
+        (t + 1) % metrics_every == 0) {
+      if (!FlushMetrics(root_sink, metrics_path, metrics_json)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 2;
+      }
+    }
   }
   std::printf("processed %d timestamps x %zu queries x %d stream(s) on %d "
               "shard(s) in %.1f ms; %lld %s reported\n",
               horizon, queries->size(), num_streams, engine.num_shards(),
               watch.ElapsedMillis(), static_cast<long long>(total_candidates),
               verify ? "verified matches" : "candidates");
+  if (!metrics_path.empty()) {
+    if (!FlushMetrics(root_sink, metrics_path, metrics_json)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) {
+    if (!WriteWholeFile(trace_path, obs::Tracer::Global().ToJson())) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 2;
+    }
+  }
   return 0;
 }
