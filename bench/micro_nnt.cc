@@ -1,119 +1,202 @@
-// Micro/ablation benchmarks for the NNT core: from-scratch build vs
-// incremental maintenance, across depths and graph densities. This is the
-// ablation behind the paper's central design choice — incremental index
-// maintenance (Lemma 3.2's O(r^(l-1)) per-edge cost) instead of rebuilding
-// per timestamp.
+// Micro-benchmark for the NNT maintenance hot path: insert+delete churn
+// throughput, NPV projection cost, storage density (bytes per alive tree
+// node), and steady-state allocation counts. This is the ablation behind the
+// paper's central design choice — incremental index maintenance (Lemma 3.2's
+// O(r^(l-1)) per-edge cost) instead of rebuilding per timestamp — and the
+// regression harness for the flat arena storage layout (DESIGN.md "Storage
+// layout").
+//
+// The measured loop mirrors the engine's ApplyChange protocol exactly:
+// DeleteEdge + graph update + InsertEdge, then drain the dirty roots and
+// materialize their NPVs. Allocation counts come from the gsps_alloc_hook
+// counting allocator this binary links; in a Release build of the arena
+// layout the steady-state loop performs zero heap allocations.
+//
+// Flags:
+//   --edges=N     churn graph size in edges (default 240)
+//   --depth=N     NNT depth (default 3)
+//   --toggles=N   timed delete+reinsert toggles (default 3000)
+//   --warmup=N    untimed warm-up toggles to reach capacity high water
+//   --rebuilds=N  full from-scratch rebuilds for the naive baseline row
+//   --seed=N      workload seed
+//
+// Output: human-readable rows plus one EmitBenchJson line per setting
+// (bench "micro_nnt"), archived by the CI bench-JSON job.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <vector>
 
+#include "bench_common.h"
+#include "gsps/common/alloc_hook.h"
 #include "gsps/common/random.h"
+#include "gsps/common/stopwatch.h"
 #include "gsps/gen/synthetic_generator.h"
 #include "gsps/nnt/dimension.h"
 #include "gsps/nnt/nnt_set.h"
 
-namespace gsps {
+namespace gsps::bench {
 namespace {
 
-Graph MakeGraph(int edges, uint64_t seed) {
+// Prevents the optimizer from deleting measured work.
+inline void KeepAlive(int64_t value) { asm volatile("" : : "r"(value)); }
+
+struct EdgeRec {
+  VertexId u, v;
+  EdgeLabel label;
+};
+
+std::vector<EdgeRec> EdgeList(const Graph& graph) {
+  std::vector<EdgeRec> edges;
+  for (const VertexId u : graph.VertexIds()) {
+    for (const HalfEdge& half : graph.Neighbors(u)) {
+      if (u < half.to) edges.push_back({u, half.to, half.label});
+    }
+  }
+  return edges;
+}
+
+// Total index storage, when the NntSet build exposes it (the arena layout
+// does; the template probe keeps this harness buildable against the
+// pre-arena layout so before/after numbers come from one source file).
+template <typename Set>
+int64_t StorageBytesOf(const Set& nnts) {
+  if constexpr (requires { nnts.StorageBytes(); }) {
+    return nnts.StorageBytes();
+  } else {
+    return 0;
+  }
+}
+
+// Drains the dirty set, reusing `out` when the API supports it.
+template <typename Set>
+void DrainDirty(Set& nnts, std::vector<VertexId>* out) {
+  if constexpr (requires { nnts.TakeDirtyRoots(out); }) {
+    nnts.TakeDirtyRoots(out);
+  } else {
+    *out = nnts.TakeDirtyRoots();
+  }
+}
+
+// One churn step over edge `e`: the engine's deletion-then-insertion
+// protocol plus the dirty-root NPV flush the join strategies consume.
+template <typename DirtyFn>
+void Toggle(NntSet& nnts, Graph& graph, const EdgeRec& e, DirtyFn&& flush) {
+  nnts.DeleteEdge(e.u, e.v);
+  graph.RemoveEdge(e.u, e.v);
+  graph.AddEdge(e.u, e.v, e.label);
+  nnts.InsertEdge(graph, e.u, e.v);
+  flush();
+}
+
+void RunChurn(const Flags& flags) {
+  const int num_edges = flags.GetInt("edges", 240);
+  const int depth = flags.GetInt("depth", 3);
+  const int toggles = flags.GetInt("toggles", 3000);
+  const int warmup = flags.GetInt("warmup", 300);
+  const int rebuilds = flags.GetInt("rebuilds", 30);
+  const uint64_t seed = flags.GetUint64("seed", 42);
+
   Rng rng(seed);
-  return RandomConnectedGraph(edges, 4, 1, rng);
-}
+  Graph graph = RandomConnectedGraph(num_edges, 4, 1, rng);
+  const std::vector<EdgeRec> edges = EdgeList(graph);
 
-void BM_NntBuild(benchmark::State& state) {
-  const int depth = static_cast<int>(state.range(0));
-  const int edges = static_cast<int>(state.range(1));
-  const Graph graph = MakeGraph(edges, 42);
-  for (auto _ : state) {
-    DimensionTable dims;
-    NntSet nnts(depth, &dims);
-    nnts.Build(graph);
-    benchmark::DoNotOptimize(nnts.TotalTreeNodes());
-  }
-  state.counters["tree_nodes"] = [&] {
-    DimensionTable dims;
-    NntSet nnts(depth, &dims);
-    nnts.Build(graph);
-    return static_cast<double>(nnts.TotalTreeNodes());
-  }();
-}
-BENCHMARK(BM_NntBuild)
-    ->ArgsProduct({{1, 2, 3, 4}, {20, 60, 120}})
-    ->Unit(benchmark::kMicrosecond);
-
-// One edge toggle maintained incrementally.
-void BM_NntIncrementalToggle(benchmark::State& state) {
-  const int depth = static_cast<int>(state.range(0));
-  const int edges = static_cast<int>(state.range(1));
-  Graph graph = MakeGraph(edges, 42);
   DimensionTable dims;
   NntSet nnts(depth, &dims);
+  Stopwatch watch;
   nnts.Build(graph);
-  // Pick an existing edge to toggle.
-  VertexId u = kInvalidVertex, v = kInvalidVertex;
-  EdgeLabel label = 0;
-  for (const VertexId a : graph.VertexIds()) {
-    if (!graph.Neighbors(a).empty()) {
-      u = a;
-      v = graph.Neighbors(a).front().to;
-      label = graph.Neighbors(a).front().label;
-      break;
-    }
-  }
-  for (auto _ : state) {
-    nnts.DeleteEdge(u, v);
-    graph.RemoveEdge(u, v);
-    graph.AddEdge(u, v, label);
-    nnts.InsertEdge(graph, u, v);
-    benchmark::DoNotOptimize(nnts.TotalTreeNodes());
-  }
-}
-BENCHMARK(BM_NntIncrementalToggle)
-    ->ArgsProduct({{1, 2, 3, 4}, {20, 60, 120}})
-    ->Unit(benchmark::kMicrosecond);
+  const double build_ms = watch.ElapsedMillis();
+  const int64_t tree_nodes = nnts.TotalTreeNodes();
+  const int64_t storage_bytes = StorageBytesOf(nnts);
 
-// The same toggle handled by a full rebuild — the naive alternative the
-// incremental maintenance replaces.
-void BM_NntRebuildPerToggle(benchmark::State& state) {
-  const int depth = static_cast<int>(state.range(0));
-  const int edges = static_cast<int>(state.range(1));
-  Graph graph = MakeGraph(edges, 42);
-  VertexId u = kInvalidVertex, v = kInvalidVertex;
-  EdgeLabel label = 0;
-  for (const VertexId a : graph.VertexIds()) {
-    if (!graph.Neighbors(a).empty()) {
-      u = a;
-      v = graph.Neighbors(a).front().to;
-      label = graph.Neighbors(a).front().label;
-      break;
+  // The flush body, reusing one buffer when the API supports it.
+  std::vector<VertexId> dirty;
+  int64_t npvs_flushed = 0;
+  auto flush = [&] {
+    DrainDirty(nnts, &dirty);
+    for (const VertexId root : dirty) {
+      if (nnts.TreeOf(root) == nullptr) continue;
+      KeepAlive(nnts.NpvOf(root).nnz());
+      ++npvs_flushed;
     }
-  }
-  for (auto _ : state) {
-    graph.RemoveEdge(u, v);
-    graph.AddEdge(u, v, label);
-    DimensionTable dims;
-    NntSet nnts(depth, &dims);
-    nnts.Build(graph);
-    benchmark::DoNotOptimize(nnts.TotalTreeNodes());
-  }
-}
-BENCHMARK(BM_NntRebuildPerToggle)
-    ->ArgsProduct({{3}, {20, 60, 120}})
-    ->Unit(benchmark::kMicrosecond);
+  };
 
-void BM_NpvProjection(benchmark::State& state) {
-  const int depth = static_cast<int>(state.range(0));
-  const Graph graph = MakeGraph(80, 42);
-  DimensionTable dims;
-  NntSet nnts(depth, &dims);
-  nnts.Build(graph);
+  // Warm up to the capacity high-water mark, then measure.
+  for (int i = 0; i < warmup; ++i) {
+    Toggle(nnts, graph, edges[static_cast<size_t>(i) % edges.size()], flush);
+  }
+  const AllocMeter meter;
+  watch.Restart();
+  for (int i = 0; i < toggles; ++i) {
+    Toggle(nnts, graph, edges[static_cast<size_t>(i) % edges.size()], flush);
+  }
+  const double churn_seconds = watch.ElapsedMicros() / 1e6;
+  const int64_t steady_allocs = meter.allocs();
+  const int64_t steady_frees = meter.frees();
+  // 2 maintenance ops (delete + insert) per toggle.
+  const double ops_per_sec = 2.0 * toggles / churn_seconds;
+
+  // NPV projection cost over every root (post-churn state, all caches cold
+  // once, then hot).
   const std::vector<VertexId> roots = nnts.Roots();
-  for (auto _ : state) {
+  constexpr int kNpvPasses = 200;
+  watch.Restart();
+  for (int pass = 0; pass < kNpvPasses; ++pass) {
     for (const VertexId root : roots) {
-      benchmark::DoNotOptimize(nnts.NpvOf(root).nnz());
+      KeepAlive(nnts.NpvOf(root).nnz());
     }
   }
+  const double npv_reads_per_sec =
+      static_cast<double>(kNpvPasses) * static_cast<double>(roots.size()) /
+      (watch.ElapsedMicros() / 1e6);
+
+  // The naive alternative: rebuild everything per change.
+  watch.Restart();
+  for (int i = 0; i < rebuilds; ++i) {
+    DimensionTable fresh_dims;
+    NntSet fresh(depth, &fresh_dims);
+    fresh.Build(graph);
+    KeepAlive(fresh.TotalTreeNodes());
+  }
+  const double rebuilds_per_sec = rebuilds / (watch.ElapsedMicros() / 1e6);
+
+  const double bytes_per_node =
+      tree_nodes > 0 && storage_bytes > 0
+          ? static_cast<double>(storage_bytes) / static_cast<double>(tree_nodes)
+          : 0.0;
+
+  PrintHeader("micro_nnt churn (edges=" + std::to_string(num_edges) +
+              " depth=" + std::to_string(depth) + ")");
+  const std::vector<std::string> columns = {"value"};
+  PrintRow("build_ms", {build_ms}, columns);
+  PrintRow("tree_nodes", {static_cast<double>(tree_nodes)}, columns);
+  PrintRow("bytes_per_node", {bytes_per_node}, columns);
+  PrintRow("maintain_ops_per_sec", {ops_per_sec}, columns);
+  PrintRow("npv_reads_per_sec", {npv_reads_per_sec}, columns);
+  PrintRow("rebuilds_per_sec", {rebuilds_per_sec}, columns);
+  PrintRow("steady_allocs", {static_cast<double>(steady_allocs)}, columns);
+  PrintRow("steady_frees", {static_cast<double>(steady_frees)}, columns);
+
+  EmitBenchJson(
+      "micro_nnt", "churn",
+      {{"edges", static_cast<double>(num_edges)},
+       {"depth", static_cast<double>(depth)},
+       {"toggles", static_cast<double>(toggles)},
+       {"build_ms", build_ms},
+       {"tree_nodes", static_cast<double>(tree_nodes)},
+       {"bytes_per_node", bytes_per_node},
+       {"maintain_ops_per_sec", ops_per_sec},
+       {"npv_reads_per_sec", npv_reads_per_sec},
+       {"rebuilds_per_sec", rebuilds_per_sec},
+       {"npvs_flushed", static_cast<double>(npvs_flushed)},
+       {"steady_allocs", static_cast<double>(steady_allocs)},
+       {"steady_frees", static_cast<double>(steady_frees)}});
 }
-BENCHMARK(BM_NpvProjection)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
-}  // namespace gsps
+}  // namespace gsps::bench
+
+int main(int argc, char** argv) {
+  gsps::bench::Flags flags(argc, argv);
+  gsps::bench::RunChurn(flags);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Counting replacements for the global allocation functions. See the header
+// for the linking contract. The replacements forward to malloc/free, which
+// keeps them compatible with sanitizer interceptors (ASan/TSan hook malloc,
+// not operator new).
+
+#include "gsps/common/alloc_hook.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace gsps {
+namespace {
+
+thread_local AllocCounts t_alloc_counts;
+
+void* CountedAlloc(std::size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) std::abort();  // The library is exception-free.
+  ++t_alloc_counts.allocs;
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size == 0 ? 1 : size) != 0) std::abort();
+  ++t_alloc_counts.allocs;
+  return p;
+}
+
+void CountedFree(void* p) {
+  if (p == nullptr) return;
+  ++t_alloc_counts.frees;
+  std::free(p);
+}
+
+}  // namespace
+
+AllocCounts ThreadAllocCounts() { return t_alloc_counts; }
+
+}  // namespace gsps
+
+void* operator new(std::size_t size) { return gsps::CountedAlloc(size); }
+void* operator new[](std::size_t size) { return gsps::CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return gsps::CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return gsps::CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return gsps::CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return gsps::CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { gsps::CountedFree(p); }
+void operator delete[](void* p) noexcept { gsps::CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { gsps::CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { gsps::CountedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  gsps::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  gsps::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  gsps::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  gsps::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  gsps::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  gsps::CountedFree(p);
+}

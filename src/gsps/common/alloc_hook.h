@@ -1,0 +1,51 @@
+// Opt-in heap-allocation counting for tests and benches.
+//
+// The gsps_alloc_hook library (and only it) defines counting replacements
+// for the global operator new/delete family; a binary that links it has
+// every heap allocation and free recorded in thread-local counters readable
+// through this header. Binaries that do not link the library pay nothing —
+// the core gsps libraries never reference these symbols on their own.
+//
+// This is the regression hook behind the zero-steady-state-allocation
+// guarantee of the NNT hot path: tests wrap an ApplyChange churn loop in an
+// AllocMeter and assert the count stays zero (Release builds; Debug and
+// sanitizer builds run the same loop but only report).
+//
+// Counters are per-thread, so a measurement is immune to allocator traffic
+// on other threads (gtest internals, logging, ...).
+
+#ifndef GSPS_COMMON_ALLOC_HOOK_H_
+#define GSPS_COMMON_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace gsps {
+
+struct AllocCounts {
+  int64_t allocs = 0;  // operator new calls that returned memory.
+  int64_t frees = 0;   // operator delete calls with a non-null pointer.
+};
+
+// Counts recorded on the calling thread since thread start. Always zero in
+// binaries that do not link gsps_alloc_hook.
+AllocCounts ThreadAllocCounts();
+
+// Allocation delta over a scope, on the constructing thread.
+//
+//   AllocMeter meter;
+//   HotLoop();
+//   EXPECT_EQ(meter.allocs(), 0);
+class AllocMeter {
+ public:
+  AllocMeter() : start_(ThreadAllocCounts()) {}
+
+  int64_t allocs() const { return ThreadAllocCounts().allocs - start_.allocs; }
+  int64_t frees() const { return ThreadAllocCounts().frees - start_.frees; }
+
+ private:
+  AllocCounts start_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_COMMON_ALLOC_HOOK_H_

@@ -121,7 +121,7 @@ void ContinuousQueryEngine::RebuildStrategy() {
     StreamState& stream = streams_[static_cast<size_t>(i)];
     // Prime the strategy with every vertex; drain the dirty set so the next
     // incremental flush starts clean.
-    stream.nnts->TakeDirtyRoots();
+    stream.nnts->TakeDirtyRoots(&dirty_scratch_);
     for (const VertexId root : stream.nnts->Roots()) {
       strategy_->UpdateStreamVertex(i, root, stream.nnts->NpvOf(root));
     }
@@ -138,7 +138,8 @@ QueryVectors ContinuousQueryEngine::ComputeQueryVectors(const Graph& query) {
 
 void ContinuousQueryEngine::FlushDirty(int stream_index) {
   StreamState& stream = streams_[static_cast<size_t>(stream_index)];
-  for (const VertexId root : stream.nnts->TakeDirtyRoots()) {
+  stream.nnts->TakeDirtyRoots(&dirty_scratch_);
+  for (const VertexId root : dirty_scratch_) {
     if (stream.nnts->TreeOf(root) != nullptr) {
       strategy_->UpdateStreamVertex(stream_index, root,
                                     stream.nnts->NpvOf(root));

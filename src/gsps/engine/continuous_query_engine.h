@@ -123,6 +123,9 @@ class ContinuousQueryEngine {
   // Maps the strategy's dense query indices back to engine query indices
   // (they diverge once a query is retired).
   std::vector<int> strategy_to_engine_;
+  // Reused dirty-root drain buffer so FlushDirty allocates nothing in
+  // steady state.
+  std::vector<VertexId> dirty_scratch_;
   bool started_ = false;
 };
 

@@ -144,7 +144,9 @@ void DominatedSetCoverJoin::AdjustRange(StreamState& stream,
     } else if (before == needed && after != needed) {
       SetDominates(stream, it->qvec, false);
     }
-    if (after == 0) vertex.dominant.erase(counter_it);
+    // Zero-count entries stay in the map: erasing and re-inserting them
+    // would allocate a node on every churn cycle, and nothing iterates the
+    // map — entries are only ever looked up by key.
     (void)inserted;
   }
 }

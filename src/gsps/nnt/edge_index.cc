@@ -1,0 +1,153 @@
+#include "gsps/nnt/edge_index.h"
+
+#include "gsps/common/check.h"
+
+namespace gsps {
+namespace {
+
+// Keep the table at most ~70% full.
+constexpr size_t kMinSlots = 16;
+
+size_t SlotsFor(int64_t num_keys) {
+  size_t slots = kMinSlots;
+  while (static_cast<int64_t>(slots - slots / 4) < num_keys) slots *= 2;
+  return slots;
+}
+
+}  // namespace
+
+EdgeAppearanceMap::EdgeAppearanceMap() : slots_(kMinSlots), mask_(kMinSlots - 1) {}
+
+void EdgeAppearanceMap::Clear() {
+  slots_.assign(kMinSlots, Slot{});
+  mask_ = kMinSlots - 1;
+  num_keys_ = 0;
+  lists_.clear();
+  free_lists_.clear();
+}
+
+void EdgeAppearanceMap::Reserve(int64_t num_keys) {
+  const size_t slots = SlotsFor(num_keys);
+  if (slots <= slots_.size()) return;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(slots, Slot{});
+  mask_ = slots - 1;
+  for (const Slot& slot : old) {
+    if (slot.key == kEmptyKey) continue;
+    size_t at = SlotFor(slot.key);
+    while (slots_[at].key != kEmptyKey) at = (at + 1) & mask_;
+    slots_[at] = slot;
+  }
+  lists_.reserve(static_cast<size_t>(num_keys));
+}
+
+const std::vector<Appearance>* EdgeAppearanceMap::Find(uint64_t key) const {
+  GSPS_DCHECK(key != kEmptyKey);
+  size_t at = SlotFor(key);
+  while (true) {
+    const Slot& slot = slots_[at];
+    if (slot.key == key) return &lists_[static_cast<size_t>(slot.list)];
+    if (slot.key == kEmptyKey) return nullptr;
+    at = (at + 1) & mask_;
+  }
+}
+
+std::vector<Appearance>* EdgeAppearanceMap::Find(uint64_t key) {
+  return const_cast<std::vector<Appearance>*>(
+      static_cast<const EdgeAppearanceMap*>(this)->Find(key));
+}
+
+std::vector<Appearance>& EdgeAppearanceMap::GetOrCreate(uint64_t key) {
+  GSPS_DCHECK(key != kEmptyKey);
+  size_t at = SlotFor(key);
+  while (true) {
+    Slot& slot = slots_[at];
+    if (slot.key == key) return lists_[static_cast<size_t>(slot.list)];
+    if (slot.key == kEmptyKey) break;
+    at = (at + 1) & mask_;
+  }
+  if (static_cast<size_t>(num_keys_ + 1) > slots_.size() - slots_.size() / 4) {
+    Grow();
+    at = SlotFor(key);
+    while (slots_[at].key != kEmptyKey) at = (at + 1) & mask_;
+  }
+  int32_t list_id;
+  if (!free_lists_.empty()) {
+    list_id = free_lists_.back();
+    free_lists_.pop_back();
+  } else {
+    list_id = static_cast<int32_t>(lists_.size());
+    lists_.emplace_back();
+  }
+  slots_[at] = Slot{key, list_id};
+  ++num_keys_;
+  return lists_[static_cast<size_t>(list_id)];
+}
+
+void EdgeAppearanceMap::Erase(uint64_t key) {
+  GSPS_DCHECK(key != kEmptyKey);
+  size_t at = SlotFor(key);
+  while (slots_[at].key != key) {
+    GSPS_CHECK(slots_[at].key != kEmptyKey);  // Erasing an absent key.
+    at = (at + 1) & mask_;
+  }
+  const int32_t list_id = slots_[at].list;
+  GSPS_CHECK(lists_[static_cast<size_t>(list_id)].empty());
+  lists_[static_cast<size_t>(list_id)].clear();  // Keeps capacity.
+  free_lists_.push_back(list_id);
+  --num_keys_;
+  // Backward-shift deletion: move up any displaced entries so probe chains
+  // stay tombstone-free.
+  size_t hole = at;
+  size_t probe = (at + 1) & mask_;
+  while (slots_[probe].key != kEmptyKey) {
+    const size_t home = SlotFor(slots_[probe].key);
+    // The entry at `probe` may move into `hole` iff its home position does
+    // not lie strictly between hole (exclusive) and probe (inclusive) in
+    // probe order — i.e. the hole is on its probe path.
+    const bool movable =
+        ((probe - home) & mask_) >= ((probe - hole) & mask_);
+    if (movable) {
+      slots_[hole] = slots_[probe];
+      hole = probe;
+    }
+    probe = (probe + 1) & mask_;
+  }
+  slots_[hole] = Slot{};
+}
+
+int64_t EdgeAppearanceMap::StorageBytes() const {
+  int64_t bytes =
+      static_cast<int64_t>(slots_.capacity() * sizeof(Slot)) +
+      static_cast<int64_t>(free_lists_.capacity() * sizeof(int32_t)) +
+      static_cast<int64_t>(lists_.capacity() *
+                           sizeof(std::vector<Appearance>));
+  for (const std::vector<Appearance>& list : lists_) {
+    bytes += static_cast<int64_t>(list.capacity() * sizeof(Appearance));
+  }
+  return bytes;
+}
+
+uint64_t EdgeAppearanceMap::Mix(uint64_t key) {
+  // splitmix64 finalizer.
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ULL;
+  key ^= key >> 27;
+  key *= 0x94d049bb133111ebULL;
+  key ^= key >> 31;
+  return key;
+}
+
+void EdgeAppearanceMap::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.key == kEmptyKey) continue;
+    size_t at = SlotFor(slot.key);
+    while (slots_[at].key != kEmptyKey) at = (at + 1) & mask_;
+    slots_[at] = slot;
+  }
+}
+
+}  // namespace gsps

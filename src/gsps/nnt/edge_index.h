@@ -1,0 +1,97 @@
+// The edge-tree index I_et: packed undirected graph edge -> the tree edges
+// realizing it across all NNTs (paper §III.B).
+//
+// Implemented as an open-addressing, linear-probing hash table over packed
+// 64-bit edge keys, with the appearance lists held in a recycling pool:
+//
+//   * slots_ is a power-of-two flat array of {key, list-id} pairs; key 0 is
+//     the empty sentinel (a packed edge key is never 0 because self-loops do
+//     not exist, so min(u,v) != max(u,v) and the low half is never equal to
+//     the high half — in particular {0,0} never occurs).
+//   * Values are ids into lists_, a pool of appearance vectors. Erasing a
+//     key returns its (empty) vector to a free list with capacity intact,
+//     so steady-state delete/insert churn allocates nothing.
+//   * Deletion uses backward-shift compaction instead of tombstones, so
+//     probe chains never degrade under churn.
+//
+// The map is single-threaded like the NntSet that owns it.
+
+#ifndef GSPS_NNT_EDGE_INDEX_H_
+#define GSPS_NNT_EDGE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gsps/nnt/node_neighbor_tree.h"
+
+namespace gsps {
+
+class EdgeAppearanceMap {
+ public:
+  EdgeAppearanceMap();
+
+  // Drops all keys and pooled lists (full rebuild only).
+  void Clear();
+
+  // Sizes the slot table for `num_keys` keys up front (Build-time).
+  void Reserve(int64_t num_keys);
+
+  // The list stored under `key`, or nullptr. The pointer is invalidated by
+  // any mutating call (GetOrCreate/Erase/Reserve/Clear).
+  const std::vector<Appearance>* Find(uint64_t key) const;
+  std::vector<Appearance>* Find(uint64_t key);
+
+  // The list stored under `key`, creating an empty one (from the pool when
+  // possible) if absent.
+  std::vector<Appearance>& GetOrCreate(uint64_t key);
+
+  // Removes `key`, recycling its list. The list must be empty — the NntSet
+  // erases a key only once every appearance is deregistered.
+  void Erase(uint64_t key);
+
+  int64_t NumKeys() const { return num_keys_; }
+
+  // Heap bytes held by the slot table and the list pool.
+  int64_t StorageBytes() const;
+
+  // Calls fn(key, list) for every stored key, in unspecified order. The
+  // callback must not mutate the map.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key != kEmptyKey) {
+        fn(slot.key, lists_[static_cast<size_t>(slot.list)]);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    int32_t list = -1;
+  };
+
+  static constexpr uint64_t kEmptyKey = 0;
+
+  // Finalizer-style 64-bit mix so nearby vertex ids spread across slots.
+  static uint64_t Mix(uint64_t key);
+
+  size_t SlotFor(uint64_t key) const {
+    return static_cast<size_t>(Mix(key)) & mask_;
+  }
+
+  // Doubles the slot table and rehashes (list ids are stable).
+  void Grow();
+
+  std::vector<Slot> slots_;  // Power-of-two size.
+  size_t mask_ = 0;          // slots_.size() - 1.
+  int64_t num_keys_ = 0;
+
+  // List pool; free_lists_ holds the ids of recycled (empty) vectors.
+  std::vector<std::vector<Appearance>> lists_;
+  std::vector<int32_t> free_lists_;
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_NNT_EDGE_INDEX_H_

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <deque>
-#include <utility>
 
 #include "gsps/common/check.h"
 #include "gsps/obs/obs.h"
 
 namespace gsps {
+namespace {
+
+// Caps the Build-time per-tree reservation so pathological degree skew
+// cannot balloon the arenas; trees grow past this lazily like before.
+constexpr int64_t kMaxReserveSlots = int64_t{1} << 16;
+
+}  // namespace
 
 NntSet::NntSet(int depth, DimensionTable* dimensions)
     : depth_(depth), dimensions_(dimensions) {
@@ -19,11 +24,45 @@ NntSet::NntSet(int depth, DimensionTable* dimensions)
 void NntSet::Build(const Graph& graph) {
   trees_.clear();
   node_index_.clear();
-  edge_index_.clear();
+  edge_index_.Clear();
   dim_counts_.clear();
-  dirty_roots_.clear();
+  npv_cache_.clear();
+  npv_cache_valid_.clear();
+  dirty_flag_.clear();
+  dirty_list_.clear();
+
+  const VertexId bound = graph.VertexIdBound();
+  if (bound > 0) EnsureRootCapacity(bound - 1);
+  edge_index_.Reserve(graph.NumEdges());
+
+  // Pre-size the slot arenas and index lists from degree statistics: with
+  // average branching r, a depth-l tree holds about 1 + deg(v) * f nodes
+  // where f = sum_{k=0}^{l-1} (r-1)^k (Lemma 3.2's r^(l-1) growth), and a
+  // vertex appears in other trees about as often as an average tree is big.
+  const int64_t n = graph.NumVertices();
+  const double avg_degree =
+      n > 0 ? 2.0 * static_cast<double>(graph.NumEdges()) /
+                  static_cast<double>(n)
+            : 0.0;
+  const double branch = avg_degree > 2.0 ? avg_degree - 1.0 : 1.0;
+  double level_width = 1.0;
+  double fanout = 1.0;
+  for (int level = 1; level < depth_; ++level) {
+    level_width *= branch;
+    fanout += level_width;
+  }
+  const int64_t avg_tree_nodes = std::min<int64_t>(
+      kMaxReserveSlots, 1 + static_cast<int64_t>(avg_degree * fanout));
+
   for (const VertexId v : graph.VertexIds()) {
-    EnsureTree(v, graph.GetVertexLabel(v));
+    NodeNeighborTree& tree = EnsureTree(v, graph.GetVertexLabel(v));
+    const int64_t est_nodes = std::min<int64_t>(
+        kMaxReserveSlots,
+        1 + static_cast<int64_t>(graph.Degree(v) * fanout));
+    tree.Reserve(static_cast<int32_t>(est_nodes));
+    node_index_[static_cast<size_t>(v)].reserve(
+        static_cast<size_t>(avg_tree_nodes));
+    dim_counts_[static_cast<size_t>(v)].reserve(16);
   }
   for (const VertexId v : graph.VertexIds()) {
     ExpandSubtree(graph, v, kTreeRoot);
@@ -39,12 +78,15 @@ void NntSet::InsertEdge(const Graph& graph, VertexId u, VertexId v) {
   // Snapshot both appearance lists before any mutation: every new simple
   // path crosses the new edge exactly once, so its pre-edge prefix ends at a
   // pre-existing appearance of u (crossing u->v) or of v (crossing v->u).
-  const std::vector<Appearance> appearances_u = node_index_[u];
-  const std::vector<Appearance> appearances_v = node_index_[v];
+  // Member scratch so the steady state allocates nothing.
+  const std::vector<Appearance>& list_u = node_index_[static_cast<size_t>(u)];
+  const std::vector<Appearance>& list_v = node_index_[static_cast<size_t>(v)];
+  scratch_appearances_u_.assign(list_u.begin(), list_u.end());
+  scratch_appearances_v_.assign(list_v.begin(), list_v.end());
   GSPS_OBS_COUNT(Counter::kNntInsertEdges, 1);
   GSPS_OBS_COUNT(Counter::kNntPathsTouched,
-                 static_cast<int64_t>(appearances_u.size()) +
-                     static_cast<int64_t>(appearances_v.size()));
+                 static_cast<int64_t>(scratch_appearances_u_.size()) +
+                     static_cast<int64_t>(scratch_appearances_v_.size()));
 
   auto extend = [&](const std::vector<Appearance>& appearances, VertexId from,
                     VertexId to) {
@@ -62,22 +104,22 @@ void NntSet::InsertEdge(const Graph& graph, VertexId u, VertexId v) {
       ExpandSubtree(graph, appearance.tree_root, child);
     }
   };
-  extend(appearances_u, u, v);
-  extend(appearances_v, v, u);
+  extend(scratch_appearances_u_, u, v);
+  extend(scratch_appearances_v_, v, u);
 }
 
 void NntSet::DeleteEdge(VertexId u, VertexId v) {
   const uint64_t key = EdgeKey(u, v);
-  auto it = edge_index_.find(key);
-  if (it == edge_index_.end()) return;
+  const std::vector<Appearance>* list = edge_index_.Find(key);
+  if (list == nullptr) return;
   // Snapshot: deleting one appearance's subtree may remove other
   // appearances of the same edge that sit deeper in that subtree; the
   // generation check skips those stale snapshot entries.
-  const std::vector<Appearance> appearances = it->second;
+  scratch_edge_appearances_.assign(list->begin(), list->end());
   GSPS_OBS_COUNT(Counter::kNntDeleteEdges, 1);
   GSPS_OBS_COUNT(Counter::kNntPathsTouched,
-                 static_cast<int64_t>(appearances.size()));
-  for (const Appearance& appearance : appearances) {
+                 static_cast<int64_t>(scratch_edge_appearances_.size()));
+  for (const Appearance& appearance : scratch_edge_appearances_) {
     NodeNeighborTree* tree = MutableTreeOf(appearance.tree_root);
     if (tree == nullptr ||
         !tree->IsAlive(appearance.node, appearance.generation)) {
@@ -85,9 +127,8 @@ void NntSet::DeleteEdge(VertexId u, VertexId v) {
     }
     DeleteSubtree(appearance.tree_root, appearance.node);
   }
-  auto remaining = edge_index_.find(key);
-  GSPS_CHECK(remaining == edge_index_.end() || remaining->second.empty());
-  if (remaining != edge_index_.end()) edge_index_.erase(remaining);
+  // FreeTreeNode erases the key once its last appearance deregisters.
+  GSPS_CHECK(edge_index_.Find(key) == nullptr);
 }
 
 void NntSet::RemoveTree(VertexId v) {
@@ -95,14 +136,13 @@ void NntSet::RemoveTree(VertexId v) {
   GSPS_CHECK(tree != nullptr);
   GSPS_CHECK_MSG(tree->NumAliveNodes() == 1,
                  "delete incident edges before removing a vertex tree");
-  auto it = node_index_.find(v);
-  GSPS_CHECK(it != node_index_.end());
-  EraseAppearanceAt(it->second, tree->slot(kTreeRoot).node_index_pos,
+  EraseAppearanceAt(node_index_[static_cast<size_t>(v)],
+                    tree->slot(kTreeRoot).node_index_pos,
                     /*node_list=*/true);
-  if (it->second.empty()) node_index_.erase(it);
   trees_[static_cast<size_t>(v)].reset();
   dim_counts_[static_cast<size_t>(v)].clear();
-  dirty_roots_.insert(v);
+  npv_cache_valid_[static_cast<size_t>(v)] = 0;
+  MarkDirty(v);
 }
 
 const NodeNeighborTree* NntSet::TreeOf(VertexId root) const {
@@ -118,15 +158,34 @@ std::vector<VertexId> NntSet::Roots() const {
   return roots;
 }
 
-Npv NntSet::NpvOf(VertexId root) const {
+const Npv& NntSet::NpvOf(VertexId root) const {
   GSPS_CHECK(TreeOf(root) != nullptr);
-  return Npv::FromMap(dim_counts_[static_cast<size_t>(root)]);
+  const size_t r = static_cast<size_t>(root);
+  if (!npv_cache_valid_[r]) {
+    npv_cache_[r].AssignSortedEntries(dim_counts_[r]);
+    npv_cache_valid_[r] = 1;
+    GSPS_OBS_COUNT(Counter::kNntNpvCacheRebuilds, 1);
+  }
+#if defined(GSPS_SANITIZE_ENABLED)
+  // The invalidation protocol must keep the cache an exact mirror of the
+  // live counts; recompute and compare under sanitizer builds.
+  GSPS_CHECK(npv_cache_[r].entries() == dim_counts_[r]);
+#endif
+  return npv_cache_[r];
+}
+
+void NntSet::TakeDirtyRoots(std::vector<VertexId>* out) {
+  std::sort(dirty_list_.begin(), dirty_list_.end());
+  out->assign(dirty_list_.begin(), dirty_list_.end());
+  for (const VertexId root : dirty_list_) {
+    dirty_flag_[static_cast<size_t>(root)] = 0;
+  }
+  dirty_list_.clear();
 }
 
 std::vector<VertexId> NntSet::TakeDirtyRoots() {
-  std::vector<VertexId> result(dirty_roots_.begin(), dirty_roots_.end());
-  std::sort(result.begin(), result.end());
-  dirty_roots_.clear();
+  std::vector<VertexId> result;
+  TakeDirtyRoots(&result);
   return result;
 }
 
@@ -139,19 +198,20 @@ std::map<std::vector<int32_t>, int64_t> NntSet::BranchesOf(
   std::vector<int32_t> signature = {tree->slot(kTreeRoot).vertex_label};
   struct Frame {
     TreeNodeId node;
-    size_t next_child = 0;
+    TreeNodeId next_child;
   };
-  std::vector<Frame> stack = {{kTreeRoot, 0}};
+  std::vector<Frame> stack = {
+      {kTreeRoot, tree->node(kTreeRoot).first_child}};
   while (!stack.empty()) {
     Frame& frame = stack.back();
-    const TreeNode& node = tree->node(frame.node);
-    if (frame.next_child < node.children.size()) {
-      const TreeNodeId child_id = node.children[frame.next_child++];
+    if (frame.next_child != kInvalidTreeNode) {
+      const TreeNodeId child_id = frame.next_child;
       const TreeNode& child = tree->node(child_id);
+      frame.next_child = child.next_sibling;
       signature.push_back(child.edge_label);
       signature.push_back(child.vertex_label);
       ++out[signature];
-      stack.push_back({child_id, 0});
+      stack.push_back({child_id, child.first_child});
     } else {
       stack.pop_back();
       if (!stack.empty()) {
@@ -171,6 +231,37 @@ int64_t NntSet::TotalTreeNodes() const {
   return total;
 }
 
+int64_t NntSet::StorageBytes() const {
+  int64_t bytes = 0;
+  for (const auto& tree : trees_) {
+    if (tree != nullptr) {
+      bytes += static_cast<int64_t>(sizeof(NodeNeighborTree)) +
+               tree->MemoryBytes();
+    }
+  }
+  bytes += static_cast<int64_t>(trees_.capacity() *
+                                sizeof(std::unique_ptr<NodeNeighborTree>));
+  for (const std::vector<Appearance>& list : node_index_) {
+    bytes += static_cast<int64_t>(list.capacity() * sizeof(Appearance));
+  }
+  bytes += static_cast<int64_t>(node_index_.capacity() *
+                                sizeof(std::vector<Appearance>));
+  bytes += edge_index_.StorageBytes();
+  for (const std::vector<NpvEntry>& counts : dim_counts_) {
+    bytes += static_cast<int64_t>(counts.capacity() * sizeof(NpvEntry));
+  }
+  bytes += static_cast<int64_t>(dim_counts_.capacity() *
+                                sizeof(std::vector<NpvEntry>));
+  for (const Npv& npv : npv_cache_) {
+    bytes += static_cast<int64_t>(npv.entries().capacity() * sizeof(NpvEntry));
+  }
+  bytes += static_cast<int64_t>(npv_cache_.capacity() * sizeof(Npv));
+  bytes += static_cast<int64_t>(npv_cache_valid_.capacity() +
+                                dirty_flag_.capacity());
+  bytes += static_cast<int64_t>(dirty_list_.capacity() * sizeof(VertexId));
+  return bytes;
+}
+
 uint64_t NntSet::EdgeKey(VertexId a, VertexId b) {
   const uint32_t lo = static_cast<uint32_t>(std::min(a, b));
   const uint32_t hi = static_cast<uint32_t>(std::max(a, b));
@@ -182,20 +273,29 @@ NodeNeighborTree* NntSet::MutableTreeOf(VertexId root) {
   return trees_[static_cast<size_t>(root)].get();
 }
 
+void NntSet::EnsureRootCapacity(VertexId v) {
+  const size_t needed = static_cast<size_t>(v) + 1;
+  if (trees_.size() >= needed) return;
+  trees_.resize(needed);
+  node_index_.resize(needed);
+  dim_counts_.resize(needed);
+  npv_cache_.resize(needed);
+  npv_cache_valid_.resize(needed, 0);
+  dirty_flag_.resize(needed, 0);
+}
+
 NodeNeighborTree& NntSet::EnsureTree(VertexId v, VertexLabel label) {
   GSPS_CHECK(v >= 0);
-  if (v >= static_cast<VertexId>(trees_.size())) {
-    trees_.resize(static_cast<size_t>(v) + 1);
-    dim_counts_.resize(static_cast<size_t>(v) + 1);
-  }
+  EnsureRootCapacity(v);
   std::unique_ptr<NodeNeighborTree>& slot = trees_[static_cast<size_t>(v)];
   if (slot == nullptr) {
     slot = std::make_unique<NodeNeighborTree>(v, label);
-    std::vector<Appearance>& list = node_index_[v];
+    std::vector<Appearance>& list = node_index_[static_cast<size_t>(v)];
     list.push_back(Appearance{v, kTreeRoot, slot->slot(kTreeRoot).generation});
     slot->mutable_node(kTreeRoot).node_index_pos =
         static_cast<int32_t>(list.size()) - 1;
-    dirty_roots_.insert(v);
+    npv_cache_valid_[static_cast<size_t>(v)] = 0;
+    MarkDirty(v);
   }
   return *slot;
 }
@@ -211,11 +311,12 @@ TreeNodeId NntSet::AddTreeChild(VertexId root, TreeNodeId parent,
       tree->AddChild(parent, vertex, vertex_label, edge_label);
   TreeNode& child_node = tree->mutable_node(child);
   const Appearance appearance{root, child, child_node.generation};
-  std::vector<Appearance>& node_list = node_index_[vertex];
+  EnsureRootCapacity(vertex);
+  std::vector<Appearance>& node_list = node_index_[static_cast<size_t>(vertex)];
   node_list.push_back(appearance);
   child_node.node_index_pos = static_cast<int32_t>(node_list.size()) - 1;
   std::vector<Appearance>& edge_list =
-      edge_index_[EdgeKey(parent_vertex, vertex)];
+      edge_index_.GetOrCreate(EdgeKey(parent_vertex, vertex));
   edge_list.push_back(appearance);
   child_node.edge_index_pos = static_cast<int32_t>(edge_list.size()) - 1;
   BumpDimension(root, child_node.depth, parent_label, vertex_label, +1);
@@ -234,17 +335,16 @@ void NntSet::FreeTreeNode(VertexId root, TreeNodeId node_id) {
   const int32_t level = victim.depth;
   const VertexLabel vertex_label = victim.vertex_label;
 
-  auto node_it = node_index_.find(vertex);
-  GSPS_CHECK(node_it != node_index_.end());
-  EraseAppearanceAt(node_it->second, victim.node_index_pos,
+  EraseAppearanceAt(node_index_[static_cast<size_t>(vertex)],
+                    victim.node_index_pos,
                     /*node_list=*/true);
-  if (node_it->second.empty()) node_index_.erase(node_it);
 
-  auto edge_it = edge_index_.find(EdgeKey(parent_vertex, vertex));
-  GSPS_CHECK(edge_it != edge_index_.end());
-  EraseAppearanceAt(edge_it->second, victim.edge_index_pos,
+  const uint64_t key = EdgeKey(parent_vertex, vertex);
+  std::vector<Appearance>* edge_list = edge_index_.Find(key);
+  GSPS_CHECK(edge_list != nullptr);
+  EraseAppearanceAt(*edge_list, victim.edge_index_pos,
                     /*node_list=*/false);
-  if (edge_it->second.empty()) edge_index_.erase(edge_it);
+  if (edge_list->empty()) edge_index_.Erase(key);
 
   BumpDimension(root, level, parent_label, vertex_label, -1);
   tree->FreeNode(node_id);
@@ -275,19 +375,21 @@ void NntSet::ExpandSubtree(const Graph& graph, VertexId root,
                            TreeNodeId start) {
   NodeNeighborTree* tree = MutableTreeOf(root);
   GSPS_DCHECK(tree != nullptr);
-  std::deque<TreeNodeId> queue = {start};
-  while (!queue.empty()) {
-    const TreeNodeId at_id = queue.front();
-    queue.pop_front();
-    const TreeNode& at = tree->node(at_id);
-    if (at.depth >= depth_) continue;
-    const VertexId from = at.vertex;
+  // BFS over a reused vector with a moving head (never nested).
+  scratch_bfs_.clear();
+  scratch_bfs_.push_back(start);
+  for (size_t head = 0; head < scratch_bfs_.size(); ++head) {
+    const TreeNodeId at_id = scratch_bfs_[head];
+    // Copy out of the slot — AddTreeChild below may reallocate the arena.
+    const int16_t at_depth = tree->node(at_id).depth;
+    const VertexId from = tree->node(at_id).vertex;
+    if (at_depth >= depth_) continue;
     for (const HalfEdge& half : graph.Neighbors(from)) {
       if (tree->EdgeOnRootPath(at_id, from, half.to)) continue;
       const TreeNodeId child =
           AddTreeChild(root, at_id, half.to, graph.GetVertexLabel(half.to),
                        half.label);
-      queue.push_back(child);
+      scratch_bfs_.push_back(child);
     }
   }
 }
@@ -296,17 +398,20 @@ void NntSet::DeleteSubtree(VertexId root, TreeNodeId node_id) {
   NodeNeighborTree* tree = MutableTreeOf(root);
   GSPS_DCHECK(tree != nullptr);
   // Collect the subtree in preorder, then free in reverse (leaves first).
-  std::vector<TreeNodeId> preorder;
-  std::vector<TreeNodeId> stack = {node_id};
-  while (!stack.empty()) {
-    const TreeNodeId at = stack.back();
-    stack.pop_back();
-    preorder.push_back(at);
-    for (const TreeNodeId child : tree->node(at).children) {
-      stack.push_back(child);
+  // Reused member scratch; FreeTreeNode never re-enters here.
+  scratch_preorder_.clear();
+  scratch_stack_.clear();
+  scratch_stack_.push_back(node_id);
+  while (!scratch_stack_.empty()) {
+    const TreeNodeId at = scratch_stack_.back();
+    scratch_stack_.pop_back();
+    scratch_preorder_.push_back(at);
+    for (const TreeNodeId child : tree->Children(at)) {
+      scratch_stack_.push_back(child);
     }
   }
-  for (auto it = preorder.rbegin(); it != preorder.rend(); ++it) {
+  for (auto it = scratch_preorder_.rbegin(); it != scratch_preorder_.rend();
+       ++it) {
     FreeTreeNode(root, *it);
   }
 }
@@ -315,15 +420,28 @@ void NntSet::BumpDimension(VertexId root, int32_t level,
                            VertexLabel parent_label, VertexLabel child_label,
                            int32_t delta) {
   const DimId dim = dimensions_->Intern(level, parent_label, child_label);
-  std::unordered_map<DimId, int32_t>& counts =
-      dim_counts_[static_cast<size_t>(root)];
-  auto [it, inserted] = counts.try_emplace(dim, 0);
-  it->second += delta;
-  GSPS_CHECK(it->second >= 0);
-  if (it->second == 0) counts.erase(it);
-  if (dirty_roots_.insert(root).second) {
-    GSPS_OBS_COUNT(Counter::kNntRootsDirtied, 1);
+  std::vector<NpvEntry>& counts = dim_counts_[static_cast<size_t>(root)];
+  auto it = std::lower_bound(
+      counts.begin(), counts.end(), dim,
+      [](const NpvEntry& entry, DimId d) { return entry.dim < d; });
+  if (it != counts.end() && it->dim == dim) {
+    it->count += delta;
+    GSPS_CHECK(it->count >= 0);
+    if (it->count == 0) counts.erase(it);
+  } else {
+    GSPS_CHECK(delta > 0);
+    counts.insert(it, NpvEntry{dim, delta});
   }
+  npv_cache_valid_[static_cast<size_t>(root)] = 0;
+  MarkDirty(root);
+}
+
+void NntSet::MarkDirty(VertexId root) {
+  uint8_t& flag = dirty_flag_[static_cast<size_t>(root)];
+  if (flag) return;
+  flag = 1;
+  dirty_list_.push_back(root);
+  GSPS_OBS_COUNT(Counter::kNntRootsDirtied, 1);
 }
 
 bool NntSet::Validate(const Graph& graph) const {
@@ -359,7 +477,8 @@ bool NntSet::Validate(const Graph& graph) const {
   };
 
   int64_t indexed_nodes = 0;
-  for (const auto& [vertex, appearances] : node_index_) {
+  for (size_t vertex = 0; vertex < node_index_.size(); ++vertex) {
+    const std::vector<Appearance>& appearances = node_index_[vertex];
     for (size_t pos = 0; pos < appearances.size(); ++pos) {
       const Appearance& appearance = appearances[pos];
       const NodeNeighborTree* tree = TreeOf(appearance.tree_root);
@@ -367,7 +486,8 @@ bool NntSet::Validate(const Graph& graph) const {
       if (!tree->IsAlive(appearance.node, appearance.generation)) {
         return fail("node index references dead node");
       }
-      if (tree->node(appearance.node).vertex != vertex) {
+      if (tree->node(appearance.node).vertex !=
+          static_cast<VertexId>(vertex)) {
         return fail("node index vertex mismatch");
       }
       if (tree->node(appearance.node).node_index_pos !=
@@ -377,24 +497,51 @@ bool NntSet::Validate(const Graph& graph) const {
       ++indexed_nodes;
     }
   }
+
   int64_t indexed_edges = 0;
-  for (const auto& [key, appearances] : edge_index_) {
+  const char* edge_error = nullptr;
+  edge_index_.ForEach([&](uint64_t key,
+                          const std::vector<Appearance>& appearances) {
+    if (edge_error != nullptr) return;
+    if (appearances.empty()) {
+      edge_error = "edge index holds an empty list";
+      return;
+    }
     for (size_t pos = 0; pos < appearances.size(); ++pos) {
       const Appearance& appearance = appearances[pos];
       const NodeNeighborTree* tree = TreeOf(appearance.tree_root);
-      if (tree == nullptr) return fail("edge index references missing tree");
+      if (tree == nullptr) {
+        edge_error = "edge index references missing tree";
+        return;
+      }
       if (!tree->IsAlive(appearance.node, appearance.generation)) {
-        return fail("edge index references dead node");
+        edge_error = "edge index references dead node";
+        return;
       }
       const TreeNode& child = tree->node(appearance.node);
       const TreeNode& parent = tree->node(child.parent);
       if (EdgeKey(parent.vertex, child.vertex) != key) {
-        return fail("edge index key mismatch");
+        edge_error = "edge index key mismatch";
+        return;
       }
       if (child.edge_index_pos != static_cast<int32_t>(pos)) {
-        return fail("edge index position stale");
+        edge_error = "edge index position stale";
+        return;
       }
       ++indexed_edges;
+    }
+  });
+  if (edge_error != nullptr) return fail(edge_error);
+
+  // Dirty bookkeeping: the list holds exactly the flagged roots, once each.
+  int64_t flagged = 0;
+  for (const uint8_t flag : dirty_flag_) flagged += flag;
+  if (flagged != static_cast<int64_t>(dirty_list_.size())) {
+    return fail("dirty list out of sync with dirty flags");
+  }
+  for (const VertexId root : dirty_list_) {
+    if (!dirty_flag_[static_cast<size_t>(root)]) {
+      return fail("dirty list entry not flagged");
     }
   }
 
@@ -406,8 +553,9 @@ bool NntSet::Validate(const Graph& graph) const {
     alive_non_root += tree->NumAliveNodes() - 1;
 
     if (!graph.HasVertex(root)) return fail("tree for vertex not in graph");
-    // Recount dimensions while walking the tree.
-    std::unordered_map<DimId, int32_t> recount;
+    // Recount dimensions while walking the tree and check the intrusive
+    // sibling links.
+    std::map<DimId, int32_t> recount;
     std::vector<TreeNodeId> stack = {kTreeRoot};
     while (!stack.empty()) {
       const TreeNodeId at_id = stack.back();
@@ -434,22 +582,47 @@ bool NntSet::Validate(const Graph& graph) const {
         if (!dim.has_value()) return fail("dimension not interned");
         ++recount[*dim];
       }
-      for (const TreeNodeId child : at.children) stack.push_back(child);
-    }
-    const std::unordered_map<DimId, int32_t>& counted =
-        dim_counts_[static_cast<size_t>(root)];
-    for (const auto& [dim, count] : recount) {
-      auto it = counted.find(dim);
-      if (it == counted.end() || it->second != count) {
-        return fail("dimension count mismatch");
+      if (at.first_child != kInvalidTreeNode &&
+          tree->slot(at.first_child).prev_sibling != kInvalidTreeNode) {
+        return fail("first child has a previous sibling");
+      }
+      int32_t child_count = 0;
+      TreeNodeId previous = kInvalidTreeNode;
+      for (const TreeNodeId child_id : tree->Children(at_id)) {
+        const TreeNode& child = tree->node(child_id);
+        if (child.parent != at_id) return fail("child parent link broken");
+        if (child.prev_sibling != previous) {
+          return fail("sibling back-link broken");
+        }
+        previous = child_id;
+        ++child_count;
+        stack.push_back(child_id);
+      }
+      if (child_count != at.num_children) {
+        return fail("num_children does not match sibling chain");
       }
     }
-    for (const auto& [dim, count] : counted) {
-      (void)dim;
-      if (count <= 0) return fail("non-positive dimension count");
-    }
-    if (recount.size() != counted.size()) {
+
+    // dim_counts_ must be the sorted, strictly-positive form of the recount.
+    const std::vector<NpvEntry>& counted =
+        dim_counts_[static_cast<size_t>(root)];
+    if (static_cast<size_t>(recount.size()) != counted.size()) {
       return fail("dimension count cardinality mismatch");
+    }
+    size_t at = 0;
+    for (const auto& [dim, count] : recount) {
+      if (counted[at].dim != dim || counted[at].count != count) {
+        return fail("dimension count mismatch");
+      }
+      if (counted[at].count <= 0) return fail("non-positive dimension count");
+      if (at > 0 && counted[at - 1].dim >= counted[at].dim) {
+        return fail("dimension counts not sorted");
+      }
+      ++at;
+    }
+    if (npv_cache_valid_[static_cast<size_t>(root)] &&
+        npv_cache_[static_cast<size_t>(root)].entries() != counted) {
+      return fail("NPV cache diverged from dimension counts");
     }
 
     // The tree must hold exactly the edge-simple paths up to depth_.

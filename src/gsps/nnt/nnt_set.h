@@ -10,9 +10,18 @@
 //       - edge-tree index  I_et: graph edge  -> all tree edges realizing it.
 //   * Incrementally apply edge insertions (paper Fig. 5) and deletions
 //     (paper Fig. 4) in O(r^(l-1)) per appearance (Lemma 3.2).
-//   * Keep per-root sparse dimension counts so each vertex's NPV is
-//     available without retraversal, and report which roots' NPVs changed
-//     (the hook the incremental join strategies consume).
+//   * Keep per-root sorted dimension counts and a cached NPV per root so
+//     NpvOf() is O(1) amortized, and report which roots' NPVs changed (the
+//     hook the incremental join strategies consume).
+//
+// Storage layout (DESIGN.md "Storage layout"): vertex ids are dense, so
+// every per-root structure is a flat vector indexed by VertexId — the trees,
+// the node-tree index lists, the dimension counts, the NPV cache, and the
+// dirty flags. The edge-tree index is an open-addressing flat map
+// (EdgeAppearanceMap). Steady-state maintenance reuses freed tree slots,
+// recycled index lists, and member scratch buffers, so an ApplyChange cycle
+// performs zero heap allocations once capacities reach their high-water
+// marks.
 //
 // Usage with a changing graph (the engine's protocol):
 //   * deletion of edge {u,v}:  nnts.DeleteEdge(u, v);  graph.RemoveEdge(u, v);
@@ -26,25 +35,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "gsps/graph/graph.h"
 #include "gsps/nnt/dimension.h"
+#include "gsps/nnt/edge_index.h"
 #include "gsps/nnt/node_neighbor_tree.h"
 #include "gsps/nnt/npv.h"
 
 namespace gsps {
-
-// A reference to one tree node, safe against slot reuse via the generation.
-struct Appearance {
-  VertexId tree_root = kInvalidVertex;  // Which vertex's tree.
-  TreeNodeId node = kInvalidTreeNode;
-  uint32_t generation = 0;
-
-  friend bool operator==(const Appearance&, const Appearance&) = default;
-};
 
 class NntSet {
  public:
@@ -57,7 +56,9 @@ class NntSet {
   NntSet& operator=(NntSet&&) = default;
 
   // Builds trees for every vertex of `graph` from scratch, replacing any
-  // existing state.
+  // existing state. Pre-reserves the slot arenas, index lists, and count
+  // storage from the graph's size and degree statistics so the build and
+  // the following steady state allocate as little as possible.
   void Build(const Graph& graph);
 
   int depth() const { return depth_; }
@@ -87,11 +88,17 @@ class NntSet {
   // Vertices that currently have a tree, ascending.
   std::vector<VertexId> Roots() const;
 
-  // The NPV of `root`'s tree. The vertex must have a tree.
-  Npv NpvOf(VertexId root) const;
+  // The NPV of `root`'s tree. The vertex must have a tree. Served from a
+  // per-root cache invalidated by dimension-count changes, so repeated
+  // reads are O(1). The reference is valid until the next mutating call.
+  const Npv& NpvOf(VertexId root) const;
 
-  // Returns the vertices whose NPV changed since the previous call, and
-  // clears the dirty set. After Build() every root is dirty.
+  // Fills `out` with the vertices whose NPV changed since the previous
+  // drain, ascending, and clears the dirty set; reuses `out`'s capacity.
+  // After Build() every root is dirty.
+  void TakeDirtyRoots(std::vector<VertexId>* out);
+
+  // Convenience overload returning a fresh vector.
   std::vector<VertexId> TakeDirtyRoots();
 
   // --- Test / debugging hooks ---------------------------------------------
@@ -103,18 +110,26 @@ class NntSet {
 
   // Exhaustively checks internal invariants against `graph`: every tree
   // edge realizes a live graph edge, indexes and trees reference each other
-  // consistently, per-root dimension counts match a recount, and every tree
-  // is exactly the set of edge-simple paths up to `depth`. Returns false
-  // and prints a diagnostic on the first violation. O(large); tests only.
+  // consistently, sibling links are well formed, per-root dimension counts
+  // match a recount (and the NPV cache where valid), and every tree is
+  // exactly the set of edge-simple paths up to `depth`. Returns false and
+  // prints a diagnostic on the first violation. O(large); tests only.
   bool Validate(const Graph& graph) const;
 
   // Total alive tree nodes across all trees (size metric for benches).
   int64_t TotalTreeNodes() const;
 
+  // Heap bytes held by the trees, indexes, counts, caches, and scratch
+  // buffers (capacities, not sizes — what the process actually pays).
+  int64_t StorageBytes() const;
+
  private:
   static uint64_t EdgeKey(VertexId a, VertexId b);
 
   NodeNeighborTree* MutableTreeOf(VertexId root);
+
+  // Grows every per-root vector to cover vertex `v`.
+  void EnsureRootCapacity(VertexId v);
 
   // Creates a root-only tree for `v` if absent. Returns the tree.
   NodeNeighborTree& EnsureTree(VertexId v, VertexLabel label);
@@ -143,6 +158,9 @@ class NntSet {
   void BumpDimension(VertexId root, int32_t level, VertexLabel parent_label,
                      VertexLabel child_label, int32_t delta);
 
+  // Flags `root`'s NPV as changed since the last TakeDirtyRoots drain.
+  void MarkDirty(VertexId root);
+
   int depth_;
   DimensionTable* dimensions_;
 
@@ -150,15 +168,36 @@ class NntSet {
   std::vector<std::unique_ptr<NodeNeighborTree>> trees_;
 
   // I_nt: graph vertex -> appearances across all trees (roots included).
-  std::unordered_map<VertexId, std::vector<Appearance>> node_index_;
+  // Dense by vertex id; lists keep their capacity when emptied.
+  std::vector<std::vector<Appearance>> node_index_;
   // I_et: packed undirected edge -> tree edges realizing it; the Appearance
   // stores the CHILD node of the tree edge.
-  std::unordered_map<uint64_t, std::vector<Appearance>> edge_index_;
+  EdgeAppearanceMap edge_index_;
 
-  // Per-root sparse dimension counts backing NpvOf().
-  std::vector<std::unordered_map<DimId, int32_t>> dim_counts_;
+  // Per-root dimension counts backing NpvOf(), kept sorted by dim with
+  // strictly positive counts — the invariant Npv requires, so the cache
+  // refill below never sorts.
+  std::vector<std::vector<NpvEntry>> dim_counts_;
 
-  std::unordered_set<VertexId> dirty_roots_;
+  // Per-root NPV cache: npv_cache_[v] mirrors dim_counts_[v] whenever
+  // npv_cache_valid_[v] is set; BumpDimension clears the flag, NpvOf
+  // refills lazily. Mutable because NpvOf is logically const.
+  mutable std::vector<Npv> npv_cache_;
+  mutable std::vector<uint8_t> npv_cache_valid_;
+
+  // Dirty set as flag-plus-list so marking is O(1) without hashing and the
+  // drain is a sort of only the dirty roots.
+  std::vector<uint8_t> dirty_flag_;
+  std::vector<VertexId> dirty_list_;
+
+  // Maintenance scratch, reused across calls so steady-state InsertEdge/
+  // DeleteEdge/ExpandSubtree/DeleteSubtree allocate nothing.
+  std::vector<Appearance> scratch_appearances_u_;
+  std::vector<Appearance> scratch_appearances_v_;
+  std::vector<Appearance> scratch_edge_appearances_;
+  std::vector<TreeNodeId> scratch_bfs_;
+  std::vector<TreeNodeId> scratch_preorder_;
+  std::vector<TreeNodeId> scratch_stack_;
 };
 
 }  // namespace gsps

@@ -1,8 +1,7 @@
 #include "gsps/nnt/node_neighbor_tree.h"
 
-#include <algorithm>
-
 #include "gsps/common/check.h"
+#include "gsps/obs/obs.h"
 
 namespace gsps {
 
@@ -12,38 +11,46 @@ NodeNeighborTree::NodeNeighborTree(VertexId root_vertex,
   TreeNode root;
   root.vertex = root_vertex;
   root.vertex_label = root_label;
-  root.parent = kInvalidTreeNode;
-  root.depth = 0;
   root.alive = true;
-  nodes_.push_back(std::move(root));
+  nodes_.push_back(root);
   num_alive_ = 1;
 }
 
 TreeNodeId NodeNeighborTree::AddChild(TreeNodeId parent, VertexId vertex,
                                       VertexLabel vertex_label,
                                       EdgeLabel edge_label) {
-  TreeNode& parent_node = mutable_node(parent);
-  const int32_t depth = parent_node.depth + 1;
+  GSPS_DCHECK(parent >= 0 && parent < SlotBound());
+  GSPS_DCHECK(nodes_[static_cast<size_t>(parent)].alive);
   TreeNodeId id;
   if (!free_slots_.empty()) {
     id = free_slots_.back();
     free_slots_.pop_back();
+    GSPS_OBS_COUNT(Counter::kNntTreeSlotsReused, 1);
   } else {
     id = static_cast<TreeNodeId>(nodes_.size());
     nodes_.emplace_back();
   }
   TreeNode& child = nodes_[static_cast<size_t>(id)];
+  // Fetch the parent only after the potential reallocation above.
+  TreeNode& parent_node = nodes_[static_cast<size_t>(parent)];
   child.vertex = vertex;
   child.vertex_label = vertex_label;
   child.parent = parent;
   child.edge_label = edge_label;
-  child.depth = depth;
+  child.depth = static_cast<int16_t>(parent_node.depth + 1);
   child.alive = true;
   child.node_index_pos = -1;
   child.edge_index_pos = -1;
-  child.children.clear();
-  // Note: re-fetch the parent — nodes_ may have reallocated above.
-  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  child.num_children = 0;
+  child.first_child = kInvalidTreeNode;
+  // Prepend into the parent's intrusive child list.
+  child.prev_sibling = kInvalidTreeNode;
+  child.next_sibling = parent_node.first_child;
+  if (parent_node.first_child != kInvalidTreeNode) {
+    nodes_[static_cast<size_t>(parent_node.first_child)].prev_sibling = id;
+  }
+  parent_node.first_child = id;
+  ++parent_node.num_children;
   ++num_alive_;
   return id;
 }
@@ -51,19 +58,35 @@ TreeNodeId NodeNeighborTree::AddChild(TreeNodeId parent, VertexId vertex,
 void NodeNeighborTree::FreeNode(TreeNodeId id) {
   GSPS_CHECK(id != kTreeRoot);
   TreeNode& victim = mutable_node(id);
-  GSPS_CHECK(victim.children.empty());
-  // Unlink from the parent.
+  GSPS_CHECK(victim.num_children == 0);
+  GSPS_DCHECK(victim.first_child == kInvalidTreeNode);
+  // O(1) unlink from the parent's intrusive child list.
   TreeNode& parent = mutable_node(victim.parent);
-  auto it = std::find(parent.children.begin(), parent.children.end(), id);
-  GSPS_CHECK(it != parent.children.end());
-  parent.children.erase(it);
+  if (victim.prev_sibling != kInvalidTreeNode) {
+    nodes_[static_cast<size_t>(victim.prev_sibling)].next_sibling =
+        victim.next_sibling;
+  } else {
+    parent.first_child = victim.next_sibling;
+  }
+  if (victim.next_sibling != kInvalidTreeNode) {
+    nodes_[static_cast<size_t>(victim.next_sibling)].prev_sibling =
+        victim.prev_sibling;
+  }
+  --parent.num_children;
   victim.alive = false;
   ++victim.generation;
   victim.parent = kInvalidTreeNode;
+  victim.next_sibling = kInvalidTreeNode;
+  victim.prev_sibling = kInvalidTreeNode;
   victim.node_index_pos = -1;
   victim.edge_index_pos = -1;
   free_slots_.push_back(id);
   --num_alive_;
+}
+
+void NodeNeighborTree::Reserve(int32_t slots) {
+  nodes_.reserve(static_cast<size_t>(slots));
+  free_slots_.reserve(static_cast<size_t>(slots));
 }
 
 const TreeNode& NodeNeighborTree::node(TreeNodeId id) const {

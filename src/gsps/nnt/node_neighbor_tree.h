@@ -3,10 +3,17 @@
 // The NNT of a vertex u is the tree rooted at u containing every edge-simple
 // path of length up to `depth` starting at u: each tree node is one path
 // prefix, identified by the graph vertex the path ends at. This class is the
-// slotted storage for one such tree — allocation, freeing (with generation
-// counters so stale index references can be detected), and parent-chain
-// queries. The maintenance logic that keeps trees in sync with a changing
-// graph lives in NntSet.
+// slotted arena storage for one such tree — allocation, freeing (with
+// generation counters so stale index references can be detected), and
+// parent-chain queries. The maintenance logic that keeps trees in sync with
+// a changing graph lives in NntSet.
+//
+// Storage layout (DESIGN.md "Storage layout"): all nodes live in one flat
+// slot vector; the child lists are intrusive first-child/next-sibling/
+// prev-sibling links inside the slots themselves, so linking and unlinking a
+// node is O(1) and a tree performs zero heap allocations beyond the slot
+// vector's own growth. Freed slots go on a free list and are reused with
+// a bumped generation.
 
 #ifndef GSPS_NNT_NODE_NEIGHBOR_TREE_H_
 #define GSPS_NNT_NODE_NEIGHBOR_TREE_H_
@@ -26,24 +33,45 @@ constexpr TreeNodeId kInvalidTreeNode = -1;
 // The root always occupies slot 0 and is never freed.
 constexpr TreeNodeId kTreeRoot = 0;
 
-// One tree node: the endpoint of one simple path from the root.
+// One tree node: the endpoint of one simple path from the root. A compact
+// POD — children hang off the intrusive sibling links, so slots carry no
+// heap-allocated members and the arena is one contiguous allocation.
 struct TreeNode {
   VertexId vertex = kInvalidVertex;   // Graph vertex this path ends at.
   VertexLabel vertex_label = 0;       // Cached label of `vertex`.
   TreeNodeId parent = kInvalidTreeNode;
+  // Intrusive child list: `first_child` heads the parent's list; siblings
+  // are doubly linked so unlinking any child is O(1).
+  TreeNodeId first_child = kInvalidTreeNode;
+  TreeNodeId next_sibling = kInvalidTreeNode;
+  TreeNodeId prev_sibling = kInvalidTreeNode;
   EdgeLabel edge_label = 0;           // Label of the edge from the parent.
-  int32_t depth = 0;                  // Root is depth 0.
-  uint32_t generation = 0;            // Bumped when the slot is freed.
-  bool alive = false;
   // Positions of this node's entries in the NntSet's node-tree and
   // edge-tree index lists, maintained by the NntSet so deregistration is
   // O(1) (swap-erase with position fix-up). -1 when not registered.
   int32_t node_index_pos = -1;
   int32_t edge_index_pos = -1;
-  std::vector<TreeNodeId> children;
+  int32_t num_children = 0;
+  uint32_t generation = 0;            // Bumped when the slot is freed.
+  int16_t depth = 0;                  // Root is depth 0; bounded by NNT depth.
+  bool alive = false;
 };
 
-// Slot-vector storage for one NNT.
+// A node's tree is at most `depth` deep and depth_ is a small int, so int16
+// never overflows; keeping it small packs TreeNode into 48 bytes.
+static_assert(sizeof(TreeNode) <= 48, "TreeNode grew past one cache-line half");
+
+// A reference to one tree node, safe against slot reuse via the generation.
+// Lives here (not nnt_set.h) so the appearance indexes can name it too.
+struct Appearance {
+  VertexId tree_root = kInvalidVertex;  // Which vertex's tree.
+  TreeNodeId node = kInvalidTreeNode;
+  uint32_t generation = 0;
+
+  friend bool operator==(const Appearance&, const Appearance&) = default;
+};
+
+// Slot-vector arena storage for one NNT.
 class NodeNeighborTree {
  public:
   // Creates a tree containing only the root for `root_vertex`.
@@ -59,14 +87,19 @@ class NodeNeighborTree {
   VertexId root_vertex() const { return root_vertex_; }
 
   // Allocates a child of `parent` and returns its id. The child's depth is
-  // parent's depth + 1.
+  // parent's depth + 1. The child is prepended to the parent's child list;
+  // no consumer depends on sibling order.
   TreeNodeId AddChild(TreeNodeId parent, VertexId vertex,
                       VertexLabel vertex_label, EdgeLabel edge_label);
 
-  // Frees one node. The node must be alive, must not be the root, and must
-  // have no children (free subtrees bottom-up). Its slot generation is
-  // bumped so outstanding references become detectably stale.
+  // Frees one node in O(1). The node must be alive, must not be the root,
+  // and must have no children (free subtrees bottom-up). Its slot generation
+  // is bumped so outstanding references become detectably stale.
   void FreeNode(TreeNodeId id);
+
+  // Grows the slot vector's capacity to `slots` up front (Build-time
+  // pre-sizing; steady-state maintenance then reuses freed slots).
+  void Reserve(int32_t slots);
 
   // Node accessor; `id` must be alive.
   const TreeNode& node(TreeNodeId id) const;
@@ -85,6 +118,12 @@ class NodeNeighborTree {
   // One past the largest slot index in use.
   TreeNodeId SlotBound() const { return static_cast<TreeNodeId>(nodes_.size()); }
 
+  // Heap bytes held by this tree's arena and free list.
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(nodes_.capacity() * sizeof(TreeNode)) +
+           static_cast<int64_t>(free_slots_.capacity() * sizeof(TreeNodeId));
+  }
+
   // Raw slot accessor for traversals that filter on `alive` themselves.
   const TreeNode& slot(TreeNodeId id) const {
     return nodes_[static_cast<size_t>(id)];
@@ -94,8 +133,44 @@ class NodeNeighborTree {
   // `id` must be alive.
   TreeNode& mutable_node(TreeNodeId id);
 
- private:
+  // Range over the children of `id` via the intrusive links:
+  //   for (TreeNodeId child : tree.Children(id)) ...
+  // Invalidated by AddChild/FreeNode under the iterated node.
+  class ChildRange {
+   public:
+    class Iterator {
+     public:
+      Iterator(const NodeNeighborTree* tree, TreeNodeId at)
+          : tree_(tree), at_(at) {}
+      TreeNodeId operator*() const { return at_; }
+      Iterator& operator++() {
+        at_ = tree_->slot(at_).next_sibling;
+        return *this;
+      }
+      friend bool operator==(const Iterator& a, const Iterator& b) {
+        return a.at_ == b.at_;
+      }
 
+     private:
+      const NodeNeighborTree* tree_;
+      TreeNodeId at_;
+    };
+
+    ChildRange(const NodeNeighborTree* tree, TreeNodeId first)
+        : tree_(tree), first_(first) {}
+    Iterator begin() const { return Iterator(tree_, first_); }
+    Iterator end() const { return Iterator(tree_, kInvalidTreeNode); }
+
+   private:
+    const NodeNeighborTree* tree_;
+    TreeNodeId first_;
+  };
+
+  ChildRange Children(TreeNodeId id) const {
+    return ChildRange(this, node(id).first_child);
+  }
+
+ private:
   VertexId root_vertex_;
   std::vector<TreeNode> nodes_;
   std::vector<TreeNodeId> free_slots_;

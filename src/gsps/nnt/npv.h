@@ -30,11 +30,17 @@ class Npv {
 
   // Builds from a dim -> count map; zero and negative counts are dropped
   // (counts are cardinalities, so negatives would indicate index corruption
-  // and are rejected by the NntSet before reaching here).
+  // and are rejected by the NntSet before reaching here). Sorts — off the
+  // hot path; the NntSet NPV cache uses AssignSortedEntries instead.
   static Npv FromMap(const std::unordered_map<DimId, int32_t>& counts);
 
   // Builds from entries that are already sorted by dim with positive counts.
   static Npv FromSortedEntries(std::vector<NpvEntry> entries);
+
+  // Replaces the contents with `entries` (already sorted by dim, positive
+  // counts), reusing this vector's capacity. The NntSet NPV cache refill —
+  // no sort, no allocation in steady state.
+  void AssignSortedEntries(const std::vector<NpvEntry>& entries);
 
   // Value at `dim` (0 when absent). O(log nnz).
   int32_t ValueAt(DimId dim) const;

@@ -27,30 +27,32 @@ class SubtreeMatcher {
     const TreeNode& data_node = data_tree_.node(d);
     bool result = false;
     if (query_node.vertex_label == data_node.vertex_label &&
-        query_node.children.size() <= data_node.children.size()) {
+        query_node.num_children <= data_node.num_children) {
       // Left-perfect matching of query children into data children, where
       // child qc may match child dc iff edge labels agree and qc's subtree
       // embeds at dc (recursively).
-      BipartiteAdjacency adjacency(query_node.children.size());
+      BipartiteAdjacency adjacency(
+          static_cast<size_t>(query_node.num_children));
       bool some_child_unmatchable = false;
-      for (size_t i = 0; i < query_node.children.size(); ++i) {
-        const TreeNodeId qc = query_node.children[i];
+      size_t i = 0;
+      for (const TreeNodeId qc : query_tree_.Children(q)) {
         const EdgeLabel edge_label = query_tree_.node(qc).edge_label;
-        for (size_t k = 0; k < data_node.children.size(); ++k) {
-          const TreeNodeId dc = data_node.children[k];
-          if (data_tree_.node(dc).edge_label != edge_label) continue;
-          if (EmbeddableAt(qc, dc)) {
-            adjacency[i].push_back(static_cast<int>(k));
+        int k = 0;
+        for (const TreeNodeId dc : data_tree_.Children(d)) {
+          if (data_tree_.node(dc).edge_label == edge_label &&
+              EmbeddableAt(qc, dc)) {
+            adjacency[i].push_back(k);
           }
+          ++k;
         }
         if (adjacency[i].empty()) {
           some_child_unmatchable = true;
           break;
         }
+        ++i;
       }
       result = !some_child_unmatchable &&
-               HasLeftPerfectMatching(
-                   adjacency, static_cast<int>(data_node.children.size()));
+               HasLeftPerfectMatching(adjacency, data_node.num_children);
     }
     memo_.emplace(key, result);
     return result;

@@ -15,6 +15,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "gsps_nnt_tree_nodes_created",
     "gsps_nnt_tree_nodes_freed",
     "gsps_nnt_roots_dirtied",
+    "gsps_nnt_tree_slots_reused",
+    "gsps_nnt_npv_cache_rebuilds",
     "gsps_join_dominance_tests",
     "gsps_join_skyline_early_stops",
     "gsps_join_set_cover_rounds",

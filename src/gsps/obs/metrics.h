@@ -40,6 +40,9 @@ enum class Counter : int {
   kNntTreeNodesCreated,    // Tree nodes allocated (AddTreeChild).
   kNntTreeNodesFreed,      // Tree nodes freed (FreeTreeNode).
   kNntRootsDirtied,        // Roots whose NPV went clean -> dirty.
+  kNntTreeSlotsReused,     // AddChild served from the free-slot list.
+  kNntNpvCacheRebuilds,    // NpvOf materializations of an invalidated root;
+                           // every other NpvOf call is a cache hit.
   // Join strategies (join/).
   kJoinDominanceTests,     // Pairwise Npv::Dominates evaluations (NL, Skyline).
   kJoinSkylineEarlyStops,  // Pairs pruned at the first uncovered skyline point.

@@ -1,0 +1,317 @@
+// Tests for the flat NNT storage layer (DESIGN.md "Storage layout"):
+// intrusive sibling links, slot reuse with generation-stale detection, the
+// open-addressing edge-appearance index, dense per-root state across
+// RemoveTree/re-add cycles, deep churn with full validation after every
+// operation, and the deterministic (sorted) dirty-root drain.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gsps/common/random.h"
+#include "gsps/gen/synthetic_generator.h"
+#include "gsps/graph/graph.h"
+#include "gsps/nnt/dimension.h"
+#include "gsps/nnt/edge_index.h"
+#include "gsps/nnt/nnt_set.h"
+#include "gsps/nnt/node_neighbor_tree.h"
+
+namespace gsps {
+namespace {
+
+// --- NodeNeighborTree arena ------------------------------------------------
+
+TEST(NodeNeighborTreeTest, IntrusiveChildLinks) {
+  NodeNeighborTree tree(/*root_vertex=*/5, /*root_label=*/1);
+  const TreeNodeId a = tree.AddChild(kTreeRoot, 6, 2, 0);
+  const TreeNodeId b = tree.AddChild(kTreeRoot, 7, 3, 0);
+  const TreeNodeId c = tree.AddChild(kTreeRoot, 8, 4, 0);
+  EXPECT_EQ(tree.node(kTreeRoot).num_children, 3);
+
+  std::vector<TreeNodeId> children;
+  for (const TreeNodeId child : tree.Children(kTreeRoot)) {
+    children.push_back(child);
+  }
+  ASSERT_EQ(children.size(), 3u);
+  // AddChild prepends.
+  EXPECT_EQ(children, (std::vector<TreeNodeId>{c, b, a}));
+
+  // Freeing the middle node unlinks it in O(1) and keeps the chain intact.
+  tree.FreeNode(b);
+  EXPECT_EQ(tree.node(kTreeRoot).num_children, 2);
+  children.clear();
+  for (const TreeNodeId child : tree.Children(kTreeRoot)) {
+    children.push_back(child);
+  }
+  EXPECT_EQ(children, (std::vector<TreeNodeId>{c, a}));
+  EXPECT_EQ(tree.node(c).next_sibling, a);
+  EXPECT_EQ(tree.node(a).prev_sibling, c);
+}
+
+TEST(NodeNeighborTreeTest, SlotReuseBumpsGenerationAndStalenessIsDetected) {
+  NodeNeighborTree tree(/*root_vertex=*/0, /*root_label=*/0);
+  const TreeNodeId child = tree.AddChild(kTreeRoot, 1, 1, 0);
+  const uint32_t generation = tree.node(child).generation;
+  ASSERT_TRUE(tree.IsAlive(child, generation));
+
+  tree.FreeNode(child);
+  // A stale Appearance probe (old id + old generation) must read as dead.
+  EXPECT_FALSE(tree.IsAlive(child, generation));
+
+  // The freed slot is reused for the next allocation with a new generation.
+  const TreeNodeId reused = tree.AddChild(kTreeRoot, 2, 2, 0);
+  EXPECT_EQ(reused, child);
+  const uint32_t new_generation = tree.node(reused).generation;
+  EXPECT_NE(new_generation, generation);
+  EXPECT_FALSE(tree.IsAlive(child, generation));
+  EXPECT_TRUE(tree.IsAlive(reused, new_generation));
+  // Slot count did not grow: the arena recycled rather than extended.
+  EXPECT_EQ(tree.SlotBound(), 2);
+}
+
+// --- EdgeAppearanceMap -----------------------------------------------------
+
+TEST(EdgeAppearanceMapTest, InsertFindEraseAcrossGrowth) {
+  EdgeAppearanceMap map;
+  constexpr int kKeys = 1000;
+  for (int i = 1; i <= kKeys; ++i) {
+    map.GetOrCreate(static_cast<uint64_t>(i)).push_back(
+        Appearance{i, kTreeRoot, 0});
+  }
+  EXPECT_EQ(map.NumKeys(), kKeys);
+  for (int i = 1; i <= kKeys; ++i) {
+    const auto* list = map.Find(static_cast<uint64_t>(i));
+    ASSERT_NE(list, nullptr) << "key " << i;
+    ASSERT_EQ(list->size(), 1u);
+    EXPECT_EQ((*list)[0].tree_root, i);
+  }
+  // Erase every other key; backward-shift deletion must keep the remaining
+  // probe chains reachable.
+  for (int i = 2; i <= kKeys; i += 2) {
+    map.Find(static_cast<uint64_t>(i))->clear();
+    map.Erase(static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(map.NumKeys(), kKeys / 2);
+  int64_t seen = 0;
+  map.ForEach([&](uint64_t key, const std::vector<Appearance>& list) {
+    EXPECT_EQ(key % 2, 1u);
+    EXPECT_EQ(list.size(), 1u);
+    ++seen;
+  });
+  EXPECT_EQ(seen, map.NumKeys());
+  for (int i = 1; i <= kKeys; ++i) {
+    const auto* list = map.Find(static_cast<uint64_t>(i));
+    if (i % 2 == 1) {
+      ASSERT_NE(list, nullptr) << "key " << i;
+    } else {
+      EXPECT_EQ(list, nullptr) << "key " << i;
+    }
+  }
+}
+
+TEST(EdgeAppearanceMapTest, ErasedListsAreRecycled) {
+  EdgeAppearanceMap map;
+  std::vector<Appearance>& first = map.GetOrCreate(42);
+  first.reserve(64);
+  first.push_back(Appearance{});
+  first.clear();
+  map.Erase(42);
+  // The recycled vector keeps its capacity.
+  std::vector<Appearance>& second = map.GetOrCreate(99);
+  EXPECT_GE(second.capacity(), 64u);
+  EXPECT_TRUE(second.empty());
+}
+
+// --- NntSet over the new layout --------------------------------------------
+
+void ExpectMatchesRebuild(const NntSet& nnts, const Graph& graph, int depth) {
+  ASSERT_TRUE(nnts.Validate(graph));
+  DimensionTable fresh_dims;
+  NntSet fresh(depth, &fresh_dims);
+  fresh.Build(graph);
+  ASSERT_EQ(nnts.Roots(), fresh.Roots());
+  for (const VertexId root : fresh.Roots()) {
+    EXPECT_EQ(nnts.BranchesOf(root), fresh.BranchesOf(root))
+        << "root " << root;
+  }
+  EXPECT_EQ(nnts.TotalTreeNodes(), fresh.TotalTreeNodes());
+}
+
+TEST(NntStorageTest, StaleAppearanceAfterDeleteReinsertCycle) {
+  // Path 0-1-2; toggling {1,2} frees subtrees and reinserting must reuse
+  // slots without resurrecting stale appearances (Validate checks every
+  // index entry against the slot generation).
+  Graph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddVertex(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0));
+  ASSERT_TRUE(g.AddEdge(1, 2, 0));
+  DimensionTable dims;
+  NntSet nnts(3, &dims);
+  nnts.Build(g);
+  const int64_t nodes_before = nnts.TotalTreeNodes();
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    nnts.DeleteEdge(1, 2);
+    ASSERT_TRUE(g.RemoveEdge(1, 2));
+    ExpectMatchesRebuild(nnts, g, 3);
+    ASSERT_TRUE(g.AddEdge(1, 2, 0));
+    nnts.InsertEdge(g, 1, 2);
+    ExpectMatchesRebuild(nnts, g, 3);
+    EXPECT_EQ(nnts.TotalTreeNodes(), nodes_before);
+  }
+}
+
+TEST(NntStorageTest, RemoveTreeThenReAddVertex) {
+  Graph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  g.AddVertex(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0));
+  ASSERT_TRUE(g.AddEdge(1, 2, 1));
+  DimensionTable dims;
+  NntSet nnts(2, &dims);
+  nnts.Build(g);
+
+  // Remove vertex 2 entirely: its incident edge first, then its tree.
+  nnts.DeleteEdge(1, 2);
+  ASSERT_TRUE(g.RemoveEdge(1, 2));
+  nnts.RemoveTree(2);
+  ASSERT_TRUE(g.RemoveVertex(2));
+  EXPECT_EQ(nnts.TreeOf(2), nullptr);
+  ExpectMatchesRebuild(nnts, g, 2);
+  EXPECT_EQ(nnts.Roots(), (std::vector<VertexId>{0, 1}));
+
+  // Re-add the same vertex id with a different label and reconnect it; the
+  // per-root slots (tree, counts, NPV cache, dirty flag) must restart clean.
+  ASSERT_TRUE(g.EnsureVertex(2, /*label=*/3));
+  ASSERT_TRUE(g.AddEdge(1, 2, 1));
+  nnts.InsertEdge(g, 1, 2);
+  ASSERT_NE(nnts.TreeOf(2), nullptr);
+  ExpectMatchesRebuild(nnts, g, 2);
+  EXPECT_GT(nnts.NpvOf(2).nnz(), 0);
+}
+
+TEST(NntStorageTest, DeepChurnValidatesAfterEveryOperation) {
+  Rng rng(99);
+  Graph g = RandomConnectedGraph(40, 3, 2, rng);
+  DimensionTable dims;
+  NntSet nnts(3, &dims);
+  nnts.Build(g);
+  ASSERT_TRUE(nnts.Validate(g));
+
+  struct EdgeRec {
+    VertexId u, v;
+    EdgeLabel label;
+  };
+  std::vector<EdgeRec> edges;
+  for (const VertexId u : g.VertexIds()) {
+    for (const HalfEdge& half : g.Neighbors(u)) {
+      if (u < half.to) edges.push_back({u, half.to, half.label});
+    }
+  }
+
+  DimensionTable fresh_dims;
+  NntSet fresh(3, &fresh_dims);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const EdgeRec& e = edges[i];
+    nnts.DeleteEdge(e.u, e.v);
+    ASSERT_TRUE(g.RemoveEdge(e.u, e.v));
+    ASSERT_TRUE(nnts.Validate(g)) << "after delete " << i;
+    fresh.Build(g);
+    ASSERT_EQ(nnts.TotalTreeNodes(), fresh.TotalTreeNodes())
+        << "after delete " << i;
+
+    ASSERT_TRUE(g.AddEdge(e.u, e.v, e.label));
+    nnts.InsertEdge(g, e.u, e.v);
+    ASSERT_TRUE(nnts.Validate(g)) << "after insert " << i;
+    fresh.Build(g);
+    ASSERT_EQ(nnts.TotalTreeNodes(), fresh.TotalTreeNodes())
+        << "after insert " << i;
+  }
+}
+
+// --- Deterministic dirty-root drains ---------------------------------------
+
+// Replays the same seeded toggle workload and records every drained dirty
+// sequence; two runs must produce byte-identical output.
+std::vector<std::vector<VertexId>> DirtySequencesOfRun(uint64_t seed) {
+  Rng rng(seed);
+  Graph g = RandomConnectedGraph(30, 3, 1, rng);
+  DimensionTable dims;
+  NntSet nnts(3, &dims);
+  nnts.Build(g);
+
+  std::vector<std::vector<VertexId>> drains;
+  std::vector<VertexId> buffer;
+  nnts.TakeDirtyRoots(&buffer);
+  drains.push_back(buffer);
+
+  struct EdgeRec {
+    VertexId u, v;
+    EdgeLabel label;
+  };
+  std::vector<EdgeRec> edges;
+  for (const VertexId u : g.VertexIds()) {
+    for (const HalfEdge& half : g.Neighbors(u)) {
+      if (u < half.to) edges.push_back({u, half.to, half.label});
+    }
+  }
+  for (const EdgeRec& e : edges) {
+    nnts.DeleteEdge(e.u, e.v);
+    g.RemoveEdge(e.u, e.v);
+    nnts.TakeDirtyRoots(&buffer);
+    drains.push_back(buffer);
+    g.AddEdge(e.u, e.v, e.label);
+    nnts.InsertEdge(g, e.u, e.v);
+    nnts.TakeDirtyRoots(&buffer);
+    drains.push_back(buffer);
+  }
+  return drains;
+}
+
+TEST(NntStorageTest, DirtyRootDrainsAreSortedAndDeterministic) {
+  const std::vector<std::vector<VertexId>> first = DirtySequencesOfRun(7);
+  const std::vector<std::vector<VertexId>> second = DirtySequencesOfRun(7);
+  EXPECT_EQ(first, second);
+  for (const std::vector<VertexId>& drain : first) {
+    EXPECT_TRUE(std::is_sorted(drain.begin(), drain.end()));
+  }
+  // The first drain (post-Build) covers every root.
+  EXPECT_FALSE(first.empty());
+  EXPECT_FALSE(first[0].empty());
+}
+
+TEST(NntStorageTest, TakeDirtyRootsOverloadsAgree) {
+  Graph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0));
+  DimensionTable dims;
+  NntSet nnts(2, &dims);
+  nnts.Build(g);
+  EXPECT_EQ(nnts.TakeDirtyRoots(), (std::vector<VertexId>{0, 1}));
+  // Drained: both overloads now report empty.
+  std::vector<VertexId> out = {123};
+  nnts.TakeDirtyRoots(&out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(nnts.TakeDirtyRoots().empty());
+}
+
+TEST(NntStorageTest, StorageBytesTracksIndexFootprint) {
+  Rng rng(5);
+  Graph g = RandomConnectedGraph(25, 3, 1, rng);
+  DimensionTable dims;
+  NntSet nnts(3, &dims);
+  nnts.Build(g);
+  const int64_t bytes = nnts.StorageBytes();
+  // At minimum the arenas hold every alive node.
+  EXPECT_GE(bytes, nnts.TotalTreeNodes() *
+                       static_cast<int64_t>(sizeof(TreeNode)));
+}
+
+}  // namespace
+}  // namespace gsps
