@@ -195,8 +195,9 @@ StatsAccumulator RunNpvEngine(const StreamWorkload& workload, JoinKind kind,
           }
           engine.ApplyChanges(batches);
         },
-        [&] {
-          return static_cast<int64_t>(engine.AllCandidatePairs().size());
+        [&, pairs = std::vector<std::pair<int, int>>()]() mutable {
+          engine.AllCandidatePairs(&pairs);
+          return static_cast<int64_t>(pairs.size());
         },
         [&](int i) { return &engine.StreamGraph(i); },
         [&](TimestampStats& sample) {
@@ -223,11 +224,11 @@ StatsAccumulator RunNpvEngine(const StreamWorkload& workload, JoinKind kind,
                              workload.streams[static_cast<size_t>(i)].ChangeAt(t));
         }
       },
-      [&] {
+      [&, buffer = std::vector<int>()]() mutable {
         int64_t candidates = 0;
         for (int i = 0; i < num_streams; ++i) {
-          candidates +=
-              static_cast<int64_t>(engine.CandidatesForStream(i).size());
+          engine.CandidatesForStream(i, &buffer);
+          candidates += static_cast<int64_t>(buffer.size());
         }
         return candidates;
       },
@@ -357,9 +358,10 @@ double NpvStaticCandidateRatio(const std::vector<Graph>& database,
     }
   }
   int64_t candidates = 0;
+  std::vector<int> buffer;
   for (size_t i = 0; i < database.size(); ++i) {
-    candidates += static_cast<int64_t>(
-        strategy->CandidatesForStream(static_cast<int>(i)).size());
+    strategy->CandidatesForStream(static_cast<int>(i), &buffer);
+    candidates += static_cast<int64_t>(buffer.size());
   }
   return static_cast<double>(candidates) /
          (static_cast<double>(database.size()) *

@@ -1,18 +1,56 @@
-// Micro/ablation benchmarks for the join strategies: candidate evaluation
-// cost of NL vs DSC vs Skyline on sparse and dense NPV workloads, plus the
-// incremental-update path. Complements Figs. 16-17 with kernel-level
-// numbers isolated from NNT maintenance.
+// Micro/ablation benchmark for the delta-driven join strategies: candidate
+// refresh throughput of NL vs DSC vs Skyline under sparse per-timestamp
+// deltas, with the dominance-test, signature-reject, and verdict-reuse
+// counts behind each number. Complements Figs. 16-17 with kernel-level
+// numbers isolated from NNT maintenance, and is the regression harness for
+// the incremental join state (DESIGN.md "Incremental join state").
+//
+// The measured loop mirrors a monitoring deployment: per step, ONE stream
+// vertex moves (the sparse delta a single ApplyChange batch produces), then
+// the candidate sets of ALL streams are refreshed through the caller-buffer
+// overload. Unchanged streams must be answered from the per-stream verdict
+// cache; the changed stream re-evaluates only the dominance relations its
+// delta touched. The from-scratch baseline row rebuilds a fresh strategy per
+// refresh — the pre-incremental cost model.
+//
+// Flags:
+//   --queries=N          number of queries (default 40)
+//   --qvecs=N            query vectors per query (default 8)
+//   --stream_vertices=N  vertices per stream (default 60)
+//   --streams=N          number of streams (default 4)
+//   --dims=N             NPV dimension universe (default 64)
+//   --nnz=N              non-zero entries per vector (default 3)
+//   --refreshes=N        timed delta+refresh steps (default 2000)
+//   --warmup=N           untimed warm-up steps (0 = one full delta-pool
+//                        cycle, so the timed loop is pure steady state)
+//   --delta_reps=N       pre-generated vectors per (stream, vertex) slot;
+//                        the pool cycles through reps*streams*vertices
+//                        deltas (default 2)
+//   --rebuilds=N         from-scratch rebuild+refresh baseline reps
+//   --seed=N             workload seed
+//
+// Output: human-readable rows plus one EmitBenchJson line per strategy
+// (bench "micro_join"), archived by the CI bench-JSON job; CI also checks
+// the dominance-test count per refresh against a regression ceiling.
 
-#include <benchmark/benchmark.h>
-
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
+#include "gsps/common/alloc_hook.h"
 #include "gsps/common/random.h"
+#include "gsps/common/stopwatch.h"
 #include "gsps/join/join_strategy.h"
+#include "gsps/obs/obs.h"
 
-namespace gsps {
+namespace gsps::bench {
 namespace {
+
+// Prevents the optimizer from deleting measured work.
+inline void KeepAlive(int64_t value) { asm volatile("" : : "r"(value)); }
 
 // Random sparse NPV over `dims` dimensions with `nnz` non-zero entries.
 Npv RandomNpv(Rng& rng, int dims, int nnz, int max_count) {
@@ -26,100 +64,227 @@ Npv RandomNpv(Rng& rng, int dims, int nnz, int max_count) {
 
 struct Workload {
   std::vector<QueryVectors> queries;
-  std::vector<std::pair<VertexId, Npv>> stream_vertices;
+  // Per stream: the live vertex vectors.
+  std::vector<std::vector<std::pair<VertexId, Npv>>> streams;
 };
 
-Workload MakeVectorWorkload(int num_queries, int vertices_per_query,
-                            int stream_vertices, int dims, int nnz,
-                            uint64_t seed) {
+Workload MakeVectorWorkload(int num_queries, int vectors_per_query,
+                            int stream_vertices, int num_streams, int dims,
+                            int nnz, uint64_t seed) {
   Rng rng(seed);
   Workload w;
   for (int j = 0; j < num_queries; ++j) {
     QueryVectors q;
-    for (int v = 0; v < vertices_per_query; ++v) {
+    for (int v = 0; v < vectors_per_query; ++v) {
       q.vectors.push_back(RandomNpv(rng, dims, nnz, 4));
     }
     w.queries.push_back(std::move(q));
   }
-  for (int v = 0; v < stream_vertices; ++v) {
-    w.stream_vertices.emplace_back(static_cast<VertexId>(v),
-                                   RandomNpv(rng, dims, nnz, 6));
+  w.streams.resize(static_cast<size_t>(num_streams));
+  for (auto& stream : w.streams) {
+    for (int v = 0; v < stream_vertices; ++v) {
+      stream.emplace_back(static_cast<VertexId>(v),
+                          RandomNpv(rng, dims, nnz, 6));
+    }
   }
   return w;
 }
 
-void RunJoinKernel(benchmark::State& state, JoinKind kind, int dims,
-                   int nnz) {
-  const Workload w = MakeVectorWorkload(/*num_queries=*/40,
-                                        /*vertices_per_query=*/8,
-                                        /*stream_vertices=*/60, dims, nnz,
-                                        /*seed=*/9);
+std::unique_ptr<JoinStrategy> BuildStrategy(JoinKind kind, const Workload& w) {
   auto strategy = MakeJoinStrategy(kind);
   strategy->SetQueries(w.queries);
-  strategy->SetNumStreams(1);
-  for (const auto& [v, npv] : w.stream_vertices) {
-    strategy->UpdateStreamVertex(0, v, npv);
+  strategy->SetNumStreams(static_cast<int>(w.streams.size()));
+  for (size_t i = 0; i < w.streams.size(); ++i) {
+    for (const auto& [v, npv] : w.streams[i]) {
+      strategy->UpdateStreamVertex(static_cast<int>(i), v, npv);
+    }
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(strategy->CandidatesForStream(0).size());
-  }
+  return strategy;
 }
 
-void BM_JoinKernel_NL(benchmark::State& state) {
-  RunJoinKernel(state, JoinKind::kNestedLoop,
-                static_cast<int>(state.range(0)),
-                static_cast<int>(state.range(1)));
-}
-void BM_JoinKernel_DSC(benchmark::State& state) {
-  RunJoinKernel(state, JoinKind::kDominatedSetCover,
-                static_cast<int>(state.range(0)),
-                static_cast<int>(state.range(1)));
-}
-void BM_JoinKernel_Skyline(benchmark::State& state) {
-  RunJoinKernel(state, JoinKind::kSkylineEarlyStop,
-                static_cast<int>(state.range(0)),
-                static_cast<int>(state.range(1)));
-}
-// dims x nnz: sparse high-dimensional vs dense low-dimensional regimes.
-BENCHMARK(BM_JoinKernel_NL)
-    ->ArgsProduct({{32, 256}, {2, 6}})
-    ->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_JoinKernel_DSC)
-    ->ArgsProduct({{32, 256}, {2, 6}})
-    ->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_JoinKernel_Skyline)
-    ->ArgsProduct({{32, 256}, {2, 6}})
-    ->Unit(benchmark::kMicrosecond);
+void RunStrategy(JoinKind kind, const Workload& w, const Flags& flags) {
+  const int dims = flags.GetInt("dims", 64);
+  const int nnz = flags.GetInt("nnz", 3);
+  const int refreshes = flags.GetInt("refreshes", 2000);
+  const int warmup_flag = flags.GetInt("warmup", 0);
+  const int rebuilds = flags.GetInt("rebuilds", 50);
+  const uint64_t seed = flags.GetUint64("seed", 9);
+  const int num_streams = static_cast<int>(w.streams.size());
+  const int stream_vertices = static_cast<int>(w.streams[0].size());
 
-// Incremental update cost: move one stream vertex's vector and re-evaluate.
-void RunUpdateKernel(benchmark::State& state, JoinKind kind) {
-  const Workload w = MakeVectorWorkload(40, 8, 60, 64, 3, 10);
-  auto strategy = MakeJoinStrategy(kind);
-  strategy->SetQueries(w.queries);
-  strategy->SetNumStreams(1);
-  for (const auto& [v, npv] : w.stream_vertices) {
-    strategy->UpdateStreamVertex(0, v, npv);
+  auto strategy = BuildStrategy(kind, w);
+
+  // Pre-generated sparse deltas, cycled: one vertex of one stream moves per
+  // step. A fixed pool means a long-enough warm-up visits every update the
+  // timed loop replays, so the timed loop is a true steady state (no new
+  // map keys, no capacity growth) and the allocation meter sees only the
+  // strategies' own refresh work.
+  struct Delta {
+    int stream;
+    VertexId victim;
+    Npv npv;
+  };
+  std::vector<Delta> deltas;
+  Rng delta_rng(seed + 1);
+  const int reps = flags.GetInt("delta_reps", 2);
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int stream = 0; stream < num_streams; ++stream) {
+      for (int v = 0; v < stream_vertices; ++v) {
+        deltas.push_back({stream, static_cast<VertexId>(v),
+                          RandomNpv(delta_rng, dims, nnz, 6)});
+      }
+    }
   }
-  Rng rng(77);
-  for (auto _ : state) {
-    const VertexId victim = static_cast<VertexId>(
-        rng.UniformInt(0, static_cast<int64_t>(w.stream_vertices.size()) - 1));
-    strategy->UpdateStreamVertex(0, victim, RandomNpv(rng, 64, 3, 6));
-    benchmark::DoNotOptimize(strategy->CandidatesForStream(0).size());
+  // Shuffled so each slot alternates between its `reps` distinct vectors in
+  // no particular order: every replayed update is a genuine value change.
+  for (size_t i = deltas.size(); i > 1; --i) {
+    std::swap(deltas[i - 1], deltas[static_cast<size_t>(delta_rng.UniformInt(
+                  0, static_cast<int64_t>(i) - 1))]);
+  }
+
+  // One monitoring step: apply the delta, then refresh every stream's
+  // candidate set into a reused buffer.
+  std::vector<int> candidates;
+  int64_t candidates_seen = 0;
+  size_t next_delta = 0;
+  auto step = [&] {
+    const Delta& d = deltas[next_delta];
+    next_delta = (next_delta + 1) % deltas.size();
+    strategy->UpdateStreamVertex(d.stream, d.victim, d.npv);
+    for (int i = 0; i < num_streams; ++i) {
+      strategy->CandidatesForStream(i, &candidates);
+      candidates_seen += static_cast<int64_t>(candidates.size());
+    }
+  };
+
+  const int warmup = warmup_flag > 0 ? warmup_flag
+                                     : static_cast<int>(deltas.size());
+  for (int i = 0; i < warmup; ++i) step();
+
+  obs::MetricSink sink;
+  Stopwatch watch;
+  double refresh_seconds = 0;
+  int64_t steady_allocs = 0;
+  int64_t steady_frees = 0;
+  {
+    obs::ScopedObsContext context(&sink, nullptr);
+    const AllocMeter meter;
+    watch.Restart();
+    for (int i = 0; i < refreshes; ++i) step();
+    refresh_seconds = watch.ElapsedMicros() / 1e6;
+    steady_allocs = meter.allocs();
+    steady_frees = meter.frees();
+  }
+  KeepAlive(candidates_seen);
+
+  // Each step refreshes every stream once.
+  const double refreshes_per_sec =
+      static_cast<double>(refreshes) * num_streams / refresh_seconds;
+  const double delta_micros = refresh_seconds / refreshes * 1e6;
+  const int64_t total_refreshes =
+      static_cast<int64_t>(refreshes) * num_streams;
+  const int64_t dominance_tests =
+      sink.Value(obs::Counter::kJoinDominanceTests);
+  const int64_t sig_rejects =
+      sink.Value(obs::Counter::kJoinSignatureRejects);
+  const int64_t verdicts_reused =
+      sink.Value(obs::Counter::kJoinVerdictsReused);
+  const int64_t sig_candidates = dominance_tests + sig_rejects;
+  const double sig_reject_rate =
+      sig_candidates > 0
+          ? static_cast<double>(sig_rejects) / static_cast<double>(sig_candidates)
+          : 0.0;
+  const double tests_per_refresh =
+      static_cast<double>(dominance_tests) / static_cast<double>(total_refreshes);
+  const double reuse_rate = static_cast<double>(verdicts_reused) /
+                            static_cast<double>(total_refreshes);
+
+  // The pre-incremental cost model: rebuild the strategy from the current
+  // vectors and evaluate every stream once per refresh.
+  std::vector<std::vector<std::pair<VertexId, Npv>>> current(
+      static_cast<size_t>(num_streams));
+  for (int i = 0; i < num_streams; ++i) {
+    current[static_cast<size_t>(i)] = w.streams[static_cast<size_t>(i)];
+  }
+  watch.Restart();
+  for (int r = 0; r < rebuilds; ++r) {
+    auto fresh = MakeJoinStrategy(kind);
+    fresh->SetQueries(w.queries);
+    fresh->SetNumStreams(num_streams);
+    for (int i = 0; i < num_streams; ++i) {
+      for (const auto& [v, npv] : current[static_cast<size_t>(i)]) {
+        fresh->UpdateStreamVertex(i, v, npv);
+      }
+    }
+    for (int i = 0; i < num_streams; ++i) {
+      fresh->CandidatesForStream(i, &candidates);
+      KeepAlive(static_cast<int64_t>(candidates.size()));
+    }
+  }
+  const double scratch_refreshes_per_sec =
+      static_cast<double>(rebuilds) * num_streams /
+      (watch.ElapsedMicros() / 1e6);
+  const double speedup = scratch_refreshes_per_sec > 0
+                             ? refreshes_per_sec / scratch_refreshes_per_sec
+                             : 0.0;
+
+  const std::string name(JoinKindName(kind));
+  PrintHeader("micro_join " + name + " (queries=" +
+              std::to_string(w.queries.size()) + " streams=" +
+              std::to_string(num_streams) + " vertices=" +
+              std::to_string(stream_vertices) + " dims=" +
+              std::to_string(dims) + " nnz=" + std::to_string(nnz) + ")");
+  const std::vector<std::string> columns = {"value"};
+  PrintRow("refreshes_per_sec", {refreshes_per_sec}, columns);
+  PrintRow("delta_step_micros", {delta_micros}, columns);
+  PrintRow("scratch_refreshes_per_sec", {scratch_refreshes_per_sec}, columns);
+  PrintRow("incremental_speedup", {speedup}, columns);
+  PrintRow("dominance_tests_per_refresh", {tests_per_refresh}, columns);
+  PrintRow("signature_reject_rate", {sig_reject_rate}, columns);
+  PrintRow("verdict_reuse_rate", {reuse_rate}, columns);
+  PrintRow("steady_allocs", {static_cast<double>(steady_allocs)}, columns);
+  PrintRow("steady_frees", {static_cast<double>(steady_frees)}, columns);
+
+  EmitBenchJson(
+      "micro_join", name,
+      {{"queries", static_cast<double>(w.queries.size())},
+       {"streams", static_cast<double>(num_streams)},
+       {"stream_vertices", static_cast<double>(stream_vertices)},
+       {"dims", static_cast<double>(dims)},
+       {"nnz", static_cast<double>(nnz)},
+       {"refreshes", static_cast<double>(total_refreshes)},
+       {"refreshes_per_sec", refreshes_per_sec},
+       {"delta_step_micros", delta_micros},
+       {"scratch_refreshes_per_sec", scratch_refreshes_per_sec},
+       {"incremental_speedup", speedup},
+       {"dominance_tests", static_cast<double>(dominance_tests)},
+       {"dominance_tests_per_refresh", tests_per_refresh},
+       {"signature_rejects", static_cast<double>(sig_rejects)},
+       {"signature_reject_rate", sig_reject_rate},
+       {"verdicts_reused", static_cast<double>(verdicts_reused)},
+       {"verdict_reuse_rate", reuse_rate},
+       {"steady_allocs", static_cast<double>(steady_allocs)},
+       {"steady_frees", static_cast<double>(steady_frees)}});
+}
+
+void Run(const Flags& flags) {
+  const Workload w = MakeVectorWorkload(
+      flags.GetInt("queries", 40), flags.GetInt("qvecs", 8),
+      flags.GetInt("stream_vertices", 60), flags.GetInt("streams", 4),
+      flags.GetInt("dims", 64), flags.GetInt("nnz", 3),
+      flags.GetUint64("seed", 9));
+  for (const JoinKind kind :
+       {JoinKind::kNestedLoop, JoinKind::kDominatedSetCover,
+        JoinKind::kSkylineEarlyStop}) {
+    RunStrategy(kind, w, flags);
   }
 }
-void BM_UpdateKernel_NL(benchmark::State& state) {
-  RunUpdateKernel(state, JoinKind::kNestedLoop);
-}
-void BM_UpdateKernel_DSC(benchmark::State& state) {
-  RunUpdateKernel(state, JoinKind::kDominatedSetCover);
-}
-void BM_UpdateKernel_Skyline(benchmark::State& state) {
-  RunUpdateKernel(state, JoinKind::kSkylineEarlyStop);
-}
-BENCHMARK(BM_UpdateKernel_NL)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_UpdateKernel_DSC)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_UpdateKernel_Skyline)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
-}  // namespace gsps
+}  // namespace gsps::bench
+
+int main(int argc, char** argv) {
+  gsps::bench::Flags flags(argc, argv);
+  gsps::bench::Run(flags);
+  return 0;
+}

@@ -1,9 +1,51 @@
 #include "gsps/engine/candidate_tracker.h"
 
+#include <utility>
+
 #include "gsps/common/check.h"
 #include "gsps/obs/obs.h"
 
 namespace gsps {
+
+namespace {
+
+// Merge-diff of two ascending sequences into transitions (appended to the
+// cleared *out).
+void DiffInto(const std::vector<int>& previous, const std::vector<int>& current,
+              CandidateTransitions* out) {
+  out->clear();
+  size_t p = 0, c = 0;
+  while (p < previous.size() || c < current.size()) {
+    if (c == current.size() ||
+        (p < previous.size() && previous[p] < current[c])) {
+      out->disappeared.push_back(previous[p]);
+      ++p;
+    } else if (p == previous.size() || current[c] < previous[p]) {
+      out->appeared.push_back(current[c]);
+      ++c;
+    } else {
+      ++p;
+      ++c;
+    }
+  }
+  GSPS_OBS_COUNT(Counter::kTrackerObservations, 1);
+  GSPS_OBS_COUNT(Counter::kTrackerAppeared,
+                 static_cast<int64_t>(out->appeared.size()));
+  GSPS_OBS_COUNT(Counter::kTrackerDisappeared,
+                 static_cast<int64_t>(out->disappeared.size()));
+}
+
+void CheckAscending(const std::vector<int>& current) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < current.size(); ++i) {
+    GSPS_DCHECK(current[i - 1] < current[i]);
+  }
+#else
+  (void)current;
+#endif
+}
+
+}  // namespace
 
 CandidateTracker::CandidateTracker(int num_streams)
     : last_(static_cast<size_t>(num_streams)) {
@@ -14,35 +56,22 @@ CandidateTransitions CandidateTracker::Observe(
     int stream, const std::vector<int>& current) {
   GSPS_CHECK(stream >= 0 && stream < static_cast<int>(last_.size()));
   std::vector<int>& previous = last_[static_cast<size_t>(stream)];
-#ifndef NDEBUG
-  for (size_t i = 1; i < current.size(); ++i) {
-    GSPS_DCHECK(current[i - 1] < current[i]);
-  }
-#endif
-
+  CheckAscending(current);
   CandidateTransitions transitions;
-  // Merge-diff of two ascending sequences.
-  size_t p = 0, c = 0;
-  while (p < previous.size() || c < current.size()) {
-    if (c == current.size() ||
-        (p < previous.size() && previous[p] < current[c])) {
-      transitions.disappeared.push_back(previous[p]);
-      ++p;
-    } else if (p == previous.size() || current[c] < previous[p]) {
-      transitions.appeared.push_back(current[c]);
-      ++c;
-    } else {
-      ++p;
-      ++c;
-    }
-  }
+  DiffInto(previous, current, &transitions);
   previous = current;
-  GSPS_OBS_COUNT(Counter::kTrackerObservations, 1);
-  GSPS_OBS_COUNT(Counter::kTrackerAppeared,
-                 static_cast<int64_t>(transitions.appeared.size()));
-  GSPS_OBS_COUNT(Counter::kTrackerDisappeared,
-                 static_cast<int64_t>(transitions.disappeared.size()));
   return transitions;
+}
+
+void CandidateTracker::Observe(int stream, std::vector<int>* current,
+                               CandidateTransitions* out) {
+  GSPS_CHECK(stream >= 0 && stream < static_cast<int>(last_.size()));
+  std::vector<int>& previous = last_[static_cast<size_t>(stream)];
+  CheckAscending(*current);
+  DiffInto(previous, *current, out);
+  // Swap instead of copy: the tracker takes the new observation's buffer,
+  // the caller gets the stale one back to refill next timestamp.
+  std::swap(previous, *current);
 }
 
 const std::vector<int>& CandidateTracker::LastObserved(int stream) const {

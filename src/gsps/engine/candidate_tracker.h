@@ -24,6 +24,10 @@ struct CandidateTransitions {
   std::vector<int> disappeared;
 
   bool empty() const { return appeared.empty() && disappeared.empty(); }
+  void clear() {
+    appeared.clear();
+    disappeared.clear();
+  }
 };
 
 // Diffs successive candidate sets for a fixed set of streams.
@@ -42,6 +46,13 @@ class CandidateTracker {
   // `stream` and returns the diff against the previous observation.
   // The first observation reports every candidate as appeared.
   CandidateTransitions Observe(int stream, const std::vector<int>& current);
+
+  // Allocation-free variant for steady-state monitoring loops: swaps
+  // *current into the tracker's last-observed slot (leaving the previous
+  // observation's buffer in *current for the caller to refill) and writes
+  // the diff into *out, reusing both buffers' capacity.
+  void Observe(int stream, std::vector<int>* current,
+               CandidateTransitions* out);
 
   // The most recently observed candidate set of `stream`.
   const std::vector<int>& LastObserved(int stream) const;

@@ -59,20 +59,59 @@ void ContinuousQueryEngine::ApplyChange(int stream_index,
 }
 
 std::vector<int> ContinuousQueryEngine::CandidatesForStream(int stream) {
-  GSPS_CHECK(started_);
   std::vector<int> mapped;
-  for (const int local : strategy_->CandidatesForStream(stream)) {
-    mapped.push_back(strategy_to_engine_[static_cast<size_t>(local)]);
-  }
+  mapped.reserve(strategy_to_engine_.size());
+  CandidatesForStream(stream, &mapped);
   return mapped;
+}
+
+void ContinuousQueryEngine::CandidatesForStream(int stream,
+                                                std::vector<int>* out) {
+  GSPS_CHECK(started_);
+  strategy_->CandidatesForStream(stream, &local_scratch_);
+  out->clear();
+  for (const int local : local_scratch_) {
+    out->push_back(strategy_to_engine_[static_cast<size_t>(local)]);
+  }
 }
 
 std::vector<std::pair<int, int>> ContinuousQueryEngine::AllCandidatePairs() {
   std::vector<std::pair<int, int>> pairs;
-  for (int i = 0; i < num_streams(); ++i) {
-    for (const int j : CandidatesForStream(i)) pairs.emplace_back(i, j);
-  }
+  AllCandidatePairs(&pairs);
   return pairs;
+}
+
+void ContinuousQueryEngine::AllCandidatePairs(
+    std::vector<std::pair<int, int>>* out) {
+  GSPS_CHECK(started_);
+  out->clear();
+  for (int i = 0; i < num_streams(); ++i) {
+    strategy_->CandidatesForStream(i, &local_scratch_);
+    for (const int local : local_scratch_) {
+      out->emplace_back(i, strategy_to_engine_[static_cast<size_t>(local)]);
+    }
+  }
+}
+
+std::vector<int> ContinuousQueryEngine::RecomputeCandidatesFromScratch(
+    int stream_index) {
+  GSPS_CHECK(started_);
+  std::unique_ptr<JoinStrategy> fresh = MakeJoinStrategy(options_.join_kind);
+  std::vector<QueryVectors> vectors;
+  for (const QueryState& query : queries_) {
+    if (!query.retired) vectors.push_back(query.vectors);
+  }
+  fresh->SetQueries(std::move(vectors));
+  fresh->SetNumStreams(num_streams());
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  for (const VertexId root : stream.nnts->Roots()) {
+    fresh->UpdateStreamVertex(stream_index, root, stream.nnts->NpvOf(root));
+  }
+  std::vector<int> mapped;
+  for (const int local : fresh->CandidatesForStream(stream_index)) {
+    mapped.push_back(strategy_to_engine_[static_cast<size_t>(local)]);
+  }
+  return mapped;
 }
 
 bool ContinuousQueryEngine::VerifyCandidate(int stream, int query) const {

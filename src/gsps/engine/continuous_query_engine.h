@@ -67,11 +67,21 @@ class ContinuousQueryEngine {
   void ApplyChange(int stream, const GraphChange& change);
 
   // Query indices that are candidates ("possibly joinable", Def. 2.8) for
-  // stream `stream` right now, ascending.
+  // stream `stream` right now, ascending. The buffer form clears *out and
+  // reuses its capacity — the allocation-free path for per-timestamp loops.
   std::vector<int> CandidatesForStream(int stream);
+  void CandidatesForStream(int stream, std::vector<int>* out);
 
-  // All candidate (stream, query) pairs at the current state.
+  // All candidate (stream, query) pairs at the current state. Buffer form
+  // as above.
   std::vector<std::pair<int, int>> AllCandidatePairs();
+  void AllCandidatePairs(std::vector<std::pair<int, int>>* out);
+
+  // Recomputes the candidates of one stream on a freshly constructed join
+  // strategy fed the stream's current NPVs — deliberately bypassing all
+  // incremental state. Differential referee for the cached verdicts (fuzz
+  // oracle, tests); allocates, so never on the hot path.
+  std::vector<int> RecomputeCandidatesFromScratch(int stream);
 
   // Runs the exact subgraph-isomorphism check on one pair (filter+verify;
   // expensive, off the monitoring hot path).
@@ -126,6 +136,9 @@ class ContinuousQueryEngine {
   // Reused dirty-root drain buffer so FlushDirty allocates nothing in
   // steady state.
   std::vector<VertexId> dirty_scratch_;
+  // Reused strategy-local candidate buffer for the index mapping in
+  // CandidatesForStream.
+  std::vector<int> local_scratch_;
   bool started_ = false;
 };
 

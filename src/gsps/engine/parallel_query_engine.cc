@@ -123,7 +123,20 @@ std::vector<int> ParallelQueryEngine::CandidatesForStream(int stream) {
   return ShardOf(stream).engine->CandidatesForStream(LocalIndex(stream));
 }
 
+void ParallelQueryEngine::CandidatesForStream(int stream,
+                                              std::vector<int>* out) {
+  GSPS_CHECK(started_);
+  ShardOf(stream).engine->CandidatesForStream(LocalIndex(stream), out);
+}
+
 std::vector<std::pair<int, int>> ParallelQueryEngine::AllCandidatePairs() {
+  std::vector<std::pair<int, int>> pairs;
+  AllCandidatePairs(&pairs);
+  return pairs;
+}
+
+void ParallelQueryEngine::AllCandidatePairs(
+    std::vector<std::pair<int, int>>* out) {
   GSPS_CHECK(started_);
   Stopwatch barrier_watch;
   pool_->ParallelFor(num_shards(), [&](int s) {
@@ -134,8 +147,8 @@ std::vector<std::pair<int, int>> ParallelQueryEngine::AllCandidatePairs() {
     Stopwatch watch;
     int64_t candidates = 0;
     for (size_t local = 0; local < shard.global_streams.size(); ++local) {
-      shard.join_results[local] =
-          shard.engine->CandidatesForStream(static_cast<int>(local));
+      shard.engine->CandidatesForStream(static_cast<int>(local),
+                                        &shard.join_results[local]);
       candidates += static_cast<int64_t>(shard.join_results[local].size());
     }
     const double elapsed = watch.ElapsedMillis();
@@ -150,15 +163,14 @@ std::vector<std::pair<int, int>> ParallelQueryEngine::AllCandidatePairs() {
   }
   // Deterministic merge: ascending global stream, queries ascending within
   // (each shard already reports queries ascending).
-  std::vector<std::pair<int, int>> pairs;
+  out->clear();
   for (int i = 0; i < num_streams(); ++i) {
     const Shard& shard = ShardOf(i);
     for (const int q :
          shard.join_results[static_cast<size_t>(LocalIndex(i))]) {
-      pairs.emplace_back(i, q);
+      out->emplace_back(i, q);
     }
   }
-  return pairs;
 }
 
 bool ParallelQueryEngine::VerifyCandidate(int stream, int query) const {

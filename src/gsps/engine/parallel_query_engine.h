@@ -86,13 +86,17 @@ class ParallelQueryEngine {
   // parallelism; provided for API parity with the sequential engine).
   void ApplyChange(int stream, const GraphChange& change);
 
-  // Candidate query indices for one stream, ascending (inline).
+  // Candidate query indices for one stream, ascending (inline). The buffer
+  // form clears *out and reuses its capacity.
   std::vector<int> CandidatesForStream(int stream);
+  void CandidatesForStream(int stream, std::vector<int>* out);
 
   // All candidate (stream, query) pairs at the current state: the join runs
   // shard-concurrently, then the per-shard results are merged in ascending
-  // global stream order — identical output to the sequential engine.
+  // global stream order — identical output to the sequential engine. Buffer
+  // form as above.
   std::vector<std::pair<int, int>> AllCandidatePairs();
+  void AllCandidatePairs(std::vector<std::pair<int, int>>* out);
 
   // Exact subgraph-isomorphism check on one pair (off the hot path).
   bool VerifyCandidate(int stream, int query) const;

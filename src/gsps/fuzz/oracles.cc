@@ -279,6 +279,23 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
       }
     }
 
+    if (options.check_incremental) {
+      // Oracle 5: the delta-maintained verdicts of every strategy engine
+      // must equal a from-scratch strategy rebuild on the same NPVs.
+      for (NamedEngine& named : engines) {
+        for (int i = 0; i < num_streams; ++i) {
+          const std::vector<int> cached = named.engine->CandidatesForStream(i);
+          const std::vector<int> scratch =
+              named.engine->RecomputeCandidatesFromScratch(i);
+          if (cached != scratch) {
+            return "incremental-divergence: strategy=" + named.name + " " +
+                   At(t, i) + " cached=" + DescribeSet(cached) +
+                   " scratch=" + DescribeSet(scratch);
+          }
+        }
+      }
+    }
+
     if (options.check_parallel) {
       const std::vector<std::pair<int, int>> sequential_pairs =
           reference.AllCandidatePairs();

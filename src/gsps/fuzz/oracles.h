@@ -15,6 +15,10 @@
 //      exactly the sequential engine's candidate pairs.
 //   4. Serialization: streams, queries, and the whole replay file must
 //      round-trip exactly through their text formats.
+//   5. Incremental join: after every batch, each strategy's delta-maintained
+//      cached verdicts must equal a freshly constructed strategy of the
+//      same kind fed the stream's current NPVs from scratch
+//      (ContinuousQueryEngine::RecomputeCandidatesFromScratch).
 //
 // RunOracles is deterministic and returns a diagnostic naming the oracle,
 // timestamp, stream, and query on the first violation — the string the
@@ -37,6 +41,7 @@ struct OracleOptions {
   bool check_nnt_rebuild = true;  // Oracle 2.
   bool check_parallel = true;     // Oracle 3.
   bool check_roundtrip = true;    // Oracle 4.
+  bool check_incremental = true;  // Oracle 5.
 };
 
 // Runs every enabled oracle over the whole case, timestamp by timestamp.

@@ -9,12 +9,18 @@
 namespace gsps {
 
 void DominatedSetCoverJoin::SetQueries(std::vector<QueryVectors> queries) {
-  GSPS_CHECK(queries_.empty());
-  queries_ = std::move(queries);
-  for (size_t j = 0; j < queries_.size(); ++j) {
+  GSPS_CHECK(num_queries_ == 0 && qvec_query_.empty());
+  num_queries_ = static_cast<int32_t>(queries.size());
+  for (const QueryVectors& query : queries) {
+    for (const Npv& vector : query.vectors) remap_.AddDims(vector);
+  }
+  remap_.Seal();
+  dim_lists_.resize(static_cast<size_t>(remap_.num_dims()));
+  std::vector<NpvEntry> translated;
+  for (size_t j = 0; j < queries.size(); ++j) {
     int32_t tracked = 0;
     int32_t trivial = 0;
-    for (const Npv& vector : queries_[j].vectors) {
+    for (const Npv& vector : queries[j].vectors) {
       const QVec qvec = static_cast<QVec>(qvec_query_.size());
       qvec_query_.push_back(static_cast<int32_t>(j));
       qvec_nnz_.push_back(vector.nnz());
@@ -23,15 +29,17 @@ void DominatedSetCoverJoin::SetQueries(std::vector<QueryVectors> queries) {
         continue;
       }
       ++tracked;
-      for (const NpvEntry& entry : vector.entries()) {
-        dim_lists_[entry.dim].push_back(DimEntry{entry.count, qvec});
+      // Query dims are all registered, so translation is lossless.
+      remap_.Translate(vector, &translated);
+      for (const NpvEntry& entry : translated) {
+        dim_lists_[static_cast<size_t>(entry.dim)].push_back(
+            DimEntry{entry.count, qvec});
       }
     }
     query_tracked_vectors_.push_back(tracked);
     query_trivial_vectors_.push_back(trivial);
   }
-  for (auto& [dim, list] : dim_lists_) {
-    (void)dim;
+  for (std::vector<DimEntry>& list : dim_lists_) {
     std::sort(list.begin(), list.end(),
               [](const DimEntry& a, const DimEntry& b) {
                 return a.value < b.value;
@@ -44,7 +52,7 @@ void DominatedSetCoverJoin::SetNumStreams(int num_streams) {
   streams_.resize(static_cast<size_t>(num_streams));
   for (StreamState& stream : streams_) {
     stream.cover_count.assign(qvec_query_.size(), 0);
-    stream.covered_vectors.assign(queries_.size(), 0);
+    stream.covered_vectors.assign(static_cast<size_t>(num_queries_), 0);
   }
 }
 
@@ -52,13 +60,18 @@ void DominatedSetCoverJoin::UpdateStreamVertex(int stream_index, VertexId v,
                                                const Npv& npv) {
   StreamState& stream = streams_[static_cast<size_t>(stream_index)];
   StreamVertexState& vertex = stream.vertices[v];
+  if (!vertex.live) {
+    vertex.live = true;
+    if (++stream.live_vertices == 1) stream.cache_valid = false;
+  }
+  remap_.Translate(npv, &translate_scratch_);
   // Incremental position update (the paper's Fig. 8 maintenance): only the
   // dimensions whose value moved contribute counter adjustments, and within
   // a dimension only the query entries between the old and new position.
-  auto old_it = vertex.npv.entries().begin();
-  const auto old_end = vertex.npv.entries().end();
-  auto new_it = npv.entries().begin();
-  const auto new_end = npv.entries().end();
+  auto old_it = vertex.entries.begin();
+  const auto old_end = vertex.entries.end();
+  auto new_it = translate_scratch_.begin();
+  const auto new_end = translate_scratch_.end();
   while (old_it != old_end || new_it != new_end) {
     if (new_it == new_end || (old_it != old_end && old_it->dim < new_it->dim)) {
       AdjustRange(stream, vertex, old_it->dim, 0, old_it->count, -1);
@@ -78,39 +91,52 @@ void DominatedSetCoverJoin::UpdateStreamVertex(int stream_index, VertexId v,
       ++new_it;
     }
   }
-  vertex.npv = npv;
+  vertex.entries.assign(translate_scratch_.begin(), translate_scratch_.end());
 }
 
 void DominatedSetCoverJoin::RemoveStreamVertex(int stream_index, VertexId v) {
   StreamState& stream = streams_[static_cast<size_t>(stream_index)];
   auto it = stream.vertices.find(v);
-  if (it == stream.vertices.end()) return;
+  if (it == stream.vertices.end() || !it->second.live) return;
   Apply(stream, it->second, -1);
-  stream.vertices.erase(it);
+  it->second.live = false;
+  it->second.entries.clear();
+  if (--stream.live_vertices == 0) stream.cache_valid = false;
 }
 
-std::vector<int> DominatedSetCoverJoin::CandidatesForStream(int stream_index) {
+void DominatedSetCoverJoin::CandidatesForStream(int stream_index,
+                                                std::vector<int>* out) {
   StreamState& stream = streams_[static_cast<size_t>(stream_index)];
-  const bool stream_nonempty = !stream.vertices.empty();
-  std::vector<int> candidates;
-  for (size_t j = 0; j < queries_.size(); ++j) {
-    if (stream.covered_vectors[j] != query_tracked_vectors_[j]) continue;
-    if (query_trivial_vectors_[j] > 0 && !stream_nonempty) continue;
-    candidates.push_back(static_cast<int>(j));
+  if (stream.cache_valid) {
+    GSPS_OBS_COUNT(Counter::kJoinVerdictsReused, 1);
+  } else {
+    stream.cache.clear();
+    const bool stream_nonempty = stream.live_vertices > 0;
+    for (int32_t j = 0; j < num_queries_; ++j) {
+      if (stream.covered_vectors[static_cast<size_t>(j)] !=
+          query_tracked_vectors_[static_cast<size_t>(j)]) {
+        continue;
+      }
+      if (query_trivial_vectors_[static_cast<size_t>(j)] > 0 &&
+          !stream_nonempty) {
+        continue;
+      }
+      stream.cache.push_back(static_cast<int>(j));
+    }
+    stream.cache_valid = true;
   }
-  GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(queries_.size()));
-  GSPS_OBS_COUNT(Counter::kJoinPairsOut,
-                 static_cast<int64_t>(candidates.size()));
+  out->assign(stream.cache.begin(), stream.cache.end());
+  GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(num_queries_));
+  GSPS_OBS_COUNT(Counter::kJoinPairsOut, static_cast<int64_t>(out->size()));
   GSPS_OBS_COUNT(Counter::kJoinSetCoverRounds, pending_rounds_);
   GSPS_OBS_COUNT(Counter::kJoinSetCoverFlips, pending_flips_);
   pending_rounds_ = 0;
   pending_flips_ = 0;
-  return candidates;
 }
 
 void DominatedSetCoverJoin::Apply(StreamState& stream,
                                   StreamVertexState& vertex, int delta) {
-  for (const NpvEntry& entry : vertex.npv.entries()) {
+  for (const NpvEntry& entry : vertex.entries) {
     AdjustRange(stream, vertex, entry.dim, 0, entry.count, delta);
   }
 }
@@ -119,10 +145,9 @@ void DominatedSetCoverJoin::AdjustRange(StreamState& stream,
                                         StreamVertexState& vertex, DimId dim,
                                         int32_t from, int32_t to, int delta) {
   GSPS_DCHECK(from < to);
+  GSPS_DCHECK(dim >= 0 && dim < remap_.num_dims());
   ++pending_rounds_;
-  auto list_it = dim_lists_.find(dim);
-  if (list_it == dim_lists_.end()) return;
-  const std::vector<DimEntry>& list = list_it->second;
+  const std::vector<DimEntry>& list = dim_lists_[static_cast<size_t>(dim)];
   auto value_less = [](int32_t value, const DimEntry& e) {
     return value < e.value;
   };
@@ -154,6 +179,7 @@ void DominatedSetCoverJoin::AdjustRange(StreamState& stream,
 void DominatedSetCoverJoin::SetDominates(StreamState& stream, QVec qvec,
                                          bool now_dominates) {
   ++pending_flips_;
+  stream.cache_valid = false;
   int32_t& cover = stream.cover_count[static_cast<size_t>(qvec)];
   const int32_t query = qvec_query_[static_cast<size_t>(qvec)];
   if (now_dominates) {

@@ -2,18 +2,24 @@
 //
 // Query side (fixed): every query vertex vector is projected into each of
 // its non-zero single dimensions; per dimension the projected values are
-// kept sorted. Stream side (changing): each stream vertex keeps, per query
-// vector it "encounters" through shared non-zero dimensions, a dominant
-// counter — in how many of that query vector's non-zero dimensions the
-// stream vector's value is no smaller. A stream vertex dominates a query
-// vector exactly when the counter reaches the query vector's non-zero
-// dimension count; a query graph is a candidate for a stream exactly when
-// the union of dominated query vectors covers all of its vectors
-// (Theorem 4.1).
+// kept sorted. Dimensions are translated into the dense query dim-id space
+// (NpvDimRemap), so the per-dimension lists live in a flat array indexed by
+// dense id, and stream NPVs drop dimensions no query projects into — those
+// can never flip a counter. Stream side (changing): each stream vertex
+// keeps, per query vector it "encounters" through shared non-zero
+// dimensions, a dominant counter — in how many of that query vector's
+// non-zero dimensions the stream vector's value is no smaller. A stream
+// vertex dominates a query vector exactly when the counter reaches the
+// query vector's non-zero dimension count; a query graph is a candidate for
+// a stream exactly when the union of dominated query vectors covers all of
+// its vectors (Theorem 4.1).
 //
 // Updates are incremental: when a stream vertex's NPV moves, only its own
 // counter contributions are retracted and re-added, and per-query cover
-// counts are adjusted — nothing is recomputed from scratch.
+// counts are adjusted — nothing is recomputed from scratch. The per-stream
+// candidate list is cached; it is invalidated only by a domination-status
+// flip or by the stream transitioning between empty and non-empty, so
+// counter churn that flips nothing reuses the previous verdict.
 
 #ifndef GSPS_JOIN_DOMINATED_SET_COVER_JOIN_H_
 #define GSPS_JOIN_DOMINATED_SET_COVER_JOIN_H_
@@ -34,23 +40,28 @@ class DominatedSetCoverJoin final : public JoinStrategy {
   void SetNumStreams(int num_streams) override;
   void UpdateStreamVertex(int stream, VertexId v, const Npv& npv) override;
   void RemoveStreamVertex(int stream, VertexId v) override;
-  std::vector<int> CandidatesForStream(int stream) override;
+  void CandidatesForStream(int stream, std::vector<int>* out) override;
+  using JoinStrategy::CandidatesForStream;
   std::string_view name() const override { return "DSC"; }
 
  private:
   // Global id of one query vertex vector across all query graphs.
   using QVec = int32_t;
 
-  // One projected query value in a single dimension.
+  // One projected query value in a single (dense) dimension.
   struct DimEntry {
     int32_t value = 0;
     QVec qvec = -1;
   };
 
   struct StreamVertexState {
-    Npv npv;
+    // Dense-translated NPV entries (query dims only), sorted ascending.
+    std::vector<NpvEntry> entries;
     // Dominant counters, kept only for encountered query vectors.
     std::unordered_map<QVec, int32_t> dominant;
+    // Tombstone flag: removed vertices keep their buffers (entries cleared,
+    // counters retracted to zero) so a later re-add allocates nothing.
+    bool live = false;
   };
 
   struct StreamState {
@@ -59,21 +70,26 @@ class DominatedSetCoverJoin final : public JoinStrategy {
     std::vector<int32_t> cover_count;
     // Per query graph: how many of its query vectors are covered.
     std::vector<int32_t> covered_vectors;
+    int32_t live_vertices = 0;
+    // Cached candidate list; invalidated by SetDominates flips and by
+    // 0 <-> non-zero live_vertices transitions only.
+    std::vector<int> cache;
+    bool cache_valid = false;
   };
 
-  // Adds (`delta`=+1) or retracts (`delta`=-1) the counter contributions of
-  // `npv` for vertex `v` of `stream`, maintaining cover bookkeeping.
+  // Retracts (`delta`=-1) or re-adds (`delta`=+1) the counter contributions
+  // of `vertex`'s current entries, maintaining cover bookkeeping.
   void Apply(StreamState& stream, StreamVertexState& vertex, int delta);
 
   // The paper's incremental position update: adjusts the dominant counters
-  // of `vertex` in dimension `dim` for query entries with value in
+  // of `vertex` in dense dimension `dim` for query entries with value in
   // (from, to] (delta = +1) or retracts them (delta = -1). `from < to`.
   void AdjustRange(StreamState& stream, StreamVertexState& vertex, DimId dim,
                    int32_t from, int32_t to, int delta);
 
   void SetDominates(StreamState& stream, QVec qvec, bool now_dominates);
 
-  std::vector<QueryVectors> queries_;
+  int32_t num_queries_ = 0;
   // qvec -> owning query graph index.
   std::vector<int32_t> qvec_query_;
   // qvec -> number of non-zero dimensions (0 = trivially dominated).
@@ -82,11 +98,13 @@ class DominatedSetCoverJoin final : public JoinStrategy {
   std::vector<int32_t> query_tracked_vectors_;
   // Per query graph: number of trivially-covered (nnz == 0) vectors.
   std::vector<int32_t> query_trivial_vectors_;
-  // Dimension -> sorted projected query values (paper's per-dimension sorted
-  // lists). Sorted ascending by value.
-  std::unordered_map<DimId, std::vector<DimEntry>> dim_lists_;
+  // Dense dimension -> sorted projected query values (the paper's
+  // per-dimension sorted lists), indexed directly by dense dim id.
+  NpvDimRemap remap_;
+  std::vector<std::vector<DimEntry>> dim_lists_;
 
   std::vector<StreamState> streams_;
+  std::vector<NpvEntry> translate_scratch_;
 
   // Observability accumulators for the maintenance inner loops: plain
   // member adds there (AdjustRange / SetDominates run per dimension-range

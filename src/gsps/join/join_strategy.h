@@ -4,17 +4,27 @@
 // subgraph-isomorphic to stream graph i, judged by NPV dominance
 // (Lemma 4.2)?" — and all three must return identical candidate sets:
 //
-//   * kNestedLoop: the reference; per (query vertex, stream vertex) pairwise
-//     dominance scan.
+//   * kNestedLoop: the reference; per (query vertex, stream vertex)
+//     cover counts, re-evaluating a stream vertex against every query
+//     vector only when that vertex's NPV changes.
 //   * kDominatedSetCover (Fig. 8): per-dimension sorted query projections
 //     with position/dominant counters, maintained incrementally as stream
 //     vectors move.
 //   * kSkylineEarlyStop (Fig. 11): checks only the monochromatic skyline of
 //     each query's vectors, ordered to stop as early as possible, with
-//     per-dimension max/cardinality pruning on the stream side.
+//     per-dimension max/cardinality pruning on the stream side; per-query
+//     verdicts are cached and re-examined only when a changed vertex's
+//     dimension signature intersects the query's.
 //
-// The engine feeds strategies vertex-level NPV deltas; strategies own any
-// derived state.
+// All three are delta-driven: the engine's FlushDirty feeds vertex-level
+// NPV deltas through UpdateStreamVertex/RemoveStreamVertex, and each
+// strategy folds the delta into per-(stream, query-vertex) cover state and
+// a cached per-stream candidate list. CandidatesForStream answers from the
+// cache when no delta touched the stream since the last call (a "verdict
+// reuse"), and otherwise recomputes only what the delta invalidated.
+// Query-side vectors live in a dense dim-id-translated slab (see
+// NpvDimRemap/NpvSlab in nnt/npv.h), so dominance tests that survive the
+// 64-bit signature fast-reject are linear merges over contiguous arrays.
 
 #ifndef GSPS_JOIN_JOIN_STRATEGY_H_
 #define GSPS_JOIN_JOIN_STRATEGY_H_
@@ -62,9 +72,17 @@ class JoinStrategy {
   // Removes vertex `v` of stream `stream` (vertex deleted from the graph).
   virtual void RemoveStreamVertex(int stream, VertexId v) = 0;
 
-  // Indices of query graphs that are candidates for stream `stream` at the
-  // current state, ascending.
-  virtual std::vector<int> CandidatesForStream(int stream) = 0;
+  // Writes the indices of query graphs that are candidates for stream
+  // `stream` at the current state into *out (cleared first, capacity
+  // reused), ascending. The allocation-free form for steady-state loops.
+  virtual void CandidatesForStream(int stream, std::vector<int>* out) = 0;
+
+  // By-value convenience wrapper.
+  std::vector<int> CandidatesForStream(int stream) {
+    std::vector<int> out;
+    CandidatesForStream(stream, &out);
+    return out;
+  }
 
   virtual std::string_view name() const = 0;
 };

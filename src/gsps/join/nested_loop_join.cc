@@ -8,53 +8,118 @@
 namespace gsps {
 
 void NestedLoopJoin::SetQueries(std::vector<QueryVectors> queries) {
-  GSPS_CHECK(queries_.empty());
-  queries_ = std::move(queries);
+  GSPS_CHECK(num_queries_ == 0 && qvec_query_.empty());
+  num_queries_ = static_cast<int32_t>(queries.size());
+  for (const QueryVectors& query : queries) {
+    for (const Npv& vector : query.vectors) remap_.AddDims(vector);
+  }
+  remap_.Seal();
+  std::vector<NpvEntry> translated;
+  for (size_t j = 0; j < queries.size(); ++j) {
+    int32_t tracked = 0;
+    int32_t trivial = 0;
+    for (const Npv& vector : queries[j].vectors) {
+      if (vector.nnz() == 0) {
+        ++trivial;
+        continue;
+      }
+      ++tracked;
+      remap_.Translate(vector, &translated);
+      qvecs_.Append(translated);
+      qvec_query_.push_back(static_cast<int32_t>(j));
+    }
+    query_tracked_vectors_.push_back(tracked);
+    query_trivial_vectors_.push_back(trivial);
+  }
 }
 
 void NestedLoopJoin::SetNumStreams(int num_streams) {
   GSPS_CHECK(streams_.empty());
   streams_.resize(static_cast<size_t>(num_streams));
+  for (StreamState& stream : streams_) {
+    stream.cover_count.assign(qvec_query_.size(), 0);
+    stream.covered_vectors.assign(static_cast<size_t>(num_queries_), 0);
+  }
 }
 
-void NestedLoopJoin::UpdateStreamVertex(int stream, VertexId v,
+void NestedLoopJoin::UpdateStreamVertex(int stream_index, VertexId v,
                                         const Npv& npv) {
-  streams_[static_cast<size_t>(stream)][v] = npv;
-}
-
-void NestedLoopJoin::RemoveStreamVertex(int stream, VertexId v) {
-  streams_[static_cast<size_t>(stream)].erase(v);
-}
-
-std::vector<int> NestedLoopJoin::CandidatesForStream(int stream) {
-  const std::unordered_map<VertexId, Npv>& vectors =
-      streams_[static_cast<size_t>(stream)];
-  std::vector<int> candidates;
-  int64_t dominance_tests = 0;
-  for (size_t j = 0; j < queries_.size(); ++j) {
-    bool all_covered = true;
-    for (const Npv& query_vector : queries_[j].vectors) {
-      bool covered = false;
-      for (const auto& [v, stream_vector] : vectors) {
-        (void)v;
-        ++dominance_tests;
-        if (stream_vector.Dominates(query_vector)) {
-          covered = true;
-          break;
-        }
-      }
-      if (!covered) {
-        all_covered = false;
-        break;
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  VertexState& vertex = stream.vertices[v];
+  if (vertex.live) {
+    Retract(stream, vertex);
+  } else {
+    vertex.live = true;
+    ++stream.live_vertices;
+  }
+  vertex.sig = remap_.Translate(npv, &vertex.entries);
+  vertex.dominated.clear();
+  const NpvEntry* const begin = vertex.entries.data();
+  const NpvEntry* const end = begin + vertex.entries.size();
+  for (int32_t k = 0; k < qvecs_.size(); ++k) {
+    if (!SignatureCovers(vertex.sig, qvecs_.signature(k))) {
+      ++pending_rejects_;
+      continue;
+    }
+    ++pending_tests_;
+    if (DominatesRange(begin, end, qvecs_.begin(k), qvecs_.end(k))) {
+      vertex.dominated.push_back(k);
+      if (stream.cover_count[static_cast<size_t>(k)]++ == 0) {
+        ++stream.covered_vectors[static_cast<size_t>(qvec_query_[k])];
       }
     }
-    if (all_covered) candidates.push_back(static_cast<int>(j));
   }
-  GSPS_OBS_COUNT(Counter::kJoinDominanceTests, dominance_tests);
-  GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(queries_.size()));
-  GSPS_OBS_COUNT(Counter::kJoinPairsOut,
-                 static_cast<int64_t>(candidates.size()));
-  return candidates;
+  stream.cache_valid = false;
+}
+
+void NestedLoopJoin::RemoveStreamVertex(int stream_index, VertexId v) {
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  auto it = stream.vertices.find(v);
+  if (it == stream.vertices.end() || !it->second.live) return;
+  Retract(stream, it->second);
+  it->second.live = false;
+  it->second.sig = 0;
+  it->second.entries.clear();
+  it->second.dominated.clear();
+  --stream.live_vertices;
+  stream.cache_valid = false;
+}
+
+void NestedLoopJoin::CandidatesForStream(int stream_index,
+                                         std::vector<int>* out) {
+  StreamState& stream = streams_[static_cast<size_t>(stream_index)];
+  if (stream.cache_valid) {
+    GSPS_OBS_COUNT(Counter::kJoinVerdictsReused, 1);
+  } else {
+    stream.cache.clear();
+    for (int32_t j = 0; j < num_queries_; ++j) {
+      if (stream.covered_vectors[static_cast<size_t>(j)] !=
+          query_tracked_vectors_[static_cast<size_t>(j)]) {
+        continue;
+      }
+      if (query_trivial_vectors_[static_cast<size_t>(j)] > 0 &&
+          stream.live_vertices == 0) {
+        continue;
+      }
+      stream.cache.push_back(static_cast<int>(j));
+    }
+    stream.cache_valid = true;
+  }
+  out->assign(stream.cache.begin(), stream.cache.end());
+  GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(num_queries_));
+  GSPS_OBS_COUNT(Counter::kJoinPairsOut, static_cast<int64_t>(out->size()));
+  GSPS_OBS_COUNT(Counter::kJoinDominanceTests, pending_tests_);
+  GSPS_OBS_COUNT(Counter::kJoinSignatureRejects, pending_rejects_);
+  pending_tests_ = 0;
+  pending_rejects_ = 0;
+}
+
+void NestedLoopJoin::Retract(StreamState& stream, VertexState& vertex) {
+  for (const int32_t k : vertex.dominated) {
+    if (--stream.cover_count[static_cast<size_t>(k)] == 0) {
+      --stream.covered_vectors[static_cast<size_t>(qvec_query_[k])];
+    }
+  }
 }
 
 }  // namespace gsps

@@ -1,13 +1,18 @@
 // Nested-loop join: the reference strategy (paper §IV.B's baseline).
 //
 // For each query graph, every query vertex must be dominated by at least one
-// stream vertex (Lemma 4.2). No derived state beyond the raw vectors;
-// deliberately simple so the optimized strategies can be property-tested
-// against it.
+// stream vertex (Lemma 4.2). The pairwise dominance scan is the baseline the
+// optimized strategies are property-tested against, but it is evaluated
+// incrementally: when a stream vertex's NPV changes, only that vertex is
+// re-tested against the query vectors (signature fast-reject first, then a
+// linear merge against the dense query slab), and per-query-vector cover
+// counts absorb the delta. CandidatesForStream is an O(queries) counter
+// scan, answered from a cached list when no delta touched the stream.
 
 #ifndef GSPS_JOIN_NESTED_LOOP_JOIN_H_
 #define GSPS_JOIN_NESTED_LOOP_JOIN_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -23,13 +28,56 @@ class NestedLoopJoin final : public JoinStrategy {
   void SetNumStreams(int num_streams) override;
   void UpdateStreamVertex(int stream, VertexId v, const Npv& npv) override;
   void RemoveStreamVertex(int stream, VertexId v) override;
-  std::vector<int> CandidatesForStream(int stream) override;
+  void CandidatesForStream(int stream, std::vector<int>* out) override;
+  using JoinStrategy::CandidatesForStream;
   std::string_view name() const override { return "NL"; }
 
  private:
-  std::vector<QueryVectors> queries_;
-  // Per stream: live vertex -> current NPV.
-  std::vector<std::unordered_map<VertexId, Npv>> streams_;
+  struct VertexState {
+    // Dense-translated NPV entries and their signature (see NpvDimRemap).
+    std::vector<NpvEntry> entries;
+    NpvSignature sig = 0;
+    // Slab indices of the query vectors this vertex currently dominates.
+    std::vector<int32_t> dominated;
+    // Tombstone flag: removed vertices keep their buffers' capacity so a
+    // later re-add allocates nothing.
+    bool live = false;
+  };
+
+  struct StreamState {
+    std::unordered_map<VertexId, VertexState> vertices;
+    // Per query vector (slab index): stream vertices dominating it.
+    std::vector<int32_t> cover_count;
+    // Per query graph: non-trivial query vectors with cover_count > 0.
+    std::vector<int32_t> covered_vectors;
+    int32_t live_vertices = 0;
+    // Cached candidate list, valid until the next delta for this stream.
+    std::vector<int> cache;
+    bool cache_valid = false;
+  };
+
+  // Removes `vertex`'s cover contributions.
+  void Retract(StreamState& stream, VertexState& vertex);
+
+  // Query side, fixed after SetQueries: non-trivial query vectors live
+  // dim-translated in a contiguous slab; qvec_query_ maps slab index ->
+  // owning query graph.
+  NpvDimRemap remap_;
+  NpvSlab qvecs_;
+  std::vector<int32_t> qvec_query_;
+  // Per query graph: number of non-trivial / trivial (nnz == 0) vectors. A
+  // trivial vector is dominated by any stream vertex, so it is covered
+  // exactly when the stream is non-empty.
+  std::vector<int32_t> query_tracked_vectors_;
+  std::vector<int32_t> query_trivial_vectors_;
+  int32_t num_queries_ = 0;
+
+  std::vector<StreamState> streams_;
+
+  // Observability accumulators (see the note in dominated_set_cover_join.h):
+  // bumped in the update loops, flushed once per CandidatesForStream.
+  int64_t pending_tests_ = 0;
+  int64_t pending_rejects_ = 0;
 };
 
 }  // namespace gsps

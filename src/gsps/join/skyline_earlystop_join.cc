@@ -10,6 +10,10 @@ namespace gsps {
 
 void SkylineEarlyStopJoin::SetQueries(std::vector<QueryVectors> queries) {
   GSPS_CHECK(plans_.empty());
+  for (const QueryVectors& query : queries) {
+    for (const Npv& vector : query.vectors) remap_.AddDims(vector);
+  }
+  remap_.Seal();
   plans_.reserve(queries.size());
   for (QueryVectors& query : queries) {
     QueryPlan plan;
@@ -43,10 +47,14 @@ void SkylineEarlyStopJoin::SetQueries(std::vector<QueryVectors> queries) {
       if (maximal) order.emplace_back(-dominated, i);
     }
     std::sort(order.begin(), order.end());
-    plan.skyline.reserve(order.size());
+    plan.points.reserve(order.size());
     for (const auto& [neg_count, index] : order) {
       (void)neg_count;
-      plan.skyline.push_back(std::move(distinct[index]));
+      // Query dims are all registered, so translation is lossless.
+      remap_.Translate(distinct[index], &translate_scratch_);
+      const int32_t point = points_.Append(translate_scratch_);
+      plan.points.push_back(point);
+      plan.union_sig |= points_.signature(point);
     }
     plans_.push_back(std::move(plan));
   }
@@ -55,110 +63,213 @@ void SkylineEarlyStopJoin::SetQueries(std::vector<QueryVectors> queries) {
 void SkylineEarlyStopJoin::SetNumStreams(int num_streams) {
   GSPS_CHECK(streams_.empty());
   streams_.resize(static_cast<size_t>(num_streams));
+  for (StreamState& stream : streams_) {
+    stream.buckets.resize(static_cast<size_t>(remap_.num_dims()));
+    stream.verdicts.reserve(plans_.size());
+    for (const QueryPlan& plan : plans_) {
+      // The empty stream covers nothing, so a plan with points starts with
+      // its first point as the witness; a point-less plan starts covered.
+      stream.verdicts.push_back(Verdict{plan.points.empty(), 0});
+    }
+  }
 }
 
 void SkylineEarlyStopJoin::UpdateStreamVertex(int stream_index, VertexId v,
                                               const Npv& npv) {
   StreamState& stream = streams_[static_cast<size_t>(stream_index)];
-  auto it = stream.vertices.find(v);
-  if (it != stream.vertices.end()) {
-    DeindexVertex(stream, v, it->second);
-    it->second = npv;
+  VertexState& vertex = stream.vertices[v];
+  if (vertex.live) {
+    DeindexVertex(stream, v, vertex.entries);
   } else {
-    it = stream.vertices.emplace(v, npv).first;
+    vertex.live = true;
+    ++stream.live_vertices;
   }
-  IndexVertex(stream, v, npv);
+  const NpvSignature new_sig = remap_.Translate(npv, &translate_scratch_);
+  PushChanged(stream, vertex.sig | new_sig);
+  vertex.sig = new_sig;
+  vertex.entries.assign(translate_scratch_.begin(), translate_scratch_.end());
+  IndexVertex(stream, v, vertex.entries);
+  stream.cache_valid = false;
 }
 
 void SkylineEarlyStopJoin::RemoveStreamVertex(int stream_index, VertexId v) {
   StreamState& stream = streams_[static_cast<size_t>(stream_index)];
   auto it = stream.vertices.find(v);
-  if (it == stream.vertices.end()) return;
-  DeindexVertex(stream, v, it->second);
-  stream.vertices.erase(it);
+  if (it == stream.vertices.end() || !it->second.live) return;
+  VertexState& vertex = it->second;
+  DeindexVertex(stream, v, vertex.entries);
+  PushChanged(stream, vertex.sig);
+  vertex.live = false;
+  vertex.sig = 0;
+  vertex.entries.clear();
+  --stream.live_vertices;
+  stream.cache_valid = false;
 }
 
-std::vector<int> SkylineEarlyStopJoin::CandidatesForStream(int stream_index) {
+void SkylineEarlyStopJoin::CandidatesForStream(int stream_index,
+                                               std::vector<int>* out) {
   StreamState& stream = streams_[static_cast<size_t>(stream_index)];
-  const bool stream_nonempty = !stream.vertices.empty();
-  std::vector<int> candidates;
-  const int64_t comparisons_before = comparisons_;
-  int64_t early_stops = 0;
-  for (size_t j = 0; j < plans_.size(); ++j) {
-    const QueryPlan& plan = plans_[j];
-    if (plan.empty_query) {
-      candidates.push_back(static_cast<int>(j));
-      continue;
-    }
-    if (plan.has_trivial_vector && !stream_nonempty) continue;
-    bool found_skyline_point = false;
-    for (const Npv& point : plan.skyline) {
-      if (!Covered(stream, point)) {
-        found_skyline_point = true;  // Early stop: the pair is pruned.
-        ++early_stops;
-        break;
+  if (stream.cache_valid) {
+    GSPS_OBS_COUNT(Counter::kJoinVerdictsReused, 1);
+  } else {
+    stream.cache.clear();
+    const bool stream_nonempty = stream.live_vertices > 0;
+    int64_t early_stops = 0;
+    for (size_t j = 0; j < plans_.size(); ++j) {
+      const QueryPlan& plan = plans_[j];
+      if (plan.empty_query) {
+        stream.cache.push_back(static_cast<int>(j));
+        continue;
       }
+      Verdict& verdict = stream.verdicts[j];
+      // Verdicts advance even for queries the trivial-vector check rejects
+      // below: the changed-signature list is cleared after this loop, so a
+      // stale verdict could never be repaired later.
+      if (!plan.points.empty() &&
+          (plan.union_sig & stream.combined_changed) != 0) {
+        Reevaluate(stream, plan, &verdict);
+      }
+      if (!verdict.covered) {
+        ++early_stops;  // Pruned at the witness point.
+        continue;
+      }
+      if (plan.has_trivial_vector && !stream_nonempty) continue;
+      stream.cache.push_back(static_cast<int>(j));
     }
-    if (!found_skyline_point) candidates.push_back(static_cast<int>(j));
+    stream.num_changed = 0;
+    stream.changed_overflow = false;
+    stream.combined_changed = 0;
+    stream.cache_valid = true;
+    GSPS_OBS_COUNT(Counter::kJoinSkylineEarlyStops, early_stops);
   }
+  out->assign(stream.cache.begin(), stream.cache.end());
   GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(plans_.size()));
-  GSPS_OBS_COUNT(Counter::kJoinPairsOut,
-                 static_cast<int64_t>(candidates.size()));
-  GSPS_OBS_COUNT(Counter::kJoinSkylineEarlyStops, early_stops);
-  GSPS_OBS_COUNT(Counter::kJoinDominanceTests,
-                 comparisons_ - comparisons_before);
-  return candidates;
+  GSPS_OBS_COUNT(Counter::kJoinPairsOut, static_cast<int64_t>(out->size()));
+  GSPS_OBS_COUNT(Counter::kJoinDominanceTests, pending_tests_);
+  GSPS_OBS_COUNT(Counter::kJoinSignatureRejects, pending_rejects_);
+  pending_tests_ = 0;
+  pending_rejects_ = 0;
 }
 
-bool SkylineEarlyStopJoin::Covered(const StreamState& stream,
-                                   const Npv& point) {
-  GSPS_DCHECK(point.nnz() > 0);
+bool SkylineEarlyStopJoin::Affected(const StreamState& stream,
+                                    NpvSignature sig) const {
+  // A changed vertex can only flip a point it could dominate before or
+  // after the change, i.e. whose signature its old|new signature covers.
+  if (!SignatureCovers(stream.combined_changed, sig)) return false;
+  if (stream.changed_overflow) return true;
+  for (int32_t i = 0; i < stream.num_changed; ++i) {
+    if (SignatureCovers(stream.changed_sigs[static_cast<size_t>(i)], sig)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SkylineEarlyStopJoin::PushChanged(StreamState& stream, NpvSignature sig) {
+  // A vertex with no query dimension can never dominate a skyline point
+  // (points are non-trivial); it only matters through live_vertices.
+  if (sig == 0) return;
+  stream.combined_changed |= sig;
+  if (stream.changed_overflow) return;
+  if (stream.num_changed == kMaxChangedSigs) {
+    stream.changed_overflow = true;
+    return;
+  }
+  stream.changed_sigs[static_cast<size_t>(stream.num_changed++)] = sig;
+}
+
+void SkylineEarlyStopJoin::Reevaluate(StreamState& stream,
+                                      const QueryPlan& plan,
+                                      Verdict* verdict) {
+  const int32_t n = static_cast<int32_t>(plan.points.size());
+  // Everything before the prefix was covered at the last refresh; when the
+  // scan stopped early the witness itself was not.
+  const bool old_covered = verdict->covered;
+  const int32_t old_witness = verdict->witness;
+  const int32_t prefix = old_covered ? n : old_witness;
+  verdict->covered = true;
+  verdict->witness = n;
+  for (int32_t i = 0; i < n; ++i) {
+    const int32_t point = plan.points[static_cast<size_t>(i)];
+    const bool affected = Affected(stream, points_.signature(point));
+    bool covered_now;
+    if (!affected && i < prefix) {
+      covered_now = true;
+    } else if (!affected && !old_covered && i == old_witness) {
+      covered_now = false;
+    } else {
+      covered_now = Covered(stream, point);
+    }
+    if (!covered_now) {
+      verdict->covered = false;
+      verdict->witness = i;
+      return;
+    }
+  }
+}
+
+bool SkylineEarlyStopJoin::Covered(const StreamState& stream, int32_t point) {
+  GSPS_DCHECK(points_.nnz(point) > 0);
+  const NpvEntry* const begin = points_.begin(point);
+  const NpvEntry* const end = points_.end(point);
   // Optimization 3a: a dimension whose stream maximum is below the query
   // value proves the point uncovered without any comparisons. While
   // scanning, remember the minimum-cardinality dimension bucket.
   const DimBucket* best_bucket = nullptr;
-  for (const NpvEntry& entry : point.entries()) {
-    auto it = stream.buckets.find(entry.dim);
-    if (it == stream.buckets.end() || it->second.max_value < entry.count) {
-      return false;
-    }
+  for (const NpvEntry* entry = begin; entry != end; ++entry) {
+    const DimBucket& bucket = stream.buckets[static_cast<size_t>(entry->dim)];
+    if (bucket.max_value < entry->count) return false;
     if (best_bucket == nullptr ||
-        it->second.values.size() < best_bucket->values.size()) {
-      best_bucket = &it->second;
+        bucket.live_count < best_bucket->live_count) {
+      best_bucket = &bucket;
     }
   }
   // Optimization 3b: any dominating stream vector must have a non-zero
   // value in every non-zero dimension of the point; scanning the smallest
   // bucket suffices.
   GSPS_DCHECK(best_bucket != nullptr);
+  const NpvSignature point_sig = points_.signature(point);
   for (const auto& [vertex, value] : best_bucket->values) {
-    (void)value;
+    if (value == 0) continue;  // Tombstone.
     ++comparisons_;
     auto vec_it = stream.vertices.find(vertex);
     GSPS_DCHECK(vec_it != stream.vertices.end());
-    if (vec_it->second.Dominates(point)) return true;
+    const VertexState& candidate = vec_it->second;
+    if (!SignatureCovers(candidate.sig, point_sig)) {
+      ++pending_rejects_;
+      continue;
+    }
+    ++pending_tests_;
+    if (DominatesRange(candidate.entries.data(),
+                       candidate.entries.data() + candidate.entries.size(),
+                       begin, end)) {
+      return true;
+    }
   }
   return false;
 }
 
 void SkylineEarlyStopJoin::IndexVertex(StreamState& stream, VertexId v,
-                                       const Npv& npv) {
-  for (const NpvEntry& entry : npv.entries()) {
-    DimBucket& bucket = stream.buckets[entry.dim];
-    bucket.values[v] = entry.count;
+                                       const std::vector<NpvEntry>& entries) {
+  for (const NpvEntry& entry : entries) {
+    DimBucket& bucket = stream.buckets[static_cast<size_t>(entry.dim)];
+    int32_t& slot = bucket.values[v];
+    if (slot == 0) ++bucket.live_count;
+    slot = entry.count;
     bucket.max_value = std::max(bucket.max_value, entry.count);
   }
 }
 
-void SkylineEarlyStopJoin::DeindexVertex(StreamState& stream, VertexId v,
-                                         const Npv& npv) {
-  for (const NpvEntry& entry : npv.entries()) {
-    auto it = stream.buckets.find(entry.dim);
-    GSPS_DCHECK(it != stream.buckets.end());
-    DimBucket& bucket = it->second;
-    bucket.values.erase(v);
-    if (bucket.values.empty()) {
-      stream.buckets.erase(it);
+void SkylineEarlyStopJoin::DeindexVertex(
+    StreamState& stream, VertexId v, const std::vector<NpvEntry>& entries) {
+  for (const NpvEntry& entry : entries) {
+    DimBucket& bucket = stream.buckets[static_cast<size_t>(entry.dim)];
+    auto it = bucket.values.find(v);
+    GSPS_DCHECK(it != bucket.values.end() && it->second == entry.count);
+    it->second = 0;  // Tombstone: the map node survives for the next add.
+    --bucket.live_count;
+    if (bucket.live_count == 0) {
+      bucket.max_value = 0;
       continue;
     }
     if (entry.count == bucket.max_value) {

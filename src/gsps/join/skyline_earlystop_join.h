@@ -17,10 +17,23 @@
 //      otherwise only the stream vectors of the query point's
 //      minimum-cardinality non-zero dimension are compared (any dominating
 //      stream vector must be non-zero wherever the query point is).
+//
+// On top of the paper's pruning, verdicts are delta-cached: each stream
+// remembers, per query, whether all skyline points were covered and — when
+// not — the index of the first uncovered point (the witness). Every NPV
+// delta records the changed vertex's old|new dimension signature; at the
+// next refresh a query is re-examined only when some changed signature
+// could dominate one of its points, and within a query the points before
+// the witness are re-checked only when a changed signature covers them
+// (they were all covered at the last refresh, so an unaffected point stays
+// covered; an unaffected witness stays uncovered). The changed-signature
+// list is bounded — on overflow the refresh falls back to the combined OR
+// of all changed signatures, still sound, just a weaker filter.
 
 #ifndef GSPS_JOIN_SKYLINE_EARLYSTOP_JOIN_H_
 #define GSPS_JOIN_SKYLINE_EARLYSTOP_JOIN_H_
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -37,7 +50,8 @@ class SkylineEarlyStopJoin final : public JoinStrategy {
   void SetNumStreams(int num_streams) override;
   void UpdateStreamVertex(int stream, VertexId v, const Npv& npv) override;
   void RemoveStreamVertex(int stream, VertexId v) override;
-  std::vector<int> CandidatesForStream(int stream) override;
+  void CandidatesForStream(int stream, std::vector<int>* out) override;
+  using JoinStrategy::CandidatesForStream;
   std::string_view name() const override { return "Skyline"; }
 
   // Statistics: how many query skyline points were compared against stream
@@ -47,8 +61,11 @@ class SkylineEarlyStopJoin final : public JoinStrategy {
  private:
   struct QueryPlan {
     // Maximal (monochromatic-skyline, deduplicated) vectors, in descending
-    // dominated-count order.
-    std::vector<Npv> skyline;
+    // dominated-count order; slab indices into points_.
+    std::vector<int32_t> points;
+    // OR of the point signatures: a delta whose signatures miss this can
+    // not change any point's coverage.
+    NpvSignature union_sig = 0;
     // True if the query has a vector with no non-zero dimension; such a
     // vector is covered exactly when the stream graph is non-empty.
     bool has_trivial_vector = false;
@@ -56,26 +73,79 @@ class SkylineEarlyStopJoin final : public JoinStrategy {
     bool empty_query = false;
   };
 
+  // Cached per-(stream, query) outcome of the skyline scan. Invariant: at
+  // the last refresh every point before `witness` was covered, and when
+  // !covered the point at `witness` was not. The initial state {false, 0}
+  // (or {true, 0} for point-less plans) is exactly the empty stream's.
+  struct Verdict {
+    bool covered = false;
+    int32_t witness = 0;
+  };
+
   struct DimBucket {
-    // Stream vertices with a non-zero value in this dimension.
+    // Stream vertex -> value in this dimension; 0 is a tombstone (removed
+    // entries keep their map node so churn never allocates).
     std::unordered_map<VertexId, int32_t> values;
+    int32_t live_count = 0;
     int32_t max_value = 0;
   };
 
-  struct StreamState {
-    std::unordered_map<VertexId, Npv> vertices;
-    std::unordered_map<DimId, DimBucket> buckets;
+  struct VertexState {
+    // Dense-translated NPV entries and their signature.
+    std::vector<NpvEntry> entries;
+    NpvSignature sig = 0;
+    bool live = false;
   };
 
-  // True if some stream vector dominates `point`.
-  bool Covered(const StreamState& stream, const Npv& point);
+  // Bounded list of old|new signatures of vertices changed since the last
+  // refresh.
+  static constexpr int kMaxChangedSigs = 16;
 
-  void IndexVertex(StreamState& stream, VertexId v, const Npv& npv);
-  void DeindexVertex(StreamState& stream, VertexId v, const Npv& npv);
+  struct StreamState {
+    std::unordered_map<VertexId, VertexState> vertices;
+    // Indexed by dense dim id.
+    std::vector<DimBucket> buckets;
+    int32_t live_vertices = 0;
+    std::vector<Verdict> verdicts;
+    std::array<NpvSignature, kMaxChangedSigs> changed_sigs{};
+    int32_t num_changed = 0;
+    bool changed_overflow = false;
+    NpvSignature combined_changed = 0;
+    std::vector<int> cache;
+    bool cache_valid = false;
+  };
+
+  // True if some stream vector dominates point `point` (slab index).
+  bool Covered(const StreamState& stream, int32_t point);
+
+  // True if a changed signature could have flipped coverage of a point with
+  // signature `sig`.
+  bool Affected(const StreamState& stream, NpvSignature sig) const;
+
+  void PushChanged(StreamState& stream, NpvSignature sig);
+
+  // Re-runs the skyline scan for one query, skipping points the deltas
+  // provably left alone.
+  void Reevaluate(StreamState& stream, const QueryPlan& plan,
+                  Verdict* verdict);
+
+  void IndexVertex(StreamState& stream, VertexId v,
+                   const std::vector<NpvEntry>& entries);
+  void DeindexVertex(StreamState& stream, VertexId v,
+                     const std::vector<NpvEntry>& entries);
 
   std::vector<QueryPlan> plans_;
+  // All skyline points of all plans, dense-translated, in one slab.
+  NpvDimRemap remap_;
+  NpvSlab points_;
   std::vector<StreamState> streams_;
+  std::vector<NpvEntry> translate_scratch_;
   int64_t comparisons_ = 0;
+
+  // Observability accumulators (see dominated_set_cover_join.h), flushed
+  // once per CandidatesForStream.
+  int64_t pending_tests_ = 0;
+  int64_t pending_rejects_ = 0;
 };
 
 }  // namespace gsps

@@ -6,6 +6,25 @@
 
 namespace gsps {
 
+NpvSignature SignatureOf(const NpvEntry* begin, const NpvEntry* end) {
+  NpvSignature sig = 0;
+  for (const NpvEntry* e = begin; e != end; ++e) sig |= NpvSignatureBit(e->dim);
+  return sig;
+}
+
+bool DominatesRange(const NpvEntry* hay_begin, const NpvEntry* hay_end,
+                    const NpvEntry* needle_begin, const NpvEntry* needle_end) {
+  const NpvEntry* hay = hay_begin;
+  for (const NpvEntry* needle = needle_begin; needle != needle_end; ++needle) {
+    while (hay != hay_end && hay->dim < needle->dim) ++hay;
+    if (hay == hay_end || hay->dim != needle->dim ||
+        hay->count < needle->count) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Npv Npv::FromMap(const std::unordered_map<DimId, int32_t>& counts) {
   std::vector<NpvEntry> entries;
   entries.reserve(counts.size());
@@ -27,6 +46,8 @@ Npv Npv::FromSortedEntries(std::vector<NpvEntry> entries) {
     if (i > 0) GSPS_DCHECK(npv.entries_[i - 1].dim < npv.entries_[i].dim);
   }
 #endif
+  npv.signature_ =
+      SignatureOf(npv.entries_.data(), npv.entries_.data() + npv.entries_.size());
   return npv;
 }
 
@@ -38,6 +59,7 @@ void Npv::AssignSortedEntries(const std::vector<NpvEntry>& entries) {
     if (i > 0) GSPS_DCHECK(entries_[i - 1].dim < entries_[i].dim);
   }
 #endif
+  signature_ = SignatureOf(entries_.data(), entries_.data() + entries_.size());
 }
 
 int32_t Npv::ValueAt(DimId dim) const {
@@ -49,16 +71,53 @@ int32_t Npv::ValueAt(DimId dim) const {
 }
 
 bool Npv::Dominates(const Npv& other) const {
-  // Merge-scan both sorted entry lists over `other`'s non-zero dims.
-  auto mine = entries_.begin();
-  for (const NpvEntry& theirs : other.entries_) {
-    while (mine != entries_.end() && mine->dim < theirs.dim) ++mine;
-    if (mine == entries_.end() || mine->dim != theirs.dim ||
-        mine->count < theirs.count) {
-      return false;
+  if (!SignatureCovers(signature_, other.signature_)) return false;
+  return DominatesRange(entries_.data(), entries_.data() + entries_.size(),
+                        other.entries_.data(),
+                        other.entries_.data() + other.entries_.size());
+}
+
+void NpvDimRemap::AddDims(const Npv& npv) {
+  GSPS_DCHECK(!sealed_);
+  for (const NpvEntry& e : npv.entries()) dims_.push_back(e.dim);
+}
+
+void NpvDimRemap::Seal() {
+  std::sort(dims_.begin(), dims_.end());
+  dims_.erase(std::unique(dims_.begin(), dims_.end()), dims_.end());
+  sealed_ = true;
+}
+
+NpvSignature NpvDimRemap::Translate(const Npv& npv,
+                                    std::vector<NpvEntry>* out) const {
+  GSPS_DCHECK(sealed_);
+  out->clear();
+  NpvSignature sig = 0;
+  // Both sides sorted ascending by dim: one linear merge. Dims absent from
+  // the remap are dropped; the dense id is the remap position, so output
+  // order stays ascending.
+  auto it = dims_.begin();
+  for (const NpvEntry& e : npv.entries()) {
+    while (it != dims_.end() && *it < e.dim) ++it;
+    if (it == dims_.end()) break;
+    if (*it == e.dim) {
+      const DimId dense = static_cast<DimId>(it - dims_.begin());
+      out->push_back(NpvEntry{dense, e.count});
+      sig |= NpvSignatureBit(dense);
     }
   }
-  return true;
+  return sig;
+}
+
+int32_t NpvSlab::Append(const std::vector<NpvEntry>& entries) {
+  Ref ref;
+  ref.offset = static_cast<int32_t>(entries_.size());
+  ref.size = static_cast<int32_t>(entries.size());
+  entries_.insert(entries_.end(), entries.begin(), entries.end());
+  ref.sig = SignatureOf(entries_.data() + ref.offset,
+                        entries_.data() + ref.offset + ref.size);
+  refs_.push_back(ref);
+  return static_cast<int32_t>(refs_.size()) - 1;
 }
 
 }  // namespace gsps

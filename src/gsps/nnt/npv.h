@@ -3,6 +3,18 @@
 // The NPV of a vertex counts, per projection dimension, the tree edges of
 // its NNT falling into that dimension. Vectors are stored sparsely as
 // entries sorted by dimension id (§IV.A: most dimensions are zero).
+//
+// Dominance fast path: every vector carries a 64-bit signature with bit
+// (dim mod 64) set for each non-zero dimension. A vector can dominate
+// another only if its signature is a bit-superset of the other's, so
+// Dominates rejects most non-dominating pairs with one mask before the
+// entry merge. NpvDimRemap + NpvSlab support the join strategies' dense
+// layout: query-side vectors are translated into a contiguous dense dim-id
+// space and stored back-to-back, and stream vectors are translated into the
+// same space (dropping dimensions no query uses, which is
+// dominance-preserving because only the query's non-zero dimensions are
+// ever inspected). With at most 64 distinct query dimensions the dense
+// signatures are exact, not hashed.
 
 #ifndef GSPS_NNT_NPV_H_
 #define GSPS_NNT_NPV_H_
@@ -22,6 +34,31 @@ struct NpvEntry {
 
   friend bool operator==(const NpvEntry&, const NpvEntry&) = default;
 };
+
+// Bit (dim mod 64) per non-zero dimension. A superset test on signatures is
+// a necessary condition for dominance (exact when all dims are < 64, e.g.
+// after dense translation of a small query dim set).
+using NpvSignature = uint64_t;
+
+constexpr NpvSignature NpvSignatureBit(DimId dim) {
+  return NpvSignature{1} << (static_cast<uint32_t>(dim) & 63u);
+}
+
+// True when every bit of `needle` is present in `hay`. Dominance requires
+// SignatureCovers(dominator, dominated).
+constexpr bool SignatureCovers(NpvSignature hay, NpvSignature needle) {
+  return (needle & ~hay) == 0;
+}
+
+// Signature over a raw entry range.
+NpvSignature SignatureOf(const NpvEntry* begin, const NpvEntry* end);
+
+// Merge-dominance over raw entry ranges, both sorted ascending by dim: true
+// when the hay range has a coordinate >= every needle coordinate. The
+// kernel behind Npv::Dominates and the slab-based strategy loops; callers
+// are expected to have applied the signature reject already.
+bool DominatesRange(const NpvEntry* hay_begin, const NpvEntry* hay_end,
+                    const NpvEntry* needle_begin, const NpvEntry* needle_end);
 
 // A sparse, immutable node projected vector.
 class Npv {
@@ -51,15 +88,82 @@ class Npv {
   // Number of non-zero dimensions.
   int32_t nnz() const { return static_cast<int32_t>(entries_.size()); }
 
+  // Non-zero-dimension signature, maintained alongside the entries.
+  NpvSignature signature() const { return signature_; }
+
   // True when every coordinate of *this is >= the matching coordinate of
   // `other` — i.e. *this dominates `other` in the sense of Lemma 4.2
-  // (`other` <= *this). Only `other`'s non-zero entries need inspection.
+  // (`other` <= *this). Only `other`'s non-zero entries need inspection;
+  // the signature superset test rejects in O(1) first.
   bool Dominates(const Npv& other) const;
 
   friend bool operator==(const Npv&, const Npv&) = default;
 
  private:
   std::vector<NpvEntry> entries_;
+  NpvSignature signature_ = 0;
+};
+
+// Dense dimension-id translation for a fixed vector set (the join query
+// side). Build with AddDims over every query vector, then Seal; the dims
+// seen map to the dense range [0, num_dims()) in ascending order, so
+// translation preserves entry order. Stream-side vectors translated through
+// the same remap drop every dimension no query uses — such dimensions can
+// never fail a dominance test against a query vector.
+class NpvDimRemap {
+ public:
+  // Collect phase: registers the non-zero dims of `npv`.
+  void AddDims(const Npv& npv);
+
+  // Freezes the dim set. AddDims must not be called afterwards.
+  void Seal();
+
+  bool sealed() const { return sealed_; }
+
+  // Number of distinct dims registered. Valid after Seal.
+  int32_t num_dims() const { return static_cast<int32_t>(dims_.size()); }
+
+  // Rewrites `npv` into *out (cleared first, capacity reused): entries with
+  // a registered dim keep their count under the dense id, others are
+  // dropped. Returns the signature over the dense ids. Linear merge.
+  NpvSignature Translate(const Npv& npv, std::vector<NpvEntry>* out) const;
+
+ private:
+  std::vector<DimId> dims_;  // Sorted ascending after Seal.
+  bool sealed_ = false;
+};
+
+// Many sparse vectors stored back-to-back in one contiguous entry array,
+// each with its signature at hand: the join strategies' cache-resident
+// query-side layout.
+class NpvSlab {
+ public:
+  // Appends a vector (entries sorted ascending by dim) and returns its
+  // index.
+  int32_t Append(const std::vector<NpvEntry>& entries);
+
+  int32_t size() const { return static_cast<int32_t>(refs_.size()); }
+
+  const NpvEntry* begin(int32_t i) const {
+    return entries_.data() + refs_[static_cast<size_t>(i)].offset;
+  }
+  const NpvEntry* end(int32_t i) const {
+    const Ref& ref = refs_[static_cast<size_t>(i)];
+    return entries_.data() + ref.offset + ref.size;
+  }
+  int32_t nnz(int32_t i) const { return refs_[static_cast<size_t>(i)].size; }
+  NpvSignature signature(int32_t i) const {
+    return refs_[static_cast<size_t>(i)].sig;
+  }
+
+ private:
+  struct Ref {
+    int32_t offset = 0;
+    int32_t size = 0;
+    NpvSignature sig = 0;
+  };
+  std::vector<NpvEntry> entries_;
+  std::vector<Ref> refs_;
 };
 
 }  // namespace gsps

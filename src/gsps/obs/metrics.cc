@@ -23,6 +23,8 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "gsps_join_set_cover_flips",
     "gsps_join_pairs_in",
     "gsps_join_pairs_out",
+    "gsps_join_verdicts_reused",
+    "gsps_join_signature_rejects",
     "gsps_tracker_observations",
     "gsps_tracker_appeared",
     "gsps_tracker_disappeared",

@@ -50,6 +50,11 @@ enum class Counter : int {
   kJoinSetCoverFlips,      // DSC domination-status flips (SetDominates).
   kJoinPairsIn,            // (stream, query) pairs evaluated.
   kJoinPairsOut,           // Pairs surviving as candidates.
+  kJoinVerdictsReused,     // CandidatesForStream calls answered entirely from
+                           // the cached per-stream verdicts (no delta since
+                           // the last refresh).
+  kJoinSignatureRejects,   // Dominance pairs rejected by the 64-bit non-zero
+                           // dimension signature before any entry merge.
   // Candidate transition tracking (engine/candidate_tracker.cc).
   kTrackerObservations,
   kTrackerAppeared,

@@ -204,6 +204,144 @@ TEST(JoinAgreementTest, RandomVectorWorkload) {
   }
 }
 
+// Incremental maintenance: after every engine delta, the cached verdicts
+// must equal a fresh strategy fed the current NPVs from scratch, repeated
+// reads must be stable (answered from the verdict cache), and the buffer
+// overloads must agree with the by-value forms.
+TEST(JoinIncrementalTest, CachedVerdictsMatchScratchRecompute) {
+  SyntheticStreamParams params;
+  params.num_pairs = 5;
+  params.avg_graph_edges = 9;
+  params.num_vertex_labels = 3;
+  params.evolution.num_timestamps = 20;
+  params.evolution.p_appear = 0.3;
+  params.evolution.p_disappear = 0.25;
+  params.seed = 1301;
+  const StreamDataset dataset = MakeSyntheticStreams(params);
+
+  Rng rng(17);
+  std::vector<Graph> starts;
+  for (const GraphStream& stream : dataset.streams) {
+    starts.push_back(stream.StartGraph());
+  }
+  const std::vector<Graph> queries = ExtractQuerySet(starts, 3, 5, rng);
+  ASSERT_FALSE(queries.empty());
+
+  for (const JoinKind kind : AllKinds()) {
+    EngineOptions options;
+    options.nnt_depth = 2;
+    options.join_kind = kind;
+    ContinuousQueryEngine engine(options);
+    for (const Graph& q : queries) engine.AddQuery(q);
+    for (const GraphStream& s : dataset.streams) {
+      engine.AddStream(s.StartGraph());
+    }
+    engine.Start();
+
+    std::vector<int> buffer;
+    for (int t = 0; t < params.evolution.num_timestamps; ++t) {
+      if (t > 0) {
+        for (size_t i = 0; i < dataset.streams.size(); ++i) {
+          engine.ApplyChange(static_cast<int>(i),
+                             dataset.streams[i].ChangeAt(t));
+        }
+      }
+      for (int i = 0; i < engine.num_streams(); ++i) {
+        const std::vector<int> cached = engine.CandidatesForStream(i);
+        EXPECT_EQ(cached, engine.RecomputeCandidatesFromScratch(i))
+            << JoinKindName(kind) << " t=" << t << " stream=" << i;
+        // A second read with no intervening deltas comes from the verdict
+        // cache and must be identical.
+        EXPECT_EQ(engine.CandidatesForStream(i), cached)
+            << JoinKindName(kind) << " t=" << t << " stream=" << i;
+        // The caller-buffer overload is the same answer.
+        engine.CandidatesForStream(i, &buffer);
+        EXPECT_EQ(buffer, cached)
+            << JoinKindName(kind) << " t=" << t << " stream=" << i;
+      }
+      std::vector<std::pair<int, int>> pairs_buffer;
+      engine.AllCandidatePairs(&pairs_buffer);
+      EXPECT_EQ(pairs_buffer, engine.AllCandidatePairs())
+          << JoinKindName(kind) << " t=" << t;
+    }
+  }
+}
+
+// Strategy-level delta feed (no engine): random updates/removals with
+// removals of never-inserted vertices, re-updates of tombstoned vertices,
+// and empty vectors; every strategy must match a from-scratch replay into a
+// fresh strategy of the same kind.
+TEST(JoinIncrementalTest, StrategyMatchesFreshReplayUnderChurn) {
+  Rng rng(8086);
+  constexpr int kNumQueries = 6;
+  constexpr int kNumStreams = 2;
+  constexpr int kNumDims = 5;
+  constexpr int kSteps = 250;
+
+  std::vector<QueryVectors> queries;
+  for (int j = 0; j < kNumQueries; ++j) {
+    QueryVectors query;
+    const int vectors = static_cast<int>(rng.UniformInt(0, 3));
+    for (int v = 0; v < vectors; ++v) {
+      std::unordered_map<DimId, int32_t> counts;
+      const int nnz = static_cast<int>(rng.UniformInt(0, 3));
+      for (int k = 0; k < nnz; ++k) {
+        counts[static_cast<DimId>(rng.UniformInt(0, kNumDims - 1))] =
+            static_cast<int32_t>(rng.UniformInt(1, 4));
+      }
+      query.vectors.push_back(Npv::FromMap(counts));
+    }
+    queries.push_back(std::move(query));
+  }
+
+  for (const JoinKind kind : AllKinds()) {
+    auto incremental = MakeJoinStrategy(kind);
+    incremental->SetQueries(queries);
+    incremental->SetNumStreams(kNumStreams);
+
+    // Live vertex maps, replayed into a fresh strategy at every step.
+    std::vector<std::unordered_map<VertexId, Npv>> live(kNumStreams);
+
+    Rng workload(kind == JoinKind::kNestedLoop          ? 1
+                 : kind == JoinKind::kDominatedSetCover ? 2
+                                                        : 3);
+    for (int step = 0; step < kSteps; ++step) {
+      const int stream =
+          static_cast<int>(workload.UniformInt(0, kNumStreams - 1));
+      const VertexId vertex =
+          static_cast<VertexId>(workload.UniformInt(0, 7));
+      if (workload.Bernoulli(0.25)) {
+        incremental->RemoveStreamVertex(stream, vertex);
+        live[stream].erase(vertex);
+      } else {
+        std::unordered_map<DimId, int32_t> counts;
+        const int nnz = static_cast<int>(workload.UniformInt(0, 4));
+        for (int k = 0; k < nnz; ++k) {
+          counts[static_cast<DimId>(workload.UniformInt(0, kNumDims - 1))] =
+              static_cast<int32_t>(workload.UniformInt(1, 5));
+        }
+        const Npv npv = Npv::FromMap(counts);
+        incremental->UpdateStreamVertex(stream, vertex, npv);
+        live[stream][vertex] = npv;
+      }
+
+      auto fresh = MakeJoinStrategy(kind);
+      fresh->SetQueries(queries);
+      fresh->SetNumStreams(kNumStreams);
+      for (int i = 0; i < kNumStreams; ++i) {
+        for (const auto& [v, npv] : live[i]) {
+          fresh->UpdateStreamVertex(i, v, npv);
+        }
+      }
+      for (int i = 0; i < kNumStreams; ++i) {
+        EXPECT_EQ(incremental->CandidatesForStream(i),
+                  fresh->CandidatesForStream(i))
+            << JoinKindName(kind) << " step " << step << " stream " << i;
+      }
+    }
+  }
+}
+
 // End-to-end: engine candidates on an evolving stream are a superset of the
 // exact isomorphism answers (no false negatives), and all join strategies
 // agree through the engine.

@@ -1,0 +1,186 @@
+// Tests for the NPV dominance kernel: signatures, the dense dim remap, the
+// contiguous slab, and the raw-range dominance merge.
+//
+// Key properties:
+//   * SignatureCovers(sig(a), sig(b)) is a necessary condition for
+//     a.Dominates(b) — no dominating pair is ever signature-rejected;
+//   * NpvDimRemap::Translate preserves dominance outcomes against query
+//     vectors even though it drops stream-only dimensions;
+//   * translated signatures are exact (bit i == dense dim i non-zero) when
+//     the query dim set fits in 64 dims.
+
+#include "gsps/nnt/npv.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "gsps/common/random.h"
+
+namespace gsps {
+namespace {
+
+// Naive reference dominance: every coordinate of `needle` must be <= the
+// matching coordinate of `hay`.
+bool NaiveDominates(const Npv& hay, const Npv& needle) {
+  for (const NpvEntry& e : needle.entries()) {
+    if (hay.ValueAt(e.dim) < e.count) return false;
+  }
+  return true;
+}
+
+Npv RandomNpv(Rng& rng, int max_dim, int max_nnz, int max_count) {
+  std::unordered_map<DimId, int32_t> counts;
+  const int nnz = static_cast<int>(rng.UniformInt(0, max_nnz));
+  for (int k = 0; k < nnz; ++k) {
+    counts[static_cast<DimId>(rng.UniformInt(0, max_dim))] =
+        static_cast<int32_t>(rng.UniformInt(1, max_count));
+  }
+  return Npv::FromMap(counts);
+}
+
+TEST(NpvSignatureTest, BitPerDimModulo64) {
+  EXPECT_EQ(NpvSignatureBit(0), NpvSignature{1});
+  EXPECT_EQ(NpvSignatureBit(63), NpvSignature{1} << 63);
+  // Dims wrap modulo 64, so distant dims share bits (conservative, still a
+  // necessary condition).
+  EXPECT_EQ(NpvSignatureBit(64), NpvSignatureBit(0));
+  EXPECT_EQ(NpvSignatureBit(130), NpvSignatureBit(2));
+}
+
+TEST(NpvSignatureTest, CoversIsSupersetTest) {
+  EXPECT_TRUE(SignatureCovers(0b111, 0b101));
+  EXPECT_TRUE(SignatureCovers(0b101, 0b101));
+  EXPECT_FALSE(SignatureCovers(0b101, 0b111));
+  // Anything covers the empty signature; the empty covers only itself.
+  EXPECT_TRUE(SignatureCovers(0, 0));
+  EXPECT_TRUE(SignatureCovers(0b1, 0));
+  EXPECT_FALSE(SignatureCovers(0, 0b1));
+}
+
+TEST(NpvSignatureTest, MaintainedByConstructors) {
+  const Npv a = Npv::FromMap({{3, 1}, {70, 2}});
+  EXPECT_EQ(a.signature(), NpvSignatureBit(3) | NpvSignatureBit(70));
+
+  const Npv b = Npv::FromSortedEntries({{1, 5}, {64, 1}});
+  EXPECT_EQ(b.signature(), NpvSignatureBit(1) | NpvSignatureBit(64));
+
+  Npv c;
+  EXPECT_EQ(c.signature(), NpvSignature{0});
+  c.AssignSortedEntries({{2, 1}});
+  EXPECT_EQ(c.signature(), NpvSignatureBit(2));
+  c.AssignSortedEntries({});
+  EXPECT_EQ(c.signature(), NpvSignature{0});
+}
+
+TEST(NpvSignatureTest, SignatureOfRange) {
+  const std::vector<NpvEntry> entries = {{0, 1}, {5, 2}, {66, 3}};
+  EXPECT_EQ(SignatureOf(entries.data(), entries.data() + entries.size()),
+            NpvSignatureBit(0) | NpvSignatureBit(5) | NpvSignatureBit(66));
+  EXPECT_EQ(SignatureOf(entries.data(), entries.data()), NpvSignature{0});
+}
+
+TEST(NpvDominatesTest, RangeKernelMatchesNaive) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Npv hay = RandomNpv(rng, 12, 5, 4);
+    const Npv needle = RandomNpv(rng, 12, 5, 4);
+    const bool expected = NaiveDominates(hay, needle);
+    EXPECT_EQ(hay.Dominates(needle), expected);
+    EXPECT_EQ(DominatesRange(hay.entries().data(),
+                             hay.entries().data() + hay.entries().size(),
+                             needle.entries().data(),
+                             needle.entries().data() + needle.entries().size()),
+              expected);
+    // The fast path must never reject a dominating pair.
+    if (expected) {
+      EXPECT_TRUE(SignatureCovers(hay.signature(), needle.signature()));
+    }
+  }
+}
+
+TEST(NpvDimRemapTest, DenseIdsAreAscendingAndExact) {
+  NpvDimRemap remap;
+  remap.AddDims(Npv::FromMap({{7, 1}, {100, 2}}));
+  remap.AddDims(Npv::FromMap({{3, 4}, {7, 1}}));
+  EXPECT_FALSE(remap.sealed());
+  remap.Seal();
+  ASSERT_TRUE(remap.sealed());
+  EXPECT_EQ(remap.num_dims(), 3);  // {3, 7, 100} -> {0, 1, 2}.
+
+  std::vector<NpvEntry> out;
+  // A vector over all three dims, plus a stream-only dim that is dropped.
+  const NpvSignature sig =
+      remap.Translate(Npv::FromMap({{3, 9}, {7, 8}, {42, 5}, {100, 7}}), &out);
+  const std::vector<NpvEntry> expected = {{0, 9}, {1, 8}, {2, 7}};
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(sig,
+            NpvSignatureBit(0) | NpvSignatureBit(1) | NpvSignatureBit(2));
+
+  // A vector touching none of the query dims translates to nothing.
+  EXPECT_EQ(remap.Translate(Npv::FromMap({{42, 5}}), &out), NpvSignature{0});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(NpvDimRemapTest, TranslationPreservesDominanceAgainstQueryVectors) {
+  // Dominance of a stream vector over a *query* vector only inspects the
+  // query's non-zero dims, so dropping stream-only dims must not change the
+  // verdict. Randomized cross-check.
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Npv> query_vectors;
+    NpvDimRemap remap;
+    const int nq = static_cast<int>(rng.UniformInt(1, 4));
+    for (int i = 0; i < nq; ++i) {
+      query_vectors.push_back(RandomNpv(rng, 20, 4, 3));
+      remap.AddDims(query_vectors.back());
+    }
+    remap.Seal();
+
+    std::vector<NpvEntry> translated_query;
+    std::vector<NpvEntry> translated_stream;
+    const Npv stream_vector = RandomNpv(rng, 25, 6, 4);
+    const NpvSignature stream_sig =
+        remap.Translate(stream_vector, &translated_stream);
+    for (const Npv& q : query_vectors) {
+      const NpvSignature query_sig = remap.Translate(q, &translated_query);
+      const bool expected = NaiveDominates(stream_vector, q);
+      // The signature reject composed with the range merge — exactly the
+      // strategies' hot-path sequence — must reproduce full dominance.
+      const bool fast =
+          SignatureCovers(stream_sig, query_sig) &&
+          DominatesRange(
+              translated_stream.data(),
+              translated_stream.data() + translated_stream.size(),
+              translated_query.data(),
+              translated_query.data() + translated_query.size());
+      EXPECT_EQ(fast, expected) << "trial " << trial;
+    }
+  }
+}
+
+TEST(NpvSlabTest, StoresVectorsContiguouslyWithSignatures) {
+  NpvSlab slab;
+  EXPECT_EQ(slab.size(), 0);
+  const std::vector<NpvEntry> v0 = {{0, 1}, {2, 3}};
+  const std::vector<NpvEntry> v1 = {};
+  const std::vector<NpvEntry> v2 = {{1, 7}};
+  EXPECT_EQ(slab.Append(v0), 0);
+  EXPECT_EQ(slab.Append(v1), 1);
+  EXPECT_EQ(slab.Append(v2), 2);
+  ASSERT_EQ(slab.size(), 3);
+
+  EXPECT_EQ(slab.nnz(0), 2);
+  EXPECT_EQ(slab.nnz(1), 0);
+  EXPECT_EQ(slab.nnz(2), 1);
+  EXPECT_EQ(std::vector<NpvEntry>(slab.begin(0), slab.end(0)), v0);
+  EXPECT_EQ(slab.begin(1), slab.end(1));
+  EXPECT_EQ(std::vector<NpvEntry>(slab.begin(2), slab.end(2)), v2);
+  EXPECT_EQ(slab.signature(0), NpvSignatureBit(0) | NpvSignatureBit(2));
+  EXPECT_EQ(slab.signature(1), NpvSignature{0});
+  EXPECT_EQ(slab.signature(2), NpvSignatureBit(1));
+}
+
+}  // namespace
+}  // namespace gsps

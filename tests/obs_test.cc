@@ -407,6 +407,9 @@ void DriveEngine(const StreamDataset& dataset, JoinKind kind,
     }
     engine.ApplyChanges(batches);
     engine.AllCandidatePairs();
+    // A second read with no intervening deltas is answered from the
+    // per-stream verdict caches (gsps_join_verdicts_reused).
+    engine.AllCandidatePairs();
   }
 }
 

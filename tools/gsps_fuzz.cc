@@ -12,7 +12,7 @@
 //   gsps_fuzz --seed=1 --iterations=100 [--depth=0] [--max_streams=3]
 //       [--max_queries=4] [--max_timestamps=8] [--out=FILE]
 //       [--minimize_attempts=4000] [--no-parallel] [--no-baselines]
-//       [--quiet]
+//       [--no-incremental] [--quiet]
 //
 // Replay mode: re-run the oracle set over one committed replay file.
 //
@@ -44,7 +44,7 @@ int Usage() {
       "usage: gsps_fuzz --seed=1 --iterations=100 [--depth=0] [--out=FILE]\n"
       "           [--max_streams=3] [--max_queries=4] [--max_timestamps=8]\n"
       "           [--minimize_attempts=4000] [--no-parallel]\n"
-      "           [--no-baselines] [--quiet]\n"
+      "           [--no-baselines] [--no-incremental] [--quiet]\n"
       "       gsps_fuzz --replay=FILE [--quiet]\n"
       "       gsps_fuzz --emit=FILE --seed=S [--iteration=K]\n");
   return 2;
@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
   options.minimize_attempts = flags.GetInt("minimize_attempts", 4000);
   options.oracles.check_parallel = !flags.GetBool("no-parallel");
   options.oracles.check_baselines = !flags.GetBool("no-baselines");
+  options.oracles.check_incremental = !flags.GetBool("no-incremental");
   const bool quiet = flags.GetBool("quiet");
   options.verbose = !quiet;
   const std::string replay_path = flags.GetString("replay", "");

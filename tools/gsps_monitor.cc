@@ -204,6 +204,12 @@ int main(int argc, char** argv) {
   CandidateTracker tracker(num_streams);
   int64_t total_candidates = 0;
   std::vector<GraphChange> batches(static_cast<size_t>(num_streams));
+  // Steady-state buffers: candidates land in `candidates`, the verified
+  // subset in `reported`, and the swap-based tracker Observe recycles
+  // `reported`'s storage — the per-tick loop stays allocation-free.
+  std::vector<int> candidates;
+  std::vector<int> reported;
+  CandidateTransitions transitions;
   for (int t = 0; t < horizon; ++t) {
     GSPS_OBS_SPAN("tick", "monitor");
     if (t > 0) {
@@ -215,8 +221,9 @@ int main(int argc, char** argv) {
       engine.ApplyChanges(batches);
     }
     for (int i = 0; i < num_streams; ++i) {
-      std::vector<int> reported;
-      for (const int q : engine.CandidatesForStream(i)) {
+      engine.CandidatesForStream(i, &candidates);
+      reported.clear();
+      for (const int q : candidates) {
         if (verify && !engine.VerifyCandidate(i, q)) continue;
         ++total_candidates;
         reported.push_back(q);
@@ -224,7 +231,7 @@ int main(int argc, char** argv) {
       const std::string where =
           multi ? " s" + std::to_string(i) : std::string();
       if (events) {
-        const CandidateTransitions transitions = tracker.Observe(i, reported);
+        tracker.Observe(i, &reported, &transitions);
         if (!quiet && !transitions.empty()) {
           std::string line;
           for (const int q : transitions.appeared) {
