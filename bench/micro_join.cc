@@ -33,7 +33,10 @@
 // (bench "micro_join"), archived by the CI bench-JSON job; CI also checks
 // the dominance-test count per refresh against a regression ceiling.
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -43,6 +46,7 @@
 #include "gsps/common/alloc_hook.h"
 #include "gsps/common/random.h"
 #include "gsps/common/stopwatch.h"
+#include "gsps/join/dominance_kernel.h"
 #include "gsps/join/join_strategy.h"
 #include "gsps/obs/obs.h"
 
@@ -267,12 +271,167 @@ void RunStrategy(JoinKind kind, const Workload& w, const Flags& flags) {
        {"steady_frees", static_cast<double>(steady_frees)}});
 }
 
+// --kernel=1: dominance-kernel ablation. Same query-side slab the NL
+// strategy binds; a pool of translated stream-style hay vectors (half
+// sparse/reject-heavy, half denser/accept-heavy) is swept through
+// ComputeMask per ISA. Every supported ISA is first differentially verified
+// against the scalar kernel on every pool hay — masks, counts, and stats
+// must match bit-for-bit, else the bench exits non-zero (the CI
+// kernel-dispatch matrix relies on this) — then timed. One
+// "kernel_<isa>" JSON row per ISA records dominance tests/s.
+void RunKernelAblation(const Workload& w, const Flags& flags) {
+  const int dims = flags.GetInt("dims", 64);
+  const int nnz = flags.GetInt("nnz", 3);
+  const int hays = flags.GetInt("kernel_hays", 256);
+  const int passes = flags.GetInt("kernel_passes", 300);
+  const uint64_t seed = flags.GetUint64("seed", 9);
+
+  NpvDimRemap remap;
+  for (const QueryVectors& query : w.queries) {
+    for (const Npv& vector : query.vectors) remap.AddDims(vector);
+  }
+  remap.Seal();
+  NpvSlab slab;
+  std::vector<NpvEntry> translated;
+  for (const QueryVectors& query : w.queries) {
+    for (const Npv& vector : query.vectors) {
+      if (vector.nnz() == 0) continue;
+      remap.Translate(vector, &translated);
+      slab.Append(translated);
+    }
+  }
+
+  // Hay mix in thirds: sparse (signature-reject-heavy), dense (some
+  // accepts), and supersets of random slab needles (guaranteed accepts,
+  // mostly dominating) — so the sweep exercises the signature pre-pass AND
+  // the compare pass in realistic proportion instead of measuring rejects
+  // alone.
+  struct Hay {
+    std::vector<NpvEntry> entries;
+    NpvSignature sig = 0;
+  };
+  std::vector<Hay> pool;
+  pool.reserve(static_cast<size_t>(hays));
+  Rng rng(seed + 2);
+  for (int h = 0; h < hays; ++h) {
+    Hay hay;
+    if (h % 3 == 2 && slab.size() > 0) {
+      const int32_t k = static_cast<int32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(slab.size()) - 1));
+      hay.entries.assign(slab.begin(k), slab.end(k));
+      for (NpvEntry& entry : hay.entries) {
+        entry.count += static_cast<int32_t>(rng.UniformInt(0, 2));
+      }
+      for (int extra = 0; extra < 4; ++extra) {
+        const NpvEntry fresh{
+            static_cast<DimId>(rng.UniformInt(0, remap.num_dims() - 1)),
+            static_cast<int32_t>(rng.UniformInt(1, 6))};
+        auto it = std::lower_bound(
+            hay.entries.begin(), hay.entries.end(), fresh,
+            [](const NpvEntry& a, const NpvEntry& b) { return a.dim < b.dim; });
+        if (it == hay.entries.end() || it->dim != fresh.dim) {
+          hay.entries.insert(it, fresh);
+        }
+      }
+      hay.sig = SignatureOf(hay.entries.data(),
+                            hay.entries.data() + hay.entries.size());
+    } else {
+      const int hay_nnz = h % 3 == 0 ? nnz : std::min(dims, nnz * 8);
+      hay.sig =
+          remap.Translate(RandomNpv(rng, dims, hay_nnz, 6), &hay.entries);
+    }
+    pool.push_back(std::move(hay));
+  }
+
+  std::vector<DominanceIsa> isas;
+  for (int i = 0; i < kNumDominanceIsas; ++i) {
+    const DominanceIsa isa = static_cast<DominanceIsa>(i);
+    if (DominanceIsaSupported(isa)) isas.push_back(isa);
+  }
+
+  // Differential phase (untimed): every ISA against scalar, on every hay.
+  DominanceBatch scalar(DominanceIsa::kScalar);
+  scalar.Bind(slab, remap.num_dims());
+  for (const DominanceIsa isa : isas) {
+    if (isa == DominanceIsa::kScalar) continue;
+    DominanceBatch batch(isa);
+    batch.Bind(slab, remap.num_dims());
+    for (const Hay& hay : pool) {
+      const NpvEntry* const begin = hay.entries.data();
+      const NpvEntry* const end = begin + hay.entries.size();
+      DominanceKernelStats ref_stats, isa_stats;
+      scalar.ComputeMask(begin, end, hay.sig, &ref_stats);
+      batch.ComputeMask(begin, end, hay.sig, &isa_stats);
+      bool diverged = ref_stats.tests != isa_stats.tests ||
+                      ref_stats.sig_rejects != isa_stats.sig_rejects;
+      scalar.ComputeCounts(begin, end, &ref_stats);
+      batch.ComputeCounts(begin, end, &isa_stats);
+      for (int32_t k = 0; k < slab.size(); ++k) {
+        diverged = diverged || scalar.Dominated(k) != batch.Dominated(k) ||
+                   scalar.SatisfiedCount(k) != batch.SatisfiedCount(k);
+      }
+      if (diverged) {
+        std::fprintf(stderr,
+                     "micro_join --kernel: %s diverges from scalar\n",
+                     DominanceIsaName(isa));
+        std::exit(1);
+      }
+    }
+  }
+
+  // Timed phase: per ISA, sweep the hay pool `passes` times.
+  PrintHeader("micro_join kernel (slab=" + std::to_string(slab.size()) +
+              " dims=" + std::to_string(remap.num_dims()) + " hays=" +
+              std::to_string(hays) + " passes=" + std::to_string(passes) +
+              " active=" + DominanceIsaName(ActiveDominanceIsa()) + ")");
+  const std::vector<std::string> columns = {"value"};
+  for (const DominanceIsa isa : isas) {
+    DominanceBatch batch(isa);
+    batch.Bind(slab, remap.num_dims());
+    DominanceKernelStats stats;
+    Stopwatch watch;
+    watch.Restart();
+    for (int p = 0; p < passes; ++p) {
+      for (const Hay& hay : pool) {
+        batch.ComputeMask(hay.entries.data(),
+                          hay.entries.data() + hay.entries.size(), hay.sig,
+                          &stats);
+      }
+    }
+    const double seconds = watch.ElapsedMicros() / 1e6;
+    KeepAlive(stats.tests);
+    // One probe = one (hay, needle) dominance decision, whether it was
+    // resolved by the signature or by the compare pass.
+    const double probes =
+        static_cast<double>(stats.tests + stats.sig_rejects);
+    const double probes_per_sec = probes / seconds;
+    const std::string name = std::string("kernel_") + DominanceIsaName(isa);
+    PrintRow(name + "_tests_per_sec", {probes_per_sec}, columns);
+    EmitBenchJson(
+        "micro_join", name,
+        {{"slab_vectors", static_cast<double>(slab.size())},
+         {"dims", static_cast<double>(remap.num_dims())},
+         {"hays", static_cast<double>(hays)},
+         {"passes", static_cast<double>(passes)},
+         {"batches", static_cast<double>(stats.batches)},
+         {"dominance_tests", static_cast<double>(stats.tests)},
+         {"signature_rejects", static_cast<double>(stats.sig_rejects)},
+         {"seconds", seconds},
+         {"dominance_tests_per_sec", probes_per_sec},
+         {"active", isa == ActiveDominanceIsa() ? 1.0 : 0.0}});
+  }
+}
+
 void Run(const Flags& flags) {
   const Workload w = MakeVectorWorkload(
       flags.GetInt("queries", 40), flags.GetInt("qvecs", 8),
       flags.GetInt("stream_vertices", 60), flags.GetInt("streams", 4),
       flags.GetInt("dims", 64), flags.GetInt("nnz", 3),
       flags.GetUint64("seed", 9));
+  if (flags.GetBool("kernel", false)) {
+    RunKernelAblation(w, flags);
+    return;
+  }
   for (const JoinKind kind :
        {JoinKind::kNestedLoop, JoinKind::kDominatedSetCover,
         JoinKind::kSkylineEarlyStop}) {

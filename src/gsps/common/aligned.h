@@ -1,0 +1,50 @@
+// Over-aligned storage for SIMD-swept arrays.
+//
+// AlignedAllocator is a minimal std::allocator replacement that hands out
+// blocks aligned to `Alignment` bytes via the aligned operator new overloads
+// (C++17 std::align_val_t). std::vector instantiated with it keeps its usual
+// semantics; only the buffer's base address changes. Used by the NPV slab
+// and the dominance kernel's lane-major blocks so vector loads start on a
+// cache line and never split it.
+
+#ifndef GSPS_COMMON_ALIGNED_H_
+#define GSPS_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+
+namespace gsps {
+
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two no weaker than alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace gsps
+
+#endif  // GSPS_COMMON_ALIGNED_H_

@@ -1,0 +1,75 @@
+// AVX-512 passes of the dominance kernel (AVX512F only — gathers, 64-bit
+// test-against-zero, and epi32 compares into mask registers). Compiled with
+// -mavx512f (see src/CMakeLists.txt); only called after runtime dispatch
+// confirms CPU support. Layout contract: dominance_kernel_isa.h.
+
+#include "gsps/join/dominance_kernel_isa.h"
+
+#if defined(GSPS_DOMINANCE_HAVE_AVX512)
+
+#include <immintrin.h>
+
+namespace gsps::kernel_detail {
+
+void SigPassAvx512(const NpvSignature* sigs, int32_t n_padded,
+                   NpvSignature hay_sig, uint64_t* accept_words) {
+  uint8_t* out = reinterpret_cast<uint8_t*>(accept_words);
+  const __m512i nothay = _mm512_set1_epi64(static_cast<long long>(~hay_sig));
+  for (int32_t i = 0; i < n_padded; i += 8) {
+    const __m512i s = _mm512_load_si512(sigs + i);
+    // Accept lane iff (sig & ~hay) == 0.
+    out[i / 8] = static_cast<uint8_t>(_mm512_testn_epi64_mask(s, nothay));
+  }
+}
+
+void MaskPassAvx512(const DominanceBlockLayout& layout, const int32_t* dense,
+                    const uint64_t* accept_words, uint64_t* mask_words) {
+  const uint16_t* accept = reinterpret_cast<const uint16_t*>(accept_words);
+  uint16_t* mask = reinterpret_cast<uint16_t*>(mask_words);
+  for (int32_t b = 0; b < layout.num_blocks; ++b) {
+    if (accept[b] == 0) {  // Whole block signature-rejected: not dominated.
+      mask[b] = 0;
+      continue;
+    }
+    const int32_t base = layout.block_offset[static_cast<size_t>(b)];
+    const int32_t slots = layout.block_slots[static_cast<size_t>(b)];
+    __mmask16 fail = 0;
+    for (int32_t s = 0; s < slots; ++s) {
+      const int32_t off = base + s * 16;
+      const __m512i d = _mm512_load_si512(layout.dims.data() + off);
+      const __m512i c = _mm512_load_si512(layout.counts.data() + off);
+      // Full-mask gather with a zeroed source: same cost as the plain form,
+      // but avoids gcc's undefined-__m512i idiom (-Wmaybe-uninitialized).
+      const __m512i v = _mm512_mask_i32gather_epi32(
+          _mm512_setzero_si512(), 0xFFFF, d, dense, 4);
+      fail |= _mm512_cmpgt_epi32_mask(c, v);
+    }
+    mask[b] = static_cast<uint16_t>(~fail);
+  }
+}
+
+void CountPassAvx512(const DominanceBlockLayout& layout, const int32_t* dense,
+                     int32_t* counts) {
+  const __m512i one = _mm512_set1_epi32(1);
+  for (int32_t b = 0; b < layout.num_blocks; ++b) {
+    const int32_t base = layout.block_offset[static_cast<size_t>(b)];
+    const int32_t slots = layout.block_slots[static_cast<size_t>(b)];
+    __m512i fails = _mm512_setzero_si512();
+    for (int32_t s = 0; s < slots; ++s) {
+      const int32_t off = base + s * 16;
+      const __m512i d = _mm512_load_si512(layout.dims.data() + off);
+      const __m512i c = _mm512_load_si512(layout.counts.data() + off);
+      const __m512i v = _mm512_mask_i32gather_epi32(
+          _mm512_setzero_si512(), 0xFFFF, d, dense, 4);
+      const __mmask16 f = _mm512_cmpgt_epi32_mask(c, v);
+      fails = _mm512_mask_add_epi32(fails, f, fails, one);
+    }
+    // Padding slots never fail; phantom lanes have nnz 0 and 0 fails.
+    const __m512i nnz = _mm512_load_si512(layout.nnz.data() + b * 16);
+    _mm512_store_si512(counts + b * 16, _mm512_sub_epi32(nnz, fails));
+  }
+}
+
+}  // namespace gsps::kernel_detail
+
+#endif  // GSPS_DOMINANCE_HAVE_AVX512

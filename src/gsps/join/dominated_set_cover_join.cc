@@ -31,6 +31,8 @@ void DominatedSetCoverJoin::SetQueries(std::vector<QueryVectors> queries) {
       ++tracked;
       // Query dims are all registered, so translation is lossless.
       remap_.Translate(vector, &translated);
+      qvecs_.Append(translated);
+      slab_qvec_.push_back(qvec);
       for (const NpvEntry& entry : translated) {
         dim_lists_[static_cast<size_t>(entry.dim)].push_back(
             DimEntry{entry.count, qvec});
@@ -45,6 +47,7 @@ void DominatedSetCoverJoin::SetQueries(std::vector<QueryVectors> queries) {
                 return a.value < b.value;
               });
   }
+  batch_.Bind(qvecs_, remap_.num_dims());
 }
 
 void DominatedSetCoverJoin::SetNumStreams(int num_streams) {
@@ -65,6 +68,30 @@ void DominatedSetCoverJoin::UpdateStreamVertex(int stream_index, VertexId v,
     if (++stream.live_vertices == 1) stream.cache_valid = false;
   }
   remap_.Translate(npv, &translate_scratch_);
+  if (vertex.entries.empty() && !translate_scratch_.empty() &&
+      qvecs_.size() > 0) {
+    // Bulk insert: every dominant counter of this vertex is zero (fresh
+    // vertex, or all prior contributions retracted), so one count-mode
+    // kernel sweep produces them all — SatisfiedCount(k) is exactly the
+    // counter the per-dimension AdjustRange walks would have accumulated
+    // from zero.
+    batch_.ComputeCounts(
+        translate_scratch_.data(),
+        translate_scratch_.data() + translate_scratch_.size(),
+        &pending_kernel_);
+    for (int32_t k = 0; k < qvecs_.size(); ++k) {
+      const int32_t satisfied = batch_.SatisfiedCount(k);
+      if (satisfied == 0) continue;
+      const QVec qvec = slab_qvec_[static_cast<size_t>(k)];
+      vertex.dominant[qvec] = satisfied;
+      if (satisfied == qvec_nnz_[static_cast<size_t>(qvec)]) {
+        SetDominates(stream, qvec, true);
+      }
+    }
+    vertex.entries.assign(translate_scratch_.begin(),
+                          translate_scratch_.end());
+    return;
+  }
   // Incremental position update (the paper's Fig. 8 maintenance): only the
   // dimensions whose value moved contribute counter adjustments, and within
   // a dimension only the query entries between the old and new position.
@@ -130,8 +157,15 @@ void DominatedSetCoverJoin::CandidatesForStream(int stream_index,
   GSPS_OBS_COUNT(Counter::kJoinPairsOut, static_cast<int64_t>(out->size()));
   GSPS_OBS_COUNT(Counter::kJoinSetCoverRounds, pending_rounds_);
   GSPS_OBS_COUNT(Counter::kJoinSetCoverFlips, pending_flips_);
+  GSPS_OBS_COUNT(Counter::kJoinDominanceTests, pending_kernel_.tests);
+  if constexpr (obs::kEnabled) {
+    if (obs::MetricSink* sink = obs::CurrentSink(); sink != nullptr) {
+      sink->Add(batch_.batch_counter(), pending_kernel_.batches);
+    }
+  }
   pending_rounds_ = 0;
   pending_flips_ = 0;
+  pending_kernel_ = DominanceKernelStats{};
 }
 
 void DominatedSetCoverJoin::Apply(StreamState& stream,

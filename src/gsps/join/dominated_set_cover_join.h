@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gsps/join/dominance_kernel.h"
 #include "gsps/join/join_strategy.h"
 
 namespace gsps {
@@ -102,6 +103,13 @@ class DominatedSetCoverJoin final : public JoinStrategy {
   // per-dimension sorted lists), indexed directly by dense dim id.
   NpvDimRemap remap_;
   std::vector<std::vector<DimEntry>> dim_lists_;
+  // Slab mirror of the non-trivial query vectors, consumed by the batched
+  // dominance kernel in count mode when a vertex arrives with no prior
+  // entries (bulk insert): counters start from zero, so one kernel sweep
+  // yields every dominant counter without walking the dimension lists.
+  NpvSlab qvecs_;
+  std::vector<QVec> slab_qvec_;  // Slab index -> global qvec id.
+  DominanceBatch batch_;
 
   std::vector<StreamState> streams_;
   std::vector<NpvEntry> translate_scratch_;
@@ -113,6 +121,7 @@ class DominatedSetCoverJoin final : public JoinStrategy {
   // if no candidate read ever follows the updates.
   int64_t pending_rounds_ = 0;
   int64_t pending_flips_ = 0;
+  DominanceKernelStats pending_kernel_;
 };
 
 }  // namespace gsps

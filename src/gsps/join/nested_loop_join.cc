@@ -31,6 +31,7 @@ void NestedLoopJoin::SetQueries(std::vector<QueryVectors> queries) {
     query_tracked_vectors_.push_back(tracked);
     query_trivial_vectors_.push_back(trivial);
   }
+  batch_.Bind(qvecs_, remap_.num_dims());
 }
 
 void NestedLoopJoin::SetNumStreams(int num_streams) {
@@ -56,13 +57,14 @@ void NestedLoopJoin::UpdateStreamVertex(int stream_index, VertexId v,
   vertex.dominated.clear();
   const NpvEntry* const begin = vertex.entries.data();
   const NpvEntry* const end = begin + vertex.entries.size();
-  for (int32_t k = 0; k < qvecs_.size(); ++k) {
-    if (!SignatureCovers(vertex.sig, qvecs_.signature(k))) {
-      ++pending_rejects_;
-      continue;
-    }
-    ++pending_tests_;
-    if (DominatesRange(begin, end, qvecs_.begin(k), qvecs_.end(k))) {
+  batch_.ComputeMask(begin, end, vertex.sig, &pending_kernel_);
+  const std::vector<uint64_t>& mask = batch_.mask_words();
+  for (size_t w = 0; w < mask.size(); ++w) {
+    uint64_t word = mask[w];
+    while (word != 0) {
+      const int32_t k = static_cast<int32_t>(
+          w * 64 + static_cast<size_t>(__builtin_ctzll(word)));
+      word &= word - 1;
       vertex.dominated.push_back(k);
       if (stream.cover_count[static_cast<size_t>(k)]++ == 0) {
         ++stream.covered_vectors[static_cast<size_t>(qvec_query_[k])];
@@ -108,10 +110,14 @@ void NestedLoopJoin::CandidatesForStream(int stream_index,
   out->assign(stream.cache.begin(), stream.cache.end());
   GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(num_queries_));
   GSPS_OBS_COUNT(Counter::kJoinPairsOut, static_cast<int64_t>(out->size()));
-  GSPS_OBS_COUNT(Counter::kJoinDominanceTests, pending_tests_);
-  GSPS_OBS_COUNT(Counter::kJoinSignatureRejects, pending_rejects_);
-  pending_tests_ = 0;
-  pending_rejects_ = 0;
+  GSPS_OBS_COUNT(Counter::kJoinDominanceTests, pending_kernel_.tests);
+  GSPS_OBS_COUNT(Counter::kJoinSignatureRejects, pending_kernel_.sig_rejects);
+  if constexpr (obs::kEnabled) {
+    if (obs::MetricSink* sink = obs::CurrentSink(); sink != nullptr) {
+      sink->Add(batch_.batch_counter(), pending_kernel_.batches);
+    }
+  }
+  pending_kernel_ = DominanceKernelStats{};
 }
 
 void NestedLoopJoin::Retract(StreamState& stream, VertexState& vertex) {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gsps/join/dominance_kernel.h"
 #include "gsps/join/join_strategy.h"
 
 namespace gsps {
@@ -64,6 +65,9 @@ class NestedLoopJoin final : public JoinStrategy {
   // owning query graph.
   NpvDimRemap remap_;
   NpvSlab qvecs_;
+  // Batched dominance kernel bound to qvecs_ at SetQueries; one
+  // ComputeMask per vertex update replaces the per-vector scan.
+  DominanceBatch batch_;
   std::vector<int32_t> qvec_query_;
   // Per query graph: number of non-trivial / trivial (nnz == 0) vectors. A
   // trivial vector is dominated by any stream vertex, so it is covered
@@ -75,9 +79,9 @@ class NestedLoopJoin final : public JoinStrategy {
   std::vector<StreamState> streams_;
 
   // Observability accumulators (see the note in dominated_set_cover_join.h):
-  // bumped in the update loops, flushed once per CandidatesForStream.
-  int64_t pending_tests_ = 0;
-  int64_t pending_rejects_ = 0;
+  // bumped by the kernel in the update loops, flushed once per
+  // CandidatesForStream.
+  DominanceKernelStats pending_kernel_;
 };
 
 }  // namespace gsps

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "gsps/common/check.h"
+#include "gsps/join/dominance_kernel.h"
 #include "gsps/obs/obs.h"
 
 namespace gsps {
@@ -15,6 +16,7 @@ void SkylineEarlyStopJoin::SetQueries(std::vector<QueryVectors> queries) {
   }
   remap_.Seal();
   plans_.reserve(queries.size());
+  DominanceKernelStats build_kernel_stats;
   for (QueryVectors& query : queries) {
     QueryPlan plan;
     plan.empty_query = query.vectors.empty();
@@ -31,20 +33,42 @@ void SkylineEarlyStopJoin::SetQueries(std::vector<QueryVectors> queries) {
       }
     }
     // Monochromatic skyline: keep vectors not dominated by a distinct other.
-    // Count how many vectors each skyline point dominates for ordering.
+    // Count how many vectors each skyline point dominates for ordering. The
+    // batched kernel produces one dominated-row bitset per vector; vector i
+    // is maximal iff no other row has bit i set (colset sweep), and its
+    // dominated count is its row's popcount minus the self bit. Distinct
+    // vectors never mutually dominate, so this matches the pairwise scan.
     std::vector<std::pair<int32_t, size_t>> order;  // (-dominated_count, idx)
-    for (size_t i = 0; i < distinct.size(); ++i) {
-      bool maximal = true;
-      int32_t dominated = 0;
-      for (size_t k = 0; k < distinct.size(); ++k) {
-        if (i == k) continue;
-        if (distinct[k].Dominates(distinct[i])) {
-          maximal = false;
-          break;
-        }
-        if (distinct[i].Dominates(distinct[k])) ++dominated;
+    if (!distinct.empty()) {
+      NpvSlab dslab;
+      for (const Npv& vector : distinct) {
+        remap_.Translate(vector, &translate_scratch_);
+        dslab.Append(translate_scratch_);
       }
-      if (maximal) order.emplace_back(-dominated, i);
+      DominanceBatch dbatch;
+      dbatch.Bind(dslab, remap_.num_dims());
+      const size_t words = (distinct.size() + 63) / 64;
+      std::vector<uint64_t> row(words, 0);
+      std::vector<uint64_t> colset(words, 0);
+      std::vector<int32_t> dom_count(distinct.size(), 0);
+      for (size_t i = 0; i < distinct.size(); ++i) {
+        const int32_t k = static_cast<int32_t>(i);
+        dbatch.ComputeMask(dslab.begin(k), dslab.end(k), dslab.signature(k),
+                           &build_kernel_stats);
+        int64_t dominated = 0;
+        for (size_t w = 0; w < words; ++w) {
+          row[w] = dbatch.mask_words()[w];
+          dominated += __builtin_popcountll(row[w]);
+        }
+        dom_count[i] = static_cast<int32_t>(dominated - 1);  // Self bit.
+        row[i / 64] &= ~(uint64_t{1} << (i % 64));
+        for (size_t w = 0; w < words; ++w) colset[w] |= row[w];
+      }
+      for (size_t i = 0; i < distinct.size(); ++i) {
+        const bool maximal =
+            ((colset[i / 64] >> (i % 64)) & 1u) == 0;
+        if (maximal) order.emplace_back(-dom_count[i], i);
+      }
     }
     std::sort(order.begin(), order.end());
     plan.points.reserve(order.size());
@@ -57,6 +81,17 @@ void SkylineEarlyStopJoin::SetQueries(std::vector<QueryVectors> queries) {
       plan.union_sig |= points_.signature(point);
     }
     plans_.push_back(std::move(plan));
+  }
+  // Flushed here rather than deferred: SetQueries runs once at setup, and
+  // keeping build-time kernel activity out of the per-refresh accumulators
+  // preserves the steady-state per-refresh counter semantics.
+  GSPS_OBS_COUNT(Counter::kJoinDominanceTests, build_kernel_stats.tests);
+  GSPS_OBS_COUNT(Counter::kJoinSignatureRejects, build_kernel_stats.sig_rejects);
+  if constexpr (obs::kEnabled) {
+    if (obs::MetricSink* sink = obs::CurrentSink(); sink != nullptr) {
+      sink->Add(DominanceBatchCounter(ActiveDominanceIsa()),
+                build_kernel_stats.batches);
+    }
   }
 }
 

@@ -110,14 +110,44 @@ NpvSignature NpvDimRemap::Translate(const Npv& npv,
 }
 
 int32_t NpvSlab::Append(const std::vector<NpvEntry>& entries) {
+  // Drop the previous tail padding so real entries stay back-to-back, then
+  // re-pad both arrays: entries with {0, 0} sentinels (a zero count passes
+  // every dominance compare), signatures with all-ones sentinels.
+  entries_.resize(static_cast<size_t>(num_entries_));
+  sigs_.resize(refs_.size());
   Ref ref;
-  ref.offset = static_cast<int32_t>(entries_.size());
+  ref.offset = num_entries_;
   ref.size = static_cast<int32_t>(entries.size());
   entries_.insert(entries_.end(), entries.begin(), entries.end());
-  ref.sig = SignatureOf(entries_.data() + ref.offset,
-                        entries_.data() + ref.offset + ref.size);
+  num_entries_ += ref.size;
+  sigs_.push_back(SignatureOf(entries_.data() + ref.offset,
+                              entries_.data() + ref.offset + ref.size));
   refs_.push_back(ref);
+  const size_t padded_entries =
+      (entries_.size() + kNpvSlabEntryPad - 1) / kNpvSlabEntryPad *
+      kNpvSlabEntryPad;
+  entries_.resize(padded_entries, NpvEntry{0, 0});
+  const size_t padded_sigs =
+      (sigs_.size() + kNpvSlabSigPad - 1) / kNpvSlabSigPad * kNpvSlabSigPad;
+  sigs_.resize(padded_sigs, ~NpvSignature{0});
   return static_cast<int32_t>(refs_.size()) - 1;
+}
+
+void NpvSlab::CheckKernelLayout() const {
+  GSPS_CHECK(reinterpret_cast<uintptr_t>(entries_.data()) %
+                 kNpvSlabAlignment ==
+             0);
+  GSPS_CHECK(reinterpret_cast<uintptr_t>(sigs_.data()) % kNpvSlabAlignment ==
+             0);
+  GSPS_CHECK(entries_.size() % kNpvSlabEntryPad == 0);
+  GSPS_CHECK(sigs_.size() % kNpvSlabSigPad == 0);
+  for (size_t i = static_cast<size_t>(num_entries_); i < entries_.size();
+       ++i) {
+    GSPS_CHECK(entries_[i].dim == 0 && entries_[i].count == 0);
+  }
+  for (size_t i = refs_.size(); i < sigs_.size(); ++i) {
+    GSPS_CHECK(sigs_[i] == ~NpvSignature{0});
+  }
 }
 
 }  // namespace gsps

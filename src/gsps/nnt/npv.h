@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gsps/common/aligned.h"
 #include "gsps/nnt/dimension.h"
 
 namespace gsps {
@@ -133,13 +134,33 @@ class NpvDimRemap {
   bool sealed_ = false;
 };
 
+// Alignment contract of the slab arrays (see DESIGN.md "Dominance kernel"):
+// both the entry array and the signature array start on a 64-byte boundary
+// and carry sentinel tail padding, so a vector lane that starts at the last
+// real element reads sentinels, never unowned memory.
+inline constexpr std::size_t kNpvSlabAlignment = 64;
+// Entry array padded to a multiple of 16 entries with {dim 0, count 0}
+// sentinels (a zero count can never fail a dominance compare).
+inline constexpr int32_t kNpvSlabEntryPad = 16;
+// Signature array padded to a multiple of 8 lanes with all-ones sentinels
+// (an all-ones signature is never covered unless the hay covers everything;
+// kernel consumers additionally mask out the phantom lanes).
+inline constexpr int32_t kNpvSlabSigPad = 8;
+
+using NpvEntryVector =
+    std::vector<NpvEntry, AlignedAllocator<NpvEntry, kNpvSlabAlignment>>;
+using NpvSignatureVector =
+    std::vector<NpvSignature, AlignedAllocator<NpvSignature, kNpvSlabAlignment>>;
+
 // Many sparse vectors stored back-to-back in one contiguous entry array,
 // each with its signature at hand: the join strategies' cache-resident
-// query-side layout.
+// query-side layout, and the memory the dominance kernel sweeps. Real
+// entries stay back-to-back; padding exists only past the last vector.
 class NpvSlab {
  public:
   // Appends a vector (entries sorted ascending by dim) and returns its
-  // index.
+  // index. Re-establishes the tail padding, so the slab is kernel-ready
+  // after every append.
   int32_t Append(const std::vector<NpvEntry>& entries);
 
   int32_t size() const { return static_cast<int32_t>(refs_.size()); }
@@ -153,16 +174,28 @@ class NpvSlab {
   }
   int32_t nnz(int32_t i) const { return refs_[static_cast<size_t>(i)].size; }
   NpvSignature signature(int32_t i) const {
-    return refs_[static_cast<size_t>(i)].sig;
+    return sigs_[static_cast<size_t>(i)];
   }
+
+  // Raw padded arrays for the dominance kernel's vector sweeps.
+  const NpvEntry* entry_data() const { return entries_.data(); }
+  int32_t num_entries() const { return num_entries_; }
+  int32_t padded_entries() const { return static_cast<int32_t>(entries_.size()); }
+  const NpvSignature* sig_data() const { return sigs_.data(); }
+  int32_t padded_sigs() const { return static_cast<int32_t>(sigs_.size()); }
+
+  // Validates the alignment/padding contract above; called by the kernel at
+  // bind time in sanitizer builds.
+  void CheckKernelLayout() const;
 
  private:
   struct Ref {
     int32_t offset = 0;
     int32_t size = 0;
-    NpvSignature sig = 0;
   };
-  std::vector<NpvEntry> entries_;
+  NpvEntryVector entries_;  // [0, num_entries_) real, then sentinels.
+  int32_t num_entries_ = 0;
+  NpvSignatureVector sigs_;  // [0, size()) real, then sentinels.
   std::vector<Ref> refs_;
 };
 

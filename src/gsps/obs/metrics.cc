@@ -25,6 +25,9 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "gsps_join_pairs_out",
     "gsps_join_verdicts_reused",
     "gsps_join_signature_rejects",
+    "gsps_dominance_batches_scalar",
+    "gsps_dominance_batches_avx2",
+    "gsps_dominance_batches_avx512",
     "gsps_tracker_observations",
     "gsps_tracker_appeared",
     "gsps_tracker_disappeared",

@@ -55,6 +55,12 @@ enum class Counter : int {
                            // the last refresh).
   kJoinSignatureRejects,   // Dominance pairs rejected by the 64-bit non-zero
                            // dimension signature before any entry merge.
+  // Dominance kernel dispatch (join/dominance_kernel.cc). One batch = one
+  // hay NPV tested against a whole bound slab; the split by ISA makes the
+  // runtime dispatch decision observable.
+  kDominanceBatchesScalar,
+  kDominanceBatchesAvx2,
+  kDominanceBatchesAvx512,
   // Candidate transition tracking (engine/candidate_tracker.cc).
   kTrackerObservations,
   kTrackerAppeared,
