@@ -1,10 +1,12 @@
 #include "gsps/engine/continuous_query_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "gsps/common/check.h"
 #include "gsps/iso/subgraph_isomorphism.h"
 #include "gsps/join/dominance.h"
+#include "gsps/obs/obs.h"
 
 namespace gsps {
 
@@ -73,6 +75,9 @@ void ContinuousQueryEngine::CandidatesForStream(int stream,
   for (const int local : local_scratch_) {
     out->push_back(strategy_to_engine_[static_cast<size_t>(local)]);
   }
+  // Slot reuse makes the local->engine map non-monotonic, so the mapped
+  // list must be re-sorted to keep the "ascending" contract.
+  std::sort(out->begin(), out->end());
 }
 
 std::vector<std::pair<int, int>> ContinuousQueryEngine::AllCandidatePairs() {
@@ -86,9 +91,9 @@ void ContinuousQueryEngine::AllCandidatePairs(
   GSPS_CHECK(started_);
   out->clear();
   for (int i = 0; i < num_streams(); ++i) {
-    strategy_->CandidatesForStream(i, &local_scratch_);
-    for (const int local : local_scratch_) {
-      out->emplace_back(i, strategy_to_engine_[static_cast<size_t>(local)]);
+    CandidatesForStream(i, &mapped_scratch_);
+    for (const int engine_id : mapped_scratch_) {
+      out->emplace_back(i, engine_id);
     }
   }
 }
@@ -98,8 +103,14 @@ std::vector<int> ContinuousQueryEngine::RecomputeCandidatesFromScratch(
   GSPS_CHECK(started_);
   std::unique_ptr<JoinStrategy> fresh = MakeJoinStrategy(options_.join_kind);
   std::vector<QueryVectors> vectors;
-  for (const QueryState& query : queries_) {
-    if (!query.retired) vectors.push_back(query.vectors);
+  // The fresh strategy numbers queries 0..n-1 in engine-ascending order,
+  // which need not match the churned strategy's slot assignment — map
+  // through a local table, never through strategy_to_engine_.
+  std::vector<int> fresh_to_engine;
+  for (size_t j = 0; j < queries_.size(); ++j) {
+    if (queries_[j].retired) continue;
+    vectors.push_back(queries_[j].vectors);
+    fresh_to_engine.push_back(static_cast<int>(j));
   }
   fresh->SetQueries(std::move(vectors));
   fresh->SetNumStreams(num_streams());
@@ -109,7 +120,7 @@ std::vector<int> ContinuousQueryEngine::RecomputeCandidatesFromScratch(
   }
   std::vector<int> mapped;
   for (const int local : fresh->CandidatesForStream(stream_index)) {
-    mapped.push_back(strategy_to_engine_[static_cast<size_t>(local)]);
+    mapped.push_back(fresh_to_engine[static_cast<size_t>(local)]);
   }
   return mapped;
 }
@@ -121,15 +132,88 @@ bool ContinuousQueryEngine::VerifyCandidate(int stream, int query) const {
 
 int ContinuousQueryEngine::AddQueryDynamic(const Graph& query) {
   GSPS_CHECK(started_);
-  queries_.push_back(QueryState{query, ComputeQueryVectors(query), false});
-  RebuildStrategy();
-  return static_cast<int>(queries_.size()) - 1;
+  QueryVectors vectors = ComputeQueryVectors(query);
+  bool grew_dims = false;
+  const int32_t local = strategy_->AddQuery(vectors, &grew_dims);
+  int engine_id;
+  if (!free_query_slots_.empty()) {
+    engine_id = free_query_slots_.back();
+    free_query_slots_.pop_back();
+    QueryState& state = queries_[static_cast<size_t>(engine_id)];
+    state.graph = query;
+    state.vectors = std::move(vectors);
+    state.retired = false;
+  } else {
+    engine_id = static_cast<int>(queries_.size());
+    queries_.push_back(QueryState{query, std::move(vectors), false});
+  }
+  if (static_cast<size_t>(local) == strategy_to_engine_.size()) {
+    strategy_to_engine_.push_back(engine_id);
+  } else {
+    strategy_to_engine_[static_cast<size_t>(local)] = engine_id;
+  }
+  if (static_cast<size_t>(engine_id) == engine_to_strategy_.size()) {
+    engine_to_strategy_.push_back(local);
+  } else {
+    engine_to_strategy_[static_cast<size_t>(engine_id)] = local;
+  }
+  ++num_active_queries_;
+  GSPS_OBS_GAUGE_SET(Gauge::kQueriesActive, num_active_queries_);
+  if (grew_dims) {
+    // The strategy renumbered its dense dimension space; replay every
+    // stream vertex so its translated entries use the new ids. Drain the
+    // dirty set first so the next incremental flush starts clean.
+    for (int i = 0; i < num_streams(); ++i) {
+      StreamState& stream = streams_[static_cast<size_t>(i)];
+      stream.nnts->TakeDirtyRoots(&dirty_scratch_);
+      for (const VertexId root : stream.nnts->Roots()) {
+        strategy_->UpdateStreamVertex(i, root, stream.nnts->NpvOf(root));
+      }
+    }
+  }
+  return engine_id;
 }
 
 void ContinuousQueryEngine::RemoveQueryDynamic(int query) {
   GSPS_CHECK(started_);
-  queries_[static_cast<size_t>(query)].retired = true;
-  RebuildStrategy();
+  GSPS_CHECK_MSG(query >= 0 && query < static_cast<int>(queries_.size()),
+                 "RemoveQueryDynamic: query id out of range");
+  QueryState& state = queries_[static_cast<size_t>(query)];
+  GSPS_CHECK_MSG(!state.retired,
+                 "RemoveQueryDynamic: query was already removed");
+  strategy_->RemoveQuery(engine_to_strategy_[static_cast<size_t>(query)]);
+  engine_to_strategy_[static_cast<size_t>(query)] = -1;
+  state.retired = true;
+  free_query_slots_.push_back(query);
+  --num_active_queries_;
+  GSPS_OBS_GAUGE_SET(Gauge::kQueriesActive, num_active_queries_);
+}
+
+bool ContinuousQueryEngine::IsQueryRetired(int query) const {
+  GSPS_CHECK(query >= 0 && query < static_cast<int>(queries_.size()));
+  return queries_[static_cast<size_t>(query)].retired;
+}
+
+void ContinuousQueryEngine::CheckChurnInvariants() const {
+  GSPS_CHECK(started_);
+  strategy_->CheckChurnInvariants();
+  GSPS_CHECK(engine_to_strategy_.size() == queries_.size());
+  int active = 0;
+  for (size_t j = 0; j < queries_.size(); ++j) {
+    const int local = engine_to_strategy_[j];
+    if (queries_[j].retired) {
+      GSPS_CHECK(local == -1);
+      continue;
+    }
+    ++active;
+    GSPS_CHECK(local >= 0 &&
+               local < static_cast<int>(strategy_to_engine_.size()));
+    GSPS_CHECK(strategy_to_engine_[static_cast<size_t>(local)] ==
+               static_cast<int>(j));
+  }
+  GSPS_CHECK(active == num_active_queries_);
+  GSPS_CHECK(static_cast<int>(free_query_slots_.size()) ==
+             static_cast<int>(queries_.size()) - num_active_queries_);
 }
 
 const Graph& ContinuousQueryEngine::StreamGraph(int stream) const {
@@ -148,12 +232,20 @@ const NntSet& ContinuousQueryEngine::StreamNnts(int stream) const {
 void ContinuousQueryEngine::RebuildStrategy() {
   strategy_ = MakeJoinStrategy(options_.join_kind);
   strategy_to_engine_.clear();
+  engine_to_strategy_.assign(queries_.size(), -1);
+  free_query_slots_.clear();
   std::vector<QueryVectors> vectors;
   for (size_t j = 0; j < queries_.size(); ++j) {
-    if (queries_[j].retired) continue;
+    if (queries_[j].retired) {
+      free_query_slots_.push_back(static_cast<int>(j));
+      continue;
+    }
+    engine_to_strategy_[j] = static_cast<int>(vectors.size());
     vectors.push_back(queries_[j].vectors);
     strategy_to_engine_.push_back(static_cast<int>(j));
   }
+  num_active_queries_ = static_cast<int>(strategy_to_engine_.size());
+  GSPS_OBS_GAUGE_SET(Gauge::kQueriesActive, num_active_queries_);
   strategy_->SetQueries(std::move(vectors));
   strategy_->SetNumStreams(num_streams());
   for (int i = 0; i < num_streams(); ++i) {

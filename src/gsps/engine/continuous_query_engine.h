@@ -89,17 +89,35 @@ class ContinuousQueryEngine {
 
   // --- Dynamic queries (extension; the paper leaves these as future work) ---
 
-  // Registers a new query while streaming. Rebuilds the join strategy's
-  // query-side state (queries change rarely relative to stream updates).
+  // Registers a new query while streaming, incrementally: the join
+  // strategy's slotted AddQuery folds the new vectors into its existing
+  // state (no rebuild). Returns the engine id — the most recently retired
+  // slot when one is free, a fresh index otherwise. When
+  // the new query introduces dimensions no prior query used, every stream
+  // vertex is replayed through the strategy once (the dense dim space was
+  // renumbered); otherwise the cost is proportional to the new query alone.
   int AddQueryDynamic(const Graph& query);
 
-  // Removes a query; its index is retired and never reported again.
+  // Retires a query in place: its slab rows, signatures and per-stream
+  // bookkeeping are freed inside the strategy, and the engine slot becomes
+  // reusable by a later AddQueryDynamic. Checks (GSPS_CHECK) that `query`
+  // is in range and not already removed.
   void RemoveQueryDynamic(int query);
+
+  // True when `query` has been removed. Checks that `query` is in range.
+  bool IsQueryRetired(int query) const;
+
+  // Asserts the full churn-invariant battery of the underlying strategy
+  // plus the engine's own slot maps. Test/fuzz hook; O(everything).
+  void CheckChurnInvariants() const;
 
   // --- Introspection ----------------------------------------------------------
 
   int num_streams() const { return static_cast<int>(streams_.size()); }
+  // Slot-space size: includes retired slots awaiting reuse.
   int num_queries() const { return static_cast<int>(queries_.size()); }
+  // Queries currently registered (num_queries() minus retired slots).
+  int num_active_queries() const { return num_active_queries_; }
   const Graph& StreamGraph(int stream) const;
   const Graph& QueryGraph(int query) const;
   const NntSet& StreamNnts(int stream) const;
@@ -130,15 +148,23 @@ class ContinuousQueryEngine {
   std::vector<QueryState> queries_;
   std::vector<StreamState> streams_;
   std::unique_ptr<JoinStrategy> strategy_;
-  // Maps the strategy's dense query indices back to engine query indices
-  // (they diverge once a query is retired).
+  // Maps the strategy's local query slots back to engine query indices and
+  // vice versa. With slot reuse neither map is monotonic, so candidate
+  // lists are sorted after mapping. engine_to_strategy_ holds -1 for
+  // retired engine slots.
   std::vector<int> strategy_to_engine_;
+  std::vector<int> engine_to_strategy_;
+  // Retired engine slots available for AddQueryDynamic reuse (LIFO).
+  std::vector<int> free_query_slots_;
+  int num_active_queries_ = 0;
   // Reused dirty-root drain buffer so FlushDirty allocates nothing in
   // steady state.
   std::vector<VertexId> dirty_scratch_;
   // Reused strategy-local candidate buffer for the index mapping in
-  // CandidatesForStream.
+  // CandidatesForStream, and the mapped per-stream buffer used by
+  // AllCandidatePairs.
   std::vector<int> local_scratch_;
+  std::vector<int> mapped_scratch_;
   bool started_ = false;
 };
 

@@ -71,11 +71,13 @@ void ParallelQueryEngine::Start() {
   for (int i = 0; i < num_streams; ++i) stream_to_shard_[static_cast<size_t>(i)] = i % num_shards;
   pending_queries_.clear();
   pending_streams_.clear();
+  num_active_queries_ = num_queries_;
   if constexpr (obs::kEnabled) {
     Shard& first = shards_.front();
     first.sink.Set(obs::Gauge::kEngineShards, num_shards);
     first.sink.Set(obs::Gauge::kEngineStreams, num_streams);
     first.sink.Set(obs::Gauge::kEngineQueries, num_queries_);
+    first.sink.Set(obs::Gauge::kQueriesActive, num_queries_);
     obs::MetricsRegistry::Global().MergeAndReset(first.sink);
   }
 }
@@ -180,19 +182,56 @@ bool ParallelQueryEngine::VerifyCandidate(int stream, int query) const {
 
 int ParallelQueryEngine::AddQueryDynamic(const Graph& query) {
   GSPS_CHECK(started_);
+  // Every shard has seen the identical add/remove sequence, so each one's
+  // slot allocator must hand out the same engine id; check, don't assume.
+  std::vector<int> ids(shards_.size(), -1);
   pool_->ParallelFor(num_shards(), [&](int s) {
-    const int index =
-        shards_[static_cast<size_t>(s)].engine->AddQueryDynamic(query);
-    GSPS_CHECK(index == num_queries_);
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    std::optional<obs::ScopedObsContext> obs_scope;
+    if constexpr (obs::kEnabled) obs_scope.emplace(&shard.sink, shard.trace);
+    ids[static_cast<size_t>(s)] = shard.engine->AddQueryDynamic(query);
   });
-  return num_queries_++;
+  if constexpr (obs::kEnabled) {
+    for (Shard& shard : shards_) {
+      obs::MetricsRegistry::Global().MergeAndReset(shard.sink);
+    }
+  }
+  const int engine_id = ids.front();
+  for (const int id : ids) {
+    GSPS_CHECK_MSG(id == engine_id, "shards disagree on the reused query slot");
+  }
+  num_queries_ = std::max(num_queries_, engine_id + 1);
+  ++num_active_queries_;
+  return engine_id;
 }
 
 void ParallelQueryEngine::RemoveQueryDynamic(int query) {
   GSPS_CHECK(started_);
+  GSPS_CHECK_MSG(query >= 0 && query < num_queries_,
+                 "RemoveQueryDynamic: query id out of range");
+  GSPS_CHECK_MSG(!shards_.front().engine->IsQueryRetired(query),
+                 "RemoveQueryDynamic: query was already removed");
   pool_->ParallelFor(num_shards(), [&](int s) {
-    shards_[static_cast<size_t>(s)].engine->RemoveQueryDynamic(query);
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    std::optional<obs::ScopedObsContext> obs_scope;
+    if constexpr (obs::kEnabled) obs_scope.emplace(&shard.sink, shard.trace);
+    shard.engine->RemoveQueryDynamic(query);
   });
+  if constexpr (obs::kEnabled) {
+    for (Shard& shard : shards_) {
+      obs::MetricsRegistry::Global().MergeAndReset(shard.sink);
+    }
+  }
+  --num_active_queries_;
+}
+
+void ParallelQueryEngine::CheckChurnInvariants() const {
+  GSPS_CHECK(started_);
+  for (const Shard& shard : shards_) {
+    shard.engine->CheckChurnInvariants();
+    GSPS_CHECK(shard.engine->num_queries() == num_queries_);
+    GSPS_CHECK(shard.engine->num_active_queries() == num_active_queries_);
+  }
 }
 
 void ParallelQueryEngine::ObserveBarrier(obs::Counter barrier_counter,

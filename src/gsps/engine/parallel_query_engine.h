@@ -103,9 +103,17 @@ class ParallelQueryEngine {
 
   // --- Dynamic queries ------------------------------------------------------
 
-  // Registers/retires a query on every shard (shard-parallel rebuild).
+  // Registers a query on every shard (shard-parallel, incremental inside
+  // each shard). Shards churn in lock-step, so every shard assigns the same
+  // engine slot; the common id is checked and returned.
   int AddQueryDynamic(const Graph& query);
+
+  // Retires a query on every shard; its slot becomes reusable. Checks
+  // (GSPS_CHECK) that `query` is in range and not already removed.
   void RemoveQueryDynamic(int query);
+
+  // Asserts the churn-invariant battery of every shard engine. Test hook.
+  void CheckChurnInvariants() const;
 
   // --- Statistics -----------------------------------------------------------
 
@@ -118,7 +126,10 @@ class ParallelQueryEngine {
   // --- Introspection --------------------------------------------------------
 
   int num_streams() const { return static_cast<int>(stream_to_shard_.size()); }
+  // Slot-space size: includes retired slots awaiting reuse.
   int num_queries() const { return num_queries_; }
+  // Queries currently registered (num_queries() minus retired slots).
+  int num_active_queries() const { return num_active_queries_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
   int num_threads() const { return options_.num_threads; }
   const Graph& StreamGraph(int stream) const;
@@ -160,6 +171,7 @@ class ParallelQueryEngine {
   std::vector<Shard> shards_;
   std::vector<int> stream_to_shard_;
   int num_queries_ = 0;
+  int num_active_queries_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   bool started_ = false;
 };

@@ -28,10 +28,21 @@ int Horizon(const FuzzCase& c) {
 }
 
 std::string DescribeCase(const FuzzCase& c) {
-  return "streams=" + std::to_string(c.workload.streams.size()) +
-         " queries=" + std::to_string(c.workload.queries.size()) +
-         " ts=" + std::to_string(Horizon(c)) +
-         " edges=" + std::to_string(TotalEdges(c));
+  std::string out = "streams=" + std::to_string(c.workload.streams.size()) +
+                    " queries=" + std::to_string(c.workload.queries.size()) +
+                    " ts=" + std::to_string(Horizon(c)) +
+                    " edges=" + std::to_string(TotalEdges(c));
+  if (!c.churn.empty()) {
+    out += " churn=" + std::to_string(c.churn.size());
+  }
+  return out;
+}
+
+bool StartsRegistered(const FuzzCase& c, int query) {
+  for (const ChurnOp& op : c.churn) {
+    if (op.query == query) return !op.add;
+  }
+  return true;
 }
 
 GraphStream RebuildStream(Graph start,

@@ -15,11 +15,33 @@
 
 namespace gsps {
 
+// One query-lifecycle directive of a case's churn schedule: at `timestamp`
+// — after that timestamp's change batches are applied, before any candidate
+// check — workload query `query` is added to or removed from every engine
+// under test. Ops are skip-safe so the minimizer can drop them freely: an
+// add of a registered query, a remove of an unregistered query, and any op
+// naming an out-of-range query are silently skipped. A query starts
+// registered unless the first churn op naming it is an add (then the
+// schedule itself introduces it mid-run).
+struct ChurnOp {
+  int timestamp = 0;
+  bool add = false;
+  int query = 0;
+
+  friend bool operator==(const ChurnOp&, const ChurnOp&) = default;
+};
+
 struct FuzzCase {
   // NNT depth every engine in the oracle set is built with.
   int nnt_depth = 3;
   Workload workload;
+  // Query add/remove schedule, applied in list order within a timestamp.
+  std::vector<ChurnOp> churn;
 };
+
+// True when `query` is registered before timestamp 0's checks: no churn op
+// names it, or the first one naming it is a remove.
+bool StartsRegistered(const FuzzCase& c, int query);
 
 // Total edge volume of a case: query edges + start-graph edges + insertion
 // ops across all batches. This is the size metric minimization reports

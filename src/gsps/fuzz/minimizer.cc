@@ -1,5 +1,6 @@
 #include "gsps/fuzz/minimizer.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -48,8 +49,38 @@ bool DropQueries(Shrinker& s) {
     FuzzCase candidate = s.best;
     candidate.workload.queries.erase(
         candidate.workload.queries.begin() + static_cast<long>(q));
+    // Churn ops follow the renumbering: ops naming the dropped query go
+    // with it, later queries shift down by one.
+    std::vector<ChurnOp>& churn = candidate.churn;
+    churn.erase(std::remove_if(churn.begin(), churn.end(),
+                               [q](const ChurnOp& op) {
+                                 return op.query == static_cast<int>(q);
+                               }),
+                churn.end());
+    for (ChurnOp& op : churn) {
+      if (op.query > static_cast<int>(q)) --op.query;
+    }
     progress |= s.Try(std::move(candidate));
     if (s.Exhausted()) break;
+  }
+  return progress;
+}
+
+// Tries the whole schedule at once (a failure that survives without churn
+// is a plain engine bug — the simpler replay), then single ops.
+bool DropChurnOps(Shrinker& s) {
+  bool progress = false;
+  if (!s.best.churn.empty()) {
+    FuzzCase candidate = s.best;
+    candidate.churn.clear();
+    progress |= s.Try(std::move(candidate));
+  }
+  for (size_t k = s.best.churn.size(); k-- > 0;) {
+    if (s.Exhausted()) break;
+    if (k >= s.best.churn.size()) continue;
+    FuzzCase candidate = s.best;
+    candidate.churn.erase(candidate.churn.begin() + static_cast<long>(k));
+    progress |= s.Try(std::move(candidate));
   }
   return progress;
 }
@@ -195,6 +226,7 @@ MinimizeResult Minimize(const FuzzCase& failing,
   while (progress && !s.Exhausted()) {
     progress = false;
     progress |= DropStreams(s);
+    progress |= DropChurnOps(s);
     progress |= DropQueries(s);
     progress |= DropBatches(s);
     progress |= DropOps(s);

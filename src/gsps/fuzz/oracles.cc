@@ -176,6 +176,39 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
     if (auto failure = CheckRoundTrips(c)) return failure;
   }
 
+  // Churn bookkeeping (oracle 6): which workload queries are currently
+  // registered, and the engine-slot <-> workload-query maps. Without a
+  // schedule every query is registered up front and the maps stay the
+  // identity, so every check below degenerates to its pre-churn form.
+  const bool churn_active = options.check_churn && !c.churn.empty();
+  std::vector<char> registered(static_cast<size_t>(num_queries), 1);
+  if (churn_active) {
+    for (int q = 0; q < num_queries; ++q) {
+      registered[static_cast<size_t>(q)] = StartsRegistered(c, q) ? 1 : 0;
+    }
+  }
+  std::vector<int> query_to_engine(static_cast<size_t>(num_queries), -1);
+  std::vector<int> engine_to_query;
+  for (int q = 0; q < num_queries; ++q) {
+    if (registered[static_cast<size_t>(q)] == 0) continue;
+    query_to_engine[static_cast<size_t>(q)] =
+        static_cast<int>(engine_to_query.size());
+    engine_to_query.push_back(q);
+  }
+  // Engine-slot-space candidate list -> ascending workload-query ids
+  // (retired slots cannot appear in candidate lists, but tolerate them).
+  const auto to_query_space = [&engine_to_query](
+                                  const std::vector<int>& slots) {
+    std::vector<int> out;
+    out.reserve(slots.size());
+    for (const int slot : slots) {
+      const int q = engine_to_query[static_cast<size_t>(slot)];
+      if (q >= 0) out.push_back(q);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
   // One sequential engine per join strategy.
   struct NamedEngine {
     std::string name;
@@ -193,7 +226,9 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
     engine_options.join_kind = kind;
     NamedEngine named{name, std::make_unique<ContinuousQueryEngine>(
                                 engine_options)};
-    for (const Graph& q : queries) named.engine->AddQuery(q);
+    for (const int q : engine_to_query) {
+      named.engine->AddQuery(queries[static_cast<size_t>(q)]);
+    }
     for (const GraphStream& s : streams) named.engine->AddStream(s.StartGraph());
     named.engine->Start();
     engines.push_back(std::move(named));
@@ -208,7 +243,9 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
       parallel_options.engine.join_kind = JoinKind::kDominatedSetCover;
       parallel_options.num_threads = threads;
       auto engine = std::make_unique<ParallelQueryEngine>(parallel_options);
-      for (const Graph& q : queries) engine->AddQuery(q);
+      for (const int q : engine_to_query) {
+        engine->AddQuery(queries[static_cast<size_t>(q)]);
+      }
       for (const GraphStream& s : streams) engine->AddStream(s.StartGraph());
       engine->Start();
       parallel_engines.push_back(std::move(engine));
@@ -244,6 +281,52 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
       }
     }
 
+    if (churn_active) {
+      // Apply this timestamp's lifecycle ops to every engine in lock-step;
+      // skip-safe per the ChurnOp contract.
+      for (const ChurnOp& op : c.churn) {
+        if (op.timestamp != t) continue;
+        if (op.query < 0 || op.query >= num_queries) continue;
+        const size_t q = static_cast<size_t>(op.query);
+        if (op.add == (registered[q] != 0)) continue;
+        if (op.add) {
+          int slot = -1;
+          bool agree = true;
+          for (NamedEngine& named : engines) {
+            const int id =
+                named.engine->AddQueryDynamic(queries[q]);
+            if (slot < 0) slot = id;
+            agree = agree && id == slot;
+          }
+          for (auto& engine : parallel_engines) {
+            agree = agree && engine->AddQueryDynamic(queries[q]) == slot;
+          }
+          if (!agree) {
+            return "churn: engines disagree on the slot for query " +
+                   std::to_string(op.query) + " at t=" + std::to_string(t);
+          }
+          if (slot == static_cast<int>(engine_to_query.size())) {
+            engine_to_query.push_back(op.query);
+          } else {
+            engine_to_query[static_cast<size_t>(slot)] = op.query;
+          }
+          query_to_engine[q] = slot;
+          registered[q] = 1;
+        } else {
+          const int slot = query_to_engine[q];
+          for (NamedEngine& named : engines) {
+            named.engine->RemoveQueryDynamic(slot);
+          }
+          for (auto& engine : parallel_engines) {
+            engine->RemoveQueryDynamic(slot);
+          }
+          engine_to_query[static_cast<size_t>(slot)] = -1;
+          query_to_engine[q] = -1;
+          registered[q] = 0;
+        }
+      }
+    }
+
     std::vector<std::vector<int>> truth(static_cast<size_t>(num_streams));
     if (need_truth) {
       for (int i = 0; i < num_streams; ++i) {
@@ -255,6 +338,20 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
         }
       }
     }
+    // Engines only know about registered queries, so their false-negative
+    // obligation is the VF2 truth restricted to those (the baselines below
+    // keep the full truth — they never churn).
+    std::vector<std::vector<int>> engine_truth = truth;
+    if (churn_active) {
+      for (std::vector<int>& t_i : engine_truth) {
+        t_i.erase(std::remove_if(t_i.begin(), t_i.end(),
+                                 [&registered](int q) {
+                                   return registered[static_cast<size_t>(
+                                              q)] == 0;
+                                 }),
+                  t_i.end());
+      }
+    }
 
     if (options.check_strategies) {
       for (int i = 0; i < num_streams; ++i) {
@@ -264,8 +361,8 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
         }
         for (size_t k = 0; k < engines.size(); ++k) {
           if (auto failure = CheckNoFalseNegatives(
-                  engines[k].name, t, i, candidate_sets[k],
-                  truth[static_cast<size_t>(i)])) {
+                  engines[k].name, t, i, to_query_space(candidate_sets[k]),
+                  engine_truth[static_cast<size_t>(i)])) {
             return failure;
           }
           if (k > 0) {
@@ -291,6 +388,48 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
             return "incremental-divergence: strategy=" + named.name + " " +
                    At(t, i) + " cached=" + DescribeSet(cached) +
                    " scratch=" + DescribeSet(scratch);
+          }
+        }
+      }
+    }
+
+    if (churn_active) {
+      // Oracle 6: each churned engine must be indistinguishable from a
+      // freshly built engine holding only the currently registered queries,
+      // replayed from the start graphs to this timestamp.
+      for (size_t k = 0; k < engines.size(); ++k) {
+        EngineOptions engine_options;
+        engine_options.nnt_depth = c.nnt_depth;
+        engine_options.join_kind = kinds[k].first;
+        ContinuousQueryEngine fresh(engine_options);
+        std::vector<int> fresh_to_query;
+        for (int q = 0; q < num_queries; ++q) {
+          if (registered[static_cast<size_t>(q)] == 0) continue;
+          fresh.AddQuery(queries[static_cast<size_t>(q)]);
+          fresh_to_query.push_back(q);
+        }
+        for (const GraphStream& s : streams) fresh.AddStream(s.StartGraph());
+        fresh.Start();
+        for (int tt = 1; tt <= t; ++tt) {
+          for (int i = 0; i < num_streams; ++i) {
+            const GraphStream& s = streams[static_cast<size_t>(i)];
+            if (tt < s.NumTimestamps()) fresh.ApplyChange(i, s.ChangeAt(tt));
+          }
+        }
+        for (int i = 0; i < num_streams; ++i) {
+          const std::vector<int> churned =
+              to_query_space(engines[k].engine->CandidatesForStream(i));
+          // Fresh ids are 0..m-1 in ascending registered-query order, so
+          // the mapped list is already sorted.
+          std::vector<int> fresh_candidates;
+          for (const int id : fresh.CandidatesForStream(i)) {
+            fresh_candidates.push_back(
+                fresh_to_query[static_cast<size_t>(id)]);
+          }
+          if (churned != fresh_candidates) {
+            return "churn-divergence: strategy=" + engines[k].name + " " +
+                   At(t, i) + " churned=" + DescribeSet(churned) +
+                   " fresh=" + DescribeSet(fresh_candidates);
           }
         }
       }

@@ -19,6 +19,14 @@
 //      cached verdicts must equal a freshly constructed strategy of the
 //      same kind fed the stream's current NPVs from scratch
 //      (ContinuousQueryEngine::RecomputeCandidatesFromScratch).
+//   6. Query churn: when the case carries a churn schedule, every engine
+//      applies it live (AddQueryDynamic/RemoveQueryDynamic, after each
+//      timestamp's batches) and must then report — per strategy, per
+//      timestamp — exactly the candidates of a freshly built engine holding
+//      only the currently registered queries, replayed from scratch. All
+//      engines must also agree on the reused slot every re-add lands in,
+//      and oracles 1/3/5 keep holding on the churned engines with the VF2
+//      truth restricted to registered queries.
 //
 // RunOracles is deterministic and returns a diagnostic naming the oracle,
 // timestamp, stream, and query on the first violation — the string the
@@ -42,6 +50,7 @@ struct OracleOptions {
   bool check_parallel = true;     // Oracle 3.
   bool check_roundtrip = true;    // Oracle 4.
   bool check_incremental = true;  // Oracle 5.
+  bool check_churn = true;        // Oracle 6 (no-op without a schedule).
 };
 
 // Runs every enabled oracle over the whole case, timestamp by timestamp.

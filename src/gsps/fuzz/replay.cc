@@ -8,6 +8,10 @@ namespace gsps {
 std::string FormatReplay(const FuzzCase& c) {
   std::string out = "# gsps_fuzz replay v1\n";
   out += "depth " + std::to_string(c.nnt_depth) + "\n";
+  for (const ChurnOp& op : c.churn) {
+    out += "churn " + std::to_string(op.timestamp) +
+           (op.add ? " add " : " rm ") + std::to_string(op.query) + "\n";
+  }
   out += FormatWorkload(c.workload);
   return out;
 }
@@ -57,6 +61,26 @@ std::optional<FuzzCase> ParseReplay(const std::string& text, IoError* error) {
       }
       saw_depth = true;
       c.nnt_depth = static_cast<int>(depth);
+      workload_text += "#\n";  // Placeholder keeps line numbers aligned.
+      continue;
+    }
+    if (!in_workload && !skippable && line[0] == 'c') {
+      std::istringstream fields(line);
+      std::string word;
+      std::string verb;
+      long long timestamp = 0;
+      long long query = 0;
+      if (!(fields >> word >> timestamp >> verb >> query) ||
+          word != "churn" || (verb != "add" && verb != "rm") ||
+          timestamp < 0 || query < 0) {
+        if (error != nullptr) {
+          error->line = line_number;
+          error->message = "malformed directive (want: churn <t> add|rm <q>)";
+        }
+        return std::nullopt;
+      }
+      c.churn.push_back(ChurnOp{static_cast<int>(timestamp), verb == "add",
+                                static_cast<int>(query)});
       workload_text += "#\n";  // Placeholder keeps line numbers aligned.
       continue;
     }

@@ -6,6 +6,8 @@
 //
 //   # gsps_fuzz replay v1        (comments/blank lines ignored anywhere)
 //   depth <l>                    (NNT depth; optional, default 3)
+//   churn <t> add|rm <q>         (query lifecycle schedule; optional,
+//   ...                           repeated, applied in file order)
 //   q 0
 //   v 0 1
 //   ...
@@ -14,9 +16,9 @@
 //   t 1
 //   + 0 1 0 1 1
 //
-// `depth` must appear before the first section. Format/Parse are exact
-// inverses: Parse(Format(c)) == c and Format is a fixed point, which the
-// fuzzer's round-trip oracle itself enforces.
+// Directives (`depth`, `churn`) must appear before the first section.
+// Format/Parse are exact inverses: Parse(Format(c)) == c and Format is a
+// fixed point, which the fuzzer's round-trip oracle itself enforces.
 
 #ifndef GSPS_FUZZ_REPLAY_H_
 #define GSPS_FUZZ_REPLAY_H_

@@ -229,6 +229,22 @@ FuzzCase GenerateCase(const GenParams& params, Rng& rng) {
     c.workload.queries.push_back(RandomQuery(
         params, c.workload.streams, vertex_labels, edge_labels, rng));
   }
+
+  // Query lifecycle schedule (oracle 6). Fully random (timestamp, verb,
+  // query) triples: the skip-safe ChurnOp contract makes every combination
+  // legal, including double adds/removes and a query whose first op is an
+  // add (it then starts unregistered and enters mid-run).
+  if (params.max_churn_ops > 0 && rng.Bernoulli(0.5)) {
+    const int horizon = Horizon(c);
+    const int num_ops =
+        static_cast<int>(rng.UniformInt(1, params.max_churn_ops));
+    for (int k = 0; k < num_ops; ++k) {
+      c.churn.push_back(ChurnOp{
+          static_cast<int>(rng.UniformInt(0, horizon - 1)),
+          rng.Bernoulli(0.5),
+          static_cast<int>(rng.UniformInt(0, num_queries - 1))});
+    }
+  }
   return c;
 }
 

@@ -30,6 +30,11 @@ struct GenParams {
   // Fixed NNT depth, or 0 to draw uniformly from [1, 3] per case (depth 1
   // exercises the trivial-tree paths, 3 is the paper's default).
   int nnt_depth = 0;
+  // Upper bound on query add/remove churn ops per case (about half the
+  // cases draw a schedule at all); 0 disables churn generation entirely.
+  // Schedules deliberately include skip-safe no-ops (double adds/removes)
+  // and queries that only enter mid-run (first op is an add).
+  int max_churn_ops = 5;
 };
 
 // Generates one case. Advances `rng`; all randomness flows through it.

@@ -155,6 +155,7 @@ void DominanceBatch::Bind(const NpvSlab& slab, int32_t num_dims) {
   GSPS_CHECK(num_dims >= 0);
   slab_ = &slab;
   num_dims_ = num_dims;
+  bound_n_ = slab.size();
 #if defined(GSPS_SANITIZE_ENABLED)
   slab.CheckKernelLayout();
 #endif
@@ -211,6 +212,39 @@ void DominanceBatch::Bind(const NpvSlab& slab, int32_t num_dims) {
   mask_words_.assign(
       (static_cast<size_t>(layout_.num_blocks) * lanes + 63) / 64, 0);
   counts_.assign(static_cast<size_t>(layout_.num_blocks) * lanes, 0);
+}
+
+void DominanceBatch::RefreshSlot(const NpvSlab& slab, int32_t num_dims,
+                                 int32_t k) {
+  if (slab_ != &slab || num_dims_ != num_dims || slab.size() != bound_n_) {
+    Bind(slab, num_dims);
+    return;
+  }
+  if (isa_ == DominanceIsa::kScalar) return;  // No mirror to patch.
+  const int32_t nnz = slab.nnz(k);
+  const int32_t lanes = layout_.lanes;
+  const int32_t b = k / lanes;
+  if (nnz > layout_.block_slots[static_cast<size_t>(b)]) {
+    // The reused slot carries more entries than its block budgeted for;
+    // only a full layout rebuild can widen the block.
+    Bind(slab, num_dims);
+    return;
+  }
+  const int32_t lane = k % lanes;
+  const int32_t base = layout_.block_offset[static_cast<size_t>(b)];
+  const NpvEntry* const e = slab.begin(k);
+  for (int32_t s = 0; s < nnz; ++s) {
+    layout_.dims[static_cast<size_t>(base + s * lanes + lane)] = e[s].dim;
+    layout_.counts[static_cast<size_t>(base + s * lanes + lane)] = e[s].count;
+    GSPS_DCHECK(e[s].dim >= 0 && e[s].dim < num_dims);
+  }
+  // Restore the {dim 0, count 0} padding over the lane's unused slots.
+  for (int32_t s = nnz; s < layout_.block_slots[static_cast<size_t>(b)];
+       ++s) {
+    layout_.dims[static_cast<size_t>(base + s * lanes + lane)] = 0;
+    layout_.counts[static_cast<size_t>(base + s * lanes + lane)] = 0;
+  }
+  layout_.nnz[static_cast<size_t>(k)] = nnz;
 }
 
 void DominanceBatch::Densify(const NpvEntry* begin, const NpvEntry* end) {
@@ -274,6 +308,17 @@ void DominanceBatch::ComputeMask(const NpvEntry* hay_begin,
   }
   ClearPhantomBits(&accept_words_);  // No-op for SIMD (already cleared).
   ClearPhantomBits(&mask_words_);
+  // Freed slab slots carry the all-ones signature sentinel and {0, 0}
+  // entries, so an all-ones hay would accept and trivially dominate them:
+  // mask both bitsets with the slab's liveness words. Bits past the live
+  // words' extent are already phantom-cleared to zero.
+  const std::vector<uint64_t>& live = slab_->live_words();
+  for (size_t w = 0; w < accept_words_.size() && w < live.size(); ++w) {
+    accept_words_[w] &= live[w];
+  }
+  for (size_t w = 0; w < mask_words_.size() && w < live.size(); ++w) {
+    mask_words_[w] &= live[w];
+  }
   Sparsify(hay_begin, hay_end);
 
   int64_t accepted = 0;

@@ -108,12 +108,27 @@ class DominanceBatch {
   DominanceIsa isa() const { return isa_; }
   obs::Counter batch_counter() const { return DominanceBatchCounter(isa_); }
 
-  // Binds the needle side. `slab` must outlive the batch and not be
-  // appended to afterwards; `num_dims` is the dense dim-id universe
-  // (NpvDimRemap::num_dims) every hay and slab entry lives in.
+  // Binds the needle side. `slab` must outlive the batch and stay
+  // unmutated between Bind and the last Compute* call — after any
+  // Append/Remove/RemapDims, re-Bind (allocation-free when the slab's
+  // padded extents did not grow: every buffer is assign()ed in place).
+  // `num_dims` is the dense dim-id universe (NpvDimRemap::num_dims) every
+  // hay and slab entry lives in. Freed slab slots never test as dominated:
+  // both bitsets are masked with the slab's live words before stats, so
+  // dead slots count as signature rejects on every ISA identically.
   void Bind(const NpvSlab& slab, int32_t num_dims);
 
-  int32_t bound_size() const { return slab_ == nullptr ? 0 : slab_->size(); }
+  // Re-syncs the bound state for slot `k` after an in-place slab churn op
+  // (Remove, or Append reusing a freed slot): patches just that lane of the
+  // SIMD block layout instead of rebuilding the whole mirror — O(slot
+  // entries), the strategies' steady-state churn fast path. Falls back to a
+  // full Bind when the patch cannot be local: a different slab or dim
+  // universe, a slab that grew past the bound size (tail Append), or a slot
+  // whose entry count now exceeds its block's slot budget. Scalar batches
+  // keep no mirror, so the in-place case is free.
+  void RefreshSlot(const NpvSlab& slab, int32_t num_dims, int32_t k);
+
+  int32_t bound_size() const { return bound_n_; }
 
   // Tests hay (entries sorted ascending by dense dim, signature over them)
   // against every bound needle. Afterwards Dominated(k) is exact dominance
@@ -149,6 +164,7 @@ class DominanceBatch {
   DominanceIsa isa_;
   const NpvSlab* slab_ = nullptr;
   int32_t num_dims_ = 0;
+  int32_t bound_n_ = 0;  // slab_->size() at Bind/RefreshSlot time.
   AlignedI32Vector dense_;            // Hay counts by dense dim id.
   DominanceBlockLayout layout_;       // Built for SIMD ISAs only.
   std::vector<uint64_t> accept_words_;

@@ -17,6 +17,7 @@ void DominatedSetCoverJoin::SetQueries(std::vector<QueryVectors> queries) {
   remap_.Seal();
   dim_lists_.resize(static_cast<size_t>(remap_.num_dims()));
   std::vector<NpvEntry> translated;
+  query_qvecs_.resize(queries.size());
   for (size_t j = 0; j < queries.size(); ++j) {
     int32_t tracked = 0;
     int32_t trivial = 0;
@@ -24,6 +25,8 @@ void DominatedSetCoverJoin::SetQueries(std::vector<QueryVectors> queries) {
       const QVec qvec = static_cast<QVec>(qvec_query_.size());
       qvec_query_.push_back(static_cast<int32_t>(j));
       qvec_nnz_.push_back(vector.nnz());
+      qvec_slot_.push_back(-1);
+      query_qvecs_[j].push_back(qvec);
       if (vector.nnz() == 0) {
         ++trivial;
         continue;
@@ -31,7 +34,8 @@ void DominatedSetCoverJoin::SetQueries(std::vector<QueryVectors> queries) {
       ++tracked;
       // Query dims are all registered, so translation is lossless.
       remap_.Translate(vector, &translated);
-      qvecs_.Append(translated);
+      const int32_t slot = qvecs_.Append(translated);
+      qvec_slot_[static_cast<size_t>(qvec)] = slot;
       slab_qvec_.push_back(qvec);
       for (const NpvEntry& entry : translated) {
         dim_lists_[static_cast<size_t>(entry.dim)].push_back(
@@ -41,6 +45,7 @@ void DominatedSetCoverJoin::SetQueries(std::vector<QueryVectors> queries) {
     query_tracked_vectors_.push_back(tracked);
     query_trivial_vectors_.push_back(trivial);
   }
+  query_live_.assign(queries.size(), 1);
   for (std::vector<DimEntry>& list : dim_lists_) {
     std::sort(list.begin(), list.end(),
               [](const DimEntry& a, const DimEntry& b) {
@@ -48,6 +53,199 @@ void DominatedSetCoverJoin::SetQueries(std::vector<QueryVectors> queries) {
               });
   }
   batch_.Bind(qvecs_, remap_.num_dims());
+}
+
+int32_t DominatedSetCoverJoin::AllocQuerySlot() {
+  if (!free_queries_.empty()) {
+    const int32_t j = free_queries_.back();
+    free_queries_.pop_back();
+    query_live_[static_cast<size_t>(j)] = 1;
+    return j;
+  }
+  const int32_t j = num_queries_++;
+  query_qvecs_.emplace_back();
+  query_tracked_vectors_.push_back(0);
+  query_trivial_vectors_.push_back(0);
+  query_live_.push_back(1);
+  for (StreamState& stream : streams_) {
+    stream.covered_vectors.push_back(0);
+  }
+  return j;
+}
+
+DominatedSetCoverJoin::QVec DominatedSetCoverJoin::AllocQVec() {
+  if (!free_qvecs_.empty()) {
+    const QVec q = free_qvecs_.back();
+    free_qvecs_.pop_back();
+    return q;
+  }
+  const QVec q = static_cast<QVec>(qvec_query_.size());
+  qvec_query_.push_back(-1);
+  qvec_nnz_.push_back(0);
+  qvec_slot_.push_back(-1);
+  for (StreamState& stream : streams_) {
+    stream.cover_count.push_back(0);
+  }
+  return q;
+}
+
+int32_t DominatedSetCoverJoin::AddQuery(const QueryVectors& query,
+                                        bool* grew_dims) {
+  *grew_dims = false;
+  for (const Npv& vector : query.vectors) {
+    if (!remap_.GrowDims(vector, &remap_scratch_)) continue;
+    *grew_dims = true;
+    GSPS_OBS_COUNT(Counter::kRemapRegrowths, 1);
+    qvecs_.RemapDims(remap_scratch_);
+    // Move the per-dimension lists to their new dense indices, highest
+    // first (old_to_new is strictly increasing, so targets are processed
+    // before sources overwrite them). A prefix that maps to itself is
+    // untouched.
+    const int32_t old_dims = static_cast<int32_t>(remap_scratch_.size());
+    dim_lists_.resize(static_cast<size_t>(remap_.num_dims()));
+    for (int32_t d = old_dims - 1; d >= 0; --d) {
+      const DimId nd = remap_scratch_[static_cast<size_t>(d)];
+      if (nd == d) break;  // Increasing map: the whole prefix is fixed.
+      dim_lists_[static_cast<size_t>(nd)] =
+          std::move(dim_lists_[static_cast<size_t>(d)]);
+      dim_lists_[static_cast<size_t>(d)].clear();
+    }
+    // Stream-side dense entries move with the same map so the incremental
+    // merge keeps retracting against the right lists. Dimensions the old
+    // translation dropped are re-introduced by the caller's replay.
+    for (StreamState& stream : streams_) {
+      for (auto& [v, vertex] : stream.vertices) {
+        for (NpvEntry& entry : vertex.entries) {
+          entry.dim = remap_scratch_[static_cast<size_t>(entry.dim)];
+        }
+      }
+    }
+  }
+
+  const int32_t j = AllocQuerySlot();
+  int32_t tracked = 0;
+  int32_t trivial = 0;
+  std::vector<QVec>& mine = query_qvecs_[static_cast<size_t>(j)];
+  for (const Npv& vector : query.vectors) {
+    const QVec qvec = AllocQVec();
+    qvec_query_[static_cast<size_t>(qvec)] = j;
+    qvec_nnz_[static_cast<size_t>(qvec)] = vector.nnz();
+    mine.push_back(qvec);
+    if (vector.nnz() == 0) {
+      ++trivial;
+      continue;
+    }
+    ++tracked;
+    remap_.Translate(vector, &translate_scratch_);
+    const int32_t slot = qvecs_.Append(translate_scratch_);
+    qvec_slot_[static_cast<size_t>(qvec)] = slot;
+    if (slot == static_cast<int32_t>(slab_qvec_.size())) {
+      slab_qvec_.push_back(qvec);
+    } else {
+      slab_qvec_[static_cast<size_t>(slot)] = qvec;
+    }
+    for (const NpvEntry& entry : translate_scratch_) {
+      std::vector<DimEntry>& list = dim_lists_[static_cast<size_t>(entry.dim)];
+      auto pos = std::upper_bound(list.begin(), list.end(), entry.count,
+                                  [](int32_t value, const DimEntry& e) {
+                                    return value < e.value;
+                                  });
+      list.insert(pos, DimEntry{entry.count, qvec});
+    }
+  }
+  query_tracked_vectors_[static_cast<size_t>(j)] = tracked;
+  query_trivial_vectors_[static_cast<size_t>(j)] = trivial;
+  if (*grew_dims) {
+    // RemapDims rewrote every live slot: the whole kernel mirror is stale.
+    batch_.Bind(qvecs_, remap_.num_dims());
+  } else {
+    for (const QVec qvec : mine) {
+      const int32_t slot = qvec_slot_[static_cast<size_t>(qvec)];
+      if (slot >= 0) batch_.RefreshSlot(qvecs_, remap_.num_dims(), slot);
+    }
+  }
+
+  // Establish the new qvecs' dominant counters against every live vertex.
+  // The per-dimension lists already hold the new entries, but the
+  // incremental merge only visits dimensions whose value moves, so the new
+  // vectors must be seeded explicitly.
+  for (StreamState& stream : streams_) {
+    stream.cache_valid = false;
+    for (auto& [v, vertex] : stream.vertices) {
+      if (!vertex.live) continue;
+      for (const QVec qvec : mine) {
+        const int32_t slot = qvec_slot_[static_cast<size_t>(qvec)];
+        if (slot < 0) continue;  // Trivial.
+        int32_t satisfied = 0;
+        const NpvEntry* hay = vertex.entries.data();
+        const NpvEntry* const hay_end = hay + vertex.entries.size();
+        for (const NpvEntry* e = qvecs_.begin(slot); e != qvecs_.end(slot);
+             ++e) {
+          while (hay != hay_end && hay->dim < e->dim) ++hay;
+          if (hay != hay_end && hay->dim == e->dim && hay->count >= e->count) {
+            ++satisfied;
+          }
+        }
+        if (satisfied == 0) continue;
+        vertex.dominant[qvec] = satisfied;
+        if (satisfied == qvec_nnz_[static_cast<size_t>(qvec)]) {
+          SetDominates(stream, qvec, true);
+        }
+      }
+    }
+  }
+  return j;
+}
+
+void DominatedSetCoverJoin::RemoveQuery(int32_t local_id) {
+  GSPS_CHECK(local_id >= 0 && local_id < num_queries_);
+  GSPS_CHECK_MSG(query_live_[static_cast<size_t>(local_id)] != 0,
+                 "DominatedSetCoverJoin::RemoveQuery on a retired query");
+  std::vector<QVec>& mine = query_qvecs_[static_cast<size_t>(local_id)];
+  for (const QVec qvec : mine) {
+    const int32_t slot = qvec_slot_[static_cast<size_t>(qvec)];
+    if (slot >= 0) {
+      // Drop this qvec's projected values from the per-dimension lists.
+      for (const NpvEntry* e = qvecs_.begin(slot); e != qvecs_.end(slot);
+           ++e) {
+        std::vector<DimEntry>& list = dim_lists_[static_cast<size_t>(e->dim)];
+        auto it = std::lower_bound(list.begin(), list.end(), e->count,
+                                   [](const DimEntry& d, int32_t value) {
+                                     return d.value < value;
+                                   });
+        while (it != list.end() && it->value == e->count && it->qvec != qvec) {
+          ++it;
+        }
+        GSPS_CHECK(it != list.end() && it->qvec == qvec);
+        list.erase(it);
+      }
+      qvecs_.Remove(slot);
+      batch_.RefreshSlot(qvecs_, remap_.num_dims(), slot);
+      slab_qvec_[static_cast<size_t>(slot)] = -1;
+      qvec_slot_[static_cast<size_t>(qvec)] = -1;
+    }
+    for (StreamState& stream : streams_) {
+      stream.cover_count[static_cast<size_t>(qvec)] = 0;
+      for (auto& [v, vertex] : stream.vertices) {
+        // Zero the counter in place; the node stays so re-adding the same
+        // query allocates nothing (see the note in AdjustRange).
+        auto counter = vertex.dominant.find(qvec);
+        if (counter != vertex.dominant.end()) counter->second = 0;
+      }
+    }
+    qvec_query_[static_cast<size_t>(qvec)] = -1;
+    qvec_nnz_[static_cast<size_t>(qvec)] = 0;
+    free_qvecs_.push_back(qvec);
+  }
+  mine.clear();
+  for (StreamState& stream : streams_) {
+    stream.covered_vectors[static_cast<size_t>(local_id)] = 0;
+    stream.cache_valid = false;
+  }
+  query_tracked_vectors_[static_cast<size_t>(local_id)] = 0;
+  query_trivial_vectors_[static_cast<size_t>(local_id)] = 0;
+  query_live_[static_cast<size_t>(local_id)] = 0;
+  free_queries_.push_back(local_id);
 }
 
 void DominatedSetCoverJoin::SetNumStreams(int num_streams) {
@@ -140,6 +338,7 @@ void DominatedSetCoverJoin::CandidatesForStream(int stream_index,
     stream.cache.clear();
     const bool stream_nonempty = stream.live_vertices > 0;
     for (int32_t j = 0; j < num_queries_; ++j) {
+      if (query_live_[static_cast<size_t>(j)] == 0) continue;
       if (stream.covered_vectors[static_cast<size_t>(j)] !=
           query_tracked_vectors_[static_cast<size_t>(j)]) {
         continue;
@@ -207,6 +406,77 @@ void DominatedSetCoverJoin::AdjustRange(StreamState& stream,
     // would allocate a node on every churn cycle, and nothing iterates the
     // map — entries are only ever looked up by key.
     (void)inserted;
+  }
+}
+
+void DominatedSetCoverJoin::CheckChurnInvariants() const {
+  qvecs_.CheckKernelLayout();
+  int32_t live_slots = 0;
+  int64_t expected_dim_entries = 0;
+  for (int32_t j = 0; j < num_queries_; ++j) {
+    const auto& mine = query_qvecs_[static_cast<size_t>(j)];
+    if (query_live_[static_cast<size_t>(j)] == 0) {
+      GSPS_CHECK(mine.empty());
+      continue;
+    }
+    int32_t tracked = 0;
+    int32_t trivial = 0;
+    for (const QVec qvec : mine) {
+      GSPS_CHECK(qvec_query_[static_cast<size_t>(qvec)] == j);
+      const int32_t slot = qvec_slot_[static_cast<size_t>(qvec)];
+      if (slot < 0) {
+        GSPS_CHECK(qvec_nnz_[static_cast<size_t>(qvec)] == 0);
+        ++trivial;
+        continue;
+      }
+      ++tracked;
+      ++live_slots;
+      GSPS_CHECK(qvecs_.live(slot));
+      GSPS_CHECK(slab_qvec_[static_cast<size_t>(slot)] == qvec);
+      GSPS_CHECK(qvecs_.nnz(slot) == qvec_nnz_[static_cast<size_t>(qvec)]);
+      expected_dim_entries += qvecs_.nnz(slot);
+    }
+    GSPS_CHECK(tracked == query_tracked_vectors_[static_cast<size_t>(j)]);
+    GSPS_CHECK(trivial == query_trivial_vectors_[static_cast<size_t>(j)]);
+  }
+  GSPS_CHECK(live_slots == qvecs_.num_live());
+  int64_t dim_entries = 0;
+  for (const std::vector<DimEntry>& list : dim_lists_) {
+    for (size_t i = 0; i + 1 < list.size(); ++i) {
+      GSPS_CHECK(list[i].value <= list[i + 1].value);
+    }
+    dim_entries += static_cast<int64_t>(list.size());
+  }
+  GSPS_CHECK(dim_entries == expected_dim_entries);
+  // Recount covers from the per-vertex dominant counters.
+  std::vector<int32_t> counts;
+  std::vector<int32_t> covered;
+  for (const StreamState& stream : streams_) {
+    counts.assign(qvec_query_.size(), 0);
+    covered.assign(static_cast<size_t>(num_queries_), 0);
+    int32_t live_vertices = 0;
+    for (const auto& [v, vertex] : stream.vertices) {
+      if (!vertex.live) continue;
+      ++live_vertices;
+      for (const auto& [qvec, counter] : vertex.dominant) {
+        if (qvec_slot_[static_cast<size_t>(qvec)] < 0) {
+          GSPS_CHECK(counter == 0);
+          continue;
+        }
+        if (counter == qvec_nnz_[static_cast<size_t>(qvec)]) {
+          ++counts[static_cast<size_t>(qvec)];
+        }
+      }
+    }
+    GSPS_CHECK(live_vertices == stream.live_vertices);
+    for (size_t q = 0; q < qvec_query_.size(); ++q) {
+      GSPS_CHECK(counts[q] == stream.cover_count[q]);
+      if (counts[q] > 0) ++covered[static_cast<size_t>(qvec_query_[q])];
+    }
+    for (int32_t j = 0; j < num_queries_; ++j) {
+      GSPS_CHECK(covered[static_cast<size_t>(j)] ==
+                 stream.covered_vectors[static_cast<size_t>(j)]);
+    }
   }
 }
 

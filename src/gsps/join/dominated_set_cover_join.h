@@ -39,10 +39,13 @@ class DominatedSetCoverJoin final : public JoinStrategy {
 
   void SetQueries(std::vector<QueryVectors> queries) override;
   void SetNumStreams(int num_streams) override;
+  int32_t AddQuery(const QueryVectors& query, bool* grew_dims) override;
+  void RemoveQuery(int32_t local_id) override;
   void UpdateStreamVertex(int stream, VertexId v, const Npv& npv) override;
   void RemoveStreamVertex(int stream, VertexId v) override;
   void CandidatesForStream(int stream, std::vector<int>* out) override;
   using JoinStrategy::CandidatesForStream;
+  void CheckChurnInvariants() const override;
   std::string_view name() const override { return "DSC"; }
 
  private:
@@ -90,15 +93,27 @@ class DominatedSetCoverJoin final : public JoinStrategy {
 
   void SetDominates(StreamState& stream, QVec qvec, bool now_dominates);
 
+  // Allocates (or reuses) a query slot / a global qvec id.
+  int32_t AllocQuerySlot();
+  QVec AllocQVec();
+
   int32_t num_queries_ = 0;
   // qvec -> owning query graph index.
   std::vector<int32_t> qvec_query_;
   // qvec -> number of non-zero dimensions (0 = trivially dominated).
   std::vector<int32_t> qvec_nnz_;
+  // qvec -> slab slot (-1 for trivial or retired qvecs).
+  std::vector<int32_t> qvec_slot_;
+  // Per query graph: its global qvec ids (incl. trivial ones).
+  std::vector<std::vector<QVec>> query_qvecs_;
   // Per query graph: number of non-trivial query vectors.
   std::vector<int32_t> query_tracked_vectors_;
   // Per query graph: number of trivially-covered (nnz == 0) vectors.
   std::vector<int32_t> query_trivial_vectors_;
+  // Churn slot bookkeeping: retired query ids / qvec ids are reused.
+  std::vector<uint8_t> query_live_;
+  std::vector<int32_t> free_queries_;
+  std::vector<QVec> free_qvecs_;
   // Dense dimension -> sorted projected query values (the paper's
   // per-dimension sorted lists), indexed directly by dense dim id.
   NpvDimRemap remap_;
@@ -108,11 +123,12 @@ class DominatedSetCoverJoin final : public JoinStrategy {
   // entries (bulk insert): counters start from zero, so one kernel sweep
   // yields every dominant counter without walking the dimension lists.
   NpvSlab qvecs_;
-  std::vector<QVec> slab_qvec_;  // Slab index -> global qvec id.
+  std::vector<QVec> slab_qvec_;  // Slab index -> global qvec id (-1 freed).
   DominanceBatch batch_;
 
   std::vector<StreamState> streams_;
   std::vector<NpvEntry> translate_scratch_;
+  std::vector<DimId> remap_scratch_;
 
   // Observability accumulators for the maintenance inner loops: plain
   // member adds there (AdjustRange / SetDominates run per dimension-range

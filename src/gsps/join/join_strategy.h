@@ -58,13 +58,35 @@ class JoinStrategy {
  public:
   virtual ~JoinStrategy() = default;
 
-  // Installs the fixed query workload. Must be called exactly once, before
-  // any stream updates.
+  // Installs the initial query workload. Must be called exactly once,
+  // before any stream updates; later churn goes through AddQuery /
+  // RemoveQuery.
   virtual void SetQueries(std::vector<QueryVectors> queries) = 0;
 
   // Declares how many streams will be updated. Must be called once after
   // SetQueries.
   virtual void SetNumStreams(int num_streams) = 0;
+
+  // Registers a new query at runtime and returns its local id — a retired
+  // id is reused when one is free, else ids keep growing densely. May be
+  // called after SetNumStreams with stream state already in place; the
+  // strategy folds the new query into every live stream vertex
+  // incrementally. Sets *grew_dims to true when the query introduced dense
+  // dimensions no existing query used — the caller must then replay every
+  // stream vertex NPV through UpdateStreamVertex, because stream-side
+  // vectors translated before the growth dropped those dimensions at
+  // translate time and cannot be fixed up in place.
+  virtual int32_t AddQuery(const QueryVectors& query, bool* grew_dims) = 0;
+
+  // Retires query `local_id` (must be live). Its slab slots, signatures,
+  // cached verdicts, and per-dimension index entries are freed for reuse;
+  // live queries and the kernel's sentinel-padded slab layout are
+  // undisturbed. The id becomes eligible for reuse by a later AddQuery.
+  virtual void RemoveQuery(int32_t local_id) = 0;
+
+  // Validates the strategy's churn bookkeeping (slab kernel layout, free
+  // lists, liveness counts). Test/soak hook; O(state), not for hot loops.
+  virtual void CheckChurnInvariants() const = 0;
 
   // Installs or replaces the NPV of vertex `v` of stream `stream`.
   virtual void UpdateStreamVertex(int stream, VertexId v, const Npv& npv) = 0;

@@ -1,5 +1,6 @@
 #include "gsps/join/nested_loop_join.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "gsps/common/check.h"
@@ -15,6 +16,7 @@ void NestedLoopJoin::SetQueries(std::vector<QueryVectors> queries) {
   }
   remap_.Seal();
   std::vector<NpvEntry> translated;
+  query_qvecs_.resize(queries.size());
   for (size_t j = 0; j < queries.size(); ++j) {
     int32_t tracked = 0;
     int32_t trivial = 0;
@@ -25,13 +27,131 @@ void NestedLoopJoin::SetQueries(std::vector<QueryVectors> queries) {
       }
       ++tracked;
       remap_.Translate(vector, &translated);
-      qvecs_.Append(translated);
+      const int32_t k = qvecs_.Append(translated);
       qvec_query_.push_back(static_cast<int32_t>(j));
+      query_qvecs_[j].push_back(k);
     }
     query_tracked_vectors_.push_back(tracked);
     query_trivial_vectors_.push_back(trivial);
   }
+  query_live_.assign(queries.size(), 1);
   batch_.Bind(qvecs_, remap_.num_dims());
+}
+
+int32_t NestedLoopJoin::AllocQuerySlot() {
+  if (!free_queries_.empty()) {
+    const int32_t j = free_queries_.back();
+    free_queries_.pop_back();
+    query_live_[static_cast<size_t>(j)] = 1;
+    return j;
+  }
+  const int32_t j = num_queries_++;
+  query_qvecs_.emplace_back();
+  query_tracked_vectors_.push_back(0);
+  query_trivial_vectors_.push_back(0);
+  query_live_.push_back(1);
+  for (StreamState& stream : streams_) {
+    stream.covered_vectors.push_back(0);
+  }
+  return j;
+}
+
+int32_t NestedLoopJoin::AddQuery(const QueryVectors& query, bool* grew_dims) {
+  *grew_dims = false;
+  for (const Npv& vector : query.vectors) {
+    if (remap_.GrowDims(vector, &scratch_old_to_new_)) {
+      *grew_dims = true;
+      qvecs_.RemapDims(scratch_old_to_new_);
+      GSPS_OBS_COUNT(Counter::kRemapRegrowths, 1);
+    }
+  }
+  const int32_t j = AllocQuerySlot();
+  int32_t tracked = 0;
+  int32_t trivial = 0;
+  for (const Npv& vector : query.vectors) {
+    if (vector.nnz() == 0) {
+      ++trivial;
+      continue;
+    }
+    ++tracked;
+    remap_.Translate(vector, &scratch_entries_);
+    const int32_t k = qvecs_.Append(scratch_entries_);
+    if (k == static_cast<int32_t>(qvec_query_.size())) {
+      qvec_query_.push_back(j);
+    } else {
+      qvec_query_[static_cast<size_t>(k)] = j;
+    }
+    query_qvecs_[static_cast<size_t>(j)].push_back(k);
+  }
+  query_tracked_vectors_[static_cast<size_t>(j)] = tracked;
+  query_trivial_vectors_[static_cast<size_t>(j)] = trivial;
+  if (*grew_dims) {
+    // RemapDims rewrote every live slot: the whole kernel mirror is stale.
+    batch_.Bind(qvecs_, remap_.num_dims());
+  } else {
+    for (const int32_t k : query_qvecs_[static_cast<size_t>(j)]) {
+      batch_.RefreshSlot(qvecs_, remap_.num_dims(), k);
+    }
+  }
+
+  for (StreamState& stream : streams_) {
+    stream.cover_count.resize(static_cast<size_t>(qvecs_.size()), 0);
+    stream.cache_valid = false;
+    if (*grew_dims) continue;  // Caller replays every vertex instead.
+    // Fold the new vectors into the existing cover state: each live vertex
+    // is tested against just the new slab slots (scalar — the slots are
+    // few and the kernel would re-test the whole slab).
+    for (auto& [v, vertex] : stream.vertices) {
+      if (!vertex.live) continue;
+      for (const int32_t k : query_qvecs_[static_cast<size_t>(j)]) {
+        if (!SignatureCovers(vertex.sig, qvecs_.signature(k))) continue;
+        if (!DominatesRange(vertex.entries.data(),
+                            vertex.entries.data() + vertex.entries.size(),
+                            qvecs_.begin(k), qvecs_.end(k))) {
+          continue;
+        }
+        vertex.dominated.push_back(k);
+        if (stream.cover_count[static_cast<size_t>(k)]++ == 0) {
+          ++stream.covered_vectors[static_cast<size_t>(j)];
+        }
+      }
+    }
+  }
+  return j;
+}
+
+void NestedLoopJoin::RemoveQuery(int32_t local_id) {
+  GSPS_CHECK(local_id >= 0 && local_id < num_queries_);
+  GSPS_CHECK_MSG(query_live_[static_cast<size_t>(local_id)] != 0,
+                 "NestedLoopJoin::RemoveQuery on a retired query");
+  std::vector<int32_t>& slots = query_qvecs_[static_cast<size_t>(local_id)];
+  slot_removed_.resize(static_cast<size_t>(qvecs_.size()), 0);
+  for (const int32_t k : slots) slot_removed_[static_cast<size_t>(k)] = 1;
+  for (StreamState& stream : streams_) {
+    for (auto& [v, vertex] : stream.vertices) {
+      if (!vertex.live) continue;
+      auto keep = std::remove_if(
+          vertex.dominated.begin(), vertex.dominated.end(), [&](int32_t k) {
+            return slot_removed_[static_cast<size_t>(k)] != 0;
+          });
+      vertex.dominated.erase(keep, vertex.dominated.end());
+    }
+    for (const int32_t k : slots) {
+      stream.cover_count[static_cast<size_t>(k)] = 0;
+    }
+    stream.covered_vectors[static_cast<size_t>(local_id)] = 0;
+    stream.cache_valid = false;
+  }
+  for (const int32_t k : slots) {
+    slot_removed_[static_cast<size_t>(k)] = 0;
+    qvecs_.Remove(k);
+    batch_.RefreshSlot(qvecs_, remap_.num_dims(), k);
+  }
+  slots.clear();
+  query_tracked_vectors_[static_cast<size_t>(local_id)] = 0;
+  query_trivial_vectors_[static_cast<size_t>(local_id)] = 0;
+  query_live_[static_cast<size_t>(local_id)] = 0;
+  free_queries_.push_back(local_id);
 }
 
 void NestedLoopJoin::SetNumStreams(int num_streams) {
@@ -95,6 +215,7 @@ void NestedLoopJoin::CandidatesForStream(int stream_index,
   } else {
     stream.cache.clear();
     for (int32_t j = 0; j < num_queries_; ++j) {
+      if (query_live_[static_cast<size_t>(j)] == 0) continue;
       if (stream.covered_vectors[static_cast<size_t>(j)] !=
           query_tracked_vectors_[static_cast<size_t>(j)]) {
         continue;
@@ -124,6 +245,55 @@ void NestedLoopJoin::Retract(StreamState& stream, VertexState& vertex) {
   for (const int32_t k : vertex.dominated) {
     if (--stream.cover_count[static_cast<size_t>(k)] == 0) {
       --stream.covered_vectors[static_cast<size_t>(qvec_query_[k])];
+    }
+  }
+}
+
+void NestedLoopJoin::CheckChurnInvariants() const {
+  qvecs_.CheckKernelLayout();
+  int32_t live_slots = 0;
+  for (int32_t j = 0; j < num_queries_; ++j) {
+    const auto& slots = query_qvecs_[static_cast<size_t>(j)];
+    if (query_live_[static_cast<size_t>(j)] == 0) {
+      GSPS_CHECK(slots.empty());
+      continue;
+    }
+    GSPS_CHECK(static_cast<int32_t>(slots.size()) ==
+               query_tracked_vectors_[static_cast<size_t>(j)]);
+    for (const int32_t k : slots) {
+      GSPS_CHECK(qvecs_.live(k));
+      GSPS_CHECK(qvec_query_[static_cast<size_t>(k)] == j);
+      ++live_slots;
+    }
+  }
+  GSPS_CHECK(live_slots == qvecs_.num_live());
+  GSPS_CHECK(static_cast<int32_t>(free_queries_.size()) ==
+             std::count(query_live_.begin(), query_live_.end(), 0));
+  // Recount the per-stream cover state from the vertices.
+  std::vector<int32_t> counts;
+  std::vector<int32_t> covered;
+  for (const StreamState& stream : streams_) {
+    counts.assign(static_cast<size_t>(qvecs_.size()), 0);
+    covered.assign(static_cast<size_t>(num_queries_), 0);
+    int32_t live_vertices = 0;
+    for (const auto& [v, vertex] : stream.vertices) {
+      if (!vertex.live) continue;
+      ++live_vertices;
+      for (const int32_t k : vertex.dominated) {
+        GSPS_CHECK(qvecs_.live(k));
+        if (counts[static_cast<size_t>(k)]++ == 0) {
+          ++covered[static_cast<size_t>(qvec_query_[k])];
+        }
+      }
+    }
+    GSPS_CHECK(live_vertices == stream.live_vertices);
+    for (int32_t k = 0; k < qvecs_.size(); ++k) {
+      GSPS_CHECK(counts[static_cast<size_t>(k)] ==
+                 stream.cover_count[static_cast<size_t>(k)]);
+    }
+    for (int32_t j = 0; j < num_queries_; ++j) {
+      GSPS_CHECK(covered[static_cast<size_t>(j)] ==
+                 stream.covered_vectors[static_cast<size_t>(j)]);
     }
   }
 }

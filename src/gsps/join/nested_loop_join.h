@@ -27,10 +27,13 @@ class NestedLoopJoin final : public JoinStrategy {
 
   void SetQueries(std::vector<QueryVectors> queries) override;
   void SetNumStreams(int num_streams) override;
+  int32_t AddQuery(const QueryVectors& query, bool* grew_dims) override;
+  void RemoveQuery(int32_t local_id) override;
   void UpdateStreamVertex(int stream, VertexId v, const Npv& npv) override;
   void RemoveStreamVertex(int stream, VertexId v) override;
   void CandidatesForStream(int stream, std::vector<int>* out) override;
   using JoinStrategy::CandidatesForStream;
+  void CheckChurnInvariants() const override;
   std::string_view name() const override { return "NL"; }
 
  private:
@@ -60,23 +63,38 @@ class NestedLoopJoin final : public JoinStrategy {
   // Removes `vertex`'s cover contributions.
   void Retract(StreamState& stream, VertexState& vertex);
 
-  // Query side, fixed after SetQueries: non-trivial query vectors live
+  // Registers `query`'s dims (growing the remap and rewriting the slab if
+  // needed) and allocates a query slot. Shared by SetQueries and AddQuery.
+  int32_t AllocQuerySlot();
+
+  // Query side, slotted for churn: non-trivial query vectors live
   // dim-translated in a contiguous slab; qvec_query_ maps slab index ->
-  // owning query graph.
+  // owning query graph, query_qvecs_ the inverse.
   NpvDimRemap remap_;
   NpvSlab qvecs_;
-  // Batched dominance kernel bound to qvecs_ at SetQueries; one
+  // Batched dominance kernel, re-bound after every churn op; one
   // ComputeMask per vertex update replaces the per-vector scan.
   DominanceBatch batch_;
   std::vector<int32_t> qvec_query_;
+  std::vector<std::vector<int32_t>> query_qvecs_;
   // Per query graph: number of non-trivial / trivial (nnz == 0) vectors. A
   // trivial vector is dominated by any stream vertex, so it is covered
   // exactly when the stream is non-empty.
   std::vector<int32_t> query_tracked_vectors_;
   std::vector<int32_t> query_trivial_vectors_;
+  // Slot liveness + free list: retired query ids are reused, and dead
+  // slots never surface as candidates.
+  std::vector<uint8_t> query_live_;
+  std::vector<int32_t> free_queries_;
   int32_t num_queries_ = 0;
 
   std::vector<StreamState> streams_;
+
+  // Churn scratch, capacity-retained across ops so steady-state churn is
+  // allocation-free.
+  std::vector<NpvEntry> scratch_entries_;
+  std::vector<DimId> scratch_old_to_new_;
+  std::vector<uint8_t> slot_removed_;
 
   // Observability accumulators (see the note in dominated_set_cover_join.h):
   // bumped by the kernel in the update loops, flushed once per

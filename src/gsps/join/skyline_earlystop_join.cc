@@ -15,82 +15,243 @@ void SkylineEarlyStopJoin::SetQueries(std::vector<QueryVectors> queries) {
     for (const Npv& vector : query.vectors) remap_.AddDims(vector);
   }
   remap_.Seal();
-  plans_.reserve(queries.size());
+  plans_.resize(queries.size());
   DominanceKernelStats build_kernel_stats;
-  for (QueryVectors& query : queries) {
-    QueryPlan plan;
-    plan.empty_query = query.vectors.empty();
-    // Deduplicate equal vectors: coverage of one implies the other.
-    std::vector<Npv> distinct;
-    for (Npv& vector : query.vectors) {
-      if (vector.nnz() == 0) {
-        plan.has_trivial_vector = true;
-        continue;
-      }
-      if (std::find(distinct.begin(), distinct.end(), vector) ==
-          distinct.end()) {
-        distinct.push_back(std::move(vector));
-      }
-    }
-    // Monochromatic skyline: keep vectors not dominated by a distinct other.
-    // Count how many vectors each skyline point dominates for ordering. The
-    // batched kernel produces one dominated-row bitset per vector; vector i
-    // is maximal iff no other row has bit i set (colset sweep), and its
-    // dominated count is its row's popcount minus the self bit. Distinct
-    // vectors never mutually dominate, so this matches the pairwise scan.
-    std::vector<std::pair<int32_t, size_t>> order;  // (-dominated_count, idx)
-    if (!distinct.empty()) {
-      NpvSlab dslab;
-      for (const Npv& vector : distinct) {
-        remap_.Translate(vector, &translate_scratch_);
-        dslab.Append(translate_scratch_);
-      }
-      DominanceBatch dbatch;
-      dbatch.Bind(dslab, remap_.num_dims());
-      const size_t words = (distinct.size() + 63) / 64;
-      std::vector<uint64_t> row(words, 0);
-      std::vector<uint64_t> colset(words, 0);
-      std::vector<int32_t> dom_count(distinct.size(), 0);
-      for (size_t i = 0; i < distinct.size(); ++i) {
-        const int32_t k = static_cast<int32_t>(i);
-        dbatch.ComputeMask(dslab.begin(k), dslab.end(k), dslab.signature(k),
-                           &build_kernel_stats);
-        int64_t dominated = 0;
-        for (size_t w = 0; w < words; ++w) {
-          row[w] = dbatch.mask_words()[w];
-          dominated += __builtin_popcountll(row[w]);
-        }
-        dom_count[i] = static_cast<int32_t>(dominated - 1);  // Self bit.
-        row[i / 64] &= ~(uint64_t{1} << (i % 64));
-        for (size_t w = 0; w < words; ++w) colset[w] |= row[w];
-      }
-      for (size_t i = 0; i < distinct.size(); ++i) {
-        const bool maximal =
-            ((colset[i / 64] >> (i % 64)) & 1u) == 0;
-        if (maximal) order.emplace_back(-dom_count[i], i);
-      }
-    }
-    std::sort(order.begin(), order.end());
-    plan.points.reserve(order.size());
-    for (const auto& [neg_count, index] : order) {
-      (void)neg_count;
-      // Query dims are all registered, so translation is lossless.
-      remap_.Translate(distinct[index], &translate_scratch_);
-      const int32_t point = points_.Append(translate_scratch_);
-      plan.points.push_back(point);
-      plan.union_sig |= points_.signature(point);
-    }
-    plans_.push_back(std::move(plan));
+  for (size_t j = 0; j < queries.size(); ++j) {
+    BuildPlan(static_cast<int32_t>(j), queries[j].vectors,
+              &build_kernel_stats);
   }
-  // Flushed here rather than deferred: SetQueries runs once at setup, and
-  // keeping build-time kernel activity out of the per-refresh accumulators
-  // preserves the steady-state per-refresh counter semantics.
+  // Flushed here rather than deferred: setup-time kernel activity stays out
+  // of the per-refresh accumulators, preserving the steady-state
+  // per-refresh counter semantics.
   GSPS_OBS_COUNT(Counter::kJoinDominanceTests, build_kernel_stats.tests);
   GSPS_OBS_COUNT(Counter::kJoinSignatureRejects, build_kernel_stats.sig_rejects);
   if constexpr (obs::kEnabled) {
     if (obs::MetricSink* sink = obs::CurrentSink(); sink != nullptr) {
       sink->Add(DominanceBatchCounter(ActiveDominanceIsa()),
                 build_kernel_stats.batches);
+    }
+  }
+}
+
+void SkylineEarlyStopJoin::BuildPlan(int32_t j,
+                                     const std::vector<Npv>& vectors,
+                                     DominanceKernelStats* build_stats) {
+  QueryPlan& plan = plans_[static_cast<size_t>(j)];
+  plan.points.clear();
+  plan.union_sig = 0;
+  plan.empty_query = vectors.empty();
+  plan.has_trivial_vector = false;
+  plan.live = true;
+  // Deduplicate equal vectors: coverage of one implies the other.
+  scratch_distinct_.clear();
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    if (vectors[i].nnz() == 0) {
+      plan.has_trivial_vector = true;
+      continue;
+    }
+    bool seen = false;
+    for (const int32_t d : scratch_distinct_) {
+      if (vectors[static_cast<size_t>(d)] == vectors[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) scratch_distinct_.push_back(static_cast<int32_t>(i));
+  }
+  // Monochromatic skyline: keep vectors not dominated by a distinct other.
+  // Count how many vectors each skyline point dominates for ordering. The
+  // batched kernel produces one dominated-row bitset per vector; vector i
+  // is maximal iff no other row has bit i set (colset sweep), and its
+  // dominated count is its row's popcount minus the self bit. Distinct
+  // vectors never mutually dominate, so this matches the pairwise scan.
+  scratch_order_.clear();  // (-dominated_count, idx)
+  const size_t num_distinct = scratch_distinct_.size();
+  if (num_distinct > 0) {
+    scratch_slab_.Clear();
+    for (const int32_t d : scratch_distinct_) {
+      remap_.Translate(vectors[static_cast<size_t>(d)], &translate_scratch_);
+      scratch_slab_.Append(translate_scratch_);
+    }
+    scratch_batch_.Bind(scratch_slab_, remap_.num_dims());
+    const size_t words = (num_distinct + 63) / 64;
+    scratch_row_.assign(words, 0);
+    scratch_colset_.assign(words, 0);
+    scratch_dom_count_.assign(num_distinct, 0);
+    for (size_t i = 0; i < num_distinct; ++i) {
+      const int32_t k = static_cast<int32_t>(i);
+      scratch_batch_.ComputeMask(scratch_slab_.begin(k), scratch_slab_.end(k),
+                                 scratch_slab_.signature(k), build_stats);
+      int64_t dominated = 0;
+      for (size_t w = 0; w < words; ++w) {
+        scratch_row_[w] = scratch_batch_.mask_words()[w];
+        dominated += __builtin_popcountll(scratch_row_[w]);
+      }
+      scratch_dom_count_[i] = static_cast<int32_t>(dominated - 1);  // Self.
+      scratch_row_[i / 64] &= ~(uint64_t{1} << (i % 64));
+      for (size_t w = 0; w < words; ++w) scratch_colset_[w] |= scratch_row_[w];
+    }
+    for (size_t i = 0; i < num_distinct; ++i) {
+      const bool maximal = ((scratch_colset_[i / 64] >> (i % 64)) & 1u) == 0;
+      if (maximal) {
+        scratch_order_.emplace_back(-scratch_dom_count_[i],
+                                    scratch_distinct_[i]);
+      }
+    }
+  }
+  std::sort(scratch_order_.begin(), scratch_order_.end());
+  for (const auto& [neg_count, index] : scratch_order_) {
+    (void)neg_count;
+    // Query dims are all registered, so translation is lossless.
+    remap_.Translate(vectors[static_cast<size_t>(index)], &translate_scratch_);
+    const int32_t point = points_.Append(translate_scratch_);
+    plan.points.push_back(point);
+    plan.union_sig |= points_.signature(point);
+  }
+}
+
+int32_t SkylineEarlyStopJoin::AddQuery(const QueryVectors& query,
+                                       bool* grew_dims) {
+  *grew_dims = false;
+  for (const Npv& vector : query.vectors) {
+    if (!remap_.GrowDims(vector, &remap_scratch_)) continue;
+    *grew_dims = true;
+    GSPS_OBS_COUNT(Counter::kRemapRegrowths, 1);
+    points_.RemapDims(remap_scratch_);
+    for (QueryPlan& plan : plans_) {
+      if (!plan.live) continue;
+      plan.union_sig = 0;
+      for (const int32_t point : plan.points) {
+        plan.union_sig |= points_.signature(point);
+      }
+    }
+    const int32_t old_dims = static_cast<int32_t>(remap_scratch_.size());
+    for (StreamState& stream : streams_) {
+      // Move the per-dimension buckets to their new dense indices, highest
+      // first (the map is strictly increasing; a self-mapped prefix stays).
+      stream.buckets.resize(static_cast<size_t>(remap_.num_dims()));
+      for (int32_t d = old_dims - 1; d >= 0; --d) {
+        const DimId nd = remap_scratch_[static_cast<size_t>(d)];
+        if (nd == d) break;
+        stream.buckets[static_cast<size_t>(nd)] =
+            std::move(stream.buckets[static_cast<size_t>(d)]);
+        stream.buckets[static_cast<size_t>(d)] = DimBucket{};
+      }
+      for (auto& [v, vertex] : stream.vertices) {
+        for (NpvEntry& entry : vertex.entries) {
+          entry.dim = remap_scratch_[static_cast<size_t>(entry.dim)];
+        }
+        vertex.sig = SignatureOf(
+            vertex.entries.data(),
+            vertex.entries.data() + vertex.entries.size());
+      }
+      // Dense signatures were renumbered, so the bounded changed-signature
+      // filter can no longer be trusted: force full reevaluation.
+      stream.changed_overflow = true;
+      stream.combined_changed = ~NpvSignature{0};
+      stream.cache_valid = false;
+    }
+  }
+
+  int32_t j;
+  if (!free_plans_.empty()) {
+    j = free_plans_.back();
+    free_plans_.pop_back();
+  } else {
+    j = static_cast<int32_t>(plans_.size());
+    plans_.emplace_back();
+    for (StreamState& stream : streams_) {
+      stream.verdicts.emplace_back();
+    }
+  }
+  DominanceKernelStats build_stats;
+  BuildPlan(j, query.vectors, &build_stats);
+  pending_tests_ += build_stats.tests;
+  pending_rejects_ += build_stats.sig_rejects;
+  const QueryPlan& plan = plans_[static_cast<size_t>(j)];
+  // Eager verdict: the cached-verdict invariant ("state as of the last
+  // refresh") only holds for plans that existed at that refresh, so the new
+  // plan's coverage is scanned now against the current stream state.
+  for (StreamState& stream : streams_) {
+    Verdict& verdict = stream.verdicts[static_cast<size_t>(j)];
+    verdict.covered = true;
+    verdict.witness = static_cast<int32_t>(plan.points.size());
+    for (size_t i = 0; i < plan.points.size(); ++i) {
+      if (!Covered(stream, plan.points[i])) {
+        verdict.covered = false;
+        verdict.witness = static_cast<int32_t>(i);
+        break;
+      }
+    }
+    stream.cache_valid = false;
+  }
+  return j;
+}
+
+void SkylineEarlyStopJoin::RemoveQuery(int32_t local_id) {
+  GSPS_CHECK(local_id >= 0 &&
+             local_id < static_cast<int32_t>(plans_.size()));
+  QueryPlan& plan = plans_[static_cast<size_t>(local_id)];
+  GSPS_CHECK_MSG(plan.live,
+                 "SkylineEarlyStopJoin::RemoveQuery on a retired query");
+  for (const int32_t point : plan.points) points_.Remove(point);
+  plan.points.clear();
+  plan.union_sig = 0;
+  plan.has_trivial_vector = false;
+  plan.empty_query = false;
+  plan.live = false;
+  free_plans_.push_back(local_id);
+  for (StreamState& stream : streams_) {
+    stream.verdicts[static_cast<size_t>(local_id)] = Verdict{};
+    stream.cache_valid = false;
+  }
+}
+
+void SkylineEarlyStopJoin::CheckChurnInvariants() const {
+  points_.CheckKernelLayout();
+  int32_t live_points = 0;
+  int32_t dead_plans = 0;
+  for (const QueryPlan& plan : plans_) {
+    if (!plan.live) {
+      GSPS_CHECK(plan.points.empty());
+      ++dead_plans;
+      continue;
+    }
+    NpvSignature union_sig = 0;
+    for (const int32_t point : plan.points) {
+      GSPS_CHECK(points_.live(point));
+      GSPS_CHECK(points_.nnz(point) > 0);
+      union_sig |= points_.signature(point);
+      ++live_points;
+    }
+    GSPS_CHECK(union_sig == plan.union_sig);
+  }
+  GSPS_CHECK(live_points == points_.num_live());
+  GSPS_CHECK(dead_plans == static_cast<int32_t>(free_plans_.size()));
+  for (const StreamState& stream : streams_) {
+    GSPS_CHECK(stream.verdicts.size() == plans_.size());
+    int32_t live_vertices = 0;
+    for (const auto& [v, vertex] : stream.vertices) {
+      if (!vertex.live) continue;
+      ++live_vertices;
+      for (const NpvEntry& entry : vertex.entries) {
+        const DimBucket& bucket =
+            stream.buckets[static_cast<size_t>(entry.dim)];
+        const auto it = bucket.values.find(v);
+        GSPS_CHECK(it != bucket.values.end() && it->second == entry.count);
+      }
+    }
+    GSPS_CHECK(live_vertices == stream.live_vertices);
+    for (const DimBucket& bucket : stream.buckets) {
+      int32_t live_count = 0;
+      int32_t max_value = 0;
+      for (const auto& [v, value] : bucket.values) {
+        if (value == 0) continue;
+        ++live_count;
+        max_value = std::max(max_value, value);
+      }
+      GSPS_CHECK(live_count == bucket.live_count);
+      GSPS_CHECK(max_value == bucket.max_value);
     }
   }
 }
@@ -152,6 +313,7 @@ void SkylineEarlyStopJoin::CandidatesForStream(int stream_index,
     int64_t early_stops = 0;
     for (size_t j = 0; j < plans_.size(); ++j) {
       const QueryPlan& plan = plans_[j];
+      if (!plan.live) continue;
       if (plan.empty_query) {
         stream.cache.push_back(static_cast<int>(j));
         continue;

@@ -36,8 +36,10 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "gsps/join/dominance_kernel.h"
 #include "gsps/join/join_strategy.h"
 
 namespace gsps {
@@ -48,10 +50,13 @@ class SkylineEarlyStopJoin final : public JoinStrategy {
 
   void SetQueries(std::vector<QueryVectors> queries) override;
   void SetNumStreams(int num_streams) override;
+  int32_t AddQuery(const QueryVectors& query, bool* grew_dims) override;
+  void RemoveQuery(int32_t local_id) override;
   void UpdateStreamVertex(int stream, VertexId v, const Npv& npv) override;
   void RemoveStreamVertex(int stream, VertexId v) override;
   void CandidatesForStream(int stream, std::vector<int>* out) override;
   using JoinStrategy::CandidatesForStream;
+  void CheckChurnInvariants() const override;
   std::string_view name() const override { return "Skyline"; }
 
   // Statistics: how many query skyline points were compared against stream
@@ -71,6 +76,9 @@ class SkylineEarlyStopJoin final : public JoinStrategy {
     bool has_trivial_vector = false;
     // True for a query with no vectors at all (always a candidate).
     bool empty_query = false;
+    // Slot liveness: retired plans keep their buffers for reuse and are
+    // skipped by CandidatesForStream.
+    bool live = false;
   };
 
   // Cached per-(stream, query) outcome of the skyline scan. Invariant: at
@@ -134,12 +142,29 @@ class SkylineEarlyStopJoin final : public JoinStrategy {
   void DeindexVertex(StreamState& stream, VertexId v,
                      const std::vector<NpvEntry>& entries);
 
+  // Computes the plan (skyline + ordering + point slab slots) for one
+  // query's vectors into plans_[j] using the member scratch. Shared by
+  // SetQueries and AddQuery (which follows it with an eager verdict scan).
+  void BuildPlan(int32_t j, const std::vector<Npv>& vectors,
+                 DominanceKernelStats* build_stats);
+
   std::vector<QueryPlan> plans_;
+  std::vector<int32_t> free_plans_;
   // All skyline points of all plans, dense-translated, in one slab.
   NpvDimRemap remap_;
   NpvSlab points_;
   std::vector<StreamState> streams_;
   std::vector<NpvEntry> translate_scratch_;
+  // Plan-build scratch (monochromatic-skyline computation), capacity-
+  // retained so steady-state AddQuery is allocation-free.
+  NpvSlab scratch_slab_;
+  DominanceBatch scratch_batch_;
+  std::vector<int32_t> scratch_distinct_;
+  std::vector<uint64_t> scratch_row_;
+  std::vector<uint64_t> scratch_colset_;
+  std::vector<int32_t> scratch_dom_count_;
+  std::vector<std::pair<int32_t, int32_t>> scratch_order_;
+  std::vector<DimId> remap_scratch_;
   int64_t comparisons_ = 0;
 
   // Observability accumulators (see dominated_set_cover_join.h), flushed

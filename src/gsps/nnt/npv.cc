@@ -88,6 +88,35 @@ void NpvDimRemap::Seal() {
   sealed_ = true;
 }
 
+bool NpvDimRemap::GrowDims(const Npv& npv, std::vector<DimId>* old_to_new) {
+  GSPS_DCHECK(sealed_);
+  // Fast path: every dim already mapped — one linear merge, no writes.
+  bool all_known = true;
+  auto probe = dims_.begin();
+  for (const NpvEntry& e : npv.entries()) {
+    while (probe != dims_.end() && *probe < e.dim) ++probe;
+    if (probe == dims_.end() || *probe != e.dim) {
+      all_known = false;
+      break;
+    }
+  }
+  if (all_known) return false;
+
+  const std::vector<DimId> old_dims = dims_;
+  for (const NpvEntry& e : npv.entries()) dims_.push_back(e.dim);
+  std::sort(dims_.begin(), dims_.end());
+  dims_.erase(std::unique(dims_.begin(), dims_.end()), dims_.end());
+
+  old_to_new->resize(old_dims.size());
+  auto it = dims_.begin();
+  for (size_t i = 0; i < old_dims.size(); ++i) {
+    it = std::lower_bound(it, dims_.end(), old_dims[i]);
+    GSPS_DCHECK(it != dims_.end() && *it == old_dims[i]);
+    (*old_to_new)[i] = static_cast<DimId>(it - dims_.begin());
+  }
+  return true;
+}
+
 NpvSignature NpvDimRemap::Translate(const Npv& npv,
                                     std::vector<NpvEntry>* out) const {
   GSPS_DCHECK(sealed_);
@@ -110,14 +139,52 @@ NpvSignature NpvDimRemap::Translate(const Npv& npv,
 }
 
 int32_t NpvSlab::Append(const std::vector<NpvEntry>& entries) {
-  // Drop the previous tail padding so real entries stay back-to-back, then
-  // re-pad both arrays: entries with {0, 0} sentinels (a zero count passes
-  // every dominance compare), signatures with all-ones sentinels.
+  const int32_t n = static_cast<int32_t>(entries.size());
+  // Best-fit reuse of a freed slot wide enough for the new vector: the
+  // freed region is already all {0, 0} sentinels, so writing the first n
+  // entries leaves the in-slot slack correctly padded. No array resize, no
+  // allocation. Best-fit (not first-fit) so removing a query and re-adding
+  // its identical vectors lands each one back in an exact-capacity slot —
+  // first-fit would let a narrow vector squat in a wide slot and push the
+  // wide vector to tail growth, creeping the slab under steady churn.
+  size_t best = free_slots_.size();
+  for (size_t f = 0; f < free_slots_.size(); ++f) {
+    const Ref& ref = refs_[static_cast<size_t>(free_slots_[f])];
+    if (ref.capacity < n) continue;
+    if (best == free_slots_.size() ||
+        ref.capacity < refs_[static_cast<size_t>(free_slots_[best])].capacity) {
+      best = f;
+      if (ref.capacity == n) break;
+    }
+  }
+  if (best != free_slots_.size()) {
+    const int32_t slot = free_slots_[best];
+    Ref& ref = refs_[static_cast<size_t>(slot)];
+    std::copy(entries.begin(), entries.end(),
+              entries_.begin() + ref.offset);
+    ref.size = n;
+    ref.live = true;
+    sigs_[static_cast<size_t>(slot)] = SignatureOf(
+        entries_.data() + ref.offset, entries_.data() + ref.offset + n);
+    free_slots_[best] = free_slots_.back();
+    free_slots_.pop_back();
+    live_words_[static_cast<size_t>(slot) / 64] |=
+        uint64_t{1} << (static_cast<uint32_t>(slot) % 64);
+    ++num_live_;
+    return slot;
+  }
+
+  // Tail growth: drop the previous tail padding so slot regions stay
+  // back-to-back, then re-pad both arrays — entries with {0, 0} sentinels
+  // (a zero count passes every dominance compare), signatures with
+  // all-ones sentinels.
   entries_.resize(static_cast<size_t>(num_entries_));
   sigs_.resize(refs_.size());
   Ref ref;
   ref.offset = num_entries_;
-  ref.size = static_cast<int32_t>(entries.size());
+  ref.size = n;
+  ref.capacity = n;
+  ref.live = true;
   entries_.insert(entries_.end(), entries.begin(), entries.end());
   num_entries_ += ref.size;
   sigs_.push_back(SignatureOf(entries_.data() + ref.offset,
@@ -130,7 +197,51 @@ int32_t NpvSlab::Append(const std::vector<NpvEntry>& entries) {
   const size_t padded_sigs =
       (sigs_.size() + kNpvSlabSigPad - 1) / kNpvSlabSigPad * kNpvSlabSigPad;
   sigs_.resize(padded_sigs, ~NpvSignature{0});
-  return static_cast<int32_t>(refs_.size()) - 1;
+  live_words_.resize((padded_sigs + 63) / 64, 0);
+  const int32_t slot = static_cast<int32_t>(refs_.size()) - 1;
+  live_words_[static_cast<size_t>(slot) / 64] |=
+      uint64_t{1} << (static_cast<uint32_t>(slot) % 64);
+  ++num_live_;
+  return slot;
+}
+
+void NpvSlab::Remove(int32_t i) {
+  Ref& ref = refs_[static_cast<size_t>(i)];
+  GSPS_CHECK_MSG(ref.live, "NpvSlab::Remove on a freed slot");
+  std::fill(entries_.begin() + ref.offset,
+            entries_.begin() + ref.offset + ref.size, NpvEntry{0, 0});
+  sigs_[static_cast<size_t>(i)] = ~NpvSignature{0};
+  ref.size = 0;
+  ref.live = false;
+  ++ref.generation;
+  free_slots_.push_back(i);
+  live_words_[static_cast<size_t>(i) / 64] &=
+      ~(uint64_t{1} << (static_cast<uint32_t>(i) % 64));
+  --num_live_;
+}
+
+void NpvSlab::Clear() {
+  entries_.clear();
+  sigs_.clear();
+  refs_.clear();
+  free_slots_.clear();
+  live_words_.clear();
+  num_entries_ = 0;
+  num_live_ = 0;
+}
+
+void NpvSlab::RemapDims(const std::vector<DimId>& old_to_new) {
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    const Ref& ref = refs_[i];
+    if (!ref.live) continue;
+    NpvEntry* begin = entries_.data() + ref.offset;
+    NpvEntry* end = begin + ref.size;
+    for (NpvEntry* e = begin; e != end; ++e) {
+      GSPS_DCHECK(static_cast<size_t>(e->dim) < old_to_new.size());
+      e->dim = old_to_new[static_cast<size_t>(e->dim)];
+    }
+    sigs_[i] = SignatureOf(begin, end);
+  }
 }
 
 void NpvSlab::CheckKernelLayout() const {
@@ -141,12 +252,44 @@ void NpvSlab::CheckKernelLayout() const {
              0);
   GSPS_CHECK(entries_.size() % kNpvSlabEntryPad == 0);
   GSPS_CHECK(sigs_.size() % kNpvSlabSigPad == 0);
+  GSPS_CHECK(live_words_.size() >= (sigs_.size() + 63) / 64);
+  // Every entry position outside a live slot's used region — in-slot slack,
+  // freed regions, tail padding — must hold the {0, 0} sentinel. Walk the
+  // slot regions (back-to-back by construction) and verify both coverage
+  // and sentinels in one pass.
+  int32_t covered = 0;
+  int32_t live_count = 0;
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    const Ref& ref = refs_[i];
+    GSPS_CHECK(ref.offset == covered);
+    GSPS_CHECK(ref.size >= 0 && ref.size <= ref.capacity);
+    GSPS_CHECK(ref.live || ref.size == 0);
+    for (int32_t j = ref.offset + ref.size; j < ref.offset + ref.capacity;
+         ++j) {
+      GSPS_CHECK(entries_[static_cast<size_t>(j)].dim == 0 &&
+                 entries_[static_cast<size_t>(j)].count == 0);
+    }
+    if (ref.live) {
+      ++live_count;
+    } else {
+      GSPS_CHECK(sigs_[i] == ~NpvSignature{0});
+    }
+    const bool bit = (live_words_[i / 64] >> (i % 64)) & 1u;
+    GSPS_CHECK(bit == ref.live);
+    covered += ref.capacity;
+  }
+  GSPS_CHECK(covered == num_entries_);
+  GSPS_CHECK(live_count == num_live_);
   for (size_t i = static_cast<size_t>(num_entries_); i < entries_.size();
        ++i) {
     GSPS_CHECK(entries_[i].dim == 0 && entries_[i].count == 0);
   }
   for (size_t i = refs_.size(); i < sigs_.size(); ++i) {
     GSPS_CHECK(sigs_[i] == ~NpvSignature{0});
+  }
+  for (size_t i = refs_.size(); i < live_words_.size() * 64; ++i) {
+    const bool bit = (live_words_[i / 64] >> (i % 64)) & 1u;
+    GSPS_CHECK(!bit);
   }
 }
 

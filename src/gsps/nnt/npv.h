@@ -105,24 +105,41 @@ class Npv {
   NpvSignature signature_ = 0;
 };
 
-// Dense dimension-id translation for a fixed vector set (the join query
-// side). Build with AddDims over every query vector, then Seal; the dims
-// seen map to the dense range [0, num_dims()) in ascending order, so
-// translation preserves entry order. Stream-side vectors translated through
-// the same remap drop every dimension no query uses — such dimensions can
-// never fail a dominance test against a query vector.
+// Dense dimension-id translation for a vector set (the join query side).
+// Build with AddDims over every query vector, then Seal; the dims seen map
+// to the dense range [0, num_dims()) in ascending order, so translation
+// preserves entry order. Stream-side vectors translated through the same
+// remap drop every dimension no query uses — such dimensions can never fail
+// a dominance test against a query vector.
+//
+// Seal is not final: GrowDims registers additional dims after Seal (a newly
+// added query may project onto dimensions no earlier query used). Growth
+// renumbers the dense ids, so the caller must re-translate every dense
+// vector it holds; GrowDims hands back the monotonic old-to-new dense-id
+// map that makes the in-place rewrite of already-translated query-side
+// entries possible. Stream-side dense vectors cannot be rewritten in place
+// (their source dims in the grown range were dropped at translate time) and
+// must be re-translated from the originals.
 class NpvDimRemap {
  public:
   // Collect phase: registers the non-zero dims of `npv`.
   void AddDims(const Npv& npv);
 
-  // Freezes the dim set. AddDims must not be called afterwards.
+  // Freezes the dim set; after this, only GrowDims may extend it.
   void Seal();
 
   bool sealed() const { return sealed_; }
 
   // Number of distinct dims registered. Valid after Seal.
   int32_t num_dims() const { return static_cast<int32_t>(dims_.size()); }
+
+  // Post-seal growth: registers any of `npv`'s dims not yet mapped. Returns
+  // true when the dim set grew; *old_to_new is then resized to the previous
+  // num_dims() with old_to_new[old_dense] = new dense id (strictly
+  // increasing, so rewriting dims in place keeps entries sorted). When
+  // nothing grew, returns false without touching *old_to_new — that path is
+  // allocation-free, so re-adding a known query stays zero-alloc.
+  bool GrowDims(const Npv& npv, std::vector<DimId>* old_to_new);
 
   // Rewrites `npv` into *out (cleared first, capacity reused): entries with
   // a registered dim keep their count under the dense id, others are
@@ -154,16 +171,46 @@ using NpvSignatureVector =
 
 // Many sparse vectors stored back-to-back in one contiguous entry array,
 // each with its signature at hand: the join strategies' cache-resident
-// query-side layout, and the memory the dominance kernel sweeps. Real
-// entries stay back-to-back; padding exists only past the last vector.
+// query-side layout, and the memory the dominance kernel sweeps.
+//
+// Slots are slotted for churn (same pattern as nnt/node_neighbor_tree's
+// arena): Remove frees a slot without moving live vectors — its entry
+// region is repadded with {0, 0} sentinels, its signature becomes the
+// all-ones sentinel (so the signature fast-reject discards it for every hay
+// that is not all-ones; kernel consumers additionally mask with
+// live_words), its generation bumps, and the slot joins a free list.
+// Append reuses the best-fitting free slot (smallest adequate capacity, in
+// place, allocation-free) before growing the tail, so remove + re-add of an
+// identical vector set is zero-alloc and zero-growth in steady state. CheckKernelLayout holds
+// after every churn op.
 class NpvSlab {
  public:
   // Appends a vector (entries sorted ascending by dim) and returns its
-  // index. Re-establishes the tail padding, so the slab is kernel-ready
-  // after every append.
+  // slot index — the best-fitting free slot when one is wide enough, else
+  // a new tail slot. Re-establishes the tail padding, so the slab is
+  // kernel-ready after every append.
   int32_t Append(const std::vector<NpvEntry>& entries);
 
+  // Frees slot `i` (must be live): entries become {0, 0} sentinels, the
+  // signature becomes all-ones, the generation bumps, and the slot is
+  // available for reuse. The slot index stays valid (size() is unchanged);
+  // nnz(i) reads 0 until the slot is reused.
+  void Remove(int32_t i);
+
+  // Forgets every slot but keeps array capacity — the scratch-slab reset.
+  void Clear();
+
+  // Rewrites the dims of every live entry through `old_to_new` (from
+  // NpvDimRemap::GrowDims; strictly increasing, so per-slot entry order is
+  // preserved) and recomputes the live signatures. Sentinels are untouched.
+  void RemapDims(const std::vector<DimId>& old_to_new);
+
   int32_t size() const { return static_cast<int32_t>(refs_.size()); }
+  int32_t num_live() const { return num_live_; }
+  bool live(int32_t i) const { return refs_[static_cast<size_t>(i)].live; }
+  uint32_t generation(int32_t i) const {
+    return refs_[static_cast<size_t>(i)].generation;
+  }
 
   const NpvEntry* begin(int32_t i) const {
     return entries_.data() + refs_[static_cast<size_t>(i)].offset;
@@ -184,19 +231,34 @@ class NpvSlab {
   const NpvSignature* sig_data() const { return sigs_.data(); }
   int32_t padded_sigs() const { return static_cast<int32_t>(sigs_.size()); }
 
-  // Validates the alignment/padding contract above; called by the kernel at
-  // bind time in sanitizer builds.
+  // Liveness bitset (bit i = slot i live), sized to cover padded_sigs()
+  // with phantom bits zero: the kernel ANDs its accept/mask words with
+  // these so freed slots can never test as dominated.
+  const std::vector<uint64_t>& live_words() const { return live_words_; }
+
+  // Validates the alignment/padding/liveness contract above; called by the
+  // kernel at bind time in sanitizer builds and by the churn tests after
+  // every op.
   void CheckKernelLayout() const;
 
  private:
   struct Ref {
     int32_t offset = 0;
-    int32_t size = 0;
+    int32_t size = 0;      // Entries in use; 0 while freed.
+    int32_t capacity = 0;  // Entries reserved; fixed at first allocation.
+    uint32_t generation = 0;
+    bool live = false;
   };
-  NpvEntryVector entries_;  // [0, num_entries_) real, then sentinels.
+  // [0, num_entries_) is slot-owned (live entries, in-slot slack, freed
+  // regions — all non-live positions hold {0, 0} sentinels), then tail
+  // sentinels up to the padded size.
+  NpvEntryVector entries_;
   int32_t num_entries_ = 0;
-  NpvSignatureVector sigs_;  // [0, size()) real, then sentinels.
+  NpvSignatureVector sigs_;  // [0, size()) real or all-ones, then sentinels.
   std::vector<Ref> refs_;
+  std::vector<int32_t> free_slots_;
+  std::vector<uint64_t> live_words_;
+  int32_t num_live_ = 0;
 };
 
 }  // namespace gsps

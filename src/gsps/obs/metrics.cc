@@ -25,6 +25,7 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "gsps_join_pairs_out",
     "gsps_join_verdicts_reused",
     "gsps_join_signature_rejects",
+    "gsps_remap_regrowths",
     "gsps_dominance_batches_scalar",
     "gsps_dominance_batches_avx2",
     "gsps_dominance_batches_avx512",
@@ -44,6 +45,7 @@ constexpr const char* kGaugeNames[kNumGauges] = {
     "gsps_engine_shards",
     "gsps_engine_streams",
     "gsps_engine_queries",
+    "gsps_queries_active",
 };
 
 constexpr const char* kHistNames[kNumHists] = {

@@ -55,6 +55,9 @@ enum class Counter : int {
                            // the last refresh).
   kJoinSignatureRejects,   // Dominance pairs rejected by the 64-bit non-zero
                            // dimension signature before any entry merge.
+  kRemapRegrowths,         // NpvDimRemap post-seal growths: a dynamically
+                           // added query introduced dims no earlier query
+                           // used, forcing a re-translate of the slab.
   // Dominance kernel dispatch (join/dominance_kernel.cc). One batch = one
   // hay NPV tested against a whole bound slab; the split by ISA makes the
   // runtime dispatch decision observable.
@@ -82,6 +85,7 @@ enum class Gauge : int {
   kEngineShards,
   kEngineStreams,
   kEngineQueries,
+  kQueriesActive,  // Registered queries currently live (adds minus removes).
   kNumGauges,
 };
 

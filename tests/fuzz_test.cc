@@ -99,6 +99,50 @@ TEST(ReplayTest, DepthDirective) {
   EXPECT_FALSE(ParseReplay("depth x\n", &error).has_value());
 }
 
+TEST(ReplayTest, ChurnDirective) {
+  // Round-trip: churn lines appear between depth and the first section, in
+  // file order, and survive Format -> Parse -> Format unchanged.
+  const std::string text =
+      "# gsps_fuzz replay v1\n"
+      "depth 2\n"
+      "churn 0 add 1\n"
+      "churn 3 rm 0\n"
+      "churn 0 rm 1\n"
+      "q 0\n"
+      "v 0 1\n";
+  const std::optional<FuzzCase> c = ParseReplay(text);
+  ASSERT_TRUE(c.has_value());
+  ASSERT_EQ(c->churn.size(), 3u);
+  EXPECT_EQ(c->churn[0], (ChurnOp{0, true, 1}));
+  EXPECT_EQ(c->churn[1], (ChurnOp{3, false, 0}));
+  EXPECT_EQ(c->churn[2], (ChurnOp{0, false, 1}));
+  EXPECT_EQ(FormatReplay(*c), text);
+
+  IoError error;
+  // Bad verb, negative values, truncated, or after a section.
+  EXPECT_FALSE(ParseReplay("churn 0 drop 1\n", &error).has_value());
+  EXPECT_EQ(error.line, 1);
+  EXPECT_FALSE(ParseReplay("churn -1 add 0\n", &error).has_value());
+  EXPECT_FALSE(ParseReplay("churn 0 add -2\n", &error).has_value());
+  EXPECT_FALSE(ParseReplay("churn 0 add\n", &error).has_value());
+  EXPECT_FALSE(
+      ParseReplay("q 0\nv 0 1\nchurn 0 add 0\n", &error).has_value());
+  EXPECT_EQ(error.line, 3);
+}
+
+TEST(FuzzCaseTest, StartsRegisteredFollowsTheFirstOp) {
+  FuzzCase c;
+  c.churn.push_back(ChurnOp{2, /*add=*/true, /*query=*/0});
+  c.churn.push_back(ChurnOp{1, /*add=*/false, /*query=*/1});
+  c.churn.push_back(ChurnOp{0, /*add=*/false, /*query=*/0});
+  // List order decides, not timestamp order: query 0's first listed op is
+  // an add, so it starts unregistered and enters mid-run.
+  EXPECT_FALSE(StartsRegistered(c, 0));
+  EXPECT_TRUE(StartsRegistered(c, 1));
+  // Untouched queries start registered.
+  EXPECT_TRUE(StartsRegistered(c, 2));
+}
+
 TEST(FuzzCaseTest, TotalEdgesCountsQueriesStartsAndInsertions) {
   FuzzCase c;
   Graph q;
@@ -199,6 +243,41 @@ TEST(OracleTest, HandBuiltCasePasses) {
   EXPECT_EQ(RunOracles(c), std::nullopt);
 }
 
+TEST(OracleTest, HandBuiltChurnSchedulePasses) {
+  // Same planted pattern, now with a lifecycle: the query is removed just
+  // before its match vanishes and re-added just before it reappears, plus
+  // skip-safe no-ops (double add, remove of an out-of-range id). Oracle 6
+  // rebuilds a fresh engine at every timestamp and must agree throughout.
+  FuzzCase c;
+  c.nnt_depth = 2;
+  Graph query;
+  query.AddVertex(1);
+  query.AddVertex(2);
+  ASSERT_TRUE(query.AddEdge(0, 1, 0));
+  c.workload.queries.push_back(query);
+
+  Graph start;
+  start.AddVertex(1);
+  start.AddVertex(2);
+  start.AddVertex(2);
+  ASSERT_TRUE(start.AddEdge(0, 1, 0));
+  GraphStream stream(start);
+  GraphChange del;
+  del.ops.push_back(EdgeOp::Delete(0, 1));
+  stream.AppendChange(del);
+  GraphChange ins;
+  ins.ops.push_back(EdgeOp::Insert(0, 2, 0, 1, 2));
+  stream.AppendChange(ins);
+  c.workload.streams.push_back(stream);
+
+  c.churn.push_back(ChurnOp{1, /*add=*/false, /*query=*/0});
+  c.churn.push_back(ChurnOp{2, /*add=*/true, /*query=*/0});
+  c.churn.push_back(ChurnOp{2, /*add=*/true, /*query=*/0});   // Double add.
+  c.churn.push_back(ChurnOp{0, /*add=*/false, /*query=*/7});  // Out of range.
+  EXPECT_EQ(DescribeCase(c), "streams=1 queries=1 ts=3 edges=3 churn=4");
+  EXPECT_EQ(RunOracles(c), std::nullopt);
+}
+
 TEST(OracleTest, EmptyWorkloadEdgeCases) {
   // No queries at all: every candidate set is empty, oracles still run.
   FuzzCase no_queries;
@@ -273,6 +352,58 @@ TEST(MinimizerTest, ShrinksQueryEdges) {
   ASSERT_EQ(result.best.workload.queries.size(), 1u);
   EXPECT_EQ(result.best.workload.queries.front().NumEdges(), 1);
   EXPECT_EQ(TotalEdges(result.best), 1);
+}
+
+TEST(MinimizerTest, DropsIrrelevantChurnSchedules) {
+  // Synthetic failure that ignores churn entirely: the whole schedule must
+  // be cleared (a churn-free replay is the simpler repro).
+  Rng rng(23);
+  FuzzCase seeded = GenerateCase(SmallParams(), rng);
+  Graph q;
+  q.AddVertex(1);
+  q.AddVertex(1);
+  ASSERT_TRUE(q.AddEdge(0, 1, 0));
+  seeded.workload.queries.push_back(q);
+  seeded.churn.push_back(ChurnOp{0, true, 0});
+  seeded.churn.push_back(ChurnOp{1, false, 1});
+  const CasePredicate has_query_edge = [](const FuzzCase& c) {
+    for (const Graph& g : c.workload.queries) {
+      if (g.NumEdges() > 0) return true;
+    }
+    return false;
+  };
+  const MinimizeResult result = Minimize(seeded, has_query_edge);
+  EXPECT_TRUE(has_query_edge(result.best));
+  EXPECT_TRUE(result.best.churn.empty());
+}
+
+TEST(MinimizerTest, RenumbersChurnOpsWhenQueriesDrop) {
+  // Synthetic failure: some add op names an in-range query. Shrinking must
+  // keep the op pointing at a live query while the others fall away.
+  FuzzCase seeded;
+  seeded.workload.streams.push_back(GraphStream(Graph{}));
+  for (int q = 0; q < 3; ++q) {
+    Graph g;
+    g.AddVertex(static_cast<VertexLabel>(q));
+    seeded.workload.queries.push_back(g);
+  }
+  seeded.churn.push_back(ChurnOp{0, false, 0});
+  seeded.churn.push_back(ChurnOp{1, true, 2});
+  seeded.churn.push_back(ChurnOp{2, false, 1});
+  const CasePredicate has_in_range_add = [](const FuzzCase& c) {
+    for (const ChurnOp& op : c.churn) {
+      if (op.add &&
+          op.query < static_cast<int>(c.workload.queries.size())) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const MinimizeResult result = Minimize(seeded, has_in_range_add);
+  EXPECT_TRUE(has_in_range_add(result.best));
+  ASSERT_EQ(result.best.churn.size(), 1u);
+  EXPECT_EQ(result.best.churn[0], (ChurnOp{1, true, 0}));
+  EXPECT_EQ(result.best.workload.queries.size(), 1u);
 }
 
 TEST(MinimizerTest, RespectsAttemptBudget) {

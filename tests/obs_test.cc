@@ -412,6 +412,18 @@ void DriveEngine(const StreamDataset& dataset, JoinKind kind,
     // per-stream verdict caches (gsps_join_verdicts_reused).
     engine.AllCandidatePairs();
   }
+  // Dynamic churn: a query over labels no synthetic query uses introduces
+  // fresh dimensions, forcing a dim-remap regrowth in every strategy
+  // (gsps_remap_regrowths); the remove exercises slot retirement and the
+  // gsps_queries_active gauge.
+  Graph churn_query;
+  churn_query.EnsureVertex(0, 91);
+  churn_query.EnsureVertex(1, 92);
+  churn_query.AddEdge(0, 1, 93);
+  const int churn_id = engine.AddQueryDynamic(churn_query);
+  engine.AllCandidatePairs();
+  engine.RemoveQueryDynamic(churn_id);
+  engine.AllCandidatePairs();
 }
 
 TEST(ObsEndToEndTest, EveryMetricNonzeroAfterInstrumentedRun) {

@@ -10,9 +10,9 @@
 // produce identical logs.
 //
 //   gsps_fuzz --seed=1 --iterations=100 [--depth=0] [--max_streams=3]
-//       [--max_queries=4] [--max_timestamps=8] [--out=FILE]
-//       [--minimize_attempts=4000] [--no-parallel] [--no-baselines]
-//       [--no-incremental] [--quiet]
+//       [--max_queries=4] [--max_timestamps=8] [--max_churn_ops=5]
+//       [--out=FILE] [--minimize_attempts=4000] [--no-parallel]
+//       [--no-baselines] [--no-incremental] [--no-churn] [--quiet]
 //
 // Replay mode: re-run the oracle set over one committed replay file.
 //
@@ -43,8 +43,9 @@ int Usage() {
       stderr,
       "usage: gsps_fuzz --seed=1 --iterations=100 [--depth=0] [--out=FILE]\n"
       "           [--max_streams=3] [--max_queries=4] [--max_timestamps=8]\n"
-      "           [--minimize_attempts=4000] [--no-parallel]\n"
-      "           [--no-baselines] [--no-incremental] [--quiet]\n"
+      "           [--max_churn_ops=5] [--minimize_attempts=4000]\n"
+      "           [--no-parallel] [--no-baselines] [--no-incremental]\n"
+      "           [--no-churn] [--quiet]\n"
       "       gsps_fuzz --replay=FILE [--quiet]\n"
       "       gsps_fuzz --emit=FILE --seed=S [--iteration=K]\n");
   return 2;
@@ -97,10 +98,15 @@ int main(int argc, char** argv) {
   options.gen.max_streams = flags.GetInt("max_streams", 3);
   options.gen.max_queries = flags.GetInt("max_queries", 4);
   options.gen.max_timestamps = flags.GetInt("max_timestamps", 8);
+  options.gen.max_churn_ops = flags.GetInt("max_churn_ops", 5);
   options.minimize_attempts = flags.GetInt("minimize_attempts", 4000);
   options.oracles.check_parallel = !flags.GetBool("no-parallel");
   options.oracles.check_baselines = !flags.GetBool("no-baselines");
   options.oracles.check_incremental = !flags.GetBool("no-incremental");
+  if (flags.GetBool("no-churn")) {
+    options.oracles.check_churn = false;
+    options.gen.max_churn_ops = 0;  // Generate churn-free cases too.
+  }
   const bool quiet = flags.GetBool("quiet");
   options.verbose = !quiet;
   const std::string replay_path = flags.GetString("replay", "");
@@ -114,7 +120,7 @@ int main(int argc, char** argv) {
 
   if (options.iterations <= 0 || options.gen.max_streams <= 0 ||
       options.gen.max_queries <= 0 || options.gen.max_timestamps <= 0 ||
-      options.gen.nnt_depth < 0) {
+      options.gen.nnt_depth < 0 || options.gen.max_churn_ops < 0) {
     return Usage();
   }
 
