@@ -43,6 +43,7 @@
 #include "gsps/join/join_strategy.h"
 #include "gsps/nnt/npv.h"
 #include "gsps/obs/obs.h"
+#include "gsps/obs/window.h"
 
 namespace gsps::bench {
 namespace {
@@ -146,6 +147,12 @@ void RunStrategy(JoinKind kind, const Workload& w, const Flags& flags) {
   const double churn_ops_per_sec =
       static_cast<double>(churn_ops) / churn_seconds;
   const double churn_micros = churn_seconds / churn_ops * 1e6;
+  // Per-stage tail latency over the timed loop's verdict refreshes (zeros
+  // under GSPS_OBS_DISABLED).
+  const obs::HistogramData& refresh_hist =
+      sink.histogram(obs::Hist::kStageJoinRefreshMicros);
+  const double refresh_p50 = obs::HistogramQuantile(refresh_hist, 0.5);
+  const double refresh_p95 = obs::HistogramQuantile(refresh_hist, 0.95);
 
   // The pre-incremental cost model: every lifecycle change rebuilds the
   // strategy from all queries and replays the stream.
@@ -173,6 +180,8 @@ void RunStrategy(JoinKind kind, const Workload& w, const Flags& flags) {
   PrintRow("churn_op_micros", {churn_micros}, columns);
   PrintRow("rebuild_ops_per_sec", {rebuild_ops_per_sec}, columns);
   PrintRow("churn_speedup", {speedup}, columns);
+  PrintRow("stage_join_refresh_p50", {refresh_p50}, columns);
+  PrintRow("stage_join_refresh_p95", {refresh_p95}, columns);
   PrintRow("steady_allocs", {static_cast<double>(steady_allocs)}, columns);
   PrintRow("steady_frees", {static_cast<double>(steady_frees)}, columns);
 
@@ -185,6 +194,8 @@ void RunStrategy(JoinKind kind, const Workload& w, const Flags& flags) {
        {"churn_op_micros", churn_micros},
        {"rebuild_ops_per_sec", rebuild_ops_per_sec},
        {"churn_speedup", speedup},
+       {"stage_join_refresh_p50", refresh_p50},
+       {"stage_join_refresh_p95", refresh_p95},
        {"steady_allocs", static_cast<double>(steady_allocs)},
        {"steady_frees", static_cast<double>(steady_frees)}});
 }

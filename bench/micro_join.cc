@@ -49,6 +49,7 @@
 #include "gsps/join/dominance_kernel.h"
 #include "gsps/join/join_strategy.h"
 #include "gsps/obs/obs.h"
+#include "gsps/obs/window.h"
 
 namespace gsps::bench {
 namespace {
@@ -202,6 +203,12 @@ void RunStrategy(JoinKind kind, const Workload& w, const Flags& flags) {
       static_cast<double>(dominance_tests) / static_cast<double>(total_refreshes);
   const double reuse_rate = static_cast<double>(verdicts_reused) /
                             static_cast<double>(total_refreshes);
+  // Per-stage tail latency from the join-refresh stage histogram the timed
+  // loop populated (zeros under GSPS_OBS_DISABLED).
+  const obs::HistogramData& refresh_hist =
+      sink.histogram(obs::Hist::kStageJoinRefreshMicros);
+  const double refresh_p50 = obs::HistogramQuantile(refresh_hist, 0.5);
+  const double refresh_p95 = obs::HistogramQuantile(refresh_hist, 0.95);
 
   // The pre-incremental cost model: rebuild the strategy from the current
   // vectors and evaluate every stream once per refresh.
@@ -246,6 +253,8 @@ void RunStrategy(JoinKind kind, const Workload& w, const Flags& flags) {
   PrintRow("dominance_tests_per_refresh", {tests_per_refresh}, columns);
   PrintRow("signature_reject_rate", {sig_reject_rate}, columns);
   PrintRow("verdict_reuse_rate", {reuse_rate}, columns);
+  PrintRow("stage_join_refresh_p50", {refresh_p50}, columns);
+  PrintRow("stage_join_refresh_p95", {refresh_p95}, columns);
   PrintRow("steady_allocs", {static_cast<double>(steady_allocs)}, columns);
   PrintRow("steady_frees", {static_cast<double>(steady_frees)}, columns);
 
@@ -267,6 +276,8 @@ void RunStrategy(JoinKind kind, const Workload& w, const Flags& flags) {
        {"signature_reject_rate", sig_reject_rate},
        {"verdicts_reused", static_cast<double>(verdicts_reused)},
        {"verdict_reuse_rate", reuse_rate},
+       {"stage_join_refresh_p50", refresh_p50},
+       {"stage_join_refresh_p95", refresh_p95},
        {"steady_allocs", static_cast<double>(steady_allocs)},
        {"steady_frees", static_cast<double>(steady_frees)}});
 }

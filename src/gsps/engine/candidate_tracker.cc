@@ -55,6 +55,7 @@ CandidateTracker::CandidateTracker(int num_streams)
 CandidateTransitions CandidateTracker::Observe(
     int stream, const std::vector<int>& current) {
   GSPS_CHECK(stream >= 0 && stream < static_cast<int>(last_.size()));
+  GSPS_OBS_STAGE(Stage::kTrackerObserve, stream);
   std::vector<int>& previous = last_[static_cast<size_t>(stream)];
   CheckAscending(current);
   CandidateTransitions transitions;
@@ -66,6 +67,7 @@ CandidateTransitions CandidateTracker::Observe(
 void CandidateTracker::Observe(int stream, std::vector<int>* current,
                                CandidateTransitions* out) {
   GSPS_CHECK(stream >= 0 && stream < static_cast<int>(last_.size()));
+  GSPS_OBS_STAGE(Stage::kTrackerObserve, stream);
   std::vector<int>& previous = last_[static_cast<size_t>(stream)];
   CheckAscending(*current);
   DiffInto(previous, *current, out);

@@ -43,21 +43,29 @@ void ContinuousQueryEngine::ApplyChange(int stream_index,
                                         const GraphChange& change) {
   GSPS_CHECK(started_);
   StreamState& stream = streams_[static_cast<size_t>(stream_index)];
-  // Deletions first, then insertions (§III.B sequentialization).
-  for (const EdgeOp& op : change.ops) {
-    if (op.kind != EdgeOp::Kind::kDelete) continue;
-    if (!stream.graph.HasEdge(op.u, op.v)) continue;
-    stream.nnts->DeleteEdge(op.u, op.v);
-    stream.graph.RemoveEdge(op.u, op.v);
+  {
+    GSPS_OBS_STAGE(Stage::kNntMaintain, stream_index);
+    // Deletions first, then insertions (§III.B sequentialization).
+    for (const EdgeOp& op : change.ops) {
+      if (op.kind != EdgeOp::Kind::kDelete) continue;
+      if (!stream.graph.HasEdge(op.u, op.v)) continue;
+      stream.nnts->DeleteEdge(op.u, op.v);
+      stream.graph.RemoveEdge(op.u, op.v);
+    }
+    for (const EdgeOp& op : change.ops) {
+      if (op.kind != EdgeOp::Kind::kInsert) continue;
+      if (!stream.graph.EnsureVertex(op.u, op.u_label)) continue;
+      if (!stream.graph.EnsureVertex(op.v, op.v_label)) continue;
+      if (!stream.graph.AddEdge(op.u, op.v, op.edge_label)) continue;
+      stream.nnts->InsertEdge(stream.graph, op.u, op.v);
+    }
   }
-  for (const EdgeOp& op : change.ops) {
-    if (op.kind != EdgeOp::Kind::kInsert) continue;
-    if (!stream.graph.EnsureVertex(op.u, op.u_label)) continue;
-    if (!stream.graph.EnsureVertex(op.v, op.v_label)) continue;
-    if (!stream.graph.AddEdge(op.u, op.v, op.edge_label)) continue;
-    stream.nnts->InsertEdge(stream.graph, op.u, op.v);
-  }
+  GSPS_OBS_STAGE(Stage::kDirtyDrain, stream_index);
   FlushDirty(stream_index);
+}
+
+void ContinuousQueryEngine::FlushAttribution() {
+  if (strategy_ != nullptr) strategy_->FlushAttribution();
 }
 
 std::vector<int> ContinuousQueryEngine::CandidatesForStream(int stream) {

@@ -87,6 +87,12 @@ class ContinuousQueryEngine {
   // expensive, off the monitoring hot path).
   bool VerifyCandidate(int stream, int query) const;
 
+  // Pushes the join strategy's pending per-query attribution (dominance
+  // probes, refresh time) into the global AttributionRegistry. Call at
+  // metrics-flush cadence — per barrier in the parallel engine, per
+  // metrics interval in single-threaded drivers. No-op before Start().
+  void FlushAttribution();
+
   // --- Dynamic queries (extension; the paper leaves these as future work) ---
 
   // Registers a new query while streaming, incrementally: the join

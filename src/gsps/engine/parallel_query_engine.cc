@@ -241,6 +241,11 @@ void ParallelQueryEngine::ObserveBarrier(obs::Counter barrier_counter,
   // shard's sink is quiescent (the pool's barrier handshake provides the
   // happens-before edge). Wait time is the gap between the barrier's
   // wall-clock span and the shard's own work inside it.
+  //
+  // The merge work itself is the kMetricsMerge stage. The sample lands in
+  // the first shard's sink and is picked up by the *next* barrier's merge —
+  // timing it on the driver thread keeps MergeAndReset itself untimed.
+  const int64_t merge_start = obs::MonotonicMicros();
   const int64_t barrier_micros = MillisToMicros(barrier_millis);
   shards_.front().sink.Add(barrier_counter, 1);
   for (Shard& shard : shards_) {
@@ -250,9 +255,14 @@ void ParallelQueryEngine::ObserveBarrier(obs::Counter barrier_counter,
     shard.sink.Add(obs::Counter::kShardBarrierWaitMicros, wait);
     shard.sink.Observe(batch_hist, busy);
     shard.sink.Observe(obs::Hist::kBarrierWaitMicros, wait);
+    shard.engine->FlushAttribution();
     obs::MetricsRegistry::Global().MergeAndReset(shard.sink);
     shard.busy_micros = 0;
   }
+  Shard& first = shards_.front();
+  obs::ScopedObsContext merge_scope(&first.sink, first.trace);
+  obs::StageSample(obs::Stage::kMetricsMerge,
+                   obs::MonotonicMicros() - merge_start);
 }
 
 TimestampStats ParallelQueryEngine::TakeBarrierStats() {

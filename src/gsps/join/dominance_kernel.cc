@@ -127,7 +127,13 @@ bool DominanceIsaSupported(DominanceIsa isa) {
 }
 
 DominanceIsa ActiveDominanceIsa() {
-  static const DominanceIsa resolved = ResolveActiveIsa();
+  static const DominanceIsa resolved = [] {
+    const DominanceIsa isa = ResolveActiveIsa();
+    // First resolution stamps the gsps_build_info metric, so any binary
+    // that ran a dominance batch reports the ISA it actually dispatched.
+    obs::SetBuildInfoIsa(DominanceIsaName(isa));
+    return isa;
+  }();
   return resolved;
 }
 

@@ -53,6 +53,11 @@ void DominatedSetCoverJoin::SetQueries(std::vector<QueryVectors> queries) {
               });
   }
   batch_.Bind(qvecs_, remap_.num_dims());
+  attr_.Reset(num_queries_);
+  for (int32_t j = 0; j < num_queries_; ++j) {
+    attr_.OnAddQuery(
+        j, static_cast<int64_t>(query_tracked_vectors_[static_cast<size_t>(j)]));
+  }
 }
 
 int32_t DominatedSetCoverJoin::AllocQuerySlot() {
@@ -194,6 +199,7 @@ int32_t DominatedSetCoverJoin::AddQuery(const QueryVectors& query,
       }
     }
   }
+  attr_.OnAddQuery(j, static_cast<int64_t>(tracked));
   return j;
 }
 
@@ -246,6 +252,7 @@ void DominatedSetCoverJoin::RemoveQuery(int32_t local_id) {
   query_trivial_vectors_[static_cast<size_t>(local_id)] = 0;
   query_live_[static_cast<size_t>(local_id)] = 0;
   free_queries_.push_back(local_id);
+  attr_.OnRemoveQuery(local_id);
 }
 
 void DominatedSetCoverJoin::SetNumStreams(int num_streams) {
@@ -335,6 +342,14 @@ void DominatedSetCoverJoin::CandidatesForStream(int stream_index,
   if (stream.cache_valid) {
     GSPS_OBS_COUNT(Counter::kJoinVerdictsReused, 1);
   } else {
+    // Timed manually (not via StageTimer) because the elapsed micros also
+    // feed the per-query attribution split; decimated because a refresh is
+    // sub-microsecond (see JoinRefreshSampleTick).
+    const bool timed = obs::kEnabled &&
+                       (obs::CurrentSink() != nullptr ||
+                        obs::FlightRecorderArmed()) &&
+                       obs::JoinRefreshSampleTick();
+    const int64_t refresh_start = timed ? obs::MonotonicMicros() : 0;
     stream.cache.clear();
     const bool stream_nonempty = stream.live_vertices > 0;
     for (int32_t j = 0; j < num_queries_; ++j) {
@@ -350,8 +365,14 @@ void DominatedSetCoverJoin::CandidatesForStream(int stream_index,
       stream.cache.push_back(static_cast<int>(j));
     }
     stream.cache_valid = true;
+    if (timed) {
+      const int64_t micros = obs::MonotonicMicros() - refresh_start;
+      obs::StageSample(obs::Stage::kJoinRefresh, micros, stream_index);
+      attr_.AddRefresh(micros);
+    }
   }
   out->assign(stream.cache.begin(), stream.cache.end());
+  attr_.AddProbes(pending_kernel_.tests + pending_rounds_);
   GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(num_queries_));
   GSPS_OBS_COUNT(Counter::kJoinPairsOut, static_cast<int64_t>(out->size()));
   GSPS_OBS_COUNT(Counter::kJoinSetCoverRounds, pending_rounds_);

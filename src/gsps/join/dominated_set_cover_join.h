@@ -30,6 +30,7 @@
 
 #include "gsps/join/dominance_kernel.h"
 #include "gsps/join/join_strategy.h"
+#include "gsps/obs/attribution.h"
 
 namespace gsps {
 
@@ -46,6 +47,7 @@ class DominatedSetCoverJoin final : public JoinStrategy {
   void CandidatesForStream(int stream, std::vector<int>* out) override;
   using JoinStrategy::CandidatesForStream;
   void CheckChurnInvariants() const override;
+  void FlushAttribution() override { attr_.Flush(); }
   std::string_view name() const override { return "DSC"; }
 
  private:
@@ -138,6 +140,9 @@ class DominatedSetCoverJoin final : public JoinStrategy {
   int64_t pending_rounds_ = 0;
   int64_t pending_flips_ = 0;
   DominanceKernelStats pending_kernel_;
+  // Per-query work attribution; weight is the query's tracked vector
+  // count. Flushed by the engine at metrics cadence.
+  obs::QueryAttribution attr_;
 };
 
 }  // namespace gsps

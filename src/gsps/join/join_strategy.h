@@ -99,6 +99,12 @@ class JoinStrategy {
   // reused), ascending. The allocation-free form for steady-state loops.
   virtual void CandidatesForStream(int stream, std::vector<int>* out) = 0;
 
+  // Pushes pending per-query attribution (dominance probes, refresh time)
+  // into the global obs::AttributionRegistry. Called at metrics-flush
+  // cadence by the engine; the default is a no-op for strategies that do
+  // not attribute.
+  virtual void FlushAttribution() {}
+
   // By-value convenience wrapper.
   std::vector<int> CandidatesForStream(int stream) {
     std::vector<int> out;

@@ -36,6 +36,11 @@ void NestedLoopJoin::SetQueries(std::vector<QueryVectors> queries) {
   }
   query_live_.assign(queries.size(), 1);
   batch_.Bind(qvecs_, remap_.num_dims());
+  attr_.Reset(num_queries_);
+  for (int32_t j = 0; j < num_queries_; ++j) {
+    attr_.OnAddQuery(j, static_cast<int64_t>(
+                            query_qvecs_[static_cast<size_t>(j)].size()));
+  }
 }
 
 int32_t NestedLoopJoin::AllocQuerySlot() {
@@ -117,6 +122,8 @@ int32_t NestedLoopJoin::AddQuery(const QueryVectors& query, bool* grew_dims) {
       }
     }
   }
+  attr_.OnAddQuery(j, static_cast<int64_t>(
+                          query_qvecs_[static_cast<size_t>(j)].size()));
   return j;
 }
 
@@ -152,6 +159,7 @@ void NestedLoopJoin::RemoveQuery(int32_t local_id) {
   query_trivial_vectors_[static_cast<size_t>(local_id)] = 0;
   query_live_[static_cast<size_t>(local_id)] = 0;
   free_queries_.push_back(local_id);
+  attr_.OnRemoveQuery(local_id);
 }
 
 void NestedLoopJoin::SetNumStreams(int num_streams) {
@@ -213,6 +221,14 @@ void NestedLoopJoin::CandidatesForStream(int stream_index,
   if (stream.cache_valid) {
     GSPS_OBS_COUNT(Counter::kJoinVerdictsReused, 1);
   } else {
+    // Timed manually (not via StageTimer) because the elapsed micros also
+    // feed the per-query attribution split; decimated because a refresh is
+    // sub-microsecond (see JoinRefreshSampleTick).
+    const bool timed = obs::kEnabled &&
+                       (obs::CurrentSink() != nullptr ||
+                        obs::FlightRecorderArmed()) &&
+                       obs::JoinRefreshSampleTick();
+    const int64_t refresh_start = timed ? obs::MonotonicMicros() : 0;
     stream.cache.clear();
     for (int32_t j = 0; j < num_queries_; ++j) {
       if (query_live_[static_cast<size_t>(j)] == 0) continue;
@@ -227,8 +243,14 @@ void NestedLoopJoin::CandidatesForStream(int stream_index,
       stream.cache.push_back(static_cast<int>(j));
     }
     stream.cache_valid = true;
+    if (timed) {
+      const int64_t micros = obs::MonotonicMicros() - refresh_start;
+      obs::StageSample(obs::Stage::kJoinRefresh, micros, stream_index);
+      attr_.AddRefresh(micros);
+    }
   }
   out->assign(stream.cache.begin(), stream.cache.end());
+  attr_.AddProbes(pending_kernel_.tests + pending_kernel_.sig_rejects);
   GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(num_queries_));
   GSPS_OBS_COUNT(Counter::kJoinPairsOut, static_cast<int64_t>(out->size()));
   GSPS_OBS_COUNT(Counter::kJoinDominanceTests, pending_kernel_.tests);

@@ -18,6 +18,7 @@
 
 #include "gsps/join/dominance_kernel.h"
 #include "gsps/join/join_strategy.h"
+#include "gsps/obs/attribution.h"
 
 namespace gsps {
 
@@ -34,6 +35,7 @@ class NestedLoopJoin final : public JoinStrategy {
   void CandidatesForStream(int stream, std::vector<int>* out) override;
   using JoinStrategy::CandidatesForStream;
   void CheckChurnInvariants() const override;
+  void FlushAttribution() override { attr_.Flush(); }
   std::string_view name() const override { return "NL"; }
 
  private:
@@ -100,6 +102,9 @@ class NestedLoopJoin final : public JoinStrategy {
   // bumped by the kernel in the update loops, flushed once per
   // CandidatesForStream.
   DominanceKernelStats pending_kernel_;
+  // Per-query work attribution; weight is the query's tracked vector
+  // count. Flushed by the engine at metrics cadence.
+  obs::QueryAttribution attr_;
 };
 
 }  // namespace gsps

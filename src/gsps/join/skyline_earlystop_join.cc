@@ -17,9 +17,12 @@ void SkylineEarlyStopJoin::SetQueries(std::vector<QueryVectors> queries) {
   remap_.Seal();
   plans_.resize(queries.size());
   DominanceKernelStats build_kernel_stats;
+  attr_.Reset(static_cast<int>(queries.size()));
   for (size_t j = 0; j < queries.size(); ++j) {
     BuildPlan(static_cast<int32_t>(j), queries[j].vectors,
               &build_kernel_stats);
+    attr_.OnAddQuery(static_cast<int>(j),
+                     static_cast<int64_t>(plans_[j].points.size()));
   }
   // Flushed here rather than deferred: setup-time kernel activity stays out
   // of the per-refresh accumulators, preserving the steady-state
@@ -185,6 +188,7 @@ int32_t SkylineEarlyStopJoin::AddQuery(const QueryVectors& query,
     }
     stream.cache_valid = false;
   }
+  attr_.OnAddQuery(j, static_cast<int64_t>(plan.points.size()));
   return j;
 }
 
@@ -201,6 +205,7 @@ void SkylineEarlyStopJoin::RemoveQuery(int32_t local_id) {
   plan.empty_query = false;
   plan.live = false;
   free_plans_.push_back(local_id);
+  attr_.OnRemoveQuery(local_id);
   for (StreamState& stream : streams_) {
     stream.verdicts[static_cast<size_t>(local_id)] = Verdict{};
     stream.cache_valid = false;
@@ -308,6 +313,14 @@ void SkylineEarlyStopJoin::CandidatesForStream(int stream_index,
   if (stream.cache_valid) {
     GSPS_OBS_COUNT(Counter::kJoinVerdictsReused, 1);
   } else {
+    // Timed manually (not via StageTimer) because the elapsed micros also
+    // feed the per-query attribution split; decimated because a refresh is
+    // sub-microsecond (see JoinRefreshSampleTick).
+    const bool timed = obs::kEnabled &&
+                       (obs::CurrentSink() != nullptr ||
+                        obs::FlightRecorderArmed()) &&
+                       obs::JoinRefreshSampleTick();
+    const int64_t refresh_start = timed ? obs::MonotonicMicros() : 0;
     stream.cache.clear();
     const bool stream_nonempty = stream.live_vertices > 0;
     int64_t early_stops = 0;
@@ -338,8 +351,14 @@ void SkylineEarlyStopJoin::CandidatesForStream(int stream_index,
     stream.combined_changed = 0;
     stream.cache_valid = true;
     GSPS_OBS_COUNT(Counter::kJoinSkylineEarlyStops, early_stops);
+    if (timed) {
+      const int64_t micros = obs::MonotonicMicros() - refresh_start;
+      obs::StageSample(obs::Stage::kJoinRefresh, micros, stream_index);
+      attr_.AddRefresh(micros);
+    }
   }
   out->assign(stream.cache.begin(), stream.cache.end());
+  attr_.AddProbes(pending_tests_ + pending_rejects_);
   GSPS_OBS_COUNT(Counter::kJoinPairsIn, static_cast<int64_t>(plans_.size()));
   GSPS_OBS_COUNT(Counter::kJoinPairsOut, static_cast<int64_t>(out->size()));
   GSPS_OBS_COUNT(Counter::kJoinDominanceTests, pending_tests_);

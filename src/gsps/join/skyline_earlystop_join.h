@@ -41,6 +41,7 @@
 
 #include "gsps/join/dominance_kernel.h"
 #include "gsps/join/join_strategy.h"
+#include "gsps/obs/attribution.h"
 
 namespace gsps {
 
@@ -57,6 +58,7 @@ class SkylineEarlyStopJoin final : public JoinStrategy {
   void CandidatesForStream(int stream, std::vector<int>* out) override;
   using JoinStrategy::CandidatesForStream;
   void CheckChurnInvariants() const override;
+  void FlushAttribution() override { attr_.Flush(); }
   std::string_view name() const override { return "Skyline"; }
 
   // Statistics: how many query skyline points were compared against stream
@@ -171,6 +173,9 @@ class SkylineEarlyStopJoin final : public JoinStrategy {
   // once per CandidatesForStream.
   int64_t pending_tests_ = 0;
   int64_t pending_rejects_ = 0;
+  // Per-query work attribution; weight is the plan's skyline point count.
+  // Flushed by the engine at metrics cadence.
+  obs::QueryAttribution attr_;
 };
 
 }  // namespace gsps

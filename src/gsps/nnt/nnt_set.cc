@@ -22,6 +22,7 @@ NntSet::NntSet(int depth, DimensionTable* dimensions)
 }
 
 void NntSet::Build(const Graph& graph) {
+  GSPS_OBS_STAGE(Stage::kNntMaintain);
   trees_.clear();
   node_index_.clear();
   edge_index_.Clear();

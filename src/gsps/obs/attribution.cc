@@ -1,0 +1,151 @@
+#include "gsps/obs/attribution.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace gsps::obs {
+
+namespace {
+
+struct RegistryTable {
+  std::mutex mutex;
+  std::vector<AttributionRow> rows;  // Indexed by slot.
+};
+
+RegistryTable& Table() {
+  static RegistryTable* table = new RegistryTable();
+  return *table;
+}
+
+}  // namespace
+
+AttributionRegistry& AttributionRegistry::Global() {
+  static AttributionRegistry* registry = new AttributionRegistry();
+  return *registry;
+}
+
+void AttributionRegistry::MergeBatch(const AttributionRow* rows, size_t n) {
+  RegistryTable& table = Table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  for (size_t i = 0; i < n; ++i) {
+    const AttributionRow& row = rows[i];
+    if (row.slot < 0) continue;
+    if (static_cast<size_t>(row.slot) >= table.rows.size()) {
+      table.rows.resize(static_cast<size_t>(row.slot) + 1);
+    }
+    AttributionRow& stored = table.rows[static_cast<size_t>(row.slot)];
+    if (row.generation > stored.generation) {
+      stored = row;
+      stored.slot = row.slot;
+    } else if (row.generation == stored.generation) {
+      stored.slot = row.slot;
+      stored.generation = row.generation;
+      stored.dominance_probes += row.dominance_probes;
+      stored.refresh_micros += row.refresh_micros;
+      stored.refreshes += row.refreshes;
+    }
+    // Older generation: a straggler flush from before a slot reuse — drop.
+  }
+}
+
+void AttributionRegistry::TopK(int k, std::vector<AttributionRow>* out) const {
+  out->clear();
+  if (k <= 0) return;
+  RegistryTable& table = Table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  for (const AttributionRow& row : table.rows) {
+    if (row.slot < 0) continue;
+    if (row.dominance_probes == 0 && row.refreshes == 0) continue;
+    out->push_back(row);
+  }
+  std::sort(out->begin(), out->end(),
+            [](const AttributionRow& a, const AttributionRow& b) {
+              if (a.dominance_probes != b.dominance_probes) {
+                return a.dominance_probes > b.dominance_probes;
+              }
+              return a.slot < b.slot;
+            });
+  if (static_cast<int>(out->size()) > k) out->resize(static_cast<size_t>(k));
+}
+
+void AttributionRegistry::Reset() {
+  RegistryTable& table = Table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  table.rows.clear();
+}
+
+void QueryAttribution::Reset(int num_slots) {
+  if constexpr (!kEnabled) return;
+  slots_.assign(static_cast<size_t>(std::max(num_slots, 0)), Slot{});
+  scratch_.clear();
+  scratch_.reserve(slots_.size());
+  total_weight_ = 0;
+  pending_probes_ = 0;
+  pending_refresh_micros_ = 0;
+  pending_refreshes_ = 0;
+}
+
+void QueryAttribution::EnsureSlot(int slot) {
+  if (static_cast<size_t>(slot) >= slots_.size()) {
+    slots_.resize(static_cast<size_t>(slot) + 1);
+    scratch_.reserve(slots_.size());
+  }
+}
+
+void QueryAttribution::OnAddQuery(int slot, int64_t weight) {
+  if constexpr (!kEnabled) return;
+  if (slot < 0) return;
+  EnsureSlot(slot);
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  if (s.live) total_weight_ -= s.weight;
+  ++s.generation;  // Slot reuse starts a fresh attribution epoch.
+  s.weight = std::max<int64_t>(weight, 1);
+  s.live = true;
+  total_weight_ += s.weight;
+}
+
+void QueryAttribution::OnRemoveQuery(int slot) {
+  if constexpr (!kEnabled) return;
+  if (slot < 0 || static_cast<size_t>(slot) >= slots_.size()) return;
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  if (!s.live) return;
+  total_weight_ -= s.weight;
+  s.live = false;
+}
+
+void QueryAttribution::Flush() {
+  if constexpr (!kEnabled) return;
+  if (pending_probes_ == 0 && pending_refreshes_ == 0) return;
+  scratch_.clear();
+  if (total_weight_ > 0) {
+    int64_t probes_left = pending_probes_;
+    int64_t micros_left = pending_refresh_micros_;
+    size_t last_live = 0;
+    for (size_t slot = 0; slot < slots_.size(); ++slot) {
+      const Slot& s = slots_[slot];
+      if (!s.live) continue;
+      AttributionRow row;
+      row.slot = static_cast<int32_t>(slot);
+      row.generation = s.generation;
+      row.dominance_probes = pending_probes_ * s.weight / total_weight_;
+      row.refresh_micros = pending_refresh_micros_ * s.weight / total_weight_;
+      row.refreshes = pending_refreshes_;
+      probes_left -= row.dominance_probes;
+      micros_left -= row.refresh_micros;
+      scratch_.push_back(row);
+      last_live = scratch_.size() - 1;
+    }
+    if (!scratch_.empty()) {
+      // Integer-division remainders land on the last live slot so the
+      // per-query rows sum exactly to the strategy totals.
+      scratch_[last_live].dominance_probes += probes_left;
+      scratch_[last_live].refresh_micros += micros_left;
+    }
+    AttributionRegistry::Global().MergeBatch(scratch_.data(), scratch_.size());
+  }
+  pending_probes_ = 0;
+  pending_refresh_micros_ = 0;
+  pending_refreshes_ = 0;
+}
+
+}  // namespace gsps::obs

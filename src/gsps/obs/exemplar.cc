@@ -1,0 +1,72 @@
+#include "gsps/obs/exemplar.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+namespace gsps::obs {
+
+namespace {
+
+// Everything here is constant-initialized, never heap-allocated: the
+// threshold check sits on the StageSample hot path inside the benches'
+// steady-state loops, whose AllocMeter gate counts every operator new — a
+// lazily `new`ed singleton would charge its one allocation to whichever
+// strategy happens to take the first sample. Thresholds are stored as
+// deltas from the default so plain zero-initialization means "default".
+constinit std::atomic<int64_t> g_threshold_delta[kNumHists] = {};
+
+struct StoreState {
+  std::mutex mutex;
+  Exemplar ring[kExemplarRingSize];
+  int num_recorded = 0;
+};
+
+constinit StoreState g_store;
+
+}  // namespace
+
+int64_t ExemplarThreshold(Hist hist) {
+  return kDefaultExemplarThresholdMicros +
+         g_threshold_delta[static_cast<size_t>(hist)].load(
+             std::memory_order_relaxed);
+}
+
+void SetExemplarThreshold(Hist hist, int64_t micros) {
+  g_threshold_delta[static_cast<size_t>(hist)].store(
+      micros - kDefaultExemplarThresholdMicros, std::memory_order_relaxed);
+}
+
+ExemplarStore& ExemplarStore::Global() {
+  static constinit ExemplarStore store;
+  return store;
+}
+
+void ExemplarStore::Record(const Exemplar& exemplar) {
+  StoreState& state = g_store;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.ring[state.num_recorded % kExemplarRingSize] = exemplar;
+  ++state.num_recorded;
+}
+
+void ExemplarStore::Snapshot(std::vector<Exemplar>* out) const {
+  StoreState& state = g_store;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  out->clear();
+  const int retained = std::min(state.num_recorded, kExemplarRingSize);
+  for (int i = retained; i > 0; --i) {
+    out->push_back(state.ring[(state.num_recorded - i) % kExemplarRingSize]);
+  }
+}
+
+void ExemplarStore::Reset() {
+  StoreState& state = g_store;
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.num_recorded = 0;
+  for (Exemplar& slot : state.ring) slot = Exemplar{};
+  for (int i = 0; i < kNumHists; ++i) {
+    SetExemplarThreshold(static_cast<Hist>(i), kDefaultExemplarThresholdMicros);
+  }
+}
+
+}  // namespace gsps::obs

@@ -1,8 +1,19 @@
 #include "gsps/obs/metrics.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <vector>
+
+#include "gsps/obs/attribution.h"
+#include "gsps/obs/exemplar.h"
+#include "gsps/obs/flight_recorder.h"
+#include "gsps/obs/window.h"
+
+#if !defined(GSPS_BUILD_TYPE)
+#define GSPS_BUILD_TYPE "unspecified"
+#endif
 
 namespace gsps::obs {
 
@@ -52,12 +63,81 @@ constexpr const char* kHistNames[kNumHists] = {
     "gsps_update_batch_micros",
     "gsps_join_batch_micros",
     "gsps_barrier_wait_micros",
+    "gsps_stage_nnt_maintain_micros",
+    "gsps_stage_dirty_drain_micros",
+    "gsps_stage_join_refresh_micros",
+    "gsps_stage_tracker_observe_micros",
+    "gsps_stage_metrics_merge_micros",
 };
+
+constexpr const char* kCounterHelp[kNumCounters] = {
+    "NNT InsertEdge calls applied",
+    "NNT DeleteEdge calls applied",
+    "Appearance-list entries visited by NNT insert/delete",
+    "NNT tree nodes allocated",
+    "NNT tree nodes freed",
+    "Roots whose NPV went clean to dirty",
+    "Tree-node allocations served from the free-slot list",
+    "NPV cache materializations of an invalidated root",
+    "Pairwise NPV dominance evaluations",
+    "Pairs pruned at the first uncovered skyline point",
+    "Dominated-set-cover maintenance rounds",
+    "Dominated-set-cover domination-status flips",
+    "Stream/query pairs evaluated by the join",
+    "Pairs surviving the join as candidates",
+    "Join calls answered from cached per-stream verdicts",
+    "Dominance pairs rejected on the 64-bit signature alone",
+    "Post-seal dimension-remap growths",
+    "Dominance kernel batches on the scalar path",
+    "Dominance kernel batches on the AVX2 path",
+    "Dominance kernel batches on the AVX-512 path",
+    "CandidateTracker observations",
+    "Candidate pairs that appeared",
+    "Candidate pairs that disappeared",
+    "Thread-pool ParallelFor barriers",
+    "Thread-pool task indices dispatched",
+    "Engine update (ApplyChanges) barriers",
+    "Engine join (AllCandidatePairs) barriers",
+    "Summed per-shard busy micros inside barriers",
+    "Summed per-shard idle micros at barriers",
+};
+
+constexpr const char* kGaugeHelp[kNumGauges] = {
+    "Tasks enqueued by the most recent pool barrier",
+    "Shards in the parallel engine",
+    "Streams registered with the engine",
+    "Query slots registered with the engine",
+    "Registered queries currently live",
+};
+
+constexpr const char* kHistHelp[kNumHists] = {
+    "Per-shard NNT/index update micros per barrier",
+    "Per-shard join micros per barrier",
+    "Per-shard idle micros at each barrier",
+    "Stage micros: NNT edge maintenance",
+    "Stage micros: dirty-root drain into the join strategy",
+    "Stage micros: join verdict recompute",
+    "Stage micros: candidate tracker observe",
+    "Stage micros: post-barrier metrics merge",
+};
+
+constexpr const char* kStageNames[kNumStages] = {
+    "nnt_maintain", "dirty_drain", "join_refresh", "tracker_observe",
+    "metrics_merge",
+};
+
+std::atomic<const char*> g_build_info_isa{"unknown"};
 
 std::string FormatInt(int64_t value) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%lld",
                 static_cast<long long>(value));
+  return buffer;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
   return buffer;
 }
 
@@ -85,6 +165,31 @@ const char* GaugeName(Gauge gauge) {
 
 const char* HistName(Hist hist) {
   return kHistNames[static_cast<size_t>(hist)];
+}
+
+const char* CounterHelp(Counter counter) {
+  return kCounterHelp[static_cast<size_t>(counter)];
+}
+
+const char* GaugeHelp(Gauge gauge) {
+  return kGaugeHelp[static_cast<size_t>(gauge)];
+}
+
+const char* HistHelp(Hist hist) {
+  return kHistHelp[static_cast<size_t>(hist)];
+}
+
+const char* StageName(Stage stage) {
+  return kStageNames[static_cast<size_t>(stage)];
+}
+
+void SetBuildInfoIsa(const char* isa) {
+  g_build_info_isa.store(isa != nullptr ? isa : "unknown",
+                         std::memory_order_relaxed);
+}
+
+const char* BuildInfoIsa() {
+  return g_build_info_isa.load(std::memory_order_relaxed);
 }
 
 int HistogramData::BucketIndex(int64_t value) {
@@ -129,6 +234,13 @@ void MetricsRegistry::MergeAndReset(MetricSink& sink) {
   RegistryState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
   state.root.MergeFrom(sink);
+  // Every merged sample also lands in the open telemetry window, so
+  // windows partition the cumulative aggregate exactly (window.h). The
+  // registry lock is always taken before the window lock.
+  WindowedTelemetry::Global().Fold(sink);
+  if (FlightRecorderArmed()) {
+    FlightRecorder::Global().PublishCumulative(state.root);
+  }
   sink.Reset();
 }
 
@@ -140,20 +252,36 @@ MetricSink MetricsRegistry::Snapshot() const {
 
 void MetricsRegistry::Reset() {
   RegistryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
-  state.root.Reset();
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.root.Reset();
+  }
+  WindowedTelemetry::Global().Reset();
+  ExemplarStore::Global().Reset();
+  AttributionRegistry::Global().Reset();
 }
+
+namespace {
+
+constexpr double kWindowQuantiles[3] = {0.5, 0.95, 0.99};
+constexpr const char* kWindowQuantileLabels[3] = {"0.5", "0.95", "0.99"};
+constexpr int kAttributionTopK = 10;
+
+}  // namespace
 
 std::string ToPrometheusText(const MetricSink& snapshot) {
   std::string out;
   for (int i = 0; i < kNumCounters; ++i) {
     const Counter counter = static_cast<Counter>(i);
     const std::string name = std::string(CounterName(counter)) + "_total";
+    out += "# HELP " + name + " " + CounterHelp(counter) + "\n";
     out += "# TYPE " + name + " counter\n";
     out += name + " " + FormatInt(snapshot.Value(counter)) + "\n";
   }
   for (int i = 0; i < kNumGauges; ++i) {
     const Gauge gauge = static_cast<Gauge>(i);
+    out += "# HELP " + std::string(GaugeName(gauge)) + " " +
+           GaugeHelp(gauge) + "\n";
     out += "# TYPE " + std::string(GaugeName(gauge)) + " gauge\n";
     out += std::string(GaugeName(gauge)) + " " +
            FormatInt(snapshot.GaugeValue(gauge)) + "\n";
@@ -162,6 +290,7 @@ std::string ToPrometheusText(const MetricSink& snapshot) {
     const Hist hist = static_cast<Hist>(i);
     const HistogramData& data = snapshot.histogram(hist);
     const std::string name = HistName(hist);
+    out += "# HELP " + name + " " + HistHelp(hist) + "\n";
     out += "# TYPE " + name + " histogram\n";
     int64_t cumulative = 0;
     for (size_t b = 0; b < kHistBucketBounds.size(); ++b) {
@@ -172,6 +301,88 @@ std::string ToPrometheusText(const MetricSink& snapshot) {
     out += name + "_bucket{le=\"+Inf\"} " + FormatInt(data.count) + "\n";
     out += name + "_sum " + FormatInt(data.sum) + "\n";
     out += name + "_count " + FormatInt(data.count) + "\n";
+  }
+
+  // Build identity, so scraped artifacts are self-describing.
+  out += "# HELP gsps_build_info Build identity labels (value is always 1)\n";
+  out += "# TYPE gsps_build_info gauge\n";
+  out += std::string("gsps_build_info{isa=\"") + BuildInfoIsa() +
+         "\",obs=\"" + (kEnabled ? "on" : "off") + "\",build=\"" +
+         GSPS_BUILD_TYPE "\"} 1\n";
+
+  // Latest closed telemetry window: rates and per-histogram quantiles.
+  const WindowSnapshot window = WindowedTelemetry::Global().Latest();
+  out += "# HELP gsps_window_seq Close order of the latest telemetry "
+         "window (0 when none)\n";
+  out += "# TYPE gsps_window_seq gauge\n";
+  out += "gsps_window_seq " + FormatInt(window.seq) + "\n";
+  out += "# HELP gsps_window_duration_micros Duration of the latest "
+         "window\n";
+  out += "# TYPE gsps_window_duration_micros gauge\n";
+  out += "gsps_window_duration_micros " + FormatInt(window.duration_micros) +
+         "\n";
+  out += "# HELP gsps_window_events_per_sec Edge events per second over "
+         "the latest window\n";
+  out += "# TYPE gsps_window_events_per_sec gauge\n";
+  out += "gsps_window_events_per_sec " +
+         FormatDouble(RatePerSec(window, Counter::kNntInsertEdges) +
+                      RatePerSec(window, Counter::kNntDeleteEdges)) +
+         "\n";
+  out += "# HELP gsps_window_dominance_tests_per_sec Dominance tests per "
+         "second over the latest window\n";
+  out += "# TYPE gsps_window_dominance_tests_per_sec gauge\n";
+  out += "gsps_window_dominance_tests_per_sec " +
+         FormatDouble(RatePerSec(window, Counter::kJoinDominanceTests)) + "\n";
+  out += "# HELP gsps_window_quantile_micros Interpolated latency "
+         "quantiles over the latest window\n";
+  out += "# TYPE gsps_window_quantile_micros gauge\n";
+  for (int i = 0; i < kNumHists; ++i) {
+    const Hist hist = static_cast<Hist>(i);
+    const HistogramData& data = window.delta.histogram(hist);
+    for (int q = 0; q < 3; ++q) {
+      out += std::string("gsps_window_quantile_micros{hist=\"") +
+             HistName(hist) + "\",quantile=\"" + kWindowQuantileLabels[q] +
+             "\"} " + FormatDouble(HistogramQuantile(data, kWindowQuantiles[q])) +
+             "\n";
+    }
+  }
+
+  // Per-query attribution heavy hitters (top-K by dominance probes).
+  std::vector<AttributionRow> top;
+  AttributionRegistry::Global().TopK(kAttributionTopK, &top);
+  out += "# HELP gsps_query_dominance_probes_total Dominance probes "
+         "attributed to the query slot (weighted split)\n";
+  out += "# TYPE gsps_query_dominance_probes_total counter\n";
+  out += "# HELP gsps_query_refresh_micros_total Verdict-refresh micros "
+         "attributed to the query slot\n";
+  out += "# TYPE gsps_query_refresh_micros_total counter\n";
+  out += "# HELP gsps_query_refreshes_total Refresh passes the query slot "
+         "was live for\n";
+  out += "# TYPE gsps_query_refreshes_total counter\n";
+  for (const AttributionRow& row : top) {
+    const std::string labels = "{query=\"" + FormatInt(row.slot) +
+                               "\",generation=\"" +
+                               FormatInt(row.generation) + "\"} ";
+    out += "gsps_query_dominance_probes_total" + labels +
+           FormatInt(row.dominance_probes) + "\n";
+    out += "gsps_query_refresh_micros_total" + labels +
+           FormatInt(row.refresh_micros) + "\n";
+    out += "gsps_query_refreshes_total" + labels + FormatInt(row.refreshes) +
+           "\n";
+  }
+
+  // Exemplars ride along as comment lines: the classic text format has no
+  // exemplar syntax, and comments keep the exposition lint-clean while
+  // still shipping the span linkage in the same scrape.
+  std::vector<Exemplar> exemplars;
+  ExemplarStore::Global().Snapshot(&exemplars);
+  for (const Exemplar& e : exemplars) {
+    out += "# exemplar " + std::string(HistName(e.hist)) +
+           " value=" + FormatInt(e.value_micros) + " stage=" +
+           (e.stage < Stage::kNumStages ? StageName(e.stage) : "none") +
+           " stream=" + FormatInt(e.stream) + " query=" + FormatInt(e.query) +
+           " ts=" + FormatInt(e.ts_micros) +
+           " span_id=" + FormatInt(static_cast<int64_t>(e.span_id)) + "\n";
   }
   return out;
 }
@@ -211,7 +422,67 @@ std::string ToMetricsJson(const MetricSink& snapshot) {
     out += "],\"sum\":" + FormatInt(data.sum) +
            ",\"count\":" + FormatInt(data.count) + "}";
   }
+  out += "},\"build_info\":{\"isa\":\"";
+  out += BuildInfoIsa();
+  out += std::string("\",\"obs\":\"") + (kEnabled ? "on" : "off") +
+         "\",\"build\":\"" GSPS_BUILD_TYPE "\"}";
+
+  const WindowSnapshot window = WindowedTelemetry::Global().Latest();
+  out += ",\"window\":{\"seq\":" + FormatInt(window.seq) +
+         ",\"start_micros\":" + FormatInt(window.start_micros) +
+         ",\"duration_micros\":" + FormatInt(window.duration_micros) +
+         ",\"events_per_sec\":" +
+         FormatDouble(RatePerSec(window, Counter::kNntInsertEdges) +
+                      RatePerSec(window, Counter::kNntDeleteEdges)) +
+         ",\"dominance_tests_per_sec\":" +
+         FormatDouble(RatePerSec(window, Counter::kJoinDominanceTests)) +
+         ",\"quantiles\":{";
+  for (int i = 0; i < kNumHists; ++i) {
+    const Hist hist = static_cast<Hist>(i);
+    const HistogramData& data = window.delta.histogram(hist);
+    if (i > 0) out += ",";
+    out += "\"";
+    out += HistName(hist);
+    out += "\":{";
+    for (int q = 0; q < 3; ++q) {
+      if (q > 0) out += ",";
+      out += std::string("\"") + kWindowQuantileLabels[q] + "\":" +
+             FormatDouble(HistogramQuantile(data, kWindowQuantiles[q]));
+    }
+    out += "}";
+  }
   out += "}}";
+
+  std::vector<AttributionRow> top;
+  AttributionRegistry::Global().TopK(kAttributionTopK, &top);
+  out += ",\"attribution\":[";
+  for (size_t i = 0; i < top.size(); ++i) {
+    const AttributionRow& row = top[i];
+    if (i > 0) out += ",";
+    out += "{\"query\":" + FormatInt(row.slot) +
+           ",\"generation\":" + FormatInt(row.generation) +
+           ",\"dominance_probes\":" + FormatInt(row.dominance_probes) +
+           ",\"refresh_micros\":" + FormatInt(row.refresh_micros) +
+           ",\"refreshes\":" + FormatInt(row.refreshes) + "}";
+  }
+  out += "]";
+
+  std::vector<Exemplar> exemplars;
+  ExemplarStore::Global().Snapshot(&exemplars);
+  out += ",\"exemplars\":[";
+  for (size_t i = 0; i < exemplars.size(); ++i) {
+    const Exemplar& e = exemplars[i];
+    if (i > 0) out += ",";
+    out += std::string("{\"hist\":\"") + HistName(e.hist) +
+           "\",\"stage\":\"" +
+           (e.stage < Stage::kNumStages ? StageName(e.stage) : "none") +
+           "\",\"stream\":" + FormatInt(e.stream) +
+           ",\"query\":" + FormatInt(e.query) +
+           ",\"value_micros\":" + FormatInt(e.value_micros) +
+           ",\"ts_micros\":" + FormatInt(e.ts_micros) +
+           ",\"span_id\":" + FormatInt(static_cast<int64_t>(e.span_id)) + "}";
+  }
+  out += "]}";
   return out;
 }
 

@@ -30,6 +30,17 @@
 
 namespace gsps::obs {
 
+// Compile-time master switch. The macros in obs.h expand to nothing when
+// this is false; non-macro instrumentation work gates on
+// `if constexpr (gsps::obs::kEnabled)`. Lives here (not obs.h) so the
+// window/exemplar/attribution modules can use it without pulling in the
+// macro header.
+#if defined(GSPS_OBS_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
 // Monotonic event counts. Serialized with a "_total" suffix per Prometheus
 // counter convention.
 enum class Counter : int {
@@ -89,11 +100,33 @@ enum class Gauge : int {
   kNumGauges,
 };
 
-// Fixed-bucket latency histograms, in microseconds.
+// The fixed pipeline stages every ApplyChange / timestamp advance splits
+// into. Stage samples land in the per-stage histograms below (StageHist),
+// and tail samples carry the stage into exemplars and flight-recorder
+// spans, so a p99 outlier names the phase that spent it.
+enum class Stage : int {
+  kNntMaintain = 0,   // NNT edge insert/delete maintenance (and Build).
+  kDirtyDrain,        // Dirty-root drain into the join strategy.
+  kJoinRefresh,       // Strategy verdict recompute in CandidatesForStream.
+  kTrackerObserve,    // CandidateTracker::Observe diffing.
+  kMetricsMerge,      // Post-barrier sink merge + barrier bookkeeping.
+  kNumStages,
+};
+
+inline constexpr int kNumStages = static_cast<int>(Stage::kNumStages);
+
+// Fixed-bucket latency histograms, in microseconds. The kStage* entries
+// are contiguous and ordered exactly like enum Stage (StageHist relies on
+// it).
 enum class Hist : int {
   kUpdateBatchMicros = 0,  // Per-shard NNT/index update time per barrier.
   kJoinBatchMicros,        // Per-shard join time per barrier.
   kBarrierWaitMicros,      // Per-shard idle time at each barrier.
+  kStageNntMaintainMicros,    // Stage::kNntMaintain samples.
+  kStageDirtyDrainMicros,     // Stage::kDirtyDrain samples.
+  kStageJoinRefreshMicros,    // Stage::kJoinRefresh samples.
+  kStageTrackerObserveMicros, // Stage::kTrackerObserve samples.
+  kStageMetricsMergeMicros,   // Stage::kMetricsMerge samples.
   kNumHists,
 };
 
@@ -105,6 +138,26 @@ inline constexpr int kNumHists = static_cast<int>(Hist::kNumHists);
 const char* CounterName(Counter counter);
 const char* GaugeName(Gauge gauge);
 const char* HistName(Hist hist);
+
+// One-line descriptions for the Prometheus "# HELP" exposition lines.
+const char* CounterHelp(Counter counter);
+const char* GaugeHelp(Gauge gauge);
+const char* HistHelp(Hist hist);
+
+// Stage <-> histogram mapping and stable lowercase stage names
+// ("nnt_maintain", "dirty_drain", ...).
+inline Hist StageHist(Stage stage) {
+  return static_cast<Hist>(static_cast<int>(Hist::kStageNntMaintainMicros) +
+                           static_cast<int>(stage));
+}
+const char* StageName(Stage stage);
+
+// Build-identity labels for the gsps_build_info metric. The ISA label is
+// filled in by the dominance kernel's dispatch resolution (and the CLI
+// tools at startup); until then it reads "unknown". The pointer must be a
+// string literal.
+void SetBuildInfoIsa(const char* isa);
+const char* BuildInfoIsa();
 
 // Shared upper bounds (inclusive, microseconds) of the histogram buckets;
 // a final implicit +Inf bucket catches the overflow. Quarter-decade spacing
@@ -174,21 +227,27 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  // Folds `sink` into the aggregate and zeroes it.
+  // Folds `sink` into the aggregate (and into the open telemetry window —
+  // see window.h) and zeroes it. When the flight recorder is armed the
+  // updated cumulative aggregate is also published to it.
   void MergeAndReset(MetricSink& sink);
 
   // Copy of the current aggregate.
   MetricSink Snapshot() const;
 
-  // Zeroes the aggregate (test isolation).
+  // Zeroes the aggregate and cascades to the windowed telemetry, exemplar
+  // store, and attribution registry (test isolation).
   void Reset();
 };
 
-// Prometheus text exposition format: "# TYPE" headers, "_total" counters,
-// cumulative le="..." histogram buckets with _sum/_count.
+// Prometheus text exposition format: "# HELP"/"# TYPE" headers, "_total"
+// counters, cumulative le="..." histogram buckets with _sum/_count, plus
+// the gsps_build_info gauge, the latest telemetry window's rates and
+// quantiles, the per-query attribution top-K, and exemplar comment lines.
 std::string ToPrometheusText(const MetricSink& snapshot);
 
-// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...},
+// "build_info":{...},"window":{...},"attribution":[...],"exemplars":[...]}.
 std::string ToMetricsJson(const MetricSink& snapshot);
 
 }  // namespace gsps::obs

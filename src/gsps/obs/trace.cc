@@ -1,5 +1,6 @@
 #include "gsps/obs/trace.h"
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -87,7 +88,12 @@ std::string Tracer::ToJson() const {
       out += event.category;
       out += "\",\"ph\":\"X\",\"ts\":" + FormatInt(event.ts_micros) +
              ",\"dur\":" + FormatInt(event.dur_micros) +
-             ",\"pid\":1,\"tid\":" + FormatInt(buffer->tid()) + "}";
+             ",\"pid\":1,\"tid\":" + FormatInt(buffer->tid());
+      if (event.id != 0) {
+        out += ",\"args\":{\"span_id\":" +
+               FormatInt(static_cast<int64_t>(event.id)) + "}";
+      }
+      out += "}";
     }
   }
   out += "]}";
@@ -99,6 +105,20 @@ void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(state.mutex);
   state.enabled = false;
   state.buffers.clear();
+}
+
+int64_t MonotonicMicros() {
+  // Thread-safe magic-static init on first call; a guard load + clock read
+  // afterwards. No mutex, so stage timers can call this per sample.
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch)
+      .count();
+}
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace gsps::obs

@@ -28,11 +28,14 @@ namespace gsps::obs {
 
 // One complete ("ph":"X") event. Names and categories must be string
 // literals (or otherwise outlive the tracer): buffers store the pointers.
+// A nonzero id is serialized as args.span_id — the handle exemplars use to
+// point at the trace span that produced a tail histogram sample.
 struct TraceEvent {
   const char* name = nullptr;
   const char* category = nullptr;
   int64_t ts_micros = 0;   // Start, relative to the tracer epoch.
   int64_t dur_micros = 0;
+  uint64_t id = 0;         // 0 = unlabeled span.
 };
 
 // Append-only span storage for one logical thread (timeline row).
@@ -41,8 +44,8 @@ class TraceBuffer {
   explicit TraceBuffer(int32_t tid) : tid_(tid) {}
 
   void Record(const char* name, const char* category, int64_t ts_micros,
-              int64_t dur_micros) {
-    events_.push_back(TraceEvent{name, category, ts_micros, dur_micros});
+              int64_t dur_micros, uint64_t id = 0) {
+    events_.push_back(TraceEvent{name, category, ts_micros, dur_micros, id});
   }
 
   int32_t tid() const { return tid_; }
@@ -76,6 +79,15 @@ class Tracer {
   // Drops all buffers and disarms recording (test isolation).
   void Clear();
 };
+
+// Microseconds since a process-local steady-clock epoch (first call), with
+// no lock — unlike Tracer::NowMicros, which takes the tracer mutex to read
+// the Enable() epoch. Stage timers and the flight recorder use this on the
+// hot path; its epoch is unrelated to the tracer's.
+int64_t MonotonicMicros();
+
+// Process-unique span id (1-based; 0 is reserved for "no span").
+uint64_t NextSpanId();
 
 }  // namespace gsps::obs
 

@@ -194,7 +194,9 @@ TEST(NpvDimRemapTest, GrowDimsMapIsStrictlyIncreasing) {
     if (!remap.GrowDims(RandomNpv(rng, 40, 6, 3), &old_to_new)) continue;
     ASSERT_EQ(static_cast<int32_t>(old_to_new.size()), before);
     for (size_t k = 0; k < old_to_new.size(); ++k) {
-      if (k > 0) EXPECT_GT(old_to_new[k], old_to_new[k - 1]);
+      if (k > 0) {
+        EXPECT_GT(old_to_new[k], old_to_new[k - 1]);
+      }
       EXPECT_GE(old_to_new[k], static_cast<DimId>(k));
       EXPECT_LT(old_to_new[k], remap.num_dims());
     }

@@ -20,6 +20,10 @@
 #include "gsps/gen/stream_generator.h"
 #include "gsps/graph/graph_change.h"
 #include "gsps/join/dominance_kernel.h"
+#include "gsps/obs/attribution.h"
+#include "gsps/obs/exemplar.h"
+#include "gsps/obs/window.h"
+#include "test_json.h"
 
 namespace gsps {
 namespace {
@@ -29,125 +33,8 @@ using obs::Gauge;
 using obs::Hist;
 using obs::HistogramData;
 using obs::MetricSink;
-
-// --- Minimal JSON parser ---------------------------------------------------
-// Just enough of RFC 8259 to prove the emitted metrics/trace JSON is
-// syntactically well-formed (Perfetto and Prometheus scrapers parse it with
-// real parsers; a substring check alone would not catch a stray comma).
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Valid() {
-    pos_ = 0;
-    if (!ParseValue()) return false;
-    SkipWhitespace();
-    return pos_ == text_.size();
-  }
-
- private:
-  void SkipWhitespace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipWhitespace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ParseLiteral(const char* literal) {
-    const size_t n = std::string(literal).size();
-    if (text_.compare(pos_, n, literal) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  bool ParseString() {
-    if (!Consume('"')) return false;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') ++pos_;  // Skip the escaped character.
-      ++pos_;
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // Closing quote.
-    return true;
-  }
-
-  bool ParseNumber() {
-    const size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool ParseObject() {
-    if (!Consume('{')) return false;
-    if (Consume('}')) return true;
-    do {
-      SkipWhitespace();
-      if (!ParseString()) return false;
-      if (!Consume(':')) return false;
-      if (!ParseValue()) return false;
-    } while (Consume(','));
-    return Consume('}');
-  }
-
-  bool ParseArray() {
-    if (!Consume('[')) return false;
-    if (Consume(']')) return true;
-    do {
-      if (!ParseValue()) return false;
-    } while (Consume(','));
-    return Consume(']');
-  }
-
-  bool ParseValue() {
-    SkipWhitespace();
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{':
-        return ParseObject();
-      case '[':
-        return ParseArray();
-      case '"':
-        return ParseString();
-      case 't':
-        return ParseLiteral("true");
-      case 'f':
-        return ParseLiteral("false");
-      case 'n':
-        return ParseLiteral("null");
-      default:
-        return ParseNumber();
-    }
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-int CountOccurrences(const std::string& haystack, const std::string& needle) {
-  int count = 0;
-  for (size_t pos = haystack.find(needle); pos != std::string::npos;
-       pos = haystack.find(needle, pos + needle.size())) {
-    ++count;
-  }
-  return count;
-}
+using ::gsps::testing::CountOccurrences;
+using ::gsps::testing::JsonParser;
 
 // --- Histogram buckets -----------------------------------------------------
 
@@ -264,6 +151,9 @@ TEST(ObsSinkTest, RegistryMergeAndResetDrainsTheSink) {
 // --- Serializers -----------------------------------------------------------
 
 TEST(ObsSerializerTest, PrometheusTextShape) {
+  // The serializer also reads the global window/attribution/exemplar state;
+  // reset so the shape below is deterministic regardless of test order.
+  obs::MetricsRegistry::Global().Reset();
   MetricSink sink;
   sink.Add(Counter::kNntInsertEdges, 7);
   sink.Set(Gauge::kEngineStreams, 5);
@@ -294,9 +184,26 @@ TEST(ObsSerializerTest, PrometheusTextShape) {
   EXPECT_NE(text.find("gsps_join_batch_micros_sum 103\n"), std::string::npos);
   EXPECT_NE(text.find("gsps_join_batch_micros_count 3\n"), std::string::npos);
 
-  // Every counter appears with the _total suffix even when zero.
+  // Every counter appears with the _total suffix even when zero, plus the
+  // three always-emitted per-query attribution families.
   EXPECT_EQ(CountOccurrences(text, "_total counter\n"),
-            static_cast<int>(obs::kNumCounters));
+            static_cast<int>(obs::kNumCounters) + 3);
+
+  // Exposition-format hygiene: every TYPE line is preceded by a HELP line
+  // for the same family, and the build-identity gauge is present.
+  EXPECT_EQ(CountOccurrences(text, "# HELP "),
+            CountOccurrences(text, "# TYPE "));
+  EXPECT_NE(text.find("# TYPE gsps_build_info gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("gsps_build_info{isa=\""), std::string::npos);
+  EXPECT_NE(text.find("\",obs=\""), std::string::npos);
+
+  // No window has closed since the reset, so the window gauges read zero.
+  EXPECT_NE(text.find("gsps_window_seq 0\n"), std::string::npos);
+  EXPECT_NE(text.find("gsps_window_events_per_sec 0\n"), std::string::npos);
+  // One quantile series per histogram per quantile.
+  EXPECT_EQ(CountOccurrences(text, "gsps_window_quantile_micros{hist=\""),
+            static_cast<int>(obs::kNumHists) * 3);
+  obs::MetricsRegistry::Global().Reset();
 }
 
 TEST(ObsSerializerTest, MetricsJsonParsesBack) {
@@ -310,6 +217,216 @@ TEST(ObsSerializerTest, MetricsJsonParsesBack) {
   EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
   EXPECT_NE(json.find("\"gsps_nnt_insert_edges\":8"), std::string::npos);
   EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+}
+
+// --- Windowed telemetry ----------------------------------------------------
+
+TEST(ObsWindowTest, HistogramQuantileInterpolatesAndClamps) {
+  HistogramData empty;
+  EXPECT_EQ(obs::HistogramQuantile(empty, 0.5), 0.0);
+
+  // Four samples in the (1, 4] bucket: every quantile interpolates inside
+  // that bucket's bounds.
+  HistogramData h;
+  for (int i = 0; i < 4; ++i) h.Observe(3);
+  for (const double q : {0.25, 0.5, 0.95}) {
+    const double v = obs::HistogramQuantile(h, q);
+    EXPECT_GT(v, 1.0) << "q=" << q;
+    EXPECT_LE(v, 4.0) << "q=" << q;
+  }
+  EXPECT_LT(obs::HistogramQuantile(h, 0.25), obs::HistogramQuantile(h, 0.95));
+
+  // Samples in the +Inf overflow bucket clamp to the top finite bound.
+  HistogramData inf;
+  inf.Observe(obs::kHistBucketBounds.back() + 123);
+  EXPECT_EQ(obs::HistogramQuantile(inf, 0.99),
+            static_cast<double>(obs::kHistBucketBounds.back()));
+}
+
+TEST(ObsWindowTest, RatePerSecUsesWindowDuration) {
+  obs::WindowSnapshot window;
+  window.delta.Add(Counter::kNntInsertEdges, 500);
+  window.duration_micros = 250000;  // 0.25 s.
+  EXPECT_DOUBLE_EQ(obs::RatePerSec(window, Counter::kNntInsertEdges), 2000.0);
+  EXPECT_DOUBLE_EQ(obs::RatePerSec(window, Counter::kNntDeleteEdges), 0.0);
+  window.duration_micros = 0;
+  EXPECT_DOUBLE_EQ(obs::RatePerSec(window, Counter::kNntInsertEdges), 0.0);
+}
+
+TEST(ObsWindowTest, AdvanceRollsTheRingKeepingMostRecent) {
+  obs::MetricsRegistry::Global().Reset();
+  obs::WindowedTelemetry& telemetry = obs::WindowedTelemetry::Global();
+  EXPECT_EQ(telemetry.Latest().seq, 0) << "no window closed after reset";
+
+  const int total = obs::kWindowRingSize + 3;
+  for (int i = 1; i <= total; ++i) {
+    MetricSink sink;
+    sink.Add(Counter::kNntInsertEdges, i);
+    obs::MetricsRegistry::Global().MergeAndReset(sink);
+    const obs::WindowSnapshot closed = telemetry.Advance();
+    EXPECT_EQ(closed.seq, i);
+    EXPECT_EQ(closed.delta.Value(Counter::kNntInsertEdges), i);
+  }
+
+  std::vector<obs::WindowSnapshot> recent;
+  telemetry.Recent(&recent);
+  ASSERT_EQ(recent.size(), static_cast<size_t>(obs::kWindowRingSize));
+  // Oldest windows were evicted; the ring holds the most recent, in order.
+  EXPECT_EQ(recent.front().seq, total - obs::kWindowRingSize + 1);
+  EXPECT_EQ(recent.back().seq, total);
+  EXPECT_EQ(telemetry.Latest().seq, total);
+  obs::MetricsRegistry::Global().Reset();
+}
+
+TEST(ObsWindowTest, WindowsPlusOpenWindowPartitionTheCumulative) {
+  // Barrier merges land on either side of a window boundary; every sample
+  // must land in exactly one window, never zero or two.
+  obs::MetricsRegistry::Global().Reset();
+  MetricSink a = SampleSinkA();
+  obs::MetricsRegistry::Global().MergeAndReset(a);
+  obs::WindowedTelemetry::Global().Advance();  // Boundary between barriers.
+  MetricSink b = SampleSinkB();
+  obs::MetricsRegistry::Global().MergeAndReset(b);
+  MetricSink c;
+  c.Add(Counter::kJoinPairsIn, 5);
+  c.Observe(Hist::kStageJoinRefreshMicros, 9);
+  obs::MetricsRegistry::Global().MergeAndReset(c);  // Stays in the open window.
+
+  MetricSink reassembled;
+  std::vector<obs::WindowSnapshot> recent;
+  obs::WindowedTelemetry::Global().Recent(&recent);
+  for (const obs::WindowSnapshot& window : recent) {
+    reassembled.MergeFrom(window.delta);
+  }
+  reassembled.MergeFrom(obs::WindowedTelemetry::Global().OpenDelta());
+  EXPECT_EQ(reassembled, obs::MetricsRegistry::Global().Snapshot());
+  obs::MetricsRegistry::Global().Reset();
+}
+
+// --- Exemplars -------------------------------------------------------------
+
+TEST(ObsExemplarTest, StageSampleThresholdIsInclusive) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "instrumentation compiled out (GSPS_OBS_DISABLED)";
+  }
+  obs::ExemplarStore::Global().Reset();
+  obs::SetExemplarThreshold(Hist::kStageJoinRefreshMicros, 100);
+  MetricSink sink;
+  obs::ScopedObsContext scope(&sink, nullptr);
+  obs::StageSample(obs::Stage::kJoinRefresh, 99, /*stream=*/0, /*query=*/1);
+  obs::StageSample(obs::Stage::kJoinRefresh, 100, /*stream=*/2, /*query=*/3);
+  obs::StageSample(obs::Stage::kJoinRefresh, 101, /*stream=*/4, /*query=*/5);
+
+  std::vector<obs::Exemplar> exemplars;
+  obs::ExemplarStore::Global().Snapshot(&exemplars);
+  ASSERT_EQ(exemplars.size(), 2u) << "99 is below the 100us threshold";
+  EXPECT_EQ(exemplars[0].value_micros, 100);
+  EXPECT_EQ(exemplars[0].stage, obs::Stage::kJoinRefresh);
+  EXPECT_EQ(exemplars[0].hist, Hist::kStageJoinRefreshMicros);
+  EXPECT_EQ(exemplars[0].stream, 2);
+  EXPECT_EQ(exemplars[0].query, 3);
+  EXPECT_NE(exemplars[0].span_id, 0u);
+  EXPECT_EQ(exemplars[1].value_micros, 101);
+  EXPECT_NE(exemplars[1].span_id, exemplars[0].span_id);
+  // All three samples still count in the histogram.
+  EXPECT_EQ(sink.histogram(Hist::kStageJoinRefreshMicros).count, 3);
+
+  obs::ExemplarStore::Global().Reset();
+  EXPECT_EQ(obs::ExemplarThreshold(Hist::kStageJoinRefreshMicros),
+            obs::kDefaultExemplarThresholdMicros)
+      << "Reset restores the default threshold";
+}
+
+TEST(ObsExemplarTest, RingEvictsOldestOnceFull) {
+  obs::ExemplarStore::Global().Reset();
+  for (int i = 0; i < obs::kExemplarRingSize + 5; ++i) {
+    obs::Exemplar exemplar;
+    exemplar.hist = Hist::kUpdateBatchMicros;
+    exemplar.value_micros = i;
+    obs::ExemplarStore::Global().Record(exemplar);
+  }
+  std::vector<obs::Exemplar> exemplars;
+  obs::ExemplarStore::Global().Snapshot(&exemplars);
+  ASSERT_EQ(exemplars.size(), static_cast<size_t>(obs::kExemplarRingSize));
+  EXPECT_EQ(exemplars.front().value_micros, 5);
+  EXPECT_EQ(exemplars.back().value_micros, obs::kExemplarRingSize + 4);
+  obs::ExemplarStore::Global().Reset();
+}
+
+// --- Per-query attribution -------------------------------------------------
+
+TEST(ObsAttributionTest, RegistryMergesByGeneration) {
+  obs::AttributionRegistry& registry = obs::AttributionRegistry::Global();
+  registry.Reset();
+  obs::AttributionRow row;
+  row.slot = 0;
+  row.generation = 1;
+  row.dominance_probes = 10;
+  row.refresh_micros = 5;
+  row.refreshes = 1;
+  registry.MergeBatch(&row, 1);
+  registry.MergeBatch(&row, 1);  // Same generation: accumulates.
+  std::vector<obs::AttributionRow> top;
+  registry.TopK(10, &top);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].dominance_probes, 20);
+  EXPECT_EQ(top[0].refresh_micros, 10);
+
+  obs::AttributionRow newer = row;
+  newer.generation = 2;
+  newer.dominance_probes = 7;
+  registry.MergeBatch(&newer, 1);  // Newer generation: replaces.
+  registry.TopK(10, &top);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].dominance_probes, 7);
+  EXPECT_EQ(top[0].generation, 2);
+
+  registry.MergeBatch(&row, 1);  // Stale generation: dropped.
+  registry.TopK(10, &top);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].dominance_probes, 7);
+  registry.Reset();
+}
+
+TEST(ObsAttributionTest, FlushSplitsByWeightAndConservesTotals) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "instrumentation compiled out (GSPS_OBS_DISABLED)";
+  }
+  obs::AttributionRegistry& registry = obs::AttributionRegistry::Global();
+  registry.Reset();
+  obs::QueryAttribution attribution;
+  attribution.Reset(3);
+  attribution.OnAddQuery(0, 1);
+  attribution.OnAddQuery(1, 3);
+  attribution.OnAddQuery(2, 1);
+  attribution.AddProbes(100);
+  attribution.AddRefresh(50);
+  attribution.Flush();
+
+  std::vector<obs::AttributionRow> top;
+  registry.TopK(10, &top);
+  ASSERT_EQ(top.size(), 3u);
+  int64_t probes = 0, micros = 0;
+  for (const obs::AttributionRow& r : top) {
+    probes += r.dominance_probes;
+    micros += r.refresh_micros;
+  }
+  EXPECT_EQ(probes, 100) << "weighted split conserves the probe total";
+  EXPECT_EQ(micros, 50) << "weighted split conserves the refresh total";
+  EXPECT_EQ(top[0].slot, 1) << "heaviest-weight slot leads the top-K";
+  EXPECT_EQ(top[0].dominance_probes, 60);  // 100 * 3/5.
+
+  // A removed slot stops receiving attribution on later flushes.
+  attribution.OnRemoveQuery(1);
+  attribution.AddProbes(10);
+  attribution.Flush();
+  registry.TopK(10, &top);
+  for (const obs::AttributionRow& r : top) {
+    if (r.slot == 1) {
+      EXPECT_EQ(r.dominance_probes, 60);
+    }
+  }
+  registry.Reset();
 }
 
 // --- Scoped context --------------------------------------------------------

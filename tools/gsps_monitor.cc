@@ -17,11 +17,18 @@
 // selects Prometheus text exposition (default) or JSON. --trace=FILE
 // writes a Chrome trace_event JSON of the replay (one timeline row per
 // shard plus the driver) loadable in about://tracing or Perfetto.
+// --stats_every=N prints a one-line heartbeat to stderr every N
+// timestamps (rates and tail latency over the window since the previous
+// flush). --flight_recorder=FILE arms the in-process flight recorder:
+// SIGUSR1 (or a crash) dumps the recent-span ring mid-replay, and a final
+// dump is written after the last metrics flush so the dump's cumulative
+// section matches the final --metrics snapshot.
 //
 //   gsps_monitor --queries=patterns.txt --stream=traffic.txt[,more.txt...]
 //       [--depth=3] [--join=dsc|nl|skyline] [--threads=1] [--verify]
 //       [--events] [--quiet] [--metrics=FILE|-] [--metrics_every=N]
-//       [--metrics_format=prom|json] [--trace=FILE]
+//       [--metrics_format=prom|json] [--trace=FILE] [--stats_every=N]
+//       [--flight_recorder=FILE]
 //
 // Unrecognized flags are an error. Exit status: 0 on success, 2 on
 // usage/file errors.
@@ -40,7 +47,9 @@
 #include "gsps/engine/parallel_query_engine.h"
 #include "gsps/graph/graph_io.h"
 #include "gsps/graph/stream_io.h"
+#include "gsps/obs/flight_recorder.h"
 #include "gsps/obs/obs.h"
+#include "gsps/obs/window.h"
 
 namespace {
 
@@ -60,7 +69,8 @@ int Usage() {
                "        [--depth=3] [--join=dsc|nl|skyline] [--threads=1] "
                "[--verify] [--events] [--quiet]\n"
                "        [--metrics=FILE|-] [--metrics_every=N] "
-               "[--metrics_format=prom|json] [--trace=FILE]\n");
+               "[--metrics_format=prom|json] [--trace=FILE]\n"
+               "        [--stats_every=N] [--flight_recorder=FILE]\n");
   return 2;
 }
 
@@ -86,11 +96,17 @@ bool WriteWholeFile(const std::string& path, const std::string& content) {
   return true;
 }
 
-// Folds the driver thread's sink into the registry and rewrites the metrics
-// destination with a fresh snapshot (cumulative since process start).
-bool FlushMetrics(obs::MetricSink& root_sink, const std::string& destination,
-                  bool json) {
+// Folds the driver thread's sink into the registry and closes the open
+// telemetry window. Each flush cadence tick calls this exactly once, so
+// the metrics rewrite and the stderr heartbeat report the same window.
+obs::WindowSnapshot CloseWindow(obs::MetricSink& root_sink) {
   obs::MetricsRegistry::Global().MergeAndReset(root_sink);
+  return obs::WindowedTelemetry::Global().Advance();
+}
+
+// Rewrites the metrics destination with a fresh snapshot (cumulative since
+// process start; the serializers append the latest closed window's rates).
+bool WriteMetricsSnapshot(const std::string& destination, bool json) {
   const obs::MetricSink snapshot = obs::MetricsRegistry::Global().Snapshot();
   const std::string text =
       json ? obs::ToMetricsJson(snapshot) : obs::ToPrometheusText(snapshot);
@@ -100,6 +116,30 @@ bool FlushMetrics(obs::MetricSink& root_sink, const std::string& destination,
     return true;
   }
   return WriteWholeFile(destination, text);
+}
+
+// One-line stderr heartbeat over the just-closed window.
+void PrintHeartbeat(int t, const obs::WindowSnapshot& window,
+                    int64_t total_candidates) {
+  const double events =
+      obs::RatePerSec(window, obs::Counter::kNntInsertEdges) +
+      obs::RatePerSec(window, obs::Counter::kNntDeleteEdges);
+  const double tests =
+      obs::RatePerSec(window, obs::Counter::kJoinDominanceTests);
+  const double refresh_p95 = obs::HistogramQuantile(
+      window.delta.histogram(obs::Hist::kStageJoinRefreshMicros), 0.95);
+  // Gauges only appear in the window whose merge carried them, so the
+  // steady queries_active reading comes from the cumulative aggregate.
+  const int64_t queries_active =
+      obs::MetricsRegistry::Global().Snapshot().GaugeValue(
+          obs::Gauge::kQueriesActive);
+  std::fprintf(stderr,
+               "gsps_monitor: t=%d window=%lld events/s=%.1f "
+               "dominance_tests/s=%.1f join_refresh_p95=%.1fus "
+               "queries_active=%lld candidates=%lld\n",
+               t, static_cast<long long>(window.seq), events, tests,
+               refresh_p95, static_cast<long long>(queries_active),
+               static_cast<long long>(total_candidates));
 }
 
 }  // namespace
@@ -118,12 +158,21 @@ int main(int argc, char** argv) {
   const int metrics_every = flags.GetInt("metrics_every", 0);
   const std::string metrics_format = flags.GetString("metrics_format", "prom");
   const std::string trace_path = flags.GetString("trace", "");
+  const int stats_every = flags.GetInt("stats_every", 0);
+  const std::string flight_path = flags.GetString("flight_recorder", "");
   if (!flags.UnrecognizedArgs().empty()) {
     std::fprintf(stderr, "gsps_monitor: %s\n", flags.ErrorMessage().c_str());
     return Usage();
   }
   if (queries_path.empty() || stream_path.empty()) return Usage();
   if (metrics_format != "prom" && metrics_format != "json") return Usage();
+  if (metrics_every < 0 || stats_every < 0) {
+    std::fprintf(stderr,
+                 "gsps_monitor: --metrics_every and --stats_every must be "
+                 ">= 0 (got %d, %d)\n",
+                 metrics_every, stats_every);
+    return Usage();
+  }
   const bool metrics_json = metrics_format == "json";
 
   const std::optional<std::string> queries_text = ReadFile(queries_path);
@@ -184,6 +233,11 @@ int main(int argc, char** argv) {
     root_trace = obs::Tracer::Global().NewBuffer(/*tid=*/0);
   }
   obs::ScopedObsContext obs_scope(&root_sink, root_trace);
+  // Arm the flight recorder before the engine starts so the span ring
+  // covers the whole replay; SIGUSR1 can probe it while we run.
+  if (!flight_path.empty()) {
+    obs::FlightRecorder::Global().Arm(flight_path.c_str());
+  }
 
   ParallelEngineOptions parallel_options;
   parallel_options.engine = options;
@@ -249,9 +303,13 @@ int main(int argc, char** argv) {
                     verify ? " matches:" : " candidates:", hits.c_str());
       }
     }
-    if (!metrics_path.empty() && metrics_every > 0 &&
-        (t + 1) % metrics_every == 0) {
-      if (!FlushMetrics(root_sink, metrics_path, metrics_json)) {
+    const bool flush_metrics = !metrics_path.empty() && metrics_every > 0 &&
+                               (t + 1) % metrics_every == 0;
+    const bool flush_stats = stats_every > 0 && (t + 1) % stats_every == 0;
+    if (flush_metrics || flush_stats) {
+      const obs::WindowSnapshot window = CloseWindow(root_sink);
+      if (flush_stats) PrintHeartbeat(t, window, total_candidates);
+      if (flush_metrics && !WriteMetricsSnapshot(metrics_path, metrics_json)) {
         std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
         return 2;
       }
@@ -262,9 +320,21 @@ int main(int argc, char** argv) {
               horizon, queries->size(), num_streams, engine.num_shards(),
               watch.ElapsedMillis(), static_cast<long long>(total_candidates),
               verify ? "verified matches" : "candidates");
-  if (!metrics_path.empty()) {
-    if (!FlushMetrics(root_sink, metrics_path, metrics_json)) {
+  if (!metrics_path.empty() || stats_every > 0 || !flight_path.empty()) {
+    // Close the tail window even when no heartbeat prints: the fold also
+    // publishes the cumulative aggregate for the flight-recorder dump.
+    CloseWindow(root_sink);
+    if (!metrics_path.empty() &&
+        !WriteMetricsSnapshot(metrics_path, metrics_json)) {
       std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 2;
+    }
+  }
+  // The final dump happens after the last metrics flush, so the dump's
+  // cumulative section matches the final --metrics snapshot exactly.
+  if (!flight_path.empty()) {
+    if (!obs::FlightRecorder::Global().DumpNow()) {
+      std::fprintf(stderr, "cannot write %s\n", flight_path.c_str());
       return 2;
     }
   }
