@@ -1,12 +1,11 @@
 // The continuous subgraph pattern search engine (paper Definition 2.8).
 //
-// Owns a fixed set of query graphs and a set of evolving stream graphs.
-// Per stream it maintains the graph, its NNTs (incrementally, §III.B), and
-// the per-vertex NPVs; a pluggable join strategy (§IV.B) turns those vectors
-// into the per-timestamp candidate pairs. The no-false-negative guarantee
-// (Lemma 4.2) means every truly isomorphic pair is always reported; the
-// optional VerifyCandidate hook runs the exact checker on a candidate when
-// a downstream consumer wants certainty.
+// A thin sequential scheduler over exactly one StreamShard: every call
+// forwards to the shard, which owns the whole pipeline (NNTs, join
+// strategy, tracker, stage timers, attribution, churn). The parallel
+// engine drives many shards of the same type; this class exists so
+// single-threaded callers keep a minimal API with no sharding vocabulary.
+// See stream_shard.h for the semantics of each method.
 //
 // Usage:
 //   ContinuousQueryEngine engine(options);
@@ -22,156 +21,96 @@
 #ifndef GSPS_ENGINE_CONTINUOUS_QUERY_ENGINE_H_
 #define GSPS_ENGINE_CONTINUOUS_QUERY_ENGINE_H_
 
-#include <memory>
 #include <utility>
 #include <vector>
 
+#include "gsps/engine/stream_shard.h"
 #include "gsps/graph/graph.h"
 #include "gsps/graph/graph_change.h"
-#include "gsps/join/join_strategy.h"
 #include "gsps/nnt/dimension.h"
 #include "gsps/nnt/nnt_set.h"
 
 namespace gsps {
 
-struct EngineOptions {
-  // Maximum NNT depth; the paper's self-test (Fig. 12) shows 3 suffices.
-  int nnt_depth = 3;
-  JoinKind join_kind = JoinKind::kDominatedSetCover;
-};
-
 class ContinuousQueryEngine {
  public:
-  explicit ContinuousQueryEngine(const EngineOptions& options);
+  explicit ContinuousQueryEngine(const EngineOptions& options)
+      : shard_(options) {}
 
   ContinuousQueryEngine(const ContinuousQueryEngine&) = delete;
   ContinuousQueryEngine& operator=(const ContinuousQueryEngine&) = delete;
 
   // --- Setup (before Start) -------------------------------------------------
 
-  // Registers a query pattern; returns its index.
-  int AddQuery(const Graph& query);
-
-  // Registers a stream with its timestamp-0 graph; returns its index.
-  int AddStream(Graph start);
-
-  // Builds all NNTs and primes the join strategy. Must be called once after
-  // registration and before any ApplyChange/candidate call.
-  void Start();
+  int AddQuery(const Graph& query) { return shard_.AddQuery(query); }
+  int AddStream(Graph start) { return shard_.AddStream(std::move(start)); }
+  void Start() { shard_.Start(); }
 
   // --- Streaming ------------------------------------------------------------
 
-  // Applies one change batch to stream `stream`: updates the graph, the
-  // NNTs (deletions first, then insertions, §III.B), and pushes the changed
-  // NPVs into the join strategy.
-  void ApplyChange(int stream, const GraphChange& change);
+  void ApplyChange(int stream, const GraphChange& change) {
+    shard_.ApplyChange(stream, change);
+  }
+  std::vector<int> CandidatesForStream(int stream) {
+    return shard_.CandidatesForStream(stream);
+  }
+  void CandidatesForStream(int stream, std::vector<int>* out) {
+    shard_.CandidatesForStream(stream, out);
+  }
+  std::vector<std::pair<int, int>> AllCandidatePairs() {
+    return shard_.AllCandidatePairs();
+  }
+  void AllCandidatePairs(std::vector<std::pair<int, int>>* out) {
+    shard_.AllCandidatePairs(out);
+  }
+  std::vector<int> RecomputeCandidatesFromScratch(int stream) {
+    return shard_.RecomputeCandidatesFromScratch(stream);
+  }
+  bool VerifyCandidate(int stream, int query) const {
+    return shard_.VerifyCandidate(stream, query);
+  }
+  void FlushAttribution() { shard_.FlushAttribution(); }
 
-  // Query indices that are candidates ("possibly joinable", Def. 2.8) for
-  // stream `stream` right now, ascending. The buffer form clears *out and
-  // reuses its capacity — the allocation-free path for per-timestamp loops.
-  std::vector<int> CandidatesForStream(int stream);
-  void CandidatesForStream(int stream, std::vector<int>* out);
+  // --- Candidate transitions ------------------------------------------------
 
-  // All candidate (stream, query) pairs at the current state. Buffer form
-  // as above.
-  std::vector<std::pair<int, int>> AllCandidatePairs();
-  void AllCandidatePairs(std::vector<std::pair<int, int>>* out);
+  void ObserveTransitions(int stream, std::vector<int>* current,
+                          CandidateTransitions* out) {
+    shard_.ObserveTransitions(stream, current, out);
+  }
+  const std::vector<int>& LastObservedCandidates(int stream) const {
+    return shard_.LastObservedCandidates(stream);
+  }
 
-  // Recomputes the candidates of one stream on a freshly constructed join
-  // strategy fed the stream's current NPVs — deliberately bypassing all
-  // incremental state. Differential referee for the cached verdicts (fuzz
-  // oracle, tests); allocates, so never on the hot path.
-  std::vector<int> RecomputeCandidatesFromScratch(int stream);
+  // --- Dynamic queries ------------------------------------------------------
 
-  // Runs the exact subgraph-isomorphism check on one pair (filter+verify;
-  // expensive, off the monitoring hot path).
-  bool VerifyCandidate(int stream, int query) const;
+  int AddQueryDynamic(const Graph& query) {
+    return shard_.AddQueryDynamic(query);
+  }
+  void RemoveQueryDynamic(int query) { shard_.RemoveQueryDynamic(query); }
+  bool IsQueryRetired(int query) const { return shard_.IsQueryRetired(query); }
+  void CheckChurnInvariants() const { shard_.CheckChurnInvariants(); }
 
-  // Pushes the join strategy's pending per-query attribution (dominance
-  // probes, refresh time) into the global AttributionRegistry. Call at
-  // metrics-flush cadence — per barrier in the parallel engine, per
-  // metrics interval in single-threaded drivers. No-op before Start().
-  void FlushAttribution();
+  // --- Introspection --------------------------------------------------------
 
-  // --- Dynamic queries (extension; the paper leaves these as future work) ---
+  int num_streams() const { return shard_.num_streams(); }
+  int num_queries() const { return shard_.num_queries(); }
+  int num_active_queries() const { return shard_.num_active_queries(); }
+  const Graph& StreamGraph(int stream) const {
+    return shard_.StreamGraph(stream);
+  }
+  const Graph& QueryGraph(int query) const { return shard_.QueryGraph(query); }
+  const NntSet& StreamNnts(int stream) const {
+    return shard_.StreamNnts(stream);
+  }
+  const DimensionTable& dimensions() const { return shard_.dimensions(); }
 
-  // Registers a new query while streaming, incrementally: the join
-  // strategy's slotted AddQuery folds the new vectors into its existing
-  // state (no rebuild). Returns the engine id — the most recently retired
-  // slot when one is free, a fresh index otherwise. When
-  // the new query introduces dimensions no prior query used, every stream
-  // vertex is replayed through the strategy once (the dense dim space was
-  // renumbered); otherwise the cost is proportional to the new query alone.
-  int AddQueryDynamic(const Graph& query);
-
-  // Retires a query in place: its slab rows, signatures and per-stream
-  // bookkeeping are freed inside the strategy, and the engine slot becomes
-  // reusable by a later AddQueryDynamic. Checks (GSPS_CHECK) that `query`
-  // is in range and not already removed.
-  void RemoveQueryDynamic(int query);
-
-  // True when `query` has been removed. Checks that `query` is in range.
-  bool IsQueryRetired(int query) const;
-
-  // Asserts the full churn-invariant battery of the underlying strategy
-  // plus the engine's own slot maps. Test/fuzz hook; O(everything).
-  void CheckChurnInvariants() const;
-
-  // --- Introspection ----------------------------------------------------------
-
-  int num_streams() const { return static_cast<int>(streams_.size()); }
-  // Slot-space size: includes retired slots awaiting reuse.
-  int num_queries() const { return static_cast<int>(queries_.size()); }
-  // Queries currently registered (num_queries() minus retired slots).
-  int num_active_queries() const { return num_active_queries_; }
-  const Graph& StreamGraph(int stream) const;
-  const Graph& QueryGraph(int query) const;
-  const NntSet& StreamNnts(int stream) const;
-  const DimensionTable& dimensions() const { return dimensions_; }
+  // The underlying shard, for drivers that want the scheduler-state block
+  // (barrier stats, obs sink) without going through the parallel engine.
+  StreamShard& shard() { return shard_; }
+  const StreamShard& shard() const { return shard_; }
 
  private:
-  struct StreamState {
-    Graph graph;
-    std::unique_ptr<NntSet> nnts;
-  };
-  struct QueryState {
-    Graph graph;
-    QueryVectors vectors;  // Computed once at registration.
-    bool retired = false;
-  };
-
-  // Builds the NPVs of a query graph against the shared dimension table.
-  QueryVectors ComputeQueryVectors(const Graph& query);
-
-  // Recreates the join strategy from current queries and stream vectors.
-  void RebuildStrategy();
-
-  // Pushes dirty NPVs of one stream into the strategy.
-  void FlushDirty(int stream);
-
-  EngineOptions options_;
-  DimensionTable dimensions_;
-  std::vector<QueryState> queries_;
-  std::vector<StreamState> streams_;
-  std::unique_ptr<JoinStrategy> strategy_;
-  // Maps the strategy's local query slots back to engine query indices and
-  // vice versa. With slot reuse neither map is monotonic, so candidate
-  // lists are sorted after mapping. engine_to_strategy_ holds -1 for
-  // retired engine slots.
-  std::vector<int> strategy_to_engine_;
-  std::vector<int> engine_to_strategy_;
-  // Retired engine slots available for AddQueryDynamic reuse (LIFO).
-  std::vector<int> free_query_slots_;
-  int num_active_queries_ = 0;
-  // Reused dirty-root drain buffer so FlushDirty allocates nothing in
-  // steady state.
-  std::vector<VertexId> dirty_scratch_;
-  // Reused strategy-local candidate buffer for the index mapping in
-  // CandidatesForStream, and the mapped per-stream buffer used by
-  // AllCandidatePairs.
-  std::vector<int> local_scratch_;
-  std::vector<int> mapped_scratch_;
-  bool started_ = false;
+  StreamShard shard_;
 };
 
 }  // namespace gsps

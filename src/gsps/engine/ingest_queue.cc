@@ -1,0 +1,84 @@
+#include "gsps/engine/ingest_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gsps/common/check.h"
+#include "gsps/obs/trace.h"
+
+namespace gsps {
+
+IngestQueue::IngestQueue(size_t capacity) : capacity_(capacity) {
+  GSPS_CHECK(capacity >= 1);
+}
+
+bool IngestQueue::Push(IngestEvent event) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_ && !closed_) {
+    ++stats_.producer_waits;
+    not_full_.wait(lock,
+                   [this] { return events_.size() < capacity_ || closed_; });
+  }
+  if (closed_) return false;
+  if (!event.keep_stamp) event.enqueue_micros = obs::MonotonicMicros();
+  events_.push_back(std::move(event));
+  ++stats_.accepted;
+  stats_.depth_high_water = std::max(
+      stats_.depth_high_water, static_cast<int64_t>(events_.size()));
+  // One waiter per event; the consumer side is single, but notify_one is
+  // correct even with several poppers since each wakeup finds an event.
+  not_empty_.notify_one();
+  return true;
+}
+
+bool IngestQueue::Pop(IngestEvent* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return !events_.empty() || closed_; });
+  if (events_.empty()) return false;  // Closed and drained.
+  *out = std::move(events_.front());
+  events_.pop_front();
+  ++stats_.delivered;
+  not_full_.notify_one();
+  return true;
+}
+
+size_t IngestQueue::PopBatch(std::vector<IngestEvent>* out,
+                             size_t max_events) {
+  GSPS_CHECK(max_events >= 1);
+  out->clear();
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return !events_.empty() || closed_; });
+  const size_t take = std::min(max_events, events_.size());
+  for (size_t i = 0; i < take; ++i) {
+    out->push_back(std::move(events_.front()));
+    events_.pop_front();
+  }
+  stats_.delivered += static_cast<int64_t>(take);
+  // A batch can free many slots; wake every blocked producer.
+  if (take > 0) not_full_.notify_all();
+  return take;
+}
+
+void IngestQueue::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+size_t IngestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+IngestQueueStats IngestQueue::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace gsps

@@ -47,33 +47,35 @@ void ParallelQueryEngine::Start() {
   shards_.resize(static_cast<size_t>(num_shards));
   stream_to_shard_.resize(static_cast<size_t>(num_streams));
   pool_ = std::make_unique<ThreadPool>(num_shards);
-  if constexpr (obs::kEnabled) {
-    // One trace row per shard (tid 0 is the driver thread). NewBuffer
-    // returns nullptr while tracing is off, which keeps spans inert.
-    for (int s = 0; s < num_shards; ++s) {
-      shards_[static_cast<size_t>(s)].trace =
+  // Shards are constructed on the driver thread so trace buffers are
+  // allocated in ascending shard order (tid 0 is the driver thread;
+  // NewBuffer returns nullptr while tracing is off, which keeps spans
+  // inert). The heavy setup — per-shard query-vector computation and the
+  // initial NNT builds — is shard-parallel.
+  for (int s = 0; s < num_shards; ++s) {
+    shards_[static_cast<size_t>(s)] =
+        std::make_unique<StreamShard>(options_.engine);
+    if constexpr (obs::kEnabled) {
+      shards_[static_cast<size_t>(s)]->trace =
           obs::Tracer::Global().NewBuffer(s + 1);
     }
   }
-  // Shard setup — including the per-shard query-vector computation and the
-  // initial NNT builds — is itself shard-parallel.
   pool_->ParallelFor(num_shards, [&](int s) {
-    Shard& shard = shards_[static_cast<size_t>(s)];
-    shard.engine = std::make_unique<ContinuousQueryEngine>(options_.engine);
-    for (const Graph& query : pending_queries_) shard.engine->AddQuery(query);
+    StreamShard& shard = *shards_[static_cast<size_t>(s)];
+    for (const Graph& query : pending_queries_) shard.AddQuery(query);
     for (int i = s; i < num_streams; i += num_shards) {
-      shard.engine->AddStream(pending_streams_[static_cast<size_t>(i)]);
+      shard.AddStream(pending_streams_[static_cast<size_t>(i)]);
       shard.global_streams.push_back(i);
     }
     shard.join_results.resize(shard.global_streams.size());
-    shard.engine->Start();
+    shard.Start();
   });
   for (int i = 0; i < num_streams; ++i) stream_to_shard_[static_cast<size_t>(i)] = i % num_shards;
   pending_queries_.clear();
   pending_streams_.clear();
   num_active_queries_ = num_queries_;
   if constexpr (obs::kEnabled) {
-    Shard& first = shards_.front();
+    StreamShard& first = *shards_.front();
     first.sink.Set(obs::Gauge::kEngineShards, num_shards);
     first.sink.Set(obs::Gauge::kEngineStreams, num_streams);
     first.sink.Set(obs::Gauge::kEngineQueries, num_queries_);
@@ -88,15 +90,15 @@ void ParallelQueryEngine::ApplyChanges(const std::vector<GraphChange>& changes) 
                  "one change batch per stream");
   Stopwatch barrier_watch;
   pool_->ParallelFor(num_shards(), [&](int s) {
-    Shard& shard = shards_[static_cast<size_t>(s)];
+    StreamShard& shard = *shards_[static_cast<size_t>(s)];
     std::optional<obs::ScopedObsContext> obs_scope;
     if constexpr (obs::kEnabled) obs_scope.emplace(&shard.sink, shard.trace);
     GSPS_OBS_SPAN("shard_update", "engine");
     Stopwatch watch;
     for (size_t local = 0; local < shard.global_streams.size(); ++local) {
       const int global = shard.global_streams[local];
-      shard.engine->ApplyChange(static_cast<int>(local),
-                                changes[static_cast<size_t>(global)]);
+      shard.ApplyChange(static_cast<int>(local),
+                        changes[static_cast<size_t>(global)]);
     }
     const double elapsed = watch.ElapsedMillis();
     shard.pending.update_millis += elapsed;
@@ -112,9 +114,9 @@ void ParallelQueryEngine::ApplyChanges(const std::vector<GraphChange>& changes) 
 
 void ParallelQueryEngine::ApplyChange(int stream, const GraphChange& change) {
   GSPS_CHECK(started_);
-  Shard& shard = ShardOf(stream);
+  StreamShard& shard = ShardOf(stream);
   Stopwatch watch;
-  shard.engine->ApplyChange(LocalIndex(stream), change);
+  shard.ApplyChange(LocalIndex(stream), change);
   const double elapsed = watch.ElapsedMillis();
   shard.pending.update_millis += elapsed;
   shard.pending.busy_millis += elapsed;
@@ -122,13 +124,13 @@ void ParallelQueryEngine::ApplyChange(int stream, const GraphChange& change) {
 
 std::vector<int> ParallelQueryEngine::CandidatesForStream(int stream) {
   GSPS_CHECK(started_);
-  return ShardOf(stream).engine->CandidatesForStream(LocalIndex(stream));
+  return ShardOf(stream).CandidatesForStream(LocalIndex(stream));
 }
 
 void ParallelQueryEngine::CandidatesForStream(int stream,
                                               std::vector<int>* out) {
   GSPS_CHECK(started_);
-  ShardOf(stream).engine->CandidatesForStream(LocalIndex(stream), out);
+  ShardOf(stream).CandidatesForStream(LocalIndex(stream), out);
 }
 
 std::vector<std::pair<int, int>> ParallelQueryEngine::AllCandidatePairs() {
@@ -142,15 +144,15 @@ void ParallelQueryEngine::AllCandidatePairs(
   GSPS_CHECK(started_);
   Stopwatch barrier_watch;
   pool_->ParallelFor(num_shards(), [&](int s) {
-    Shard& shard = shards_[static_cast<size_t>(s)];
+    StreamShard& shard = *shards_[static_cast<size_t>(s)];
     std::optional<obs::ScopedObsContext> obs_scope;
     if constexpr (obs::kEnabled) obs_scope.emplace(&shard.sink, shard.trace);
     GSPS_OBS_SPAN("shard_join", "engine");
     Stopwatch watch;
     int64_t candidates = 0;
     for (size_t local = 0; local < shard.global_streams.size(); ++local) {
-      shard.engine->CandidatesForStream(static_cast<int>(local),
-                                        &shard.join_results[local]);
+      shard.CandidatesForStream(static_cast<int>(local),
+                                &shard.join_results[local]);
       candidates += static_cast<int64_t>(shard.join_results[local].size());
     }
     const double elapsed = watch.ElapsedMillis();
@@ -167,7 +169,7 @@ void ParallelQueryEngine::AllCandidatePairs(
   // (each shard already reports queries ascending).
   out->clear();
   for (int i = 0; i < num_streams(); ++i) {
-    const Shard& shard = ShardOf(i);
+    const StreamShard& shard = ShardOf(i);
     for (const int q :
          shard.join_results[static_cast<size_t>(LocalIndex(i))]) {
       out->emplace_back(i, q);
@@ -177,7 +179,20 @@ void ParallelQueryEngine::AllCandidatePairs(
 
 bool ParallelQueryEngine::VerifyCandidate(int stream, int query) const {
   GSPS_CHECK(started_);
-  return ShardOf(stream).engine->VerifyCandidate(LocalIndex(stream), query);
+  return ShardOf(stream).VerifyCandidate(LocalIndex(stream), query);
+}
+
+void ParallelQueryEngine::ObserveTransitions(int stream,
+                                             std::vector<int>* current,
+                                             CandidateTransitions* out) {
+  GSPS_CHECK(started_);
+  ShardOf(stream).ObserveTransitions(LocalIndex(stream), current, out);
+}
+
+const std::vector<int>& ParallelQueryEngine::LastObservedCandidates(
+    int stream) const {
+  GSPS_CHECK(started_);
+  return ShardOf(stream).LastObservedCandidates(LocalIndex(stream));
 }
 
 int ParallelQueryEngine::AddQueryDynamic(const Graph& query) {
@@ -186,14 +201,14 @@ int ParallelQueryEngine::AddQueryDynamic(const Graph& query) {
   // slot allocator must hand out the same engine id; check, don't assume.
   std::vector<int> ids(shards_.size(), -1);
   pool_->ParallelFor(num_shards(), [&](int s) {
-    Shard& shard = shards_[static_cast<size_t>(s)];
+    StreamShard& shard = *shards_[static_cast<size_t>(s)];
     std::optional<obs::ScopedObsContext> obs_scope;
     if constexpr (obs::kEnabled) obs_scope.emplace(&shard.sink, shard.trace);
-    ids[static_cast<size_t>(s)] = shard.engine->AddQueryDynamic(query);
+    ids[static_cast<size_t>(s)] = shard.AddQueryDynamic(query);
   });
   if constexpr (obs::kEnabled) {
-    for (Shard& shard : shards_) {
-      obs::MetricsRegistry::Global().MergeAndReset(shard.sink);
+    for (auto& shard : shards_) {
+      obs::MetricsRegistry::Global().MergeAndReset(shard->sink);
     }
   }
   const int engine_id = ids.front();
@@ -209,17 +224,17 @@ void ParallelQueryEngine::RemoveQueryDynamic(int query) {
   GSPS_CHECK(started_);
   GSPS_CHECK_MSG(query >= 0 && query < num_queries_,
                  "RemoveQueryDynamic: query id out of range");
-  GSPS_CHECK_MSG(!shards_.front().engine->IsQueryRetired(query),
+  GSPS_CHECK_MSG(!shards_.front()->IsQueryRetired(query),
                  "RemoveQueryDynamic: query was already removed");
   pool_->ParallelFor(num_shards(), [&](int s) {
-    Shard& shard = shards_[static_cast<size_t>(s)];
+    StreamShard& shard = *shards_[static_cast<size_t>(s)];
     std::optional<obs::ScopedObsContext> obs_scope;
     if constexpr (obs::kEnabled) obs_scope.emplace(&shard.sink, shard.trace);
-    shard.engine->RemoveQueryDynamic(query);
+    shard.RemoveQueryDynamic(query);
   });
   if constexpr (obs::kEnabled) {
-    for (Shard& shard : shards_) {
-      obs::MetricsRegistry::Global().MergeAndReset(shard.sink);
+    for (auto& shard : shards_) {
+      obs::MetricsRegistry::Global().MergeAndReset(shard->sink);
     }
   }
   --num_active_queries_;
@@ -227,10 +242,10 @@ void ParallelQueryEngine::RemoveQueryDynamic(int query) {
 
 void ParallelQueryEngine::CheckChurnInvariants() const {
   GSPS_CHECK(started_);
-  for (const Shard& shard : shards_) {
-    shard.engine->CheckChurnInvariants();
-    GSPS_CHECK(shard.engine->num_queries() == num_queries_);
-    GSPS_CHECK(shard.engine->num_active_queries() == num_active_queries_);
+  for (const auto& shard : shards_) {
+    shard->CheckChurnInvariants();
+    GSPS_CHECK(shard->num_queries() == num_queries_);
+    GSPS_CHECK(shard->num_active_queries() == num_active_queries_);
   }
 }
 
@@ -247,19 +262,20 @@ void ParallelQueryEngine::ObserveBarrier(obs::Counter barrier_counter,
   // timing it on the driver thread keeps MergeAndReset itself untimed.
   const int64_t merge_start = obs::MonotonicMicros();
   const int64_t barrier_micros = MillisToMicros(barrier_millis);
-  shards_.front().sink.Add(barrier_counter, 1);
-  for (Shard& shard : shards_) {
+  shards_.front()->sink.Add(barrier_counter, 1);
+  for (auto& shard_ptr : shards_) {
+    StreamShard& shard = *shard_ptr;
     const int64_t busy = shard.busy_micros;
     const int64_t wait = std::max<int64_t>(0, barrier_micros - busy);
     shard.sink.Add(obs::Counter::kShardBusyMicros, busy);
     shard.sink.Add(obs::Counter::kShardBarrierWaitMicros, wait);
     shard.sink.Observe(batch_hist, busy);
     shard.sink.Observe(obs::Hist::kBarrierWaitMicros, wait);
-    shard.engine->FlushAttribution();
+    shard.FlushAttribution();
     obs::MetricsRegistry::Global().MergeAndReset(shard.sink);
     shard.busy_micros = 0;
   }
-  Shard& first = shards_.front();
+  StreamShard& first = *shards_.front();
   obs::ScopedObsContext merge_scope(&first.sink, first.trace);
   obs::StageSample(obs::Stage::kMetricsMerge,
                    obs::MonotonicMicros() - merge_start);
@@ -269,34 +285,33 @@ TimestampStats ParallelQueryEngine::TakeBarrierStats() {
   GSPS_CHECK(started_);
   std::vector<TimestampStats> samples;
   samples.reserve(shards_.size());
-  for (Shard& shard : shards_) {
-    shard.pending.total_pairs =
-        static_cast<int64_t>(shard.global_streams.size()) * num_queries_;
-    samples.push_back(shard.pending);
-    shard.pending = TimestampStats{};
+  for (auto& shard : shards_) {
+    shard->pending.total_pairs =
+        static_cast<int64_t>(shard->global_streams.size()) * num_queries_;
+    samples.push_back(shard->pending);
+    shard->pending = TimestampStats{};
   }
   return MergeParallelSamples(samples);
 }
 
 const Graph& ParallelQueryEngine::StreamGraph(int stream) const {
   GSPS_CHECK(started_);
-  return ShardOf(stream).engine->StreamGraph(LocalIndex(stream));
+  return ShardOf(stream).StreamGraph(LocalIndex(stream));
 }
 
 const Graph& ParallelQueryEngine::QueryGraph(int query) const {
   GSPS_CHECK(started_);
-  return shards_.front().engine->QueryGraph(query);
+  return shards_.front()->QueryGraph(query);
 }
 
-const ParallelQueryEngine::Shard& ParallelQueryEngine::ShardOf(
-    int stream) const {
+const StreamShard& ParallelQueryEngine::ShardOf(int stream) const {
   GSPS_CHECK(stream >= 0 && stream < num_streams());
-  return shards_[static_cast<size_t>(
+  return *shards_[static_cast<size_t>(
       stream_to_shard_[static_cast<size_t>(stream)])];
 }
 
-ParallelQueryEngine::Shard& ParallelQueryEngine::ShardOf(int stream) {
-  return const_cast<Shard&>(
+StreamShard& ParallelQueryEngine::ShardOf(int stream) {
+  return const_cast<StreamShard&>(
       static_cast<const ParallelQueryEngine*>(this)->ShardOf(stream));
 }
 

@@ -3,9 +3,11 @@
 // The paper's workload is embarrassingly parallel across the k1 graph
 // streams: whether query q is a candidate for stream G_i depends only on
 // G_i's NPVs and q's vectors (Lemma 4.2), never on another stream. This
-// engine exploits that by partitioning the streams round-robin into shards,
-// each shard owning a complete, independent sequential engine — its own
-// DimensionTable, NntSets, and join strategy over the full query workload.
+// engine exploits that by partitioning the streams round-robin across
+// StreamShards — each shard a complete, independent engine core with its
+// own DimensionTable, NntSets, and join strategy over the full query
+// workload (see stream_shard.h). This class contains no pipeline logic of
+// its own; it is purely the fan-out/merge scheduler.
 //
 // Why fully isolated shards instead of one shared query-side index: the
 // DimensionTable is an interner that streams append to while revealing new
@@ -18,7 +20,7 @@
 // between shards, but ids are a private encoding; candidate sets do not.
 //
 // Determinism: shard s owns global streams {i : i mod S == s}, every shard
-// applies the same deletions-first protocol as ContinuousQueryEngine, and
+// applies the same deletions-first protocol as the sequential engine, and
 // AllCandidatePairs() merges the per-shard results in ascending global
 // stream order (queries ascending within a stream). The output is therefore
 // byte-identical to the sequential engine's on the same inputs, regardless
@@ -44,8 +46,8 @@
 #include <vector>
 
 #include "gsps/common/thread_pool.h"
-#include "gsps/engine/continuous_query_engine.h"
 #include "gsps/engine/filter_stats.h"
+#include "gsps/engine/stream_shard.h"
 #include "gsps/graph/graph.h"
 #include "gsps/graph/graph_change.h"
 #include "gsps/obs/obs.h"
@@ -101,6 +103,15 @@ class ParallelQueryEngine {
   // Exact subgraph-isomorphism check on one pair (off the hot path).
   bool VerifyCandidate(int stream, int query) const;
 
+  // --- Candidate transitions ------------------------------------------------
+
+  // Diffs `*current` against the last observed set of global stream
+  // `stream` on its owning shard's tracker (see StreamShard). Runs inline
+  // on the calling thread.
+  void ObserveTransitions(int stream, std::vector<int>* current,
+                          CandidateTransitions* out);
+  const std::vector<int>& LastObservedCandidates(int stream) const;
+
   // --- Dynamic queries ------------------------------------------------------
 
   // Registers a query on every shard (shard-parallel, incremental inside
@@ -112,7 +123,7 @@ class ParallelQueryEngine {
   // (GSPS_CHECK) that `query` is in range and not already removed.
   void RemoveQueryDynamic(int query);
 
-  // Asserts the churn-invariant battery of every shard engine. Test hook.
+  // Asserts the churn-invariant battery of every shard. Test hook.
   void CheckChurnInvariants() const;
 
   // --- Statistics -----------------------------------------------------------
@@ -136,26 +147,8 @@ class ParallelQueryEngine {
   const Graph& QueryGraph(int query) const;
 
  private:
-  struct Shard {
-    std::unique_ptr<ContinuousQueryEngine> engine;
-    std::vector<int> global_streams;  // Global index of each local stream.
-    // Per-worker barrier sample; touched only by the worker running this
-    // shard during a barrier, merged by TakeBarrierStats between barriers.
-    TimestampStats pending;
-    // AllCandidatePairs scratch: per local stream, the candidate queries.
-    std::vector<std::vector<int>> join_results;
-    // Observability: the worker running this shard records into sink/trace
-    // during a barrier (installed via ScopedObsContext); the calling thread
-    // folds the sink into MetricsRegistry::Global() after the barrier —
-    // never a lock on the hot path. busy_micros carries this barrier's work
-    // time out to that post-barrier accounting.
-    obs::MetricSink sink;
-    obs::TraceBuffer* trace = nullptr;
-    int64_t busy_micros = 0;
-  };
-
-  const Shard& ShardOf(int stream) const;
-  Shard& ShardOf(int stream);
+  const StreamShard& ShardOf(int stream) const;
+  StreamShard& ShardOf(int stream);
   int LocalIndex(int stream) const { return stream / num_shards(); }
 
   // Post-barrier observability bookkeeping: per-shard busy/wait counters and
@@ -168,7 +161,9 @@ class ParallelQueryEngine {
   std::vector<Graph> pending_queries_;
   std::vector<Graph> pending_streams_;
 
-  std::vector<Shard> shards_;
+  // unique_ptr because shards_ is sized with resize() and StreamShard is
+  // neither copyable nor default-constructible.
+  std::vector<std::unique_ptr<StreamShard>> shards_;
   std::vector<int> stream_to_shard_;
   int num_queries_ = 0;
   int num_active_queries_ = 0;

@@ -1,4 +1,4 @@
-#include "gsps/engine/continuous_query_engine.h"
+#include "gsps/engine/stream_shard.h"
 
 #include <algorithm>
 #include <utility>
@@ -10,18 +10,17 @@
 
 namespace gsps {
 
-ContinuousQueryEngine::ContinuousQueryEngine(const EngineOptions& options)
-    : options_(options) {
+StreamShard::StreamShard(const EngineOptions& options) : options_(options) {
   GSPS_CHECK(options.nnt_depth >= 1);
 }
 
-int ContinuousQueryEngine::AddQuery(const Graph& query) {
+int StreamShard::AddQuery(const Graph& query) {
   GSPS_CHECK_MSG(!started_, "use AddQueryDynamic after Start()");
   queries_.push_back(QueryState{query, ComputeQueryVectors(query), false});
   return static_cast<int>(queries_.size()) - 1;
 }
 
-int ContinuousQueryEngine::AddStream(Graph start) {
+int StreamShard::AddStream(Graph start) {
   GSPS_CHECK_MSG(!started_, "streams are fixed at Start()");
   StreamState state;
   state.graph = std::move(start);
@@ -29,18 +28,18 @@ int ContinuousQueryEngine::AddStream(Graph start) {
   return static_cast<int>(streams_.size()) - 1;
 }
 
-void ContinuousQueryEngine::Start() {
+void StreamShard::Start() {
   GSPS_CHECK(!started_);
   started_ = true;
   for (StreamState& stream : streams_) {
     stream.nnts = std::make_unique<NntSet>(options_.nnt_depth, &dimensions_);
     stream.nnts->Build(stream.graph);
   }
+  tracker_ = CandidateTracker(num_streams());
   RebuildStrategy();
 }
 
-void ContinuousQueryEngine::ApplyChange(int stream_index,
-                                        const GraphChange& change) {
+void StreamShard::ApplyChange(int stream_index, const GraphChange& change) {
   GSPS_CHECK(started_);
   StreamState& stream = streams_[static_cast<size_t>(stream_index)];
   {
@@ -64,19 +63,18 @@ void ContinuousQueryEngine::ApplyChange(int stream_index,
   FlushDirty(stream_index);
 }
 
-void ContinuousQueryEngine::FlushAttribution() {
+void StreamShard::FlushAttribution() {
   if (strategy_ != nullptr) strategy_->FlushAttribution();
 }
 
-std::vector<int> ContinuousQueryEngine::CandidatesForStream(int stream) {
+std::vector<int> StreamShard::CandidatesForStream(int stream) {
   std::vector<int> mapped;
   mapped.reserve(strategy_to_engine_.size());
   CandidatesForStream(stream, &mapped);
   return mapped;
 }
 
-void ContinuousQueryEngine::CandidatesForStream(int stream,
-                                                std::vector<int>* out) {
+void StreamShard::CandidatesForStream(int stream, std::vector<int>* out) {
   GSPS_CHECK(started_);
   strategy_->CandidatesForStream(stream, &local_scratch_);
   out->clear();
@@ -88,14 +86,13 @@ void ContinuousQueryEngine::CandidatesForStream(int stream,
   std::sort(out->begin(), out->end());
 }
 
-std::vector<std::pair<int, int>> ContinuousQueryEngine::AllCandidatePairs() {
+std::vector<std::pair<int, int>> StreamShard::AllCandidatePairs() {
   std::vector<std::pair<int, int>> pairs;
   AllCandidatePairs(&pairs);
   return pairs;
 }
 
-void ContinuousQueryEngine::AllCandidatePairs(
-    std::vector<std::pair<int, int>>* out) {
+void StreamShard::AllCandidatePairs(std::vector<std::pair<int, int>>* out) {
   GSPS_CHECK(started_);
   out->clear();
   for (int i = 0; i < num_streams(); ++i) {
@@ -106,7 +103,7 @@ void ContinuousQueryEngine::AllCandidatePairs(
   }
 }
 
-std::vector<int> ContinuousQueryEngine::RecomputeCandidatesFromScratch(
+std::vector<int> StreamShard::RecomputeCandidatesFromScratch(
     int stream_index) {
   GSPS_CHECK(started_);
   std::unique_ptr<JoinStrategy> fresh = MakeJoinStrategy(options_.join_kind);
@@ -133,12 +130,25 @@ std::vector<int> ContinuousQueryEngine::RecomputeCandidatesFromScratch(
   return mapped;
 }
 
-bool ContinuousQueryEngine::VerifyCandidate(int stream, int query) const {
+bool StreamShard::VerifyCandidate(int stream, int query) const {
   return IsSubgraphIsomorphic(queries_[static_cast<size_t>(query)].graph,
                               streams_[static_cast<size_t>(stream)].graph);
 }
 
-int ContinuousQueryEngine::AddQueryDynamic(const Graph& query) {
+void StreamShard::ObserveTransitions(int stream, std::vector<int>* current,
+                                     CandidateTransitions* out) {
+  GSPS_CHECK(started_);
+  // CandidateTracker::Observe carries its own stage timer and counters;
+  // forwarding must not wrap it in a second GSPS_OBS_STAGE.
+  tracker_.Observe(stream, current, out);
+}
+
+const std::vector<int>& StreamShard::LastObservedCandidates(int stream) const {
+  GSPS_CHECK(started_);
+  return tracker_.LastObserved(stream);
+}
+
+int StreamShard::AddQueryDynamic(const Graph& query) {
   GSPS_CHECK(started_);
   QueryVectors vectors = ComputeQueryVectors(query);
   bool grew_dims = false;
@@ -182,7 +192,7 @@ int ContinuousQueryEngine::AddQueryDynamic(const Graph& query) {
   return engine_id;
 }
 
-void ContinuousQueryEngine::RemoveQueryDynamic(int query) {
+void StreamShard::RemoveQueryDynamic(int query) {
   GSPS_CHECK(started_);
   GSPS_CHECK_MSG(query >= 0 && query < static_cast<int>(queries_.size()),
                  "RemoveQueryDynamic: query id out of range");
@@ -197,12 +207,12 @@ void ContinuousQueryEngine::RemoveQueryDynamic(int query) {
   GSPS_OBS_GAUGE_SET(Gauge::kQueriesActive, num_active_queries_);
 }
 
-bool ContinuousQueryEngine::IsQueryRetired(int query) const {
+bool StreamShard::IsQueryRetired(int query) const {
   GSPS_CHECK(query >= 0 && query < static_cast<int>(queries_.size()));
   return queries_[static_cast<size_t>(query)].retired;
 }
 
-void ContinuousQueryEngine::CheckChurnInvariants() const {
+void StreamShard::CheckChurnInvariants() const {
   GSPS_CHECK(started_);
   strategy_->CheckChurnInvariants();
   GSPS_CHECK(engine_to_strategy_.size() == queries_.size());
@@ -224,20 +234,20 @@ void ContinuousQueryEngine::CheckChurnInvariants() const {
              static_cast<int>(queries_.size()) - num_active_queries_);
 }
 
-const Graph& ContinuousQueryEngine::StreamGraph(int stream) const {
+const Graph& StreamShard::StreamGraph(int stream) const {
   return streams_[static_cast<size_t>(stream)].graph;
 }
 
-const Graph& ContinuousQueryEngine::QueryGraph(int query) const {
+const Graph& StreamShard::QueryGraph(int query) const {
   return queries_[static_cast<size_t>(query)].graph;
 }
 
-const NntSet& ContinuousQueryEngine::StreamNnts(int stream) const {
+const NntSet& StreamShard::StreamNnts(int stream) const {
   GSPS_CHECK(started_);
   return *streams_[static_cast<size_t>(stream)].nnts;
 }
 
-void ContinuousQueryEngine::RebuildStrategy() {
+void StreamShard::RebuildStrategy() {
   strategy_ = MakeJoinStrategy(options_.join_kind);
   strategy_to_engine_.clear();
   engine_to_strategy_.assign(queries_.size(), -1);
@@ -267,7 +277,7 @@ void ContinuousQueryEngine::RebuildStrategy() {
   }
 }
 
-QueryVectors ContinuousQueryEngine::ComputeQueryVectors(const Graph& query) {
+QueryVectors StreamShard::ComputeQueryVectors(const Graph& query) {
   // The dimension table is append-only and shared, so interning the query's
   // dimensions up front keeps its vectors valid for the engine's lifetime.
   NntSet query_nnts(options_.nnt_depth, &dimensions_);
@@ -275,7 +285,7 @@ QueryVectors ContinuousQueryEngine::ComputeQueryVectors(const Graph& query) {
   return BuildQueryVectors(query_nnts);
 }
 
-void ContinuousQueryEngine::FlushDirty(int stream_index) {
+void StreamShard::FlushDirty(int stream_index) {
   StreamState& stream = streams_[static_cast<size_t>(stream_index)];
   stream.nnts->TakeDirtyRoots(&dirty_scratch_);
   for (const VertexId root : dirty_scratch_) {

@@ -27,6 +27,12 @@
 //      engines must also agree on the reused slot every re-add lands in,
 //      and oracles 1/3/5 keep holding on the churned engines with the VF2
 //      truth restricted to registered queries.
+//   7. Binary codec: every stream and query must survive
+//      text -> binary -> text through delta_codec — DecodeStream(
+//      EncodeStream(s)) must equal s structurally, re-formatting the
+//      decoded value must reproduce the original text byte for byte, and
+//      re-encoding it must be a binary fixed point (same for graphs via
+//      EncodeGraph/DecodeGraph).
 //
 // RunOracles is deterministic and returns a diagnostic naming the oracle,
 // timestamp, stream, and query on the first violation — the string the
@@ -51,6 +57,7 @@ struct OracleOptions {
   bool check_roundtrip = true;    // Oracle 4.
   bool check_incremental = true;  // Oracle 5.
   bool check_churn = true;        // Oracle 6 (no-op without a schedule).
+  bool check_codec = true;        // Oracle 7.
 };
 
 // Runs every enabled oracle over the whole case, timestamp by timestamp.

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "gsps/graph/io_util.h"
+
 namespace gsps {
 
 std::string FormatReplay(const FuzzCase& c) {
@@ -30,7 +32,8 @@ std::optional<FuzzCase> ParseReplay(const std::string& text, IoError* error) {
   bool in_workload = false;
   while (std::getline(in, line)) {
     ++line_number;
-    const bool skippable = line.empty() || line[0] == '#';
+    io_internal::StripCarriageReturn(line);
+    const bool skippable = io_internal::IsBlankLine(line) || line[0] == '#';
     if (!in_workload && !skippable && line[0] == 'd') {
       std::istringstream fields(line);
       std::string word;

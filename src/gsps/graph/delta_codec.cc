@@ -1,0 +1,294 @@
+#include "gsps/graph/delta_codec.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "gsps/graph/graph_change.h"
+#include "gsps/graph/io_util.h"
+
+namespace gsps {
+namespace {
+
+using io_internal::FitsLabel;
+using io_internal::ValidVertexId;
+
+constexpr char kMagic[4] = {'G', 'S', 'P', 'B'};
+constexpr uint8_t kVersion = 1;
+constexpr uint8_t kKindGraph = 0;
+constexpr uint8_t kKindStream = 1;
+
+// --- Encoding ---------------------------------------------------------------
+
+void AppendVarint(std::string& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+uint64_t ZigZag(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+void AppendGraph(std::string& out, const Graph& graph) {
+  const std::vector<VertexId>& ids = graph.VertexIds();  // Ascending.
+  AppendVarint(out, ids.size());
+  VertexId previous = 0;
+  bool first = true;
+  for (const VertexId id : ids) {
+    AppendVarint(out, static_cast<uint64_t>(first ? id : id - previous));
+    AppendVarint(out, ZigZag(graph.GetVertexLabel(id)));
+    previous = id;
+    first = false;
+  }
+  // Edge order mirrors FormatGraph: owner vertex ascending, neighbors with
+  // to >= id in adjacency (ascending) order, so text and binary agree on
+  // one canonical edge sequence.
+  uint64_t num_edges = 0;
+  for (const VertexId id : ids) {
+    for (const HalfEdge& half : graph.Neighbors(id)) {
+      if (half.to >= id) ++num_edges;
+    }
+  }
+  AppendVarint(out, num_edges);
+  for (const VertexId id : ids) {
+    for (const HalfEdge& half : graph.Neighbors(id)) {
+      if (half.to < id) continue;
+      AppendVarint(out, static_cast<uint64_t>(id));
+      AppendVarint(out, static_cast<uint64_t>(half.to));
+      AppendVarint(out, ZigZag(half.label));
+    }
+  }
+}
+
+std::string EncodeWithKind(uint8_t kind) {
+  std::string out(kMagic, sizeof(kMagic));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(kind));
+  return out;
+}
+
+// --- Decoding ---------------------------------------------------------------
+
+// Cursor over the blob; every read checks bounds and records the failing
+// byte offset so corruption reports point at the exact spot.
+class Reader {
+ public:
+  Reader(std::string_view bytes, IoError* error)
+      : bytes_(bytes), error_(error) {}
+
+  size_t offset() const { return offset_; }
+  bool exhausted() const { return offset_ == bytes_.size(); }
+
+  bool Fail(const std::string& message) {
+    return io_internal::Fail(
+        error_, 0, "byte " + std::to_string(offset_) + ": " + message);
+  }
+
+  bool ReadByte(uint8_t* out) {
+    if (offset_ >= bytes_.size()) return Fail("truncated input");
+    *out = static_cast<uint8_t>(bytes_[offset_++]);
+    return true;
+  }
+
+  bool ReadVarint(uint64_t* out) {
+    uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (offset_ >= bytes_.size()) return Fail("truncated varint");
+      const uint8_t byte = static_cast<uint8_t>(bytes_[offset_++]);
+      value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        *out = value;
+        return true;
+      }
+    }
+    return Fail("varint longer than 64 bits");
+  }
+
+  bool ReadZigZag(int64_t* out) {
+    uint64_t raw = 0;
+    if (!ReadVarint(&raw)) return false;
+    *out = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+    return true;
+  }
+
+ private:
+  std::string_view bytes_;
+  size_t offset_ = 0;
+  IoError* error_;
+};
+
+bool ReadHeader(Reader& in, uint8_t expected_kind) {
+  for (const char c : kMagic) {
+    uint8_t byte = 0;
+    if (!in.ReadByte(&byte)) return false;
+    if (byte != static_cast<uint8_t>(c)) return in.Fail("bad GSPB magic");
+  }
+  uint8_t version = 0;
+  if (!in.ReadByte(&version)) return false;
+  if (version != kVersion) {
+    return in.Fail("unsupported GSPB version " + std::to_string(version));
+  }
+  uint8_t kind = 0;
+  if (!in.ReadByte(&kind)) return false;
+  if (kind != expected_kind) {
+    return in.Fail("GSPB kind " + std::to_string(kind) + " (expected " +
+                   std::to_string(expected_kind) + ")");
+  }
+  return true;
+}
+
+bool ReadGraphPayload(Reader& in, Graph* graph) {
+  uint64_t num_vertices = 0;
+  if (!in.ReadVarint(&num_vertices)) return false;
+  if (num_vertices > static_cast<uint64_t>(kMaxIoVertexId) + 1) {
+    return in.Fail("vertex count " + std::to_string(num_vertices) +
+                   " out of range");
+  }
+  int64_t id = -1;
+  for (uint64_t i = 0; i < num_vertices; ++i) {
+    uint64_t delta = 0;
+    int64_t label = 0;
+    if (!in.ReadVarint(&delta) || !in.ReadZigZag(&label)) return false;
+    if (i > 0 && delta == 0) return in.Fail("duplicate vertex id");
+    // First vertex: the delta IS the id (base -1 would shift it).
+    id = (i == 0) ? static_cast<int64_t>(delta) : id + static_cast<int64_t>(delta);
+    if (!ValidVertexId(id)) {
+      return in.Fail("vertex id " + std::to_string(id) + " out of range [0, " +
+                     std::to_string(kMaxIoVertexId) + "]");
+    }
+    if (!FitsLabel(label)) return in.Fail("vertex label out of 32-bit range");
+    if (!graph->EnsureVertex(static_cast<VertexId>(id),
+                             static_cast<VertexLabel>(label))) {
+      return in.Fail("invalid vertex record");
+    }
+  }
+  uint64_t num_edges = 0;
+  if (!in.ReadVarint(&num_edges)) return false;
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint64_t u = 0, v = 0;
+    int64_t label = 0;
+    if (!in.ReadVarint(&u) || !in.ReadVarint(&v) || !in.ReadZigZag(&label)) {
+      return false;
+    }
+    if (!ValidVertexId(static_cast<long long>(u)) ||
+        !ValidVertexId(static_cast<long long>(v))) {
+      return in.Fail("edge endpoint id out of range");
+    }
+    if (!FitsLabel(label)) return in.Fail("edge label out of 32-bit range");
+    const VertexId a = static_cast<VertexId>(u);
+    const VertexId b = static_cast<VertexId>(v);
+    if (a == b) return in.Fail("self-loop edge " + std::to_string(u));
+    if (!graph->HasVertex(a) || !graph->HasVertex(b)) {
+      return in.Fail("edge " + std::to_string(u) + "-" + std::to_string(v) +
+                     " references an undeclared vertex");
+    }
+    if (graph->HasEdge(a, b)) {
+      return in.Fail("duplicate edge " + std::to_string(u) + "-" +
+                     std::to_string(v));
+    }
+    if (!graph->AddEdge(a, b, static_cast<EdgeLabel>(label))) {
+      return in.Fail("invalid edge record");
+    }
+  }
+  return true;
+}
+
+bool ReadChange(Reader& in, GraphChange* change) {
+  uint64_t num_ops = 0;
+  if (!in.ReadVarint(&num_ops)) return false;
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    uint64_t tagged_u = 0, v = 0;
+    if (!in.ReadVarint(&tagged_u) || !in.ReadVarint(&v)) return false;
+    const bool is_delete = (tagged_u & 1) != 0;
+    const uint64_t u = tagged_u >> 1;
+    if (!ValidVertexId(static_cast<long long>(u)) ||
+        !ValidVertexId(static_cast<long long>(v))) {
+      return in.Fail("change endpoint id out of range");
+    }
+    if (is_delete) {
+      change->ops.push_back(EdgeOp::Delete(static_cast<VertexId>(u),
+                                           static_cast<VertexId>(v)));
+      continue;
+    }
+    int64_t edge_label = 0, u_label = 0, v_label = 0;
+    if (!in.ReadZigZag(&edge_label) || !in.ReadZigZag(&u_label) ||
+        !in.ReadZigZag(&v_label)) {
+      return false;
+    }
+    if (!FitsLabel(edge_label) || !FitsLabel(u_label) || !FitsLabel(v_label)) {
+      return in.Fail("insertion label out of 32-bit range");
+    }
+    change->ops.push_back(EdgeOp::Insert(
+        static_cast<VertexId>(u), static_cast<VertexId>(v),
+        static_cast<EdgeLabel>(edge_label), static_cast<VertexLabel>(u_label),
+        static_cast<VertexLabel>(v_label)));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeGraph(const Graph& graph) {
+  std::string out = EncodeWithKind(kKindGraph);
+  AppendGraph(out, graph);
+  return out;
+}
+
+std::string EncodeStream(const GraphStream& stream) {
+  std::string out = EncodeWithKind(kKindStream);
+  AppendGraph(out, stream.StartGraph());
+  AppendVarint(out, static_cast<uint64_t>(stream.NumTimestamps() - 1));
+  for (int t = 1; t < stream.NumTimestamps(); ++t) {
+    const GraphChange& change = stream.ChangeAt(t);
+    AppendVarint(out, change.ops.size());
+    for (const EdgeOp& op : change.ops) {
+      const bool is_delete = op.kind == EdgeOp::Kind::kDelete;
+      AppendVarint(out, (static_cast<uint64_t>(op.u) << 1) |
+                            static_cast<uint64_t>(is_delete));
+      AppendVarint(out, static_cast<uint64_t>(op.v));
+      if (is_delete) continue;
+      AppendVarint(out, ZigZag(op.edge_label));
+      AppendVarint(out, ZigZag(op.u_label));
+      AppendVarint(out, ZigZag(op.v_label));
+    }
+  }
+  return out;
+}
+
+std::optional<Graph> DecodeGraph(std::string_view bytes, IoError* error) {
+  Reader in(bytes, error);
+  Graph graph;
+  if (!ReadHeader(in, kKindGraph)) return std::nullopt;
+  if (!ReadGraphPayload(in, &graph)) return std::nullopt;
+  if (!in.exhausted()) {
+    in.Fail("trailing bytes after graph payload");
+    return std::nullopt;
+  }
+  return graph;
+}
+
+std::optional<GraphStream> DecodeStream(std::string_view bytes,
+                                        IoError* error) {
+  Reader in(bytes, error);
+  Graph start;
+  if (!ReadHeader(in, kKindStream)) return std::nullopt;
+  if (!ReadGraphPayload(in, &start)) return std::nullopt;
+  uint64_t num_batches = 0;
+  if (!in.ReadVarint(&num_batches)) return std::nullopt;
+  GraphStream stream(std::move(start));
+  for (uint64_t b = 0; b < num_batches; ++b) {
+    GraphChange change;
+    if (!ReadChange(in, &change)) return std::nullopt;
+    stream.AppendChange(std::move(change));
+  }
+  if (!in.exhausted()) {
+    in.Fail("trailing bytes after stream payload");
+    return std::nullopt;
+  }
+  return stream;
+}
+
+}  // namespace gsps

@@ -14,24 +14,27 @@ using io_internal::FitsLabel;
 using io_internal::ValidVertexId;
 
 // Splits `text` into lines, keeping empty lines so indices map 1:1 to
-// 1-based line numbers (line i of the file is `lines[i - 1]`).
+// 1-based line numbers (line i of the file is `lines[i - 1]`). CRLF line
+// endings are normalized away.
 std::vector<std::string> SplitLines(const std::string& text) {
   std::vector<std::string> lines;
   std::string current;
   for (const char c : text) {
     if (c == '\n') {
+      io_internal::StripCarriageReturn(current);
       lines.push_back(std::move(current));
       current.clear();
     } else {
       current.push_back(c);
     }
   }
+  io_internal::StripCarriageReturn(current);
   if (!current.empty()) lines.push_back(std::move(current));
   return lines;
 }
 
 bool IsSkippable(const std::string& line) {
-  return line.empty() || line[0] == '#';
+  return io_internal::IsBlankLine(line) || line[0] == '#';
 }
 
 // Parses one "v <id> <label>" record into `graph`.

@@ -34,6 +34,21 @@ inline bool FitsLabel(long long value) {
   return value >= INT32_MIN && value <= INT32_MAX;
 }
 
+// Strips one trailing '\r' in place, so files with CRLF line endings parse
+// exactly like their LF twins. Applied right after line splitting in every
+// text parser; without it the '\r' lands on the last field of each record
+// (or turns a blank CRLF line into an "unknown record type" error).
+inline void StripCarriageReturn(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+// True for lines with no content — empty or whitespace-only. Editors
+// commonly leave trailing blank (or space-padded) lines; parsers treat
+// them like empty lines rather than records.
+inline bool IsBlankLine(const std::string& line) {
+  return line.find_first_not_of(" \t") == std::string::npos;
+}
+
 }  // namespace io_internal
 }  // namespace gsps
 

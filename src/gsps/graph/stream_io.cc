@@ -55,7 +55,8 @@ std::optional<GraphStream> ParseStream(const std::string& text,
   std::string line;
   while (std::getline(in, line)) {
     ++line_number;
-    if (line.empty() || line[0] == '#') continue;
+    io_internal::StripCarriageReturn(line);
+    if (io_internal::IsBlankLine(line) || line[0] == '#') continue;
     std::istringstream fields(line);
     char kind = 0;
     fields >> kind;

@@ -51,18 +51,22 @@ std::string FormatWorkload(const Workload& workload) {
 
 std::optional<Workload> ParseWorkload(const std::string& text,
                                       IoError* error) {
-  // Split keeping blank lines so indices map to 1-based file line numbers.
+  // Split keeping blank lines so indices map to 1-based file line numbers;
+  // CRLF endings are normalized here so section headers and the re-joined
+  // bodies fed to ParseGraph/ParseStream are both clean.
   std::vector<std::string> lines;
   {
     std::string current;
     for (const char c : text) {
       if (c == '\n') {
+        io_internal::StripCarriageReturn(current);
         lines.push_back(std::move(current));
         current.clear();
       } else {
         current.push_back(c);
       }
     }
+    io_internal::StripCarriageReturn(current);
     if (!current.empty()) lines.push_back(std::move(current));
   }
 
@@ -70,7 +74,7 @@ std::optional<Workload> ParseWorkload(const std::string& text,
   std::vector<Section> sections;
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string& line = lines[i];
-    if (line.empty() || line[0] == '#') continue;
+    if (io_internal::IsBlankLine(line) || line[0] == '#') continue;
     if (line[0] != 'q' && line[0] != 's') {
       if (sections.empty()) {
         Fail(error, static_cast<int>(i) + 1,

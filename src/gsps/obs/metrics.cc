@@ -49,6 +49,9 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "gsps_engine_join_barriers",
     "gsps_shard_busy_micros",
     "gsps_shard_barrier_wait_micros",
+    "gsps_ingest_accepted",
+    "gsps_ingest_delivered",
+    "gsps_ingest_producer_waits",
 };
 
 constexpr const char* kGaugeNames[kNumGauges] = {
@@ -57,6 +60,7 @@ constexpr const char* kGaugeNames[kNumGauges] = {
     "gsps_engine_streams",
     "gsps_engine_queries",
     "gsps_queries_active",
+    "gsps_ingest_queue_depth",
 };
 
 constexpr const char* kHistNames[kNumHists] = {
@@ -68,6 +72,7 @@ constexpr const char* kHistNames[kNumHists] = {
     "gsps_stage_join_refresh_micros",
     "gsps_stage_tracker_observe_micros",
     "gsps_stage_metrics_merge_micros",
+    "gsps_ingest_e2e_micros",
 };
 
 constexpr const char* kCounterHelp[kNumCounters] = {
@@ -100,6 +105,9 @@ constexpr const char* kCounterHelp[kNumCounters] = {
     "Engine join (AllCandidatePairs) barriers",
     "Summed per-shard busy micros inside barriers",
     "Summed per-shard idle micros at barriers",
+    "Events accepted into the ingest queue",
+    "Ingest events delivered to the consumer",
+    "Ingest pushes that blocked on a full queue",
 };
 
 constexpr const char* kGaugeHelp[kNumGauges] = {
@@ -108,6 +116,7 @@ constexpr const char* kGaugeHelp[kNumGauges] = {
     "Streams registered with the engine",
     "Query slots registered with the engine",
     "Registered queries currently live",
+    "Ingest queue depth high-water mark",
 };
 
 constexpr const char* kHistHelp[kNumHists] = {
@@ -119,6 +128,7 @@ constexpr const char* kHistHelp[kNumHists] = {
     "Stage micros: join verdict recompute",
     "Stage micros: candidate tracker observe",
     "Stage micros: post-barrier metrics merge",
+    "End-to-end ingest micros: enqueue stamp to engine apply",
 };
 
 constexpr const char* kStageNames[kNumStages] = {

@@ -86,6 +86,11 @@ enum class Counter : int {
   kEngineJoinBarriers,      // AllCandidatePairs barriers.
   kShardBusyMicros,         // Summed per-shard busy time inside barriers.
   kShardBarrierWaitMicros,  // Summed per-shard idle time at barriers.
+  // Ingest pipeline (engine/ingest_queue.h, reported by the driver owning
+  // the queue — see tools/gsps_loadgen.cc).
+  kIngestAccepted,          // Events accepted into the ingest queue.
+  kIngestDelivered,         // Events handed to the consumer.
+  kIngestProducerWaits,     // Pushes that blocked on a full queue.
   kNumCounters,
 };
 
@@ -97,6 +102,7 @@ enum class Gauge : int {
   kEngineStreams,
   kEngineQueries,
   kQueriesActive,  // Registered queries currently live (adds minus removes).
+  kIngestQueueDepth,  // Ingest queue depth high-water (max-merged gauge).
   kNumGauges,
 };
 
@@ -127,6 +133,10 @@ enum class Hist : int {
   kStageJoinRefreshMicros,    // Stage::kJoinRefresh samples.
   kStageTrackerObserveMicros, // Stage::kTrackerObserve samples.
   kStageMetricsMergeMicros,   // Stage::kMetricsMerge samples.
+  // End-to-end ingest latency: event enqueue stamp -> applied to the
+  // engine. Lives after the contiguous kStage* block (StageHist relies on
+  // that ordering).
+  kIngestE2eMicros,
   kNumHists,
 };
 

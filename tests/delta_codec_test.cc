@@ -1,0 +1,262 @@
+// Tests for the GSPB binary codec: exact round-trips against the text
+// format, size advantage, and rejection of every malformed-blob class the
+// decoder guards (fuzz oracle 7 covers generated workloads; these pin the
+// wire format and the error paths).
+
+#include "gsps/graph/delta_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gsps/gen/stream_generator.h"
+#include "gsps/graph/graph_io.h"
+#include "gsps/graph/stream_io.h"
+
+namespace gsps {
+namespace {
+
+GraphStream MakeSampleStream() {
+  Graph start;
+  start.AddVertex(1);
+  start.AddVertex(2);
+  start.AddVertex(3);
+  EXPECT_TRUE(start.AddEdge(0, 1, 5));
+  GraphStream stream(start);
+  GraphChange c1;
+  c1.ops.push_back(EdgeOp::Insert(1, 2, 0, 2, 3));
+  stream.AppendChange(c1);
+  stream.AppendChange(GraphChange{});  // Empty batch.
+  GraphChange c3;
+  c3.ops.push_back(EdgeOp::Delete(0, 1));
+  c3.ops.push_back(EdgeOp::Insert(0, 3, 1, 1, 9));
+  stream.AppendChange(c3);
+  return stream;
+}
+
+void ExpectStreamsEqual(const GraphStream& a, const GraphStream& b) {
+  ASSERT_EQ(a.NumTimestamps(), b.NumTimestamps());
+  for (int t = 0; t < a.NumTimestamps(); ++t) {
+    EXPECT_EQ(a.MaterializeAt(t), b.MaterializeAt(t)) << "t=" << t;
+    if (t > 0) {
+      EXPECT_EQ(a.ChangeAt(t), b.ChangeAt(t)) << "t=" << t;
+    }
+  }
+}
+
+TEST(DeltaCodecTest, GraphRoundTrip) {
+  Graph graph;
+  graph.AddVertex(7);
+  graph.AddVertex(-3);  // Negative labels exercise the zigzag fold.
+  graph.AddVertex(0);
+  EXPECT_TRUE(graph.AddEdge(0, 1, -12));
+  EXPECT_TRUE(graph.AddEdge(1, 2, 4));
+  const std::string binary = EncodeGraph(graph);
+  const std::optional<Graph> decoded = DecodeGraph(binary);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, graph);
+  EXPECT_EQ(EncodeGraph(*decoded), binary);          // Binary fixed point.
+  EXPECT_EQ(FormatGraph(*decoded), FormatGraph(graph));  // Text agreement.
+}
+
+TEST(DeltaCodecTest, EmptyGraphRoundTrip) {
+  const Graph graph;
+  const std::optional<Graph> decoded = DecodeGraph(EncodeGraph(graph));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, graph);
+}
+
+TEST(DeltaCodecTest, StreamRoundTrip) {
+  const GraphStream stream = MakeSampleStream();
+  const std::string binary = EncodeStream(stream);
+  const std::optional<GraphStream> decoded = DecodeStream(binary);
+  ASSERT_TRUE(decoded.has_value());
+  ExpectStreamsEqual(stream, *decoded);
+  EXPECT_EQ(EncodeStream(*decoded), binary);
+  EXPECT_EQ(FormatStream(*decoded), FormatStream(stream));
+}
+
+TEST(DeltaCodecTest, StartGraphOnlyStreamRoundTrip) {
+  Graph start;
+  start.AddVertex(4);
+  const GraphStream stream{start};
+  const std::optional<GraphStream> decoded = DecodeStream(EncodeStream(stream));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->NumTimestamps(), 1);
+  EXPECT_EQ(decoded->StartGraph(), start);
+}
+
+TEST(DeltaCodecTest, GeneratedStreamsRoundTripAndBeatTextSize) {
+  SyntheticStreamParams params;
+  params.num_pairs = 3;
+  params.avg_graph_edges = 12;
+  params.evolution.num_timestamps = 30;
+  params.seed = 11;
+  const StreamDataset dataset = MakeSyntheticStreams(params);
+  ASSERT_FALSE(dataset.streams.empty());
+  for (const GraphStream& stream : dataset.streams) {
+    const std::string binary = EncodeStream(stream);
+    const std::optional<GraphStream> decoded = DecodeStream(binary);
+    ASSERT_TRUE(decoded.has_value());
+    ExpectStreamsEqual(stream, *decoded);
+    EXPECT_EQ(FormatStream(*decoded), FormatStream(stream));
+    EXPECT_EQ(EncodeStream(*decoded), binary);
+    // The point of the binary format: materially smaller than the text.
+    EXPECT_LT(binary.size(), FormatStream(stream).size() / 2);
+  }
+}
+
+TEST(DeltaCodecTest, BinaryParsesWhatTextParses) {
+  // A stream with the text format's permissive op semantics (deleting a
+  // missing edge, duplicate inserts in one batch) must survive the codec
+  // with op sequences intact — the codec validates ranges, not semantics.
+  const std::optional<GraphStream> parsed = ParseStream(
+      "v 0 1\nv 1 2\nt 1\n+ 0 1 0 1 2\n+ 0 1 1 0 0\n- 1 2\n- 0 1\n");
+  ASSERT_TRUE(parsed.has_value());
+  const std::optional<GraphStream> decoded =
+      DecodeStream(EncodeStream(*parsed));
+  ASSERT_TRUE(decoded.has_value());
+  ExpectStreamsEqual(*parsed, *decoded);
+}
+
+// Expects `bytes` to be rejected with a byte-offset error mentioning
+// `fragment`.
+void ExpectGraphDecodeError(const std::string& bytes,
+                            const std::string& fragment) {
+  IoError error;
+  EXPECT_FALSE(DecodeGraph(bytes, &error).has_value());
+  EXPECT_EQ(error.line, 0);
+  EXPECT_NE(error.message.find(fragment), std::string::npos)
+      << "message \"" << error.message << "\" lacks \"" << fragment << "\"";
+  EXPECT_NE(error.message.find("byte "), std::string::npos) << error.message;
+}
+
+TEST(DeltaCodecTest, RejectsBadHeader) {
+  ExpectGraphDecodeError("", "truncated");
+  ExpectGraphDecodeError("GSP", "truncated");
+  ExpectGraphDecodeError(std::string("GSPX\x01\x00", 6), "bad GSPB magic");
+  ExpectGraphDecodeError(std::string("GSPB\x02\x00", 6), "version");
+  // Kind mismatch both ways.
+  Graph graph;
+  graph.AddVertex(1);
+  IoError error;
+  EXPECT_FALSE(DecodeStream(EncodeGraph(graph), &error).has_value());
+  EXPECT_NE(error.message.find("kind"), std::string::npos);
+  const GraphStream stream{graph};
+  EXPECT_FALSE(DecodeGraph(EncodeStream(stream), &error).has_value());
+  EXPECT_NE(error.message.find("kind"), std::string::npos);
+}
+
+TEST(DeltaCodecTest, RejectsTruncatedAndTrailingPayloads) {
+  Graph graph;
+  graph.AddVertex(1);
+  graph.AddVertex(2);
+  EXPECT_TRUE(graph.AddEdge(0, 1, 3));
+  const std::string binary = EncodeGraph(graph);
+  for (size_t len = 0; len < binary.size(); ++len) {
+    IoError error;
+    EXPECT_FALSE(DecodeGraph(binary.substr(0, len), &error).has_value())
+        << "prefix of length " << len << " decoded";
+  }
+  ExpectGraphDecodeError(binary + std::string(1, '\0'), "trailing bytes");
+
+  const std::string stream_binary = EncodeStream(MakeSampleStream());
+  for (size_t len = 0; len < stream_binary.size(); ++len) {
+    EXPECT_FALSE(DecodeStream(stream_binary.substr(0, len)).has_value())
+        << "prefix of length " << len << " decoded";
+  }
+  IoError error;
+  EXPECT_FALSE(
+      DecodeStream(stream_binary + std::string(1, '\0'), &error).has_value());
+  EXPECT_NE(error.message.find("trailing bytes"), std::string::npos);
+}
+
+TEST(DeltaCodecTest, RejectsStructurallyInvalidGraphs) {
+  const std::string header = std::string("GSPB\x01\x00", 6);
+  // Two vertices with delta 0 -> duplicate id.
+  {
+    std::string bytes = header;
+    bytes += '\x02';          // num_vertices = 2
+    bytes += '\x05';          // id 5
+    bytes += '\x02';          // label zigzag(1)
+    bytes += '\x00';          // delta 0 -> duplicate
+    bytes += '\x02';
+    ExpectGraphDecodeError(bytes, "duplicate vertex");
+  }
+  // Self-loop edge.
+  {
+    std::string bytes = header;
+    bytes += '\x01';          // num_vertices = 1
+    bytes += '\x00';          // id 0
+    bytes += '\x02';          // label
+    bytes += '\x01';          // num_edges = 1
+    bytes += '\x00';          // u = 0
+    bytes += '\x00';          // v = 0
+    bytes += '\x02';          // label
+    ExpectGraphDecodeError(bytes, "self-loop");
+  }
+  // Edge endpoint never declared.
+  {
+    std::string bytes = header;
+    bytes += '\x01';
+    bytes += '\x00';
+    bytes += '\x02';
+    bytes += '\x01';
+    bytes += '\x00';          // u = 0
+    bytes += '\x07';          // v = 7, undeclared
+    bytes += '\x02';
+    ExpectGraphDecodeError(bytes, "undeclared");
+  }
+  // Duplicate edge.
+  {
+    std::string bytes = header;
+    bytes += '\x02';
+    bytes += '\x00';          // id 0
+    bytes += '\x02';
+    bytes += '\x01';          // id 1
+    bytes += '\x02';
+    bytes += '\x02';          // num_edges = 2
+    bytes += '\x00';
+    bytes += '\x01';
+    bytes += '\x02';
+    bytes += '\x00';          // same edge again
+    bytes += '\x01';
+    bytes += '\x02';
+    ExpectGraphDecodeError(bytes, "duplicate edge");
+  }
+  // Vertex count far beyond the id cap.
+  {
+    std::string bytes = header;
+    // varint 0xFFFFFFFF (4294967295) > kMaxIoVertexId + 1.
+    bytes += "\xff\xff\xff\xff\x0f";
+    ExpectGraphDecodeError(bytes, "vertex count");
+  }
+  // Varint longer than 64 bits.
+  {
+    std::string bytes = header;
+    bytes += std::string(10, '\xff');
+    ExpectGraphDecodeError(bytes, "64 bits");
+  }
+}
+
+TEST(DeltaCodecTest, RejectsOutOfRangeChangeOps) {
+  Graph start;
+  start.AddVertex(1);
+  std::string bytes = EncodeStream(GraphStream{start});
+  // Rewrite the batch count from 0 to 1 and append one op with a huge u.
+  ASSERT_EQ(bytes.back(), '\x00');  // num_batches = 0.
+  bytes.back() = '\x01';
+  bytes += '\x01';                           // num_ops = 1
+  bytes += "\xfe\xff\xff\xff\x1f";           // (u << 1): u out of range
+  bytes += '\x00';                           // v = 0
+  bytes += '\x02';
+  bytes += '\x02';
+  bytes += '\x02';
+  IoError error;
+  EXPECT_FALSE(DecodeStream(bytes, &error).has_value());
+  EXPECT_NE(error.message.find("endpoint id out of range"), std::string::npos)
+      << error.message;
+}
+
+}  // namespace
+}  // namespace gsps

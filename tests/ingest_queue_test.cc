@@ -1,0 +1,184 @@
+// Tests for the bounded MPSC ingest queue: blocking backpressure against a
+// slow consumer (nothing dropped), per-producer order preservation, the
+// capacity bound, and drain-on-shutdown Close semantics. The CI thread-
+// sanitizer leg runs this suite (its name matches the TSan ctest filter),
+// so the producer/consumer interleavings here double as a race check.
+
+#include "gsps/engine/ingest_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace gsps {
+namespace {
+
+IngestEvent MakeEvent(int stream, int timestamp) {
+  IngestEvent event;
+  event.stream = stream;
+  event.timestamp = timestamp;
+  return event;
+}
+
+TEST(IngestQueueTest, SingleThreadFifoAndStats) {
+  IngestQueue queue(8);
+  EXPECT_EQ(queue.capacity(), 8u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.Push(MakeEvent(0, i)));
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  IngestEvent event;
+  int64_t previous_stamp = -1;  // Push stamps with a monotone clock.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.Pop(&event));
+    EXPECT_EQ(event.timestamp, i);
+    EXPECT_GE(event.enqueue_micros, previous_stamp);
+    previous_stamp = event.enqueue_micros;
+  }
+  const IngestQueueStats stats = queue.Stats();
+  EXPECT_EQ(stats.accepted, 5);
+  EXPECT_EQ(stats.delivered, 5);
+  EXPECT_EQ(stats.producer_waits, 0);
+  EXPECT_EQ(stats.depth_high_water, 5);
+}
+
+TEST(IngestQueueTest, KeepStampPreservesProducerClock) {
+  IngestQueue queue(1);
+  IngestEvent event = MakeEvent(0, 1);
+  event.enqueue_micros = 12345;
+  event.keep_stamp = true;
+  ASSERT_TRUE(queue.Push(event));
+  IngestEvent out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.enqueue_micros, 12345);
+}
+
+TEST(IngestQueueTest, SlowConsumerBackpressureDropsNothing) {
+  // Many producers hammer a tiny queue; a deliberately slow consumer
+  // drains it. Every accepted event must come out exactly once, in order
+  // per producer, and the queue depth must never exceed capacity.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  constexpr size_t kCapacity = 3;
+  IngestQueue queue(kCapacity);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(MakeEvent(p, i)));
+      }
+    });
+  }
+
+  std::vector<int> next_timestamp(kProducers, 0);
+  int delivered = 0;
+  std::vector<IngestEvent> batch;
+  while (delivered < kProducers * kPerProducer) {
+    const size_t n = queue.PopBatch(&batch, 16);
+    ASSERT_GT(n, 0u);
+    ASSERT_LE(n, 16u);
+    for (const IngestEvent& event : batch) {
+      ASSERT_GE(event.stream, 0);
+      ASSERT_LT(event.stream, kProducers);
+      // Global FIFO implies per-producer order: each producer's events
+      // arrive in the sequence it pushed them.
+      EXPECT_EQ(event.timestamp, next_timestamp[event.stream]);
+      ++next_timestamp[event.stream];
+      ++delivered;
+    }
+    // Slow the consumer down every so often to force producer waits.
+    if ((delivered / 16) % 8 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  for (std::thread& t : producers) t.join();
+
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_timestamp[p], kPerProducer) << "producer " << p;
+  }
+  const IngestQueueStats stats = queue.Stats();
+  EXPECT_EQ(stats.accepted, kProducers * kPerProducer);
+  EXPECT_EQ(stats.delivered, kProducers * kPerProducer);
+  EXPECT_LE(stats.depth_high_water, static_cast<int64_t>(kCapacity));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(IngestQueueTest, FullQueueBlocksProducerUntilPop) {
+  IngestQueue queue(1);
+  ASSERT_TRUE(queue.Push(MakeEvent(0, 0)));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.Push(MakeEvent(0, 1)));
+    second_pushed.store(true);
+  });
+  // The producer blocks before waiting, visibly: producer_waits rises
+  // before the push lands.
+  while (queue.Stats().producer_waits < 1) std::this_thread::yield();
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(queue.size(), 1u);
+
+  IngestEvent event;
+  ASSERT_TRUE(queue.Pop(&event));
+  EXPECT_EQ(event.timestamp, 0);
+  ASSERT_TRUE(queue.Pop(&event));
+  EXPECT_EQ(event.timestamp, 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(IngestQueueTest, CloseDrainsAcceptedEventsThenStops) {
+  IngestQueue queue(8);
+  ASSERT_TRUE(queue.Push(MakeEvent(0, 0)));
+  ASSERT_TRUE(queue.Push(MakeEvent(0, 1)));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  // New pushes are rejected without touching the queue.
+  EXPECT_FALSE(queue.Push(MakeEvent(0, 2)));
+  EXPECT_EQ(queue.size(), 2u);
+  // Accepted events still drain, in order.
+  IngestEvent event;
+  ASSERT_TRUE(queue.Pop(&event));
+  EXPECT_EQ(event.timestamp, 0);
+  std::vector<IngestEvent> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 16), 1u);
+  EXPECT_EQ(batch[0].timestamp, 1);
+  // Drained + closed: Pop and PopBatch report end-of-stream.
+  EXPECT_FALSE(queue.Pop(&event));
+  EXPECT_EQ(queue.PopBatch(&batch, 16), 0u);
+  EXPECT_EQ(queue.Stats().accepted, 2);
+  EXPECT_EQ(queue.Stats().delivered, 2);
+  queue.Close();  // Idempotent.
+}
+
+TEST(IngestQueueTest, CloseWakesBlockedProducerAndConsumer) {
+  // A producer stuck on a full queue and a consumer stuck on an empty one
+  // must both return promptly when Close is called from a third thread.
+  IngestQueue full(1);
+  ASSERT_TRUE(full.Push(MakeEvent(0, 0)));
+  std::thread blocked_producer([&] {
+    EXPECT_FALSE(full.Push(MakeEvent(0, 1)));  // Rejected by Close.
+  });
+  while (full.Stats().producer_waits < 1) std::this_thread::yield();
+  full.Close();
+  blocked_producer.join();
+  // The event accepted before Close still drains.
+  IngestEvent event;
+  EXPECT_TRUE(full.Pop(&event));
+  EXPECT_FALSE(full.Pop(&event));
+
+  IngestQueue empty(1);
+  std::thread blocked_consumer([&] {
+    IngestEvent out;
+    EXPECT_FALSE(empty.Pop(&out));  // Wakes on Close, nothing delivered.
+  });
+  empty.Close();
+  blocked_consumer.join();
+}
+
+}  // namespace
+}  // namespace gsps

@@ -11,11 +11,13 @@
 #include <cctype>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "gsps/engine/candidate_tracker.h"
+#include "gsps/engine/ingest_queue.h"
 #include "gsps/engine/parallel_query_engine.h"
 #include "gsps/gen/stream_generator.h"
 #include "gsps/graph/graph_change.h"
@@ -571,6 +573,32 @@ TEST(ObsEndToEndTest, EveryMetricNonzeroAfterInstrumentedRun) {
     CandidateTracker tracker(1);
     tracker.Observe(0, {0, 1});
     tracker.Observe(0, {1, 2});  // q0 disappears, q2 appears.
+  }
+
+  // Ingest pipeline: a capacity-1 queue whose second Push blocks until the
+  // consumer drains, reported into the sink the way gsps_loadgen does.
+  {
+    obs::ScopedObsContext scope(&root_sink, nullptr);
+    IngestQueue queue(1);
+    ASSERT_TRUE(queue.Push(IngestEvent{}));
+    std::thread producer([&] { queue.Push(IngestEvent{}); });
+    // producer_waits is bumped before the blocking wait, so spinning on it
+    // guarantees the second Push observed a full queue.
+    while (queue.Stats().producer_waits < 1) std::this_thread::yield();
+    IngestEvent event;
+    ASSERT_TRUE(queue.Pop(&event));
+    ASSERT_TRUE(queue.Pop(&event));
+    producer.join();
+    queue.Close();
+    const IngestQueueStats stats = queue.Stats();
+    obs::CurrentSink()->Add(Counter::kIngestAccepted, stats.accepted);
+    obs::CurrentSink()->Add(Counter::kIngestDelivered, stats.delivered);
+    obs::CurrentSink()->Add(Counter::kIngestProducerWaits,
+                            stats.producer_waits);
+    obs::CurrentSink()->Set(Gauge::kIngestQueueDepth, stats.depth_high_water);
+    obs::CurrentSink()->Observe(
+        Hist::kIngestE2eMicros,
+        obs::MonotonicMicros() - event.enqueue_micros + 1);
   }
 
   // The engine runs bump only the dispatched ISA's batch counter; drive the

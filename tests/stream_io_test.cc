@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "gsps/gen/stream_generator.h"
+#include "gsps/graph/graph_io.h"
 
 namespace gsps {
 namespace {
@@ -78,6 +79,51 @@ TEST(StreamIoTest, CommentsAndBlankLinesIgnored) {
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->NumTimestamps(), 2);
   EXPECT_EQ(parsed->MaterializeAt(1).NumEdges(), 0);
+}
+
+TEST(StreamIoTest, AcceptsCrlfLineEndings) {
+  // Files that crossed a Windows checkout (or an HTTP upload) arrive with
+  // \r\n endings; the parser must treat them exactly like \n.
+  const std::string unix_text = FormatStream(MakeSampleStream());
+  std::string crlf_text;
+  for (const char c : unix_text) {
+    if (c == '\n') crlf_text += '\r';
+    crlf_text += c;
+  }
+  const std::optional<GraphStream> parsed = ParseStream(crlf_text);
+  ASSERT_TRUE(parsed.has_value());
+  ExpectStreamsEqual(MakeSampleStream(), *parsed);
+  EXPECT_EQ(FormatStream(*parsed), unix_text);
+}
+
+TEST(StreamIoTest, AcceptsTrailingBlankAndWhitespaceLines) {
+  // Trailing newlines and whitespace-only lines (including a bare \r left
+  // over from CRLF) are ignored anywhere in the file.
+  const std::optional<GraphStream> parsed = ParseStream(
+      "v 0 1\r\n  \t\nv 1 1\n\r\nt 1\n- 0 1\n\n\n   \n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->NumTimestamps(), 2);
+  EXPECT_EQ(parsed->StartGraph().NumVertices(), 2);
+}
+
+TEST(StreamIoTest, CrlfErrorLinesMatchUnixErrorLines) {
+  IoError error;
+  EXPECT_FALSE(ParseStream("v 0 1\r\nv 0 2\r\n", &error).has_value());
+  EXPECT_EQ(error.line, 2);
+  EXPECT_NE(error.message.find("duplicate vertex"), std::string::npos);
+}
+
+TEST(StreamIoTest, ParseGraphAcceptsCrlfAndTrailingBlanks) {
+  const std::optional<Graph> graph =
+      ParseGraph("v 0 1\r\nv 1 2\r\ne 0 1 3\r\n\r\n   \r\n");
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->NumVertices(), 2);
+  EXPECT_EQ(graph->NumEdges(), 1);
+
+  IoError error;
+  EXPECT_FALSE(ParseGraph("v 0 1\r\ne 0 1 0\r\n", &error).has_value());
+  EXPECT_EQ(error.line, 2);
+  EXPECT_NE(error.message.find("undeclared"), std::string::npos);
 }
 
 // Expects `text` to be rejected with an error on `line` whose message

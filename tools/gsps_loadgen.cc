@@ -1,0 +1,356 @@
+// gsps_loadgen — open-loop ingest load generator for the engine core.
+//
+// Measures what the monitor's closed-loop replay cannot: end-to-end ingest
+// latency under a fixed offered rate, queue wait included. The tool
+// generates a synthetic stream workload (§V.B generator), encodes every
+// stream into the GSPB binary delta format once, then replays the decoded
+// binary batches through the bounded ingest queue into a live engine:
+//
+//   producer threads (open loop, --rate events/sec aggregate)
+//     -> IngestQueue(--queue) with blocking backpressure
+//       -> one consumer thread: PopBatch -> ParallelQueryEngine::ApplyChange
+//
+// Producers stamp each event with its *scheduled* send time (keep_stamp),
+// so when the queue pushes back the measured latency includes the time the
+// producer fell behind — the open-loop convention that exposes coordinated
+// omission instead of hiding it. Each stream belongs to exactly one
+// producer and the queue is FIFO, so per-stream batch order is preserved;
+// the consumer verifies timestamps arrive gapless and in order per stream
+// and fails loudly otherwise (zero dropped or reordered deltas).
+//
+// Latency lands in the shared obs histogram (gsps_ingest_e2e_micros) and a
+// tool-owned copy that works in GSPS_OBS_DISABLED builds; the summary line
+// reports p50/p95/p99 from the latter. --metrics=FILE|- exports the full
+// Prometheus/JSON snapshot including the ingest counters.
+//
+//   gsps_loadgen [--streams=16] [--queries=4] [--timestamps=64] [--seed=7]
+//       [--rate=0] [--producers=4] [--queue=1024] [--batch=64]
+//       [--depth=3] [--join=dsc|nl|skyline] [--threads=1] [--join_every=0]
+//       [--metrics=FILE|-] [--metrics_format=prom|json] [--quiet]
+//
+// --rate=0 replays as fast as the queue accepts. --join_every=N pulls the
+// candidate set of a batch's stream every N applied batches, mixing join
+// refreshes into the ingest path. Exit status: 0 on success (and a clean
+// order audit), 1 on a dropped/reordered delta, 2 on usage errors.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gsps/common/flags.h"
+#include "gsps/common/stopwatch.h"
+#include "gsps/engine/ingest_queue.h"
+#include "gsps/engine/parallel_query_engine.h"
+#include "gsps/gen/stream_generator.h"
+#include "gsps/graph/delta_codec.h"
+#include "gsps/graph/stream_io.h"
+#include "gsps/obs/obs.h"
+#include "gsps/obs/window.h"
+
+namespace {
+
+using namespace gsps;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gsps_loadgen [--streams=16] [--queries=4] [--timestamps=64]\n"
+      "        [--seed=7] [--rate=0] [--producers=4] [--queue=1024]\n"
+      "        [--batch=64] [--depth=3] [--join=dsc|nl|skyline] [--threads=1]\n"
+      "        [--join_every=0] [--metrics=FILE|-] "
+      "[--metrics_format=prom|json]\n"
+      "        [--quiet]\n");
+  return 2;
+}
+
+bool WriteWholeFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+bool WriteMetricsSnapshot(const std::string& destination, bool json) {
+  const obs::MetricSink snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const std::string text =
+      json ? obs::ToMetricsJson(snapshot) : obs::ToPrometheusText(snapshot);
+  if (destination == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    if (json) std::fputc('\n', stdout);
+    return true;
+  }
+  return WriteWholeFile(destination, text);
+}
+
+// One producer's replay plan: the decoded binary batches of the streams it
+// owns, interleaved round-robin by timestamp so its streams advance
+// together instead of one stream at a time.
+struct ProducerPlan {
+  std::vector<IngestEvent> events;  // In push order.
+  int64_t edge_ops = 0;
+};
+
+ProducerPlan PlanProducer(const std::vector<GraphStream>& streams,
+                          int producer, int num_producers) {
+  ProducerPlan plan;
+  int horizon = 0;
+  for (size_t i = static_cast<size_t>(producer); i < streams.size();
+       i += static_cast<size_t>(num_producers)) {
+    horizon = std::max(horizon, streams[i].NumTimestamps());
+  }
+  for (int t = 1; t < horizon; ++t) {
+    for (size_t i = static_cast<size_t>(producer); i < streams.size();
+         i += static_cast<size_t>(num_producers)) {
+      if (t >= streams[i].NumTimestamps()) continue;
+      IngestEvent event;
+      event.stream = static_cast<int32_t>(i);
+      event.timestamp = t;
+      event.change = streams[i].ChangeAt(t);
+      plan.edge_ops += static_cast<int64_t>(event.change.ops.size());
+      plan.events.push_back(std::move(event));
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const int num_streams = flags.GetInt("streams", 16);
+  const int num_queries = flags.GetInt("queries", 4);
+  const int timestamps = flags.GetInt("timestamps", 64);
+  const long long seed = flags.GetInt64("seed", 7);
+  const double rate = flags.GetDouble("rate", 0.0);
+  int num_producers = flags.GetInt("producers", 4);
+  const int queue_capacity = flags.GetInt("queue", 1024);
+  const int batch_size = flags.GetInt("batch", 64);
+  const int depth = flags.GetInt("depth", 3);
+  const std::string join = flags.GetString("join", "dsc");
+  const int threads = flags.GetInt("threads", 1);
+  const int join_every = flags.GetInt("join_every", 0);
+  const std::string metrics_path = flags.GetString("metrics", "");
+  const std::string metrics_format = flags.GetString("metrics_format", "prom");
+  const bool quiet = flags.GetBool("quiet");
+  if (!flags.UnrecognizedArgs().empty()) {
+    std::fprintf(stderr, "gsps_loadgen: %s\n", flags.ErrorMessage().c_str());
+    return Usage();
+  }
+  if (num_streams < 1 || num_queries < 1 || timestamps < 2 || rate < 0 ||
+      num_producers < 1 || queue_capacity < 1 || batch_size < 1 ||
+      depth < 0 || join_every < 0) {
+    return Usage();
+  }
+  if (metrics_format != "prom" && metrics_format != "json") return Usage();
+  num_producers = std::min(num_producers, num_streams);
+
+  EngineOptions engine_options;
+  engine_options.nnt_depth = depth;
+  if (join == "dsc") {
+    engine_options.join_kind = JoinKind::kDominatedSetCover;
+  } else if (join == "nl") {
+    engine_options.join_kind = JoinKind::kNestedLoop;
+  } else if (join == "skyline") {
+    engine_options.join_kind = JoinKind::kSkylineEarlyStop;
+  } else {
+    return Usage();
+  }
+
+  // Generate the workload, then force every stream through the binary
+  // codec: what the engine and the producers see from here on is the
+  // decoded form of the GSPB blobs, never the generator's objects — the
+  // replay exercises the same bytes a network ingest would.
+  SyntheticStreamParams params;
+  params.num_pairs = num_streams;
+  params.evolution.num_timestamps = timestamps;
+  params.seed = static_cast<uint64_t>(seed);
+  const StreamDataset dataset = MakeSyntheticStreams(params);
+
+  size_t binary_bytes = 0, text_bytes = 0;
+  std::vector<GraphStream> streams;
+  streams.reserve(dataset.streams.size());
+  for (size_t i = 0; i < dataset.streams.size(); ++i) {
+    const std::string blob = EncodeStream(dataset.streams[i]);
+    binary_bytes += blob.size();
+    text_bytes += FormatStream(dataset.streams[i]).size();
+    IoError error;
+    std::optional<GraphStream> decoded = DecodeStream(blob, &error);
+    if (!decoded) {
+      std::fprintf(stderr, "gsps_loadgen: stream %zu failed to decode: %s\n",
+                   i, error.ToString().c_str());
+      return 2;
+    }
+    streams.push_back(*std::move(decoded));
+  }
+
+  obs::MetricSink root_sink;
+  obs::ScopedObsContext obs_scope(&root_sink, nullptr);
+
+  ParallelEngineOptions parallel_options;
+  parallel_options.engine = engine_options;
+  parallel_options.num_threads = threads;
+  ParallelQueryEngine engine(parallel_options);
+  const int registered_queries =
+      std::min(num_queries, static_cast<int>(dataset.queries.size()));
+  for (int q = 0; q < registered_queries; ++q) {
+    engine.AddQuery(dataset.queries[static_cast<size_t>(q)]);
+  }
+  for (const GraphStream& stream : streams) {
+    engine.AddStream(stream.StartGraph());
+  }
+  engine.Start();
+
+  // Pre-plan every producer's events so the replay loop does no generation
+  // work; the open loop measures queue + engine, not planning.
+  std::vector<ProducerPlan> plans;
+  plans.reserve(static_cast<size_t>(num_producers));
+  int64_t total_edge_ops = 0, total_batches = 0;
+  for (int p = 0; p < num_producers; ++p) {
+    plans.push_back(PlanProducer(streams, p, num_producers));
+    total_edge_ops += plans.back().edge_ops;
+    total_batches += static_cast<int64_t>(plans.back().events.size());
+  }
+
+  IngestQueue queue(static_cast<size_t>(queue_capacity));
+  std::atomic<int> producers_done{0};
+  // Per-producer slice of the aggregate rate, in events (batches) per
+  // second; edge ops per batch average out across producers.
+  const double batches_per_op =
+      total_edge_ops > 0
+          ? static_cast<double>(total_batches) / static_cast<double>(total_edge_ops)
+          : 1.0;
+  const double per_producer_batch_rate =
+      rate > 0 ? rate * batches_per_op / num_producers : 0.0;
+
+  Stopwatch watch;
+  const int64_t start_micros = obs::MonotonicMicros();
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<size_t>(num_producers));
+  for (int p = 0; p < num_producers; ++p) {
+    producers.emplace_back([&, p] {
+      const ProducerPlan& plan = plans[static_cast<size_t>(p)];
+      int64_t sent = 0;
+      for (const IngestEvent& planned : plan.events) {
+        IngestEvent event = planned;  // Keep the plan intact.
+        if (per_producer_batch_rate > 0) {
+          const int64_t scheduled =
+              start_micros + static_cast<int64_t>(
+                                 static_cast<double>(sent) * 1e6 /
+                                 per_producer_batch_rate);
+          // Open loop: wait until the scheduled send time, but stamp the
+          // event with it even when we are late — latency then charges the
+          // backlog to the system under test, not to the clock.
+          while (obs::MonotonicMicros() < scheduled) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
+          event.enqueue_micros = scheduled;
+          event.keep_stamp = true;
+        }
+        if (!queue.Push(std::move(event))) break;  // Closed early.
+        ++sent;
+      }
+      // The last producer out closes the queue; accepted events still
+      // drain, so the consumer sees everything that was pushed.
+      if (producers_done.fetch_add(1) + 1 == num_producers) queue.Close();
+    });
+  }
+
+  // Consumer: the main thread. Applies each batch to its stream and audits
+  // the order contract: per stream, timestamps must arrive 1, 2, 3, ...
+  // with no gap (drop) or inversion (reorder).
+  std::vector<int32_t> next_timestamp(static_cast<size_t>(num_streams), 1);
+  obs::HistogramData latency;
+  int64_t order_violations = 0;
+  int64_t applied_batches = 0, applied_ops = 0;
+  std::vector<IngestEvent> batch;
+  while (queue.PopBatch(&batch, static_cast<size_t>(batch_size)) > 0) {
+    for (IngestEvent& event : batch) {
+      if (event.timestamp != next_timestamp[static_cast<size_t>(event.stream)]) {
+        ++order_violations;
+      }
+      next_timestamp[static_cast<size_t>(event.stream)] =
+          event.timestamp + 1;
+      engine.ApplyChange(event.stream, event.change);
+      const int64_t e2e = obs::MonotonicMicros() - event.enqueue_micros;
+      latency.Observe(e2e);
+      GSPS_OBS_OBSERVE(Hist::kIngestE2eMicros, e2e);
+      ++applied_batches;
+      applied_ops += static_cast<int64_t>(event.change.ops.size());
+      if (join_every > 0 && applied_batches % join_every == 0) {
+        engine.CandidatesForStream(event.stream);
+      }
+    }
+  }
+  for (std::thread& t : producers) t.join();
+  const double elapsed_ms = watch.ElapsedMillis();
+
+  // Final join over everything ingested, then fold the queue's counters
+  // into the obs snapshot the exporters serialize.
+  const size_t candidate_pairs = engine.AllCandidatePairs().size();
+  const IngestQueueStats stats = queue.Stats();
+  if constexpr (obs::kEnabled) {
+    root_sink.Add(obs::Counter::kIngestAccepted, stats.accepted);
+    root_sink.Add(obs::Counter::kIngestDelivered, stats.delivered);
+    root_sink.Add(obs::Counter::kIngestProducerWaits, stats.producer_waits);
+    root_sink.Set(obs::Gauge::kIngestQueueDepth, stats.depth_high_water);
+  }
+  obs::MetricsRegistry::Global().MergeAndReset(root_sink);
+
+  if (stats.accepted != stats.delivered ||
+      stats.delivered != applied_batches) {
+    std::fprintf(stderr,
+                 "gsps_loadgen: LOST EVENTS accepted=%lld delivered=%lld "
+                 "applied=%lld\n",
+                 static_cast<long long>(stats.accepted),
+                 static_cast<long long>(stats.delivered),
+                 static_cast<long long>(applied_batches));
+    return 1;
+  }
+  if (order_violations > 0) {
+    std::fprintf(stderr, "gsps_loadgen: %lld REORDERED deltas\n",
+                 static_cast<long long>(order_violations));
+    return 1;
+  }
+
+  const double achieved =
+      elapsed_ms > 0 ? static_cast<double>(applied_ops) * 1000.0 / elapsed_ms
+                     : 0.0;
+  if (!quiet) {
+    std::printf(
+        "gsps_loadgen: %lld edge events in %lld batches across %d streams "
+        "(%d producers, queue=%d) in %.1f ms\n",
+        static_cast<long long>(applied_ops),
+        static_cast<long long>(applied_batches), num_streams, num_producers,
+        queue_capacity, elapsed_ms);
+    std::printf(
+        "gsps_loadgen: rate=%.0f events/s (target %s) producer_waits=%lld "
+        "depth_high_water=%lld binary=%zuB text=%zuB (%.1fx)\n",
+        achieved, rate > 0 ? std::to_string(rate).c_str() : "unbounded",
+        static_cast<long long>(stats.producer_waits),
+        static_cast<long long>(stats.depth_high_water), binary_bytes,
+        text_bytes,
+        binary_bytes > 0
+            ? static_cast<double>(text_bytes) / static_cast<double>(binary_bytes)
+            : 0.0);
+  }
+  std::printf(
+      "gsps_loadgen: e2e latency p50=%.0fus p95=%.0fus p99=%.0fus "
+      "(%lld samples) candidates=%zu dropped=0 reordered=0\n",
+      obs::HistogramQuantile(latency, 0.5),
+      obs::HistogramQuantile(latency, 0.95),
+      obs::HistogramQuantile(latency, 0.99),
+      static_cast<long long>(latency.count), candidate_pairs);
+
+  if (!metrics_path.empty() &&
+      !WriteMetricsSnapshot(metrics_path, metrics_format == "json")) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -255,12 +255,12 @@ int main(int argc, char** argv) {
   const bool multi = num_streams > 1;
 
   Stopwatch watch;
-  CandidateTracker tracker(num_streams);
   int64_t total_candidates = 0;
   std::vector<GraphChange> batches(static_cast<size_t>(num_streams));
   // Steady-state buffers: candidates land in `candidates`, the verified
-  // subset in `reported`, and the swap-based tracker Observe recycles
-  // `reported`'s storage — the per-tick loop stays allocation-free.
+  // subset in `reported`, and the engine's swap-based ObserveTransitions
+  // (the shard-owned tracker) recycles `reported`'s storage — the per-tick
+  // loop stays allocation-free.
   std::vector<int> candidates;
   std::vector<int> reported;
   CandidateTransitions transitions;
@@ -285,7 +285,7 @@ int main(int argc, char** argv) {
       const std::string where =
           multi ? " s" + std::to_string(i) : std::string();
       if (events) {
-        tracker.Observe(i, &reported, &transitions);
+        engine.ObserveTransitions(i, &reported, &transitions);
         if (!quiet && !transitions.empty()) {
           std::string line;
           for (const int q : transitions.appeared) {
