@@ -13,6 +13,7 @@
 //   micro_parallel [--streams=32] [--timestamps=40] [--join=dsc|nl|skyline]
 //                  [--depth=3] [--seed=11] [--threads=1,2,4,8]
 
+#include <algorithm>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -85,19 +86,39 @@ int Main(int argc, char** argv) {
   for (const int threads : counts) {
     RunOptions options;
     options.num_threads = threads;
+    // Shard threads merge their sinks into the global registry at every
+    // barrier, so registry snapshot deltas around the run isolate this
+    // thread count's busy/wait split (all-zero under GSPS_OBS_DISABLED).
+    const obs::MetricSink before = obs::MetricsRegistry::Global().Snapshot();
     const StatsAccumulator stats =
         RunNpvEngine(workload, kind, depth, options);
+    const obs::MetricSink after = obs::MetricsRegistry::Global().Snapshot();
     const double cost = stats.AvgCostMillis();
     const double speedup = cost > 0 ? seq_cost / cost : 0.0;
+    const int num_shards = std::min(threads, streams);
+    const auto delta = [&](obs::Counter c) {
+      return static_cast<double>(after.Value(c) - before.Value(c));
+    };
+    const double busy = delta(obs::Counter::kShardBusyMicros);
+    const double wait = delta(obs::Counter::kShardBarrierWaitMicros);
+    // Fraction of aggregate shard wall time spent stalled at barriers
+    // (idle behind the slowest shard) rather than doing update/join work.
+    const double stall_ratio = busy + wait > 0 ? wait / (busy + wait) : 0.0;
     std::printf("  %2d thread(s) cost/step=%9.3f ms  p95=%9.3f ms  "
-                "throughput=%8.1f t/s  speedup=%.2fx  busy=%.3f ms\n",
+                "throughput=%8.1f t/s  speedup=%.2fx  busy=%.3f ms  "
+                "stall=%4.1f%%\n",
                 threads, cost, stats.CostPercentileMillis(95.0),
                 cost > 0 ? 1000.0 / cost : 0.0, speedup,
-                stats.AvgBusyMillis());
+                stats.AvgBusyMillis(), 100.0 * stall_ratio);
     auto fields = StatsJsonFields(stats);
     fields["streams"] = streams;
     fields["num_threads"] = threads;
     fields["speedup_vs_sequential"] = speedup;
+    fields["shard_busy_micros_per_shard"] = busy / num_shards;
+    fields["shard_barrier_wait_micros_per_shard"] = wait / num_shards;
+    fields["barrier_stall_ratio"] = stall_ratio;
+    fields["update_barriers"] = delta(obs::Counter::kEngineUpdateBarriers);
+    fields["join_barriers"] = delta(obs::Counter::kEngineJoinBarriers);
     EmitBenchJson("micro_parallel", "parallel", fields);
   }
 

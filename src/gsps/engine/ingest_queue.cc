@@ -81,4 +81,123 @@ IngestQueueStats IngestQueue::Stats() const {
   return stats_;
 }
 
+SpscLane::SpscLane(size_t capacity) : capacity_(capacity), slots_(capacity) {
+  GSPS_CHECK(capacity >= 1);
+}
+
+// Sleeps until the ring has space for slot `tail` or the lane closes.
+// Returns false when closed (the event must be rejected even if space also
+// appeared — Close() rejects all later pushes).
+bool SpscLane::WaitForSpace(uint64_t tail) {
+  producer_waits_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mutex_);
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  not_full_.wait(lock, [&] {
+    return tail - head_.load(std::memory_order_seq_cst) < capacity_ ||
+           closed_.load(std::memory_order_seq_cst);
+  });
+  sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  return !closed_.load(std::memory_order_acquire);
+}
+
+// Sleeps until slot `head` is filled or the lane closes. Returns false
+// only when closed AND drained (head caught up with tail).
+bool SpscLane::WaitForEvent(uint64_t head) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  not_empty_.wait(lock, [&] {
+    return head != tail_.load(std::memory_order_seq_cst) ||
+           closed_.load(std::memory_order_seq_cst);
+  });
+  sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  return head != tail_.load(std::memory_order_acquire);
+}
+
+bool SpscLane::Push(IngestEvent event) {
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  if (tail - head_.load(std::memory_order_acquire) >= capacity_ &&
+      !WaitForSpace(tail)) {
+    return false;
+  }
+  if (closed_.load(std::memory_order_acquire)) return false;
+  if (!event.keep_stamp) event.enqueue_micros = obs::MonotonicMicros();
+  slots_[tail % capacity_] = std::move(event);
+  // seq_cst, not plain release: pairs with the sleeper check below so the
+  // store and a concurrent consumer's sleeper registration can't both be
+  // missed (store-buffering), which would strand the consumer asleep.
+  tail_.store(tail + 1, std::memory_order_seq_cst);
+  const int64_t depth = static_cast<int64_t>(
+      tail + 1 - head_.load(std::memory_order_relaxed));
+  if (depth > depth_high_water_.load(std::memory_order_relaxed)) {
+    depth_high_water_.store(depth, std::memory_order_relaxed);
+  }
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    not_empty_.notify_one();
+  }
+  return true;
+}
+
+bool SpscLane::Pop(IngestEvent* out) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  if (head == tail_.load(std::memory_order_acquire) && !WaitForEvent(head)) {
+    return false;
+  }
+  *out = std::move(slots_[head % capacity_]);
+  head_.store(head + 1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    not_full_.notify_one();
+  }
+  return true;
+}
+
+size_t SpscLane::PopBatch(std::vector<IngestEvent>* out, size_t max_events) {
+  GSPS_CHECK(max_events >= 1);
+  out->clear();
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head == tail) {
+    if (!WaitForEvent(head)) return 0;
+    tail = tail_.load(std::memory_order_acquire);
+  }
+  const size_t take =
+      static_cast<size_t>(std::min<uint64_t>(max_events, tail - head));
+  for (size_t i = 0; i < take; ++i) {
+    out->push_back(std::move(slots_[(head + i) % capacity_]));
+  }
+  head_.store(head + take, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    not_full_.notify_one();
+  }
+  return take;
+}
+
+void SpscLane::Close() {
+  closed_.store(true, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(mutex_);
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+size_t SpscLane::size() const {
+  // head first: head never passes tail, so a later tail read keeps the
+  // difference non-negative.
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  return static_cast<size_t>(tail_.load(std::memory_order_acquire) - head);
+}
+
+IngestQueueStats SpscLane::Stats() const {
+  IngestQueueStats stats;
+  stats.accepted =
+      static_cast<int64_t>(tail_.load(std::memory_order_acquire));
+  stats.delivered =
+      static_cast<int64_t>(head_.load(std::memory_order_acquire));
+  stats.producer_waits = producer_waits_.load(std::memory_order_relaxed);
+  stats.depth_high_water =
+      depth_high_water_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 }  // namespace gsps

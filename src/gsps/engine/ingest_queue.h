@@ -29,6 +29,7 @@
 #ifndef GSPS_ENGINE_INGEST_QUEUE_H_
 #define GSPS_ENGINE_INGEST_QUEUE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -100,6 +101,73 @@ class IngestQueue {
   std::deque<IngestEvent> events_;
   IngestQueueStats stats_;
   bool closed_ = false;
+};
+
+// Bounded single-producer/single-consumer lane over a preallocated ring.
+//
+// The per-shard wire of the pipelined engine: the router thread is the one
+// producer, the shard worker the one consumer. Same contract as
+// IngestQueue (bounded, blocking backpressure, lossless, FIFO,
+// drain-on-Close, keep_stamp stamping), but the fast path is two atomic
+// loads and one release store — no mutex, no allocation: the slot ring is
+// sized once in the constructor, so a lane never touches the heap after
+// construction (the events moved through it carry their own buffers).
+//
+// Blocking uses a mutex + condvars only on the slow path. The notify
+// handshake is the classic store-buffering pattern: the fast path's
+// seq_cst publish store and the sleeper-count check cannot both miss, so a
+// waiter either sees the new state or is woken under the mutex it
+// registered with.
+//
+// Threading contract: at most one thread calls Push and at most one calls
+// Pop/PopBatch at any time. Close() may be called by either (in the
+// pipelined engine the producer closes its own lane); a Push racing with
+// Close may still be accepted, and is then drained like any other event.
+class SpscLane {
+ public:
+  // `capacity` must be >= 1.
+  explicit SpscLane(size_t capacity);
+
+  SpscLane(const SpscLane&) = delete;
+  SpscLane& operator=(const SpscLane&) = delete;
+
+  // Same semantics as IngestQueue::Push: blocks while full, stamps
+  // enqueue_micros unless keep_stamp, returns false once closed.
+  bool Push(IngestEvent event);
+
+  // Same semantics as IngestQueue::Pop / PopBatch.
+  bool Pop(IngestEvent* out);
+  size_t PopBatch(std::vector<IngestEvent>* out, size_t max_events);
+
+  void Close();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  // Exact once the lane is quiescent (producer and consumer done);
+  // approximate while both sides are live.
+  IngestQueueStats Stats() const;
+
+ private:
+  bool WaitForSpace(uint64_t tail);
+  bool WaitForEvent(uint64_t head);
+
+  const size_t capacity_;
+  std::vector<IngestEvent> slots_;
+  // head_ == next slot to pop (consumer-advanced), tail_ == next slot to
+  // fill (producer-advanced); size = tail_ - head_ with free-running
+  // 64-bit indices (no wrap handling needed at realistic event counts).
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> tail_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<int64_t> producer_waits_{0};
+  std::atomic<int64_t> depth_high_water_{0};
+  // Number of threads registered on either condvar; checked after every
+  // publish so the fast path skips the mutex when nobody sleeps.
+  std::atomic<int> sleepers_{0};
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
 };
 
 }  // namespace gsps

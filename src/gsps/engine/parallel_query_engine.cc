@@ -60,17 +60,24 @@ void ParallelQueryEngine::Start() {
           obs::Tracer::Global().NewBuffer(s + 1);
     }
   }
+  std::vector<int64_t> weights(pending_streams_.size());
+  for (size_t i = 0; i < pending_streams_.size(); ++i) {
+    weights[i] = pending_streams_[i].NumEdges();
+  }
+  const ShardPlan plan =
+      PlanShardAssignment(weights, num_shards, options_.assignment);
   pool_->ParallelFor(num_shards, [&](int s) {
     StreamShard& shard = *shards_[static_cast<size_t>(s)];
     for (const Graph& query : pending_queries_) shard.AddQuery(query);
-    for (int i = s; i < num_streams; i += num_shards) {
+    for (const int i : plan.shard_streams[static_cast<size_t>(s)]) {
       shard.AddStream(pending_streams_[static_cast<size_t>(i)]);
       shard.global_streams.push_back(i);
     }
     shard.join_results.resize(shard.global_streams.size());
     shard.Start();
   });
-  for (int i = 0; i < num_streams; ++i) stream_to_shard_[static_cast<size_t>(i)] = i % num_shards;
+  stream_to_shard_ = plan.stream_to_shard;
+  stream_to_local_ = plan.stream_to_local;
   pending_queries_.clear();
   pending_streams_.clear();
   num_active_queries_ = num_queries_;
@@ -80,6 +87,8 @@ void ParallelQueryEngine::Start() {
     first.sink.Set(obs::Gauge::kEngineStreams, num_streams);
     first.sink.Set(obs::Gauge::kEngineQueries, num_queries_);
     first.sink.Set(obs::Gauge::kQueriesActive, num_queries_);
+    first.sink.Set(obs::Gauge::kShardImbalanceRatio,
+                   std::llround(plan.imbalance_ratio * 1000.0));
     obs::MetricsRegistry::Global().MergeAndReset(first.sink);
   }
 }

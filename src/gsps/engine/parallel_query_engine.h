@@ -3,8 +3,9 @@
 // The paper's workload is embarrassingly parallel across the k1 graph
 // streams: whether query q is a candidate for stream G_i depends only on
 // G_i's NPVs and q's vectors (Lemma 4.2), never on another stream. This
-// engine exploits that by partitioning the streams round-robin across
-// StreamShards — each shard a complete, independent engine core with its
+// engine exploits that by partitioning the streams across StreamShards
+// (round-robin or LPT, see shard_assignment.h) — each shard a complete,
+// independent engine core with its
 // own DimensionTable, NntSets, and join strategy over the full query
 // workload (see stream_shard.h). This class contains no pipeline logic of
 // its own; it is purely the fan-out/merge scheduler.
@@ -19,8 +20,9 @@
 // every barrier is plain data parallelism. Dimension ids then differ
 // between shards, but ids are a private encoding; candidate sets do not.
 //
-// Determinism: shard s owns global streams {i : i mod S == s}, every shard
-// applies the same deletions-first protocol as the sequential engine, and
+// Determinism: the placement plan is a deterministic function of the
+// registration order and initial edge counts, every shard applies the same
+// deletions-first protocol as the sequential engine, and
 // AllCandidatePairs() merges the per-shard results in ascending global
 // stream order (queries ascending within a stream). The output is therefore
 // byte-identical to the sequential engine's on the same inputs, regardless
@@ -47,6 +49,7 @@
 
 #include "gsps/common/thread_pool.h"
 #include "gsps/engine/filter_stats.h"
+#include "gsps/engine/shard_assignment.h"
 #include "gsps/engine/stream_shard.h"
 #include "gsps/graph/graph.h"
 #include "gsps/graph/graph_change.h"
@@ -59,6 +62,10 @@ struct ParallelEngineOptions {
   // Worker count; 0 means ThreadPool::HardwareThreads(). The effective
   // shard count is min(num_threads, num_streams).
   int num_threads = 0;
+  // Stream placement policy (see shard_assignment.h). Either policy yields
+  // byte-identical engine output; kLpt balances shard load under skewed
+  // stream sizes at the cost of a weight-sorted setup pass.
+  ShardAssignment assignment = ShardAssignment::kRoundRobin;
 };
 
 class ParallelQueryEngine {
@@ -149,7 +156,9 @@ class ParallelQueryEngine {
  private:
   const StreamShard& ShardOf(int stream) const;
   StreamShard& ShardOf(int stream);
-  int LocalIndex(int stream) const { return stream / num_shards(); }
+  int LocalIndex(int stream) const {
+    return stream_to_local_[static_cast<size_t>(stream)];
+  }
 
   // Post-barrier observability bookkeeping: per-shard busy/wait counters and
   // histograms, then a registry merge. Only called when obs is enabled.
@@ -165,6 +174,7 @@ class ParallelQueryEngine {
   // neither copyable nor default-constructible.
   std::vector<std::unique_ptr<StreamShard>> shards_;
   std::vector<int> stream_to_shard_;
+  std::vector<int> stream_to_local_;
   int num_queries_ = 0;
   int num_active_queries_ = 0;
   std::unique_ptr<ThreadPool> pool_;

@@ -17,6 +17,7 @@
 #ifndef GSPS_ENGINE_STREAM_SHARD_H_
 #define GSPS_ENGINE_STREAM_SHARD_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -163,6 +164,17 @@ class StreamShard {
   obs::MetricSink sink;
   obs::TraceBuffer* trace = nullptr;
   int64_t busy_micros = 0;
+
+  // Pipelined-engine state (engine/pipelined_query_engine.cc). The shard's
+  // worker thread fills the epoch_* snapshots for the just-completed epoch
+  // and only then release-publishes `watermark`; the driver reads the
+  // snapshots only after observing watermark >= target and publishes no new
+  // epoch until its reads are done, so the pair needs no lock. The barrier
+  // engine leaves all of this untouched.
+  std::vector<std::vector<int>> epoch_candidates;  // Per local stream.
+  TimestampStats epoch_stats;  // Accumulated across epochs, drained by
+                               // TakeBarrierStats.
+  std::atomic<int32_t> watermark{-1};
 
  private:
   struct StreamState {

@@ -9,6 +9,7 @@
 #include "gsps/baselines/graphgrep/graphgrep_filter.h"
 #include "gsps/engine/continuous_query_engine.h"
 #include "gsps/engine/parallel_query_engine.h"
+#include "gsps/engine/pipelined_query_engine.h"
 #include "gsps/fuzz/replay.h"
 #include "gsps/graph/delta_codec.h"
 #include "gsps/graph/graph_io.h"
@@ -304,6 +305,24 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
     }
   }
 
+  // Oracle 8: the barrier-free engine, deliberately configured to stress
+  // its concurrency machinery — tiny lanes (router backpressure on nearly
+  // every forward) and fragmented batches (worker-side coalescing).
+  std::unique_ptr<PipelinedQueryEngine> pipelined;
+  if (options.check_pipelined) {
+    PipelinedEngineOptions pipelined_options;
+    pipelined_options.engine.nnt_depth = c.nnt_depth;
+    pipelined_options.engine.join_kind = JoinKind::kDominatedSetCover;
+    pipelined_options.num_threads = 3;
+    pipelined_options.lane_capacity = 8;
+    pipelined = std::make_unique<PipelinedQueryEngine>(pipelined_options);
+    for (const int q : engine_to_query) {
+      pipelined->AddQuery(queries[static_cast<size_t>(q)]);
+    }
+    for (const GraphStream& s : streams) pipelined->AddStream(s.StartGraph());
+    pipelined->Start();
+  }
+
   GraphGrepFilter graphgrep;
   if (options.check_baselines) graphgrep.SetQueries(queries);
 
@@ -313,6 +332,10 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
   for (const GraphStream& s : streams) current.push_back(s.StartGraph());
 
   const bool need_truth = options.check_strategies || options.check_baselines;
+  // Churn at t=0 lands after the pipelined engine's epoch-0 snapshot and
+  // before any further marker, so that snapshot is legitimately stale; the
+  // t=0 comparison is skipped then (t>=1 re-snapshots at AdvanceEpoch).
+  bool churned_at_epoch0 = false;
   const int horizon = Horizon(c);
   for (int t = 0; t < horizon; ++t) {
     if (t > 0) {
@@ -327,6 +350,29 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
         }
       }
       for (auto& engine : parallel_engines) engine->ApplyChanges(batches);
+      if (pipelined) {
+        // Two fragments per (stream, timestamp): the worker must merge
+        // them back into one batch before NNT maintenance or the
+        // deletions-first protocol (and so the results) would diverge.
+        for (int i = 0; i < num_streams; ++i) {
+          const std::vector<EdgeOp>& ops =
+              batches[static_cast<size_t>(i)].ops;
+          const auto half =
+              ops.begin() + static_cast<std::ptrdiff_t>(ops.size() / 2);
+          IngestEvent first;
+          first.stream = i;
+          first.timestamp = t;
+          first.change.ops.assign(ops.begin(), half);
+          IngestEvent second;
+          second.stream = i;
+          second.timestamp = t;
+          second.change.ops.assign(half, ops.end());
+          if (!pipelined->Ingest(std::move(first)) ||
+              !pipelined->Ingest(std::move(second))) {
+            return "pipelined: ingest rejected at t=" + std::to_string(t);
+          }
+        }
+      }
       for (int i = 0; i < num_streams; ++i) {
         ApplyChange(batches[static_cast<size_t>(i)],
                     current[static_cast<size_t>(i)]);
@@ -353,6 +399,9 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
           for (auto& engine : parallel_engines) {
             agree = agree && engine->AddQueryDynamic(queries[q]) == slot;
           }
+          if (pipelined) {
+            agree = agree && pipelined->AddQueryDynamic(queries[q]) == slot;
+          }
           if (!agree) {
             return "churn: engines disagree on the slot for query " +
                    std::to_string(op.query) + " at t=" + std::to_string(t);
@@ -364,6 +413,7 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
           }
           query_to_engine[q] = slot;
           registered[q] = 1;
+          if (t == 0) churned_at_epoch0 = true;
         } else {
           const int slot = query_to_engine[q];
           for (NamedEngine& named : engines) {
@@ -372,9 +422,11 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
           for (auto& engine : parallel_engines) {
             engine->RemoveQueryDynamic(slot);
           }
+          if (pipelined) pipelined->RemoveQueryDynamic(slot);
           engine_to_query[static_cast<size_t>(slot)] = -1;
           query_to_engine[q] = -1;
           registered[q] = 0;
+          if (t == 0) churned_at_epoch0 = true;
         }
       }
     }
@@ -504,6 +556,40 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
       }
     }
 
+    if (pipelined && (t > 0 || !churned_at_epoch0)) {
+      // Oracle 8: close the epoch at t and compare the snapshot reads —
+      // pairs byte-for-byte, and transitions stream by stream — against
+      // the sequential reference.
+      if (t > 0) pipelined->AdvanceEpoch(t);
+      const std::vector<std::pair<int, int>> sequential_pairs =
+          reference.AllCandidatePairs();
+      const std::vector<std::pair<int, int>> pipelined_pairs =
+          pipelined->AllCandidatePairs();
+      if (pipelined_pairs != sequential_pairs) {
+        return "pipelined-divergence: reported " +
+               std::to_string(pipelined_pairs.size()) +
+               " pairs vs sequential " +
+               std::to_string(sequential_pairs.size()) +
+               " at t=" + std::to_string(t);
+      }
+      for (int i = 0; i < num_streams; ++i) {
+        std::vector<int> seq_current = reference.CandidatesForStream(i);
+        std::vector<int> pipe_current = pipelined->CandidatesForStream(i);
+        CandidateTransitions seq_tr;
+        CandidateTransitions pipe_tr;
+        reference.ObserveTransitions(i, &seq_current, &seq_tr);
+        pipelined->ObserveTransitions(i, &pipe_current, &pipe_tr);
+        if (pipe_tr.appeared != seq_tr.appeared ||
+            pipe_tr.disappeared != seq_tr.disappeared) {
+          return "pipelined-transition-divergence: " + At(t, i) +
+                 " appeared=" + DescribeSet(pipe_tr.appeared) +
+                 " vs " + DescribeSet(seq_tr.appeared) +
+                 " disappeared=" + DescribeSet(pipe_tr.disappeared) +
+                 " vs " + DescribeSet(seq_tr.disappeared);
+        }
+      }
+    }
+
     if (options.check_nnt_rebuild) {
       for (int i = 0; i < num_streams; ++i) {
         if (auto failure = CheckNntRebuild(reference.StreamNnts(i),
@@ -547,6 +633,24 @@ std::optional<std::string> RunOracles(const FuzzCase& c,
                    " candidates=" + DescribeSet(candidates);
           }
         }
+      }
+    }
+  }
+
+  if (pipelined) {
+    // Oracle 8 wrap-up: every routed event must have been delivered and
+    // applied in per-stream timestamp order on its lane.
+    pipelined->Shutdown();
+    for (int s = 0; s < pipelined->num_shards(); ++s) {
+      const PipelinedQueryEngine::LaneReport report = pipelined->ReportLane(s);
+      if (report.lane.accepted != report.lane.delivered) {
+        return "pipelined-lost-events: shard=" + std::to_string(s) +
+               " accepted=" + std::to_string(report.lane.accepted) +
+               " delivered=" + std::to_string(report.lane.delivered);
+      }
+      if (report.order_violations != 0) {
+        return "pipelined-reordered: shard=" + std::to_string(s) +
+               " violations=" + std::to_string(report.order_violations);
       }
     }
   }

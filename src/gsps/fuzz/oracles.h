@@ -33,6 +33,13 @@
 //      decoded value must reproduce the original text byte for byte, and
 //      re-encoding it must be a binary fixed point (same for graphs via
 //      EncodeGraph/DecodeGraph).
+//   8. Pipelined engine: PipelinedQueryEngine (3 worker threads, capacity-8
+//      SPSC lanes so the router actually hits backpressure, every timestamp
+//      batch split into two fragments the worker must coalesce) must report
+//      exactly the sequential engine's candidate pairs AND candidate
+//      transitions at every epoch boundary, apply the churn schedule in
+//      lock-step through its in-band control channel (agreeing on reused
+//      slots), and finish with lossless, in-order per-lane delivery audits.
 //
 // RunOracles is deterministic and returns a diagnostic naming the oracle,
 // timestamp, stream, and query on the first violation — the string the
@@ -58,6 +65,7 @@ struct OracleOptions {
   bool check_incremental = true;  // Oracle 5.
   bool check_churn = true;        // Oracle 6 (no-op without a schedule).
   bool check_codec = true;        // Oracle 7.
+  bool check_pipelined = true;    // Oracle 8.
 };
 
 // Runs every enabled oracle over the whole case, timestamp by timestamp.

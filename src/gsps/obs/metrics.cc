@@ -52,6 +52,9 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "gsps_ingest_accepted",
     "gsps_ingest_delivered",
     "gsps_ingest_producer_waits",
+    "gsps_pipeline_events_routed",
+    "gsps_pipeline_markers_broadcast",
+    "gsps_pipeline_coalesced_deltas",
 };
 
 constexpr const char* kGaugeNames[kNumGauges] = {
@@ -61,6 +64,8 @@ constexpr const char* kGaugeNames[kNumGauges] = {
     "gsps_engine_queries",
     "gsps_queries_active",
     "gsps_ingest_queue_depth",
+    "gsps_pipeline_lane_depth",
+    "gsps_shard_imbalance_ratio",
 };
 
 constexpr const char* kHistNames[kNumHists] = {
@@ -73,6 +78,7 @@ constexpr const char* kHistNames[kNumHists] = {
     "gsps_stage_tracker_observe_micros",
     "gsps_stage_metrics_merge_micros",
     "gsps_ingest_e2e_micros",
+    "gsps_pipeline_watermark_lag_micros",
 };
 
 constexpr const char* kCounterHelp[kNumCounters] = {
@@ -108,6 +114,9 @@ constexpr const char* kCounterHelp[kNumCounters] = {
     "Events accepted into the ingest queue",
     "Ingest events delivered to the consumer",
     "Ingest pushes that blocked on a full queue",
+    "Data events forwarded by the pipeline router to shard lanes",
+    "Epoch/control markers broadcast to every shard lane",
+    "Delta fragments coalesced into a pending same-timestamp batch",
 };
 
 constexpr const char* kGaugeHelp[kNumGauges] = {
@@ -117,6 +126,8 @@ constexpr const char* kGaugeHelp[kNumGauges] = {
     "Query slots registered with the engine",
     "Registered queries currently live",
     "Ingest queue depth high-water mark",
+    "Per-shard pipeline lane depth high-water mark",
+    "Max/mean initial shard edge load in millis (1000 = balanced)",
 };
 
 constexpr const char* kHistHelp[kNumHists] = {
@@ -129,6 +140,7 @@ constexpr const char* kHistHelp[kNumHists] = {
     "Stage micros: candidate tracker observe",
     "Stage micros: post-barrier metrics merge",
     "End-to-end ingest micros: enqueue stamp to engine apply",
+    "Epoch micros: marker publish stamp to shard watermark advance",
 };
 
 constexpr const char* kStageNames[kNumStages] = {

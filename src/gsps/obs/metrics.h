@@ -91,6 +91,12 @@ enum class Counter : int {
   kIngestAccepted,          // Events accepted into the ingest queue.
   kIngestDelivered,         // Events handed to the consumer.
   kIngestProducerWaits,     // Pushes that blocked on a full queue.
+  // Pipelined execution (engine/pipelined_query_engine.cc).
+  kPipelineEventsRouted,      // Data events forwarded router -> shard lane.
+  kPipelineMarkersBroadcast,  // Epoch/control markers fanned out to lanes.
+  kPipelineCoalescedDeltas,   // Delta fragments merged into an already
+                              // pending same-(stream, timestamp) batch, i.e.
+                              // ApplyChange calls saved by coalescing.
   kNumCounters,
 };
 
@@ -103,6 +109,9 @@ enum class Gauge : int {
   kEngineQueries,
   kQueriesActive,  // Registered queries currently live (adds minus removes).
   kIngestQueueDepth,  // Ingest queue depth high-water (max-merged gauge).
+  kPipelineLaneDepth,  // Per-shard SPSC lane depth high-water (max-merged).
+  kShardImbalanceRatio,  // max/mean initial shard edge load, in millis
+                         // (1000 = perfectly balanced).
   kNumGauges,
 };
 
@@ -137,6 +146,9 @@ enum class Hist : int {
   // engine. Lives after the contiguous kStage* block (StageHist relies on
   // that ordering).
   kIngestE2eMicros,
+  // Epoch-watermark lag: marker publish stamp -> shard watermark advance
+  // (pipelined engine only).
+  kPipelineWatermarkLagMicros,
   kNumHists,
 };
 

@@ -19,6 +19,7 @@
 #include "gsps/engine/candidate_tracker.h"
 #include "gsps/engine/ingest_queue.h"
 #include "gsps/engine/parallel_query_engine.h"
+#include "gsps/engine/pipelined_query_engine.h"
 #include "gsps/gen/stream_generator.h"
 #include "gsps/graph/graph_change.h"
 #include "gsps/join/dominance_kernel.h"
@@ -599,6 +600,46 @@ TEST(ObsEndToEndTest, EveryMetricNonzeroAfterInstrumentedRun) {
     obs::CurrentSink()->Observe(
         Hist::kIngestE2eMicros,
         obs::MonotonicMicros() - event.enqueue_micros + 1);
+  }
+
+  // The pipelined engine end to end: router fan-out, lane depth, delta
+  // coalescing, and the epoch-watermark protocol. Each timestamp batch is
+  // split into two fragments so the worker-side coalescer must merge them
+  // (gsps_pipeline_coalesced_deltas); Shutdown folds the router counters.
+  {
+    PipelinedEngineOptions options;
+    options.num_threads = 2;
+    PipelinedQueryEngine engine(options);
+    for (const Graph& q : dataset.queries) engine.AddQuery(q);
+    int horizon = 0;
+    for (const GraphStream& s : dataset.streams) {
+      engine.AddStream(s.StartGraph());
+      horizon = std::max(horizon, s.NumTimestamps());
+    }
+    engine.Start();
+    for (int t = 1; t < horizon; ++t) {
+      for (size_t i = 0; i < dataset.streams.size(); ++i) {
+        const GraphStream& s = dataset.streams[i];
+        if (t >= s.NumTimestamps()) continue;
+        const GraphChange change = s.ChangeAt(t);
+        const auto half =
+            change.ops.begin() +
+            static_cast<std::ptrdiff_t>(change.ops.size() / 2);
+        IngestEvent first;
+        first.stream = static_cast<int32_t>(i);
+        first.timestamp = t;
+        first.change.ops.assign(change.ops.begin(), half);
+        IngestEvent second;
+        second.stream = static_cast<int32_t>(i);
+        second.timestamp = t;
+        second.change.ops.assign(half, change.ops.end());
+        ASSERT_TRUE(engine.Ingest(std::move(first)));
+        ASSERT_TRUE(engine.Ingest(std::move(second)));
+      }
+      engine.AdvanceEpoch(t);
+      engine.AllCandidatePairs();
+    }
+    engine.Shutdown();
   }
 
   // The engine runs bump only the dispatched ISA's batch counter; drive the

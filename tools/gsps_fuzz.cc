@@ -13,7 +13,7 @@
 //       [--max_queries=4] [--max_timestamps=8] [--max_churn_ops=5]
 //       [--out=FILE] [--minimize_attempts=4000] [--no-parallel]
 //       [--no-baselines] [--no-incremental] [--no-churn] [--no-codec]
-//       [--quiet]
+//       [--no-pipelined] [--quiet]
 //
 // Replay mode: re-run the oracle set over one committed replay file.
 //
@@ -46,7 +46,7 @@ int Usage() {
       "           [--max_streams=3] [--max_queries=4] [--max_timestamps=8]\n"
       "           [--max_churn_ops=5] [--minimize_attempts=4000]\n"
       "           [--no-parallel] [--no-baselines] [--no-incremental]\n"
-      "           [--no-churn] [--no-codec] [--quiet]\n"
+      "           [--no-churn] [--no-codec] [--no-pipelined] [--quiet]\n"
       "       gsps_fuzz --replay=FILE [--quiet]\n"
       "       gsps_fuzz --emit=FILE --seed=S [--iteration=K]\n");
   return 2;
@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
   options.oracles.check_baselines = !flags.GetBool("no-baselines");
   options.oracles.check_incremental = !flags.GetBool("no-incremental");
   options.oracles.check_codec = !flags.GetBool("no-codec");
+  options.oracles.check_pipelined = !flags.GetBool("no-pipelined");
   if (flags.GetBool("no-churn")) {
     options.oracles.check_churn = false;
     options.gen.max_churn_ops = 0;  // Generate churn-free cases too.

@@ -26,12 +26,26 @@
 //   gsps_loadgen [--streams=16] [--queries=4] [--timestamps=64] [--seed=7]
 //       [--rate=0] [--producers=4] [--queue=1024] [--batch=64]
 //       [--depth=3] [--join=dsc|nl|skyline] [--threads=1] [--join_every=0]
+//       [--pipelined] [--lane=1024] [--probe_ms=10]
 //       [--metrics=FILE|-] [--metrics_format=prom|json] [--quiet]
 //
 // --rate=0 replays as fast as the queue accepts. --join_every=N pulls the
 // candidate set of a batch's stream every N applied batches, mixing join
-// refreshes into the ingest path. Exit status: 0 on success (and a clean
-// order audit), 1 on a dropped/reordered delta, 2 on usage errors.
+// refreshes into the ingest path (single-consumer mode only).
+//
+// --pipelined swaps the consumer side for PipelinedQueryEngine: producers
+// push into the engine's MPSC queue, the router fans events out to one
+// SPSC lane per shard (--lane capacity each), and each shard worker
+// applies its own streams' batches — multi-consumer ingest. While
+// producers run, the main thread publishes a watermark-lag probe marker
+// every --probe_ms milliseconds; these measure marker transit through the
+// loaded queue and lanes (snapshot reads only happen at the final,
+// quiescent epoch, so the probes need no data-completeness discipline).
+// The order audit runs per lane via the shared IngestOrderAudit and the
+// summary reports per-shard e2e latency plus p99 watermark lag.
+//
+// Exit status: 0 on success (and a clean order audit), 1 on a
+// dropped/reordered delta, 2 on usage errors.
 
 #include <algorithm>
 #include <atomic>
@@ -44,8 +58,10 @@
 
 #include "gsps/common/flags.h"
 #include "gsps/common/stopwatch.h"
+#include "gsps/engine/ingest_audit.h"
 #include "gsps/engine/ingest_queue.h"
 #include "gsps/engine/parallel_query_engine.h"
+#include "gsps/engine/pipelined_query_engine.h"
 #include "gsps/gen/stream_generator.h"
 #include "gsps/graph/delta_codec.h"
 #include "gsps/graph/stream_io.h"
@@ -62,8 +78,8 @@ int Usage() {
       "usage: gsps_loadgen [--streams=16] [--queries=4] [--timestamps=64]\n"
       "        [--seed=7] [--rate=0] [--producers=4] [--queue=1024]\n"
       "        [--batch=64] [--depth=3] [--join=dsc|nl|skyline] [--threads=1]\n"
-      "        [--join_every=0] [--metrics=FILE|-] "
-      "[--metrics_format=prom|json]\n"
+      "        [--join_every=0] [--pipelined] [--lane=1024] [--probe_ms=10]\n"
+      "        [--metrics=FILE|-] [--metrics_format=prom|json]\n"
       "        [--quiet]\n");
   return 2;
 }
@@ -135,6 +151,9 @@ int main(int argc, char** argv) {
   const std::string join = flags.GetString("join", "dsc");
   const int threads = flags.GetInt("threads", 1);
   const int join_every = flags.GetInt("join_every", 0);
+  const bool pipelined = flags.GetBool("pipelined");
+  const int lane_capacity = flags.GetInt("lane", 1024);
+  const int probe_ms = flags.GetInt("probe_ms", 10);
   const std::string metrics_path = flags.GetString("metrics", "");
   const std::string metrics_format = flags.GetString("metrics_format", "prom");
   const bool quiet = flags.GetBool("quiet");
@@ -144,7 +163,7 @@ int main(int argc, char** argv) {
   }
   if (num_streams < 1 || num_queries < 1 || timestamps < 2 || rate < 0 ||
       num_producers < 1 || queue_capacity < 1 || batch_size < 1 ||
-      depth < 0 || join_every < 0) {
+      depth < 0 || join_every < 0 || lane_capacity < 1 || probe_ms < 1) {
     return Usage();
   }
   if (metrics_format != "prom" && metrics_format != "json") return Usage();
@@ -192,20 +211,6 @@ int main(int argc, char** argv) {
   obs::MetricSink root_sink;
   obs::ScopedObsContext obs_scope(&root_sink, nullptr);
 
-  ParallelEngineOptions parallel_options;
-  parallel_options.engine = engine_options;
-  parallel_options.num_threads = threads;
-  ParallelQueryEngine engine(parallel_options);
-  const int registered_queries =
-      std::min(num_queries, static_cast<int>(dataset.queries.size()));
-  for (int q = 0; q < registered_queries; ++q) {
-    engine.AddQuery(dataset.queries[static_cast<size_t>(q)]);
-  }
-  for (const GraphStream& stream : streams) {
-    engine.AddStream(stream.StartGraph());
-  }
-  engine.Start();
-
   // Pre-plan every producer's events so the replay loop does no generation
   // work; the open loop measures queue + engine, not planning.
   std::vector<ProducerPlan> plans;
@@ -216,9 +221,9 @@ int main(int argc, char** argv) {
     total_edge_ops += plans.back().edge_ops;
     total_batches += static_cast<int64_t>(plans.back().events.size());
   }
+  const int registered_queries =
+      std::min(num_queries, static_cast<int>(dataset.queries.size()));
 
-  IngestQueue queue(static_cast<size_t>(queue_capacity));
-  std::atomic<int> producers_done{0};
   // Per-producer slice of the aggregate rate, in events (batches) per
   // second; edge ops per batch average out across producers.
   const double batches_per_op =
@@ -228,6 +233,154 @@ int main(int argc, char** argv) {
   const double per_producer_batch_rate =
       rate > 0 ? rate * batches_per_op / num_producers : 0.0;
 
+  if (pipelined) {
+    PipelinedEngineOptions pipe_options;
+    pipe_options.engine = engine_options;
+    pipe_options.num_threads = threads;
+    pipe_options.ingest_capacity = static_cast<size_t>(queue_capacity);
+    pipe_options.lane_capacity = static_cast<size_t>(lane_capacity);
+    PipelinedQueryEngine engine(pipe_options);
+    for (int q = 0; q < registered_queries; ++q) {
+      engine.AddQuery(dataset.queries[static_cast<size_t>(q)]);
+    }
+    for (const GraphStream& stream : streams) {
+      engine.AddStream(stream.StartGraph());
+    }
+    engine.Start();
+
+    Stopwatch watch;
+    const int64_t start_micros = obs::MonotonicMicros();
+    std::atomic<int> producers_done{0};
+    std::vector<std::thread> producers;
+    producers.reserve(static_cast<size_t>(num_producers));
+    for (int p = 0; p < num_producers; ++p) {
+      producers.emplace_back([&, p] {
+        const ProducerPlan& plan = plans[static_cast<size_t>(p)];
+        int64_t sent = 0;
+        for (const IngestEvent& planned : plan.events) {
+          IngestEvent event = planned;  // Keep the plan intact.
+          if (per_producer_batch_rate > 0) {
+            const int64_t scheduled =
+                start_micros + static_cast<int64_t>(
+                                   static_cast<double>(sent) * 1e6 /
+                                   per_producer_batch_rate);
+            while (obs::MonotonicMicros() < scheduled) {
+              std::this_thread::sleep_for(std::chrono::microseconds(50));
+            }
+            event.enqueue_micros = scheduled;
+            event.keep_stamp = true;
+          }
+          if (!engine.Ingest(std::move(event))) break;  // Shut down early.
+          ++sent;
+        }
+        producers_done.fetch_add(1);
+      });
+    }
+
+    // Watermark-lag probes while the load runs: marker timestamps here are
+    // probe sequence numbers, not data timestamps — nothing reads the
+    // intermediate snapshots, only the marker's transit time matters.
+    int32_t probe = 0;
+    while (producers_done.load() < num_producers) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(probe_ms));
+      engine.AdvanceEpoch(++probe);
+    }
+    for (std::thread& t : producers) t.join();
+    // Final epoch: published after every producer push, so the snapshot it
+    // closes covers the complete workload.
+    engine.AdvanceEpoch(++probe);
+    const double elapsed_ms = watch.ElapsedMillis();
+    const size_t candidate_pairs = engine.AllCandidatePairs().size();
+    const IngestQueueStats queue_stats = engine.ingest_queue().Stats();
+    engine.Shutdown();  // Folds queue + router counters into the registry.
+
+    obs::HistogramData latency, lag;
+    int64_t applied_events = 0, applied_batches = 0, coalesced = 0;
+    int64_t order_violations = 0, lane_depth_high_water = 0;
+    for (int s = 0; s < engine.num_shards(); ++s) {
+      const PipelinedQueryEngine::LaneReport report = engine.ReportLane(s);
+      latency.MergeFrom(report.e2e_micros);
+      lag.MergeFrom(report.watermark_lag_micros);
+      applied_events += report.applied_events;
+      applied_batches += report.applied_batches;
+      coalesced += report.coalesced_events;
+      order_violations += report.order_violations;
+      lane_depth_high_water =
+          std::max(lane_depth_high_water, report.lane.depth_high_water);
+    }
+    obs::MetricsRegistry::Global().MergeAndReset(root_sink);
+
+    if (applied_events != total_batches ||
+        queue_stats.accepted != queue_stats.delivered) {
+      std::fprintf(stderr,
+                   "gsps_loadgen: LOST EVENTS pushed=%lld applied=%lld "
+                   "queue accepted=%lld delivered=%lld\n",
+                   static_cast<long long>(total_batches),
+                   static_cast<long long>(applied_events),
+                   static_cast<long long>(queue_stats.accepted),
+                   static_cast<long long>(queue_stats.delivered));
+      return 1;
+    }
+    if (order_violations > 0) {
+      std::fprintf(stderr, "gsps_loadgen: %lld REORDERED deltas\n",
+                   static_cast<long long>(order_violations));
+      return 1;
+    }
+
+    const double achieved =
+        elapsed_ms > 0
+            ? static_cast<double>(total_edge_ops) * 1000.0 / elapsed_ms
+            : 0.0;
+    if (!quiet) {
+      std::printf(
+          "gsps_loadgen: %lld edge events in %lld batches across %d streams "
+          "(%d producers -> %d shard lanes, queue=%d lane=%d) in %.1f ms\n",
+          static_cast<long long>(total_edge_ops),
+          static_cast<long long>(applied_events), num_streams, num_producers,
+          engine.num_shards(), queue_capacity, lane_capacity, elapsed_ms);
+      std::printf(
+          "gsps_loadgen: rate=%.0f events/s (target %s) coalesced=%lld "
+          "applied_batches=%lld producer_waits=%lld lane_depth=%lld\n",
+          achieved, rate > 0 ? std::to_string(rate).c_str() : "unbounded",
+          static_cast<long long>(coalesced),
+          static_cast<long long>(applied_batches),
+          static_cast<long long>(queue_stats.producer_waits),
+          static_cast<long long>(lane_depth_high_water));
+      std::printf(
+          "gsps_loadgen: watermark lag p50=%.0fus p99=%.0fus (%lld probes)\n",
+          obs::HistogramQuantile(lag, 0.5), obs::HistogramQuantile(lag, 0.99),
+          static_cast<long long>(lag.count));
+    }
+    std::printf(
+        "gsps_loadgen: e2e latency p50=%.0fus p95=%.0fus p99=%.0fus "
+        "(%lld samples) candidates=%zu dropped=0 reordered=0\n",
+        obs::HistogramQuantile(latency, 0.5),
+        obs::HistogramQuantile(latency, 0.95),
+        obs::HistogramQuantile(latency, 0.99),
+        static_cast<long long>(latency.count), candidate_pairs);
+
+    if (!metrics_path.empty() &&
+        !WriteMetricsSnapshot(metrics_path, metrics_format == "json")) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 2;
+    }
+    return 0;
+  }
+
+  ParallelEngineOptions parallel_options;
+  parallel_options.engine = engine_options;
+  parallel_options.num_threads = threads;
+  ParallelQueryEngine engine(parallel_options);
+  for (int q = 0; q < registered_queries; ++q) {
+    engine.AddQuery(dataset.queries[static_cast<size_t>(q)]);
+  }
+  for (const GraphStream& stream : streams) {
+    engine.AddStream(stream.StartGraph());
+  }
+  engine.Start();
+
+  IngestQueue queue(static_cast<size_t>(queue_capacity));
+  std::atomic<int> producers_done{0};
   Stopwatch watch;
   const int64_t start_micros = obs::MonotonicMicros();
   std::vector<std::thread> producers;
@@ -264,18 +417,13 @@ int main(int argc, char** argv) {
   // Consumer: the main thread. Applies each batch to its stream and audits
   // the order contract: per stream, timestamps must arrive 1, 2, 3, ...
   // with no gap (drop) or inversion (reorder).
-  std::vector<int32_t> next_timestamp(static_cast<size_t>(num_streams), 1);
+  IngestOrderAudit audit(num_streams);
   obs::HistogramData latency;
-  int64_t order_violations = 0;
   int64_t applied_batches = 0, applied_ops = 0;
   std::vector<IngestEvent> batch;
   while (queue.PopBatch(&batch, static_cast<size_t>(batch_size)) > 0) {
     for (IngestEvent& event : batch) {
-      if (event.timestamp != next_timestamp[static_cast<size_t>(event.stream)]) {
-        ++order_violations;
-      }
-      next_timestamp[static_cast<size_t>(event.stream)] =
-          event.timestamp + 1;
+      audit.ObserveInOrder(event.stream, event.timestamp);
       engine.ApplyChange(event.stream, event.change);
       const int64_t e2e = obs::MonotonicMicros() - event.enqueue_micros;
       latency.Observe(e2e);
@@ -312,9 +460,9 @@ int main(int argc, char** argv) {
                  static_cast<long long>(applied_batches));
     return 1;
   }
-  if (order_violations > 0) {
+  if (audit.violations() > 0) {
     std::fprintf(stderr, "gsps_loadgen: %lld REORDERED deltas\n",
-                 static_cast<long long>(order_violations));
+                 static_cast<long long>(audit.violations()));
     return 1;
   }
 
